@@ -1,0 +1,1 @@
+"""Benchmark suite: one regeneration harness per paper table/figure."""

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures, times the
+regeneration with pytest-benchmark, prints the rows/series next to the
+paper's reported values, and persists them under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def record(name: str, text: str) -> None:
+    """Print a regenerated table and persist it to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

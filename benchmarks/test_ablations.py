@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation perturbs one modelling or microarchitecture decision and
+checks the consequence the design rationale predicts:
+
+* two Loaders (not one, not four) capture the double-buffering benefit,
+* DECA's own prefetcher beats the stock L2 prefetch window,
+* the fair-share single-core simulation matches the exact event backend,
+* the binomial bubble model matches exact per-tile window counting,
+* the software demand-load cap is what separates DDR from HBM behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record
+from repro.core.schemes import parse_scheme
+from repro.deca.config import DecaConfig
+from repro.deca.integration import deca_kernel_timing
+from repro.deca.timing import deca_dec_cycles, exact_dec_cycles
+from repro.experiments.report import Table
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import (
+    simulate_multicore_event,
+    simulate_tile_stream,
+)
+from repro.sim.system import hbm_system
+from repro.sparse.compress import compress_matrix
+
+
+def test_loader_count_ablation(benchmark):
+    """Two loaders ~halve the TEPL hazard; more than two adds little."""
+    system = hbm_system()
+    scheme = parse_scheme("Q8_5%")
+
+    def run():
+        intervals = {}
+        for loaders in (1, 2, 4):
+            config = DecaConfig(n_loaders=loaders)
+            timing = deca_kernel_timing(system, scheme, config=config)
+            sim = simulate_tile_stream(system, timing)
+            intervals[loaders] = sim.steady_interval_cycles
+        return intervals
+
+    intervals = benchmark(run)
+    table = Table(
+        "Ablation: DECA Loader count (Q8_5%, HBM, TEPL)",
+        ["loaders", "interval (cycles/tile)"],
+    )
+    for loaders, value in intervals.items():
+        table.add_row(loaders, round(value, 1))
+    record("ablation_loaders", table.render())
+    gain_two = intervals[1] / intervals[2]
+    gain_four = intervals[2] / intervals[4]
+    assert gain_two > 1.5  # the second loader is transformative...
+    assert gain_four < 1.25  # ...further loaders are not
+
+
+def test_prefetch_discipline_ablation(benchmark):
+    """DECA's prefetcher recovers the bandwidth the L2 one leaves idle."""
+    system = hbm_system()
+    scheme = parse_scheme("Q8")
+
+    def run():
+        from repro.deca.integration import INTEGRATION_LADDER
+        return {
+            opt.label: simulate_tile_stream(
+                system, deca_kernel_timing(system, scheme, integration=opt)
+            ).utilization.memory
+            for opt in INTEGRATION_LADDER[:3]
+        }
+
+    utils = benchmark(run)
+    table = Table(
+        "Ablation: prefetch discipline vs memory utilisation (Q8, HBM)",
+        ["configuration", "MEM util"],
+    )
+    for label, value in utils.items():
+        table.add_row(label, f"{value:.0%}")
+    record("ablation_prefetch", table.render())
+    assert utils["+DECA prefetcher"] > utils["Base"]
+
+
+def test_fair_share_vs_event_backend(benchmark):
+    """The two simulation backends agree within 2%."""
+    system = hbm_system()
+    scheme = parse_scheme("Q8_20%")
+    timing = software_kernel_timing(system, scheme)
+
+    def run():
+        fair = simulate_tile_stream(system, timing, tiles=300)
+        event = simulate_multicore_event(system, timing, tiles_per_core=300)
+        return fair.steady_interval_cycles, event.steady_interval_cycles
+
+    fair, event = benchmark(run)
+    record(
+        "ablation_backends",
+        f"fair-share interval {fair:.2f} vs event backend {event:.2f} "
+        f"cycles/tile (diff {abs(fair - event) / fair:.2%})",
+    )
+    assert event == pytest.approx(fair, rel=0.02)
+
+
+def test_bubble_model_vs_exact_windows(benchmark):
+    """The binomial expectation matches real bitmask windows."""
+    config = DecaConfig()
+    rng = np.random.default_rng(7)
+    weights = rng.normal(size=(256, 512)).astype(np.float32)
+
+    def run():
+        rows = {}
+        for density in (0.5, 0.3, 0.1, 0.05):
+            matrix = compress_matrix(
+                weights, "bf8", density=density, pruning="random",
+                rng=np.random.default_rng(int(density * 100)),
+            )
+            exact = float(np.mean(exact_dec_cycles(config, matrix)))
+            model = deca_dec_cycles(
+                config, parse_scheme(f"Q8_{int(density * 100)}%")
+            )
+            rows[density] = (exact, model)
+        return rows
+
+    rows = benchmark(run)
+    table = Table(
+        "Ablation: binomial bubble model vs exact window counting",
+        ["density", "exact cycles/tile", "model cycles/tile"],
+    )
+    for density, (exact, model) in rows.items():
+        table.add_row(f"{density:.0%}", round(exact, 2), round(model, 2))
+        assert exact == pytest.approx(model, rel=0.04), density
+    record("ablation_bubbles", table.render())
+
+
+def test_software_demand_cap_sensitivity(benchmark):
+    """The demand-load cap explains dense-Q8's 74% HBM memory utilisation."""
+    system = hbm_system()
+    scheme = parse_scheme("Q8")
+    from dataclasses import replace
+
+    def run():
+        results = {}
+        base = software_kernel_timing(system, scheme)
+        for cap in (2.25, 4.5, 9.0, None):
+            timing = replace(base, demand_load_cap=cap)
+            sim = simulate_tile_stream(system, timing)
+            results[cap] = sim.utilization.memory
+        return results
+
+    utils = benchmark(run)
+    table = Table(
+        "Ablation: software demand-load cap vs memory utilisation "
+        "(dense Q8, HBM; paper observes 74%)",
+        ["cap (B/cycle/core)", "MEM util"],
+    )
+    for cap, value in utils.items():
+        table.add_row("uncapped" if cap is None else cap, f"{value:.0%}")
+    record("ablation_demand_cap", table.render())
+    # The calibrated 4.5 B/cycle reproduces the paper's 74%.
+    assert utils[4.5] == pytest.approx(0.74, abs=0.03)
+    assert utils[None] > utils[4.5]

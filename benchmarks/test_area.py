@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the Section 8 area estimate."""
+
+from benchmarks.conftest import record
+from repro.experiments import area
+
+
+def test_area(benchmark):
+    result = benchmark(area.run)
+    record("area", result.format_table())
+    assert abs(result.breakdown.total - 2.51) < 0.05
+    assert result.breakdown.die_overhead() < 0.002

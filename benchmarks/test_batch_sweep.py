@@ -1,0 +1,12 @@
+"""Benchmark: the batch-size robustness claim of Section 9.1."""
+
+from benchmarks.conftest import record
+from repro.experiments import batch_sweep
+
+
+def test_batch_sweep(benchmark):
+    result = benchmark(batch_sweep.run)
+    record("batch_sweep", result.format_table())
+    # "We repeated this analysis for batch sizes of up to N=16 and
+    # observed similar results": the max DECA/SW ratio moves <10%.
+    assert result.max_ratio_spread() < 0.10

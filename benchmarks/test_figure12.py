@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (compressed-GeMM speedups, DDR)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark):
+    result = benchmark(figure12.run)
+    record("figure12", result.format_table())
+    # Headline: DECA gains appear only at high compression factors and
+    # reach ~1.7x over software.
+    assert 1.3 <= result.max_deca_over_software <= 2.0
+    assert result.speedups[0].deca_over_software < 1.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13 (compressed-GeMM speedups, HBM)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark):
+    result = benchmark(figure13.run)
+    record("figure13", result.format_table())
+    # Headline: DECA speedups over software reach ~4x, and DECA tracks
+    # the roofline-optimal speedup.
+    assert 3.3 <= result.max_deca_over_software <= 4.8
+    for row in result.speedups:
+        assert row.deca >= 0.8 * row.optimal

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 14 (TFLOPS vs active core count, DDR)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark):
+    result = benchmark(figure14.run)
+    record("figure14", result.format_table())
+    # Headline: 16 DECA-augmented cores beat 56 conventional cores.
+    assert result.deca_cores_matching_full_software() <= 16

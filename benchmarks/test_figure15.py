@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 15 (DECA vs scaled CPU vector resources)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure15
+
+
+def test_figure15(benchmark):
+    result = benchmark(figure15.run)
+    record("figure15", result.format_table())
+    # Headline: conventional vector scaling stays far below DECA.
+    assert result.deca_wins_everywhere()
+    worst_gap = min(
+        row.deca / max(row.more_avx_units, row.wider_avx_units)
+        for row in result.rows
+    )
+    assert worst_gap >= 1.0

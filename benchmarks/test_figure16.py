@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 16 + Section 9.2 (design-space validation)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure16
+
+
+def test_figure16(benchmark):
+    result = benchmark(figure16.run)
+    record("figure16", result.format_table())
+    # Headlines: the DSE picks {W=32, L=8}; best is ~2x over the
+    # underprovisioned design; overprovisioning gains <3%.
+    assert (result.dse.best.width, result.dse.best.lut_count) == (32, 8)
+    assert 1.5 <= result.best_over_under <= 2.5
+    assert result.over_over_best - 1 < 0.03

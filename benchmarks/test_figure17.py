@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 17 (integration-feature ablation)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure17
+
+
+def test_figure17(benchmark):
+    result = benchmark(figure17.run)
+    record("figure17", result.format_table())
+    # Headlines: every feature helps at every density, and TEPL roughly
+    # doubles performance at 5% density.
+    for values in result.speedups.values():
+        assert values == sorted(values)
+    assert 1.7 <= result.tepl_gain_at(0.05) <= 2.6

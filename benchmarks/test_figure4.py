@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 4 (Roof-Surface plot and R-L/R-S table)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure4
+from repro.experiments.paper_reference import FIGURE4B_TFLOPS
+
+
+def test_figure4(benchmark):
+    result = benchmark(figure4.run)
+    record("figure4", result.format_table())
+    # The Roof-Surface predictions must track the paper's within 10%.
+    for name, (_rl, paper_rs, _real) in FIGURE4B_TFLOPS.items():
+        ours = result.comparison[name][1]
+        assert abs(ours - paper_rs) / paper_rs < 0.10, name
+    # The 3-D surface grid is well-formed.
+    x, y, z = result.surface
+    assert x.shape == y.shape == z.shape

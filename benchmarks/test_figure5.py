@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (BORDs for HBM and DDR)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark):
+    hbm, ddr = benchmark(figure5.run)
+    record("figure5", hbm.format_table() + "\n\n" + ddr.format_table())
+    # Headline: most kernels VEC-bound on HBM, MEM-bound on DDR.
+    assert len(hbm.vec_bound_names()) >= 8
+    assert len(ddr.vec_bound_names()) <= 3

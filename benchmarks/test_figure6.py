@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (BORD with 4x vector throughput)."""
+
+from benchmarks.conftest import record
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark):
+    result = benchmark(figure6.run)
+    record("figure6", result.format_table())
+    # Headline: even 4x VOS leaves at least one kernel VEC-bound.
+    assert len(result.still_vec_bound()) >= 1
+    assert result.vec_region_scaled < result.vec_region_baseline

@@ -1,0 +1,10 @@
+"""Benchmark: calibration-constant sensitivity analysis."""
+
+from benchmarks.conftest import record
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    result = benchmark.pedantic(sensitivity.run, rounds=1, iterations=1)
+    record("sensitivity", result.format_table())
+    assert result.max_headline_shift() < 0.25

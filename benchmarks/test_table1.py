@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (FC-GeMM fraction of next-token time)."""
+
+from benchmarks.conftest import record
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark(table1.run)
+    record("table1", result.format_table())
+    # Headline: GeMMs dominate — >95% on DDR, 85-90% on HBM.
+    assert all(
+        f > 0.94 for (mem, _t, _b), f in result.fractions.items()
+        if mem == "DDR"
+    )
+    assert all(
+        0.84 < f < 0.92 for (mem, _t, _b), f in result.fractions.items()
+        if mem == "HBM"
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (component utilisation)."""
+
+from benchmarks.conftest import record
+from repro.experiments import table3
+from repro.experiments.paper_reference import TABLE3_UTILIZATION
+
+
+def test_table3(benchmark):
+    result = benchmark(table3.run)
+    record("table3", result.format_table())
+    for (density, engine), paper in TABLE3_UTILIZATION.items():
+        ours = result.reports[(density, engine)].as_percentages()
+        for column in ("MEM", "TMUL", "DEC"):
+            assert abs(ours[column] - paper[column]) <= 8, (
+                density, engine, column,
+            )

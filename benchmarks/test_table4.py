@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 4 (LLM next-token latency)."""
+
+from benchmarks.conftest import record
+from repro.experiments import table4
+from repro.experiments.paper_reference import TABLE4_LATENCY_MS
+
+
+def test_table4(benchmark):
+    result = benchmark(table4.run)
+    record("table4", result.format_table())
+    for (model, batch, scheme, engine), paper in TABLE4_LATENCY_MS.items():
+        ours = result.latencies[(model, batch, scheme, engine)]
+        tolerance = 0.10 if batch == 1 else 0.20
+        assert abs(ours - paper) / paper <= tolerance, (model, batch, scheme)

@@ -1,0 +1,10 @@
+"""Benchmark: the full headline-claim validation run."""
+
+from benchmarks.conftest import record
+from repro.experiments import validation
+
+
+def test_validate_all_claims(benchmark):
+    report = benchmark.pedantic(validation.run, rounds=1, iterations=1)
+    record("validation", report.format_table())
+    assert report.all_passed

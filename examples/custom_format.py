@@ -1,0 +1,77 @@
+"""DECA's flexibility: support a brand-new quantization format by
+reprogramming the LUT array — no hardware change (Section 7).
+
+Defines a 3-bit "NF3"-style format (normal-float: codes placed at Gaussian
+quantiles), registers it, compresses a matrix with it, and decompresses it
+through the same DECA PE used for BF8/MXFP4.
+
+Run with: python examples/custom_format.py
+"""
+
+import numpy as np
+
+from repro import DecaPE, compress_matrix, decompress_matrix
+from repro.core.bubbles import deca_vops_per_tile
+from repro.formats.registry import QuantFormat, get_format, register_format
+
+# A 3-bit normal-float grid: symmetric Gaussian quantiles (like NF4, one
+# bit narrower). Hardware support costs nothing: it is just LUT contents.
+_NF3_VALUES = np.array(
+    [-1.0, -0.52, -0.23, 0.0, 0.12, 0.3, 0.56, 1.0], dtype=np.float32
+)
+
+
+def _nf3_encode(values: np.ndarray) -> np.ndarray:
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    flat = values.ravel()[:, None]
+    codes = np.abs(flat - _NF3_VALUES[None, :]).argmin(axis=1)
+    return codes.astype(np.uint8).reshape(values.shape)
+
+
+def _nf3_decode(codes: np.ndarray) -> np.ndarray:
+    return _NF3_VALUES[np.ascontiguousarray(codes, dtype=np.uint8)]
+
+
+def main() -> None:
+    try:
+        fmt = get_format("nf3")
+    except Exception:
+        fmt = register_format(
+            QuantFormat(
+                name="nf3",
+                bits=3,
+                group_size=None,
+                scale_bits=0,
+                encode=_nf3_encode,
+                decode=_nf3_decode,
+                description="3-bit normal-float (custom demo format)",
+            )
+        )
+    rng = np.random.default_rng(1)
+    weights = np.tanh(rng.normal(size=(256, 256))).astype(np.float32)
+    matrix = compress_matrix(weights, "nf3", density=0.4)
+    print(f"NF3 @ 40% density: CF = {matrix.compression_factor():.2f}x")
+
+    # The exact same PE decompresses it after a LUT reprogram.
+    pe = DecaPE()
+    pe.configure("nf3")
+    tout, stats = pe.process_tile(matrix.tiles[0])
+    assert np.array_equal(
+        pe.read_tout(tout), matrix.tiles[0].decompress_reference()
+    )
+    print(f"decompressed bit-exactly; {stats.bubbles} bubbles "
+          f"(3-bit codes read 4 sub-LUTs per big LUT: Lq = 32)")
+
+    # Sub-6-bit codes quadruple the LUT read rate, so even the dense form
+    # runs bubble-free on the baseline {W=32, L=8} design:
+    dense_slots = deca_vops_per_tile(32, 8, 3, 1.0, sparse=False)
+    print(f"pipeline slots per dense NF3 tile: {dense_slots:.0f} "
+          "(16 vOps, zero bubbles)")
+
+    restored = decompress_matrix(matrix)
+    err = np.abs(restored - np.where(restored != 0, weights, 0)).mean()
+    print(f"mean reconstruction error on kept weights: {err:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Dimension a DECA design with the Roof-Surface model (Section 9.2).
+
+Sweeps (W, L) pairs, reports which schemes each design leaves VEC-bound,
+renders the BORD of the chosen design, and prices the candidates with the
+area model.
+
+Run with: python examples/design_space_exploration.py
+"""
+
+from repro.core import PAPER_SCHEMES, SPR_HBM, explore_deca_designs
+from repro.core.bord import Bord
+from repro.core.dse import deca_machine_view, scheme_deca_signature
+from repro.deca.area import deca_area
+from repro.deca.config import DecaConfig
+
+
+def main() -> None:
+    result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+    print("design sweep (HBM SPR, the paper's 12 schemes):")
+    for point in result.designs:
+        status = "saturates" if point.saturates else (
+            f"VEC-bound: {', '.join(point.vec_bound_schemes)}"
+        )
+        print(f"  W={point.width:3d} L={point.lut_count:3d} "
+              f"cost={point.cost:7.0f}  {status}")
+    best = result.best
+    print(f"\nchosen design: W={best.width}, L={best.lut_count} "
+          "(the paper's pick)")
+
+    # BORD of the chosen design.
+    bord = Bord(deca_machine_view(SPR_HBM))
+    points = []
+    for scheme in PAPER_SCHEMES:
+        aixm, aixv = scheme_deca_signature(scheme, best.width, best.lut_count)
+        points.append(bord.place(scheme.name, aixm, aixv))
+    print()
+    print(bord.render_ascii(points, 0.012, 0.07))
+
+    # Price the Figure 16 designs.
+    print("\narea (56 PEs, 7 nm):")
+    for width, luts in ((8, 4), (32, 8), (64, 64)):
+        breakdown = deca_area(DecaConfig(width=width, lut_count=luts))
+        print(f"  W={width:3d} L={luts:3d}: {breakdown.total:6.2f} mm^2 "
+              f"({breakdown.die_overhead():.3%} of the die)")
+
+
+if __name__ == "__main__":
+    main()

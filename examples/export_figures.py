@@ -1,0 +1,65 @@
+"""Export the paper's key figures as SVG files (no matplotlib needed).
+
+Writes Figure 3 (rooflines), Figure 5 (BORDs), and Figure 13 (speedups)
+into ./figures/.
+
+Run with: python examples/export_figures.py
+"""
+
+import pathlib
+
+from repro.core.bord import Bord
+from repro.core.roofsurface import RoofSurface
+from repro.experiments import figure3, figure4, figure5, figure13
+from repro.report.figures import bord_svg, roofline_svg, speedup_bars_svg
+from repro.report.surface3d import roofsurface_svg
+from repro.sim.system import ddr_system, hbm_system
+
+
+def main() -> None:
+    out = pathlib.Path("figures")
+    out.mkdir(exist_ok=True)
+
+    ddr, hbm = figure3.run()
+    for result in (ddr, hbm):
+        svg = roofline_svg(
+            result.curve, result.points,
+            f"Figure 3 ({result.memory}, N={result.batch_rows})",
+        )
+        (out / f"figure3_{result.memory.lower()}.svg").write_text(svg)
+
+    for result, system in (
+        (figure5.run_one(hbm_system(), "HBM"), hbm_system()),
+        (figure5.run_one(ddr_system(), "DDR"), ddr_system()),
+    ):
+        svg = bord_svg(
+            Bord(system.machine), result.points, 0.012, 0.012,
+            f"Figure 5 ({result.memory}): Bounding Region Diagram",
+        )
+        (out / f"figure5_{result.memory.lower()}.svg").write_text(svg)
+
+    fig4 = figure4.run()
+    model = RoofSurface(hbm_system().machine, batch_rows=4)
+    max_m = max(p.aixm for p in fig4.points) * 1.2
+    max_v = max(p.aixv for p in fig4.points) * 1.2
+    (out / "figure4a.svg").write_text(
+        roofsurface_svg(model, fig4.points, max_m, max_v)
+    )
+
+    fig13 = figure13.run()
+    labels = [row.scheme.name for row in fig13.speedups]
+    svg = speedup_bars_svg(
+        labels,
+        {
+            "software": [row.software for row in fig13.speedups],
+            "DECA": [row.deca for row in fig13.speedups],
+            "optimal": [row.optimal for row in fig13.speedups],
+        },
+        "Figure 13 (HBM, N=1): speedup vs uncompressed BF16",
+    )
+    (out / "figure13.svg").write_text(svg)
+    print(f"wrote {len(list(out.glob('*.svg')))} SVG files into {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Walk the Figure 17 integration ladder for one scheme.
+
+Shows how each system-integration decision (L2 reads, DECA's prefetcher,
+TOut registers, TEPL) contributes to DECA's performance, and how the
+TEPL benefit grows as tiles get sparser.
+
+Run with: python examples/integration_ablation.py
+"""
+
+from repro.core.schemes import CompressionScheme
+from repro.deca.integration import INTEGRATION_LADDER, deca_kernel_timing
+from repro.sim import hbm_system, simulate_tile_stream
+
+
+def main() -> None:
+    system = hbm_system()
+    print("Q8 per-tile steady-state interval (cycles) on the HBM machine:")
+    header = "  density  " + "  ".join(
+        f"{opt.label:>17s}" for opt in INTEGRATION_LADDER
+    )
+    print(header)
+    for density in (1.0, 0.5, 0.2, 0.05):
+        scheme = CompressionScheme("bf8", density)
+        cells = []
+        for option in INTEGRATION_LADDER:
+            timing = deca_kernel_timing(system, scheme, integration=option)
+            sim = simulate_tile_stream(system, timing)
+            cells.append(f"{sim.steady_interval_cycles:17.1f}")
+        print(f"  {density:7.0%}  " + "  ".join(cells))
+    print("\nreading: every column is one more integration feature; the")
+    print("last two (TOut registers, TEPL) matter most for sparse tiles,")
+    print("where the fixed communication cost dominates the shrinking")
+    print("decompression time — TEPL roughly doubles 5%-density speed.")
+
+
+if __name__ == "__main__":
+    main()

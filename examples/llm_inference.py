@@ -1,0 +1,43 @@
+"""LLM next-token latency: reproduce the Table 4 story for Llama2-70B.
+
+Sweeps the paper's compression schemes with software decompression and
+with DECA, printing the latency and the speedup over the uncompressed
+BF16 baseline.
+
+Run with: python examples/llm_inference.py
+"""
+
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.llm import EngineKind, llama2_70b, next_token_latency, opt_66b
+from repro.sim import hbm_system
+
+
+def main() -> None:
+    system = hbm_system()
+    schemes = ["Q4", "Q8_20%", "Q8_5%"]
+    for model in (llama2_70b(), opt_66b()):
+        baseline = next_token_latency(
+            model, system, UNCOMPRESSED, EngineKind.UNCOMPRESSED,
+            batch=1, input_tokens=128,
+        )
+        print(f"\n{model.name} ({model.fc_params / 1e9:.1f}B FC weights, "
+              f"batch 1, 128 input tokens, HBM)")
+        print(f"  BF16 baseline: {baseline.total_ms:7.1f} ms "
+              f"({baseline.gemm_fraction:.0%} in FC GeMMs)")
+        for name in schemes:
+            scheme = parse_scheme(name)
+            sw = next_token_latency(
+                model, system, scheme, EngineKind.SOFTWARE, batch=1
+            )
+            deca = next_token_latency(
+                model, system, scheme, EngineKind.DECA, batch=1
+            )
+            print(f"  {name:8s} software {sw.total_ms:7.1f} ms "
+                  f"({baseline.total_ms / sw.total_ms:.2f}x) | "
+                  f"DECA {deca.total_ms:7.1f} ms "
+                  f"({baseline.total_ms / deca.total_ms:.2f}x, "
+                  f"{sw.total_ms / deca.total_ms:.2f}x over software)")
+
+
+if __name__ == "__main__":
+    main()

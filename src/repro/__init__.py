@@ -1,0 +1,97 @@
+"""DECA reproduction: a near-core LLM decompression accelerator library.
+
+A from-scratch Python implementation of *DECA: A Near-Core LLM
+Decompression Accelerator Grounded on a 3D Roofline Model* (MICRO 2025):
+
+* :mod:`repro.formats` / :mod:`repro.sparse` — bit-exact compression
+  substrate (BF16/BF8/E4M3/MXFP4/INT4, bitmask unstructured sparsity,
+  16x32 AMX tiles);
+* :mod:`repro.core` — the Roof-Surface analytical model, BORD diagrams,
+  bubble analytics and the (W, L) design-space exploration;
+* :mod:`repro.sim` — the tile-granularity SPR-like simulator;
+* :mod:`repro.kernels` — the libxsmm-style software baseline and
+  functional compressed GeMMs;
+* :mod:`repro.deca` — the DECA PE (functional + cycle-exact) and its
+  system integration;
+* :mod:`repro.isa` — AMX semantics and the TEPL ISA extension;
+* :mod:`repro.llm` — Llama2-70B / OPT-66B next-token latency;
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    import numpy as np
+    from repro import compress_matrix, DecaPE, CompressionScheme
+    from repro.sim import hbm_system, simulate_tile_stream
+    from repro.deca.integration import deca_kernel_timing
+
+    weights = np.random.randn(1024, 1024).astype(np.float32)
+    matrix = compress_matrix(weights, "bf8", density=0.2)
+    pe = DecaPE()
+    pe.configure("bf8")
+    out, stats = pe.pipeline.decompress_tile(matrix.tiles[0])
+
+    scheme = CompressionScheme("bf8", 0.2)
+    system = hbm_system()
+    result = simulate_tile_stream(system, deca_kernel_timing(system, scheme))
+    print(result.flops(batch_rows=1) / 1e12, "TFLOPS")
+"""
+
+from repro.core.machine import MachineSpec, SPR_DDR, SPR_HBM
+from repro.core.schemes import (
+    CompressionScheme,
+    PAPER_SCHEMES,
+    UNCOMPRESSED,
+    parse_scheme,
+)
+from repro.core.roofline import Roofline
+from repro.core.roofsurface import BoundingFactor, RoofSurface
+from repro.core.bord import Bord
+from repro.core.dse import explore_deca_designs
+from repro.deca.config import DecaConfig
+from repro.deca.pe import DecaPE
+from repro.deca.pipeline import DecaPipeline
+from repro.errors import (
+    CompressionError,
+    ConfigurationError,
+    FormatError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+)
+from repro.sparse.compress import (
+    CompressedMatrix,
+    compress_matrix,
+    decompress_matrix,
+)
+from repro.sparse.tile import CompressedTile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineSpec",
+    "SPR_DDR",
+    "SPR_HBM",
+    "CompressionScheme",
+    "PAPER_SCHEMES",
+    "UNCOMPRESSED",
+    "parse_scheme",
+    "Roofline",
+    "RoofSurface",
+    "BoundingFactor",
+    "Bord",
+    "explore_deca_designs",
+    "DecaConfig",
+    "DecaPE",
+    "DecaPipeline",
+    "CompressionError",
+    "ConfigurationError",
+    "FormatError",
+    "ProgramError",
+    "ReproError",
+    "SimulationError",
+    "CompressedMatrix",
+    "compress_matrix",
+    "decompress_matrix",
+    "CompressedTile",
+    "__version__",
+]

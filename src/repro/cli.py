@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments [NAME ...]`` — regenerate paper tables/figures (default:
+  all of them) and print the comparison tables.
+* ``simulate`` — simulate one compressed GeMM kernel and report interval,
+  TFLOPS, utilisation, and optionally an ASCII Gantt window.
+* ``llm`` — next-token latency for Llama2-70B or OPT-66B.
+* ``dse`` — the (W, L) design-space exploration of Section 9.2.
+* ``area`` — the DECA area model for a given (W, L).
+* ``formats`` — list the registered quantization formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.dse import explore_deca_designs
+from repro.core.schemes import PAPER_SCHEMES, UNCOMPRESSED, parse_scheme
+from repro.deca.area import deca_area
+from repro.deca.config import DecaConfig
+from repro.deca.integration import deca_kernel_timing
+from repro.formats.registry import available_formats, get_format
+from repro.kernels.libxsmm import (
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.llm.inference import EngineKind, next_token_latency
+from repro.llm.models import llama2_70b, opt_66b
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import SimSystem, ddr_system, hbm_system
+from repro.sim.trace import render_gantt
+
+_EXPERIMENTS = (
+    "table1", "figure3", "figure4", "figure5", "figure6", "figure12",
+    "figure13", "figure14", "figure15", "figure16", "figure17",
+    "table3", "table4", "area",
+)
+
+
+def _system_for(name: str, cores: int) -> SimSystem:
+    if name == "hbm":
+        return hbm_system(cores)
+    return ddr_system(cores)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    names = args.names or list(_EXPERIMENTS)
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        module = getattr(exp, name)
+        result = module.run()
+        if isinstance(result, tuple):
+            for part in result:
+                print(part.format_table())
+                print()
+        else:
+            print(result.format_table())
+            print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = _system_for(args.memory, args.cores)
+    scheme = parse_scheme(args.scheme)
+    if args.engine == "software":
+        if scheme.name == UNCOMPRESSED.name:
+            timing = uncompressed_kernel_timing(system)
+        else:
+            timing = software_kernel_timing(system, scheme)
+    else:
+        timing = deca_kernel_timing(
+            system, scheme,
+            config=DecaConfig(width=args.width, lut_count=args.luts),
+        )
+    result = simulate_tile_stream(system, timing)
+    print(f"{scheme.name} on {system.machine.name} with {args.engine}:")
+    print(f"  interval: {result.steady_interval_cycles:.1f} cycles/tile")
+    print(f"  rate:     {result.tiles_per_second / 1e9:.2f} G tiles/s")
+    print(f"  FLOPS:    {result.flops(args.batch) / 1e12:.2f} TFLOPS "
+          f"(N={args.batch})")
+    pct = result.utilization.as_percentages()
+    print(f"  util:     MEM {pct['MEM']}%  TMUL {pct['TMUL']}%  "
+          f"DEC {pct['DEC']}%  (bottleneck: "
+          f"{result.utilization.bottleneck})")
+    if args.gantt:
+        print()
+        print(render_gantt(result, first_tile=40, tiles=args.gantt))
+    return 0
+
+
+def _cmd_llm(args: argparse.Namespace) -> int:
+    system = _system_for(args.memory, args.cores)
+    model = llama2_70b() if args.model == "llama2-70b" else opt_66b()
+    scheme = parse_scheme(args.scheme)
+    engine = {
+        "software": EngineKind.SOFTWARE,
+        "deca": EngineKind.DECA,
+        "uncompressed": EngineKind.UNCOMPRESSED,
+    }[args.engine]
+    if engine is EngineKind.UNCOMPRESSED:
+        scheme = UNCOMPRESSED
+    breakdown = next_token_latency(
+        model, system, scheme, engine,
+        batch=args.batch, input_tokens=args.tokens,
+    )
+    print(f"{model.name} / {breakdown.scheme_name} / {args.engine} "
+          f"(batch {args.batch}, {args.tokens} input tokens, "
+          f"{system.machine.name}):")
+    print(f"  next-token latency: {breakdown.total_ms:.1f} ms")
+    print(f"  FC GeMMs: {breakdown.gemm_seconds * 1e3:.1f} ms "
+          f"({breakdown.gemm_fraction:.0%})")
+    print(f"  non-GeMM: {breakdown.non_gemm_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    machine = _system_for(args.memory, args.cores).machine
+    result = explore_deca_designs(machine, PAPER_SCHEMES)
+    for point in result.designs:
+        status = "saturates" if point.saturates else (
+            f"VEC-bound: {', '.join(point.vec_bound_schemes)}"
+        )
+        print(f"W={point.width:3d} L={point.lut_count:3d} "
+              f"cost={point.cost:8.0f}  {status}")
+    if result.best is not None:
+        print(f"best: W={result.best.width}, L={result.best.lut_count}")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    breakdown = deca_area(
+        DecaConfig(width=args.width, lut_count=args.luts), pes=args.pes
+    )
+    print(f"{args.pes} PEs at W={args.width}, L={args.luts}: "
+          f"{breakdown.total:.2f} mm^2 "
+          f"({breakdown.die_overhead():.3%} of a 1600 mm^2 die)")
+    for name, value in breakdown.fractions().items():
+        print(f"  {name}: {value:.0%}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.core.bord import Bord
+    from repro.core.roofsurface import RoofSurface
+    from repro.experiments import figure3, figure4, figure5, figure13
+    from repro.report.figures import (
+        bord_svg,
+        roofline_svg,
+        speedup_bars_svg,
+    )
+    from repro.report.surface3d import roofsurface_svg
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    ddr3, hbm3 = figure3.run()
+    for result in (ddr3, hbm3):
+        svg = roofline_svg(
+            result.curve, result.points, f"Figure 3 ({result.memory})"
+        )
+        (out / f"figure3_{result.memory.lower()}.svg").write_text(svg)
+    fig4 = figure4.run()
+    model = RoofSurface(hbm_system().machine, batch_rows=4)
+    max_m = max(p.aixm for p in fig4.points) * 1.2
+    max_v = max(p.aixv for p in fig4.points) * 1.2
+    (out / "figure4a.svg").write_text(
+        roofsurface_svg(model, fig4.points, max_m, max_v)
+    )
+    hbm5, ddr5 = figure5.run()
+    for result, system in ((hbm5, hbm_system()), (ddr5, ddr_system())):
+        svg = bord_svg(
+            Bord(system.machine), result.points, 0.012, 0.012,
+            f"Figure 5 ({result.memory})",
+        )
+        (out / f"figure5_{result.memory.lower()}.svg").write_text(svg)
+    fig13 = figure13.run()
+    labels = [row.scheme.name for row in fig13.speedups]
+    (out / "figure13.svg").write_text(
+        speedup_bars_svg(
+            labels,
+            {
+                "software": [r.software for r in fig13.speedups],
+                "DECA": [r.deca for r in fig13.speedups],
+                "optimal": [r.optimal for r in fig13.speedups],
+            },
+            "Figure 13 (HBM, N=1)",
+        )
+    )
+    written = sorted(p.name for p in out.glob("*.svg"))
+    print(f"wrote {len(written)} figures into {out}/: {', '.join(written)}")
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    from repro.experiments import validation
+
+    report = validation.run()
+    print(report.format_table())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_formats(_args: argparse.Namespace) -> int:
+    for name in available_formats():
+        fmt = get_format(name)
+        group = (
+            f"group {fmt.group_size} (+{fmt.scale_bits}b scale)"
+            if fmt.is_grouped
+            else "no groups"
+        )
+        print(f"{name:8s} {fmt.bits:2d} bits  {group:26s} {fmt.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DECA reproduction toolkit (MICRO 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper results")
+    p_exp.add_argument("names", nargs="*", metavar="NAME",
+                       help=f"one of: {', '.join(_EXPERIMENTS)}")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_sim = sub.add_parser("simulate", help="simulate one compressed GeMM")
+    p_sim.add_argument("--scheme", default="Q8_20%")
+    p_sim.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
+    p_sim.add_argument("--engine", choices=("software", "deca"),
+                       default="deca")
+    p_sim.add_argument("--cores", type=int, default=56)
+    p_sim.add_argument("--batch", type=int, default=1)
+    p_sim.add_argument("--width", type=int, default=32)
+    p_sim.add_argument("--luts", type=int, default=8)
+    p_sim.add_argument("--gantt", type=int, default=0, metavar="TILES",
+                       help="render an ASCII Gantt window of TILES tiles")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_llm = sub.add_parser("llm", help="LLM next-token latency")
+    p_llm.add_argument("--model", choices=("llama2-70b", "opt-66b"),
+                       default="llama2-70b")
+    p_llm.add_argument("--scheme", default="Q4")
+    p_llm.add_argument("--engine",
+                       choices=("software", "deca", "uncompressed"),
+                       default="deca")
+    p_llm.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
+    p_llm.add_argument("--cores", type=int, default=56)
+    p_llm.add_argument("--batch", type=int, default=1)
+    p_llm.add_argument("--tokens", type=int, default=128)
+    p_llm.set_defaults(func=_cmd_llm)
+
+    p_dse = sub.add_parser("dse", help="DECA (W, L) design exploration")
+    p_dse.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
+    p_dse.add_argument("--cores", type=int, default=56)
+    p_dse.set_defaults(func=_cmd_dse)
+
+    p_area = sub.add_parser("area", help="DECA area model")
+    p_area.add_argument("--width", type=int, default=32)
+    p_area.add_argument("--luts", type=int, default=8)
+    p_area.add_argument("--pes", type=int, default=56)
+    p_area.set_defaults(func=_cmd_area)
+
+    p_fmt = sub.add_parser("formats", help="list quantization formats")
+    p_fmt.set_defaults(func=_cmd_formats)
+
+    p_val = sub.add_parser(
+        "validate", help="check every headline claim of the paper"
+    )
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_fig = sub.add_parser("figures", help="export key figures as SVG")
+    p_fig.add_argument("--output", default="figures")
+    p_fig.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

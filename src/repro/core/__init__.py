@@ -1,0 +1,69 @@
+"""The paper's analytical core: the Roof-Surface performance model.
+
+This package implements Section 4 (the 3D Roof-Surface equation and its 2D
+BORD projection), Section 6.2 (the binomial bubble model used to dimension
+DECA), and the analytical design-space exploration of Section 9.2. It also
+defines the machine descriptions and compression-scheme "signatures"
+(AI_XM, AI_XV) every other subsystem consumes.
+"""
+
+from repro.core.machine import (
+    MachineSpec,
+    SPR_DDR,
+    SPR_HBM,
+    spr_ddr,
+    spr_hbm,
+)
+from repro.core.schemes import (
+    CompressionScheme,
+    PAPER_SCHEMES,
+    UNCOMPRESSED,
+    parse_scheme,
+)
+from repro.core.roofline import (
+    Roofline,
+    RooflinePoint,
+)
+from repro.core.roofsurface import (
+    BoundingFactor,
+    RoofSurface,
+    RoofSurfacePoint,
+)
+from repro.core.bord import Bord, BordLines
+from repro.core.bubbles import (
+    bubbles_per_vop_dense,
+    bubbles_per_vop_sparse,
+    deca_vops_per_tile,
+    lut_reads_per_cycle,
+)
+from repro.core.dse import DesignPoint, DseResult, explore_deca_designs
+from repro.core.gpu import a100_like, gpu_bord, h100_like
+
+__all__ = [
+    "MachineSpec",
+    "SPR_DDR",
+    "SPR_HBM",
+    "spr_ddr",
+    "spr_hbm",
+    "CompressionScheme",
+    "PAPER_SCHEMES",
+    "UNCOMPRESSED",
+    "parse_scheme",
+    "Roofline",
+    "RooflinePoint",
+    "BoundingFactor",
+    "RoofSurface",
+    "RoofSurfacePoint",
+    "Bord",
+    "BordLines",
+    "bubbles_per_vop_dense",
+    "bubbles_per_vop_sparse",
+    "deca_vops_per_tile",
+    "lut_reads_per_cycle",
+    "DesignPoint",
+    "DseResult",
+    "explore_deca_designs",
+    "a100_like",
+    "gpu_bord",
+    "h100_like",
+]

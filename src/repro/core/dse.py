@@ -1,0 +1,170 @@
+"""Analytical design-space exploration over DECA's (W, L) parameters.
+
+Section 9.2: "we pick the smallest {W, L} pair for which the predicted
+performance saturates (i.e., all the kernels are predicted not to be
+VEC-bound anymore)". This module reproduces that methodology: for each
+candidate design it derives every scheme's DECA AI_XV from the bubble model,
+classifies the schemes on the machine's BORD (with DECA's own VOS of one
+vOp per cycle per PE), and ranks saturating designs by hardware cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bord import Bord
+from repro.core.bubbles import deca_aixv
+from repro.core.machine import MachineSpec
+from repro.core.roofsurface import BoundingFactor
+from repro.core.schemes import CompressionScheme
+from repro.errors import ConfigurationError
+
+#: Paper baseline and the Figure 16 comparison points.
+BASELINE_DESIGN = (32, 8)
+UNDERPROVISIONED_DESIGN = (8, 4)
+OVERPROVISIONED_DESIGN = (64, 64)
+
+
+def deca_machine_view(machine: MachineSpec) -> MachineSpec:
+    """The machine as DECA sees it: one vOp per cycle per core's PE.
+
+    DECA's VOS is ``frequency * cores * 1`` (Section 6.2), so the view is
+    the same machine with a single "SIMD unit" per core.
+    """
+    return replace(
+        machine, name=f"{machine.name}+DECA", avx_units_per_core=1
+    )
+
+
+def scheme_deca_signature(
+    scheme: CompressionScheme, width: int, lut_count: int
+) -> Tuple[float, float]:
+    """(AI_XM, AI_XV) of a scheme decompressed by a (W, L) DECA design.
+
+    16-bit storage bypasses the LUT stage entirely (nothing to dequantize),
+    so it can never form dequantization bubbles.
+    """
+    fmt = scheme.fmt
+    dequant_needed = fmt.bits <= 8
+    aixv = deca_aixv(
+        width=width,
+        lut_count=lut_count,
+        bits=min(fmt.bits, 8),
+        density=scheme.density,
+        sparse=scheme.is_sparse,
+        dequant_needed=dequant_needed,
+    )
+    return scheme.aixm(), aixv
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate (W, L) DECA design evaluated against a scheme set."""
+
+    width: int
+    lut_count: int
+    bounds: Dict[str, BoundingFactor]
+    cost: float
+
+    @property
+    def vec_bound_schemes(self) -> Tuple[str, ...]:
+        """Names of schemes this design leaves VEC-bound."""
+        return tuple(
+            name
+            for name, bound in self.bounds.items()
+            if bound is BoundingFactor.VECTOR
+        )
+
+    @property
+    def saturates(self) -> bool:
+        """Whether no scheme remains VEC-bound (the selection criterion)."""
+        return not self.vec_bound_schemes
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of a design-space exploration."""
+
+    designs: Tuple[DesignPoint, ...]
+    best: Optional[DesignPoint]
+
+    def design(self, width: int, lut_count: int) -> DesignPoint:
+        """Look up a specific evaluated design."""
+        for point in self.designs:
+            if point.width == width and point.lut_count == lut_count:
+                return point
+        raise ConfigurationError(
+            f"design (W={width}, L={lut_count}) was not part of the sweep"
+        )
+
+
+def design_cost(width: int, lut_count: int) -> float:
+    """Relative hardware cost of a (W, L) design.
+
+    The dominant area contributors scale as: LUT storage linearly in L
+    (256 BF16 entries per big LUT) and the expansion crossbar roughly
+    quadratically in W (Section 8's area breakdown). The constants are
+    relative weights, not mm^2 — only the ordering matters for the DSE.
+    """
+    lut_bytes = lut_count * 256 * 2
+    crossbar = width * width
+    registers = width * 8
+    return lut_bytes + crossbar + registers
+
+
+def explore_deca_designs(
+    machine: MachineSpec,
+    schemes: Sequence[CompressionScheme],
+    widths: Sequence[int] = (8, 16, 32, 64),
+    lut_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    vec_tolerance: float = 0.01,
+) -> DseResult:
+    """Sweep (W, L) pairs and pick the cheapest saturating design.
+
+    Mirrors the paper's procedure, which lands on {W=32, L=8} for the HBM
+    SPR machine and the evaluated scheme set. A scheme only counts as
+    VEC-bound when its vector rate trails the next-slowest resource by more
+    than ``vec_tolerance`` — kernels sitting *on* the region boundary (e.g.
+    Q8_5%, whose expected bubble rate at {32, 8} is a fraction of a percent)
+    have escaped the vector bottleneck for dimensioning purposes.
+    """
+    if not schemes:
+        raise ConfigurationError("the DSE needs at least one scheme")
+    deca_machine = deca_machine_view(machine)
+    bord = Bord(deca_machine)
+    designs: List[DesignPoint] = []
+    for width in widths:
+        for lut_count in lut_counts:
+            if lut_count > width:
+                # More big LUTs than output lanes is never useful: Lq >= W
+                # already guarantees zero bubbles at L = W.
+                continue
+            bounds: Dict[str, BoundingFactor] = {}
+            for scheme in schemes:
+                aixm, aixv = scheme_deca_signature(scheme, width, lut_count)
+                bound = bord.classify(aixm, aixv)
+                if bound is BoundingFactor.VECTOR:
+                    vec_rate = deca_machine.vector_ops_per_second * aixv
+                    others = min(
+                        deca_machine.memory_bandwidth * aixm,
+                        deca_machine.matrix_ops_per_second,
+                    )
+                    if vec_rate >= (1.0 - vec_tolerance) * others:
+                        bound = (
+                            BoundingFactor.MEMORY
+                            if deca_machine.memory_bandwidth * aixm <= others
+                            else BoundingFactor.MATRIX
+                        )
+                bounds[scheme.name] = bound
+            designs.append(
+                DesignPoint(
+                    width=width,
+                    lut_count=lut_count,
+                    bounds=bounds,
+                    cost=design_cost(width, lut_count),
+                )
+            )
+    saturating = [point for point in designs if point.saturates]
+    best = min(saturating, key=lambda p: p.cost) if saturating else None
+    return DseResult(designs=tuple(designs), best=best)

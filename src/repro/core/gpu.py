@@ -1,0 +1,69 @@
+"""Roof-Surface analysis of GPU-style machines (Section 10).
+
+The paper observes that GPUs have the same structural problem: Tensor
+Cores only consume dense, well-formed tiles, so kernels like Flash-LLM
+decompress with SIMT vector instructions and "put pressure on the L1/
+shared memory of the SMs, preventing full TensorCore/HBM utilization".
+The Roof-Surface model is machine-agnostic — it only needs the three
+rates — so this module expresses an A100-like GPU in the same vocabulary
+and shows that most compressed schemes are VEC-bound there too, which is
+exactly the paper's argument for a DECA-style engine inside the TMA.
+
+Unit conventions: one "vector op" processes 64 bytes (an AVX-512 op or
+half a 32-lane warp op), so the AVX recipes of ``repro.kernels.avx``
+transfer unchanged. One "matrix op" is a 512-weight tile operation.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineSpec
+from repro.core.bord import Bord
+from repro.units import gb_per_s, ghz
+
+#: FMAs per 512-weight tile operation at N=16 (the dense GPU case).
+_FMAS_PER_TILE = 512 * 16
+
+
+def a100_like() -> MachineSpec:
+    """An NVIDIA A100-like machine in Roof-Surface terms.
+
+    108 SMs at 1.41 GHz; each SM's four schedulers sustain four 32-lane
+    (128-byte) vector instructions per cycle = eight 64-byte vector ops,
+    so VOS ~ 1.2 T vOps/s. Tensor cores deliver ~156 T BF16 FMA/s, i.e.
+    ~305 G tile-ops/s (tmul_cycles ~ 0.5 per SM). HBM2e: ~2 TB/s.
+    """
+    sms = 108
+    frequency = ghz(1.41)
+    tensor_fmas = 156e12
+    tile_rate = tensor_fmas / 512  # tile ops/second at one row... see note
+    # MachineSpec derives MOS = f * cores / tmul_cycles.
+    tmul_cycles = frequency * sms / tile_rate
+    return MachineSpec(
+        name="A100-like",
+        cores=sms,
+        frequency_hz=frequency,
+        avx_units_per_core=8,
+        memory_bandwidth=gb_per_s(2039),
+        tmul_cycles=tmul_cycles,
+    )
+
+
+def h100_like() -> MachineSpec:
+    """An H100-SXM-like machine: ~990 T BF16 FMA/s halved to FMA units,
+    3.35 TB/s HBM3, 132 SMs at 1.83 GHz."""
+    sms = 132
+    frequency = ghz(1.83)
+    tile_rate = (989e12 / 2) / 512
+    return MachineSpec(
+        name="H100-like",
+        cores=sms,
+        frequency_hz=frequency,
+        avx_units_per_core=8,
+        memory_bandwidth=gb_per_s(3350),
+        tmul_cycles=frequency * sms / tile_rate,
+    )
+
+
+def gpu_bord(machine: MachineSpec | None = None) -> Bord:
+    """The Bounding Region Diagram of a GPU-style machine."""
+    return Bord(machine if machine is not None else a100_like())

@@ -1,0 +1,117 @@
+"""Machine descriptions consumed by the analytical models.
+
+A :class:`MachineSpec` carries the three architecture-dependent rates of the
+Roof-Surface equation (Section 4.1):
+
+* ``memory_bandwidth`` — MBW, bytes/second;
+* ``vector_ops_per_second`` — VOS = frequency x cores x SIMD units/core;
+* ``matrix_ops_per_second`` — MOS = frequency x cores / 16 (one TMUL per
+  core, 16 cycles per tile multiplication).
+
+The presets mirror the paper's evaluation platform: a 56-core Sapphire
+Rapids server at 2.5 GHz with either ~260 GB/s DDR5 or ~850 GB/s HBM
+(Section 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import TMUL_CYCLES, gb_per_s, ghz
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """An SPR-like CPU platform for the analytical models.
+
+    Attributes:
+        name: Human-readable identifier.
+        cores: Active core count.
+        frequency_hz: Core (and DECA PE) clock.
+        avx_units_per_core: SIMD execution units per core.
+        memory_bandwidth: Achievable memory bandwidth in bytes/second.
+        tmul_cycles: Cycles per matrix-engine tile multiplication (may
+            be fractional for engines that retire several tile operations
+            per cycle, e.g. GPU tensor cores).
+    """
+
+    name: str
+    cores: int
+    frequency_hz: float
+    avx_units_per_core: int
+    memory_bandwidth: float
+    tmul_cycles: float = TMUL_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if self.avx_units_per_core < 1:
+            raise ConfigurationError("need at least one AVX unit per core")
+        if self.memory_bandwidth <= 0:
+            raise ConfigurationError("memory bandwidth must be positive")
+        if self.tmul_cycles <= 0:
+            raise ConfigurationError("tmul_cycles must be positive")
+
+    @property
+    def vector_ops_per_second(self) -> float:
+        """VOS: vector operations per second across all cores."""
+        return self.frequency_hz * self.cores * self.avx_units_per_core
+
+    @property
+    def matrix_ops_per_second(self) -> float:
+        """MOS: TMUL tile operations per second across all cores."""
+        return self.frequency_hz * self.cores / self.tmul_cycles
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        """A copy of this machine with a different active core count."""
+        return replace(self, name=f"{self.name}-{cores}c", cores=cores)
+
+    def with_vector_scale(self, factor: float) -> "MachineSpec":
+        """A copy with the per-core SIMD unit count scaled by ``factor``.
+
+        Used to evaluate the "what if we scaled VOS by 4x" question of
+        Figure 6 and Section 7.
+        """
+        scaled = int(round(self.avx_units_per_core * factor))
+        if scaled < 1:
+            raise ConfigurationError(
+                f"vector scale {factor} would leave no SIMD units"
+            )
+        return replace(
+            self,
+            name=f"{self.name}-vos{factor:g}x",
+            avx_units_per_core=scaled,
+        )
+
+    def with_bandwidth(self, bytes_per_second: float) -> "MachineSpec":
+        """A copy with a different memory bandwidth."""
+        return replace(self, memory_bandwidth=bytes_per_second)
+
+
+def spr_hbm(cores: int = 56) -> MachineSpec:
+    """The paper's HBM-equipped SPR: ~850 GB/s achievable bandwidth."""
+    return MachineSpec(
+        name="SPR-HBM",
+        cores=cores,
+        frequency_hz=ghz(2.5),
+        avx_units_per_core=2,
+        memory_bandwidth=gb_per_s(850),
+    )
+
+
+def spr_ddr(cores: int = 56) -> MachineSpec:
+    """The paper's DDR5-equipped SPR: ~260 GB/s achievable bandwidth."""
+    return MachineSpec(
+        name="SPR-DDR",
+        cores=cores,
+        frequency_hz=ghz(2.5),
+        avx_units_per_core=2,
+        memory_bandwidth=gb_per_s(260),
+    )
+
+
+SPR_HBM = spr_hbm()
+SPR_DDR = spr_ddr()

@@ -1,0 +1,94 @@
+"""The traditional 2-D roofline model (Section 3.2, Figure 3).
+
+The roofline bounds FLOPS by ``min(MBW * AI, peak_flops)`` where AI is the
+classic FLOPs-per-byte arithmetic intensity. The paper uses it as the
+"Optimal" reference that software decompression fails to reach, motivating
+the 3-D Roof-Surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.machine import MachineSpec
+from repro.core.schemes import CompressionScheme
+from repro.errors import ConfigurationError
+from repro.units import flops_per_tile
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel plotted on a roofline: its AI and an observed FLOPS."""
+
+    label: str
+    arithmetic_intensity: float
+    observed_flops: float
+    optimal_flops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Observed / optimal — 1.0 means the kernel sits on the roofline."""
+        return self.observed_flops / self.optimal_flops
+
+
+class Roofline:
+    """A 2-D roofline for a machine and batch size.
+
+    Peak FLOPS is the TMUL limit (512 * min(N, 16) FMAs per tile op times
+    MOS), and the bandwidth slope is MBW * AI.
+    """
+
+    def __init__(self, machine: MachineSpec, batch_rows: int = 4) -> None:
+        if batch_rows < 1:
+            raise ConfigurationError(f"batch_rows must be >= 1, got {batch_rows}")
+        self.machine = machine
+        self.batch_rows = batch_rows
+
+    @property
+    def peak_flops(self) -> float:
+        """Compute-bound ceiling in FMAs/second."""
+        return flops_per_tile(self.batch_rows) * self.machine.matrix_ops_per_second
+
+    @property
+    def ridge_intensity(self) -> float:
+        """AI at which the bandwidth slope meets the compute ceiling."""
+        return self.peak_flops / self.machine.memory_bandwidth
+
+    def attainable_flops(self, arithmetic_intensity: float) -> float:
+        """Roofline bound for a kernel with the given FLOPs-per-byte AI."""
+        if arithmetic_intensity <= 0:
+            raise ConfigurationError("arithmetic intensity must be positive")
+        return min(
+            self.machine.memory_bandwidth * arithmetic_intensity, self.peak_flops
+        )
+
+    def is_memory_bound(self, arithmetic_intensity: float) -> bool:
+        """Whether the kernel sits left of the ridge point."""
+        return arithmetic_intensity < self.ridge_intensity
+
+    def scheme_point(
+        self, scheme: CompressionScheme, observed_flops: float
+    ) -> RooflinePoint:
+        """Build the (observed, optimal) point pair of Figure 3."""
+        ai = scheme.traditional_ai(self.batch_rows)
+        return RooflinePoint(
+            label=scheme.name,
+            arithmetic_intensity=ai,
+            observed_flops=observed_flops,
+            optimal_flops=self.attainable_flops(ai),
+        )
+
+    def series(
+        self, intensities: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """Sample the roofline curve at the given AIs (for plotting)."""
+        return [(ai, self.attainable_flops(ai)) for ai in intensities]
+
+    def default_intensity_grid(self, points: int = 64) -> np.ndarray:
+        """A log-spaced AI grid spanning well past the ridge point."""
+        lo = self.ridge_intensity / 64.0
+        hi = self.ridge_intensity * 8.0
+        return np.geomspace(lo, hi, points)

@@ -1,0 +1,144 @@
+"""The 3-D Roof-Surface performance model (Section 4.1).
+
+The model bounds the tile-processing rate of a compressed GeMM by the
+slowest of three resources::
+
+    TPS   = min(MBW * AI_XM,  VOS * AI_XV,  MOS)          (Equation 1)
+    FLOPS = 512 * N * TPS                                  (Equation 2)
+
+A kernel's *signature* is the pair (AI_XM, AI_XV); together with the three
+machine rates it fully determines the predicted performance and which
+resource bounds it. :meth:`RoofSurface.surface_grid` samples the bounding
+surface for 3-D visualisation (Figure 4a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.machine import MachineSpec
+from repro.errors import ConfigurationError
+from repro.units import flops_per_tile
+
+
+class BoundingFactor(enum.Enum):
+    """Which Roof-Surface term is the smallest for a kernel."""
+
+    MEMORY = "MEM"
+    VECTOR = "VEC"
+    MATRIX = "MTX"
+
+
+@dataclass(frozen=True)
+class RoofSurfacePoint:
+    """A kernel evaluated under the Roof-Surface model."""
+
+    label: str
+    aixm: float
+    aixv: float
+    tiles_per_second: float
+    flops: float
+    bound: BoundingFactor
+
+    def summary(self) -> str:
+        """One-line description used by the experiment reports."""
+        return (
+            f"{self.label}: AIXM={self.aixm:.5f} AIXV={self.aixv:.5f} "
+            f"{self.flops / 1e12:.2f} TFLOPS [{self.bound.value}-bound]"
+        )
+
+
+class RoofSurface:
+    """Roof-Surface model for one machine and batch size."""
+
+    def __init__(self, machine: MachineSpec, batch_rows: int = 4) -> None:
+        if batch_rows < 1:
+            raise ConfigurationError(f"batch_rows must be >= 1, got {batch_rows}")
+        self.machine = machine
+        self.batch_rows = batch_rows
+
+    # ------------------------------------------------------------------
+    # The three resource rates (tiles/second).
+    # ------------------------------------------------------------------
+    def memory_rate(self, aixm: float) -> float:
+        """MEM term: how fast memory can deliver compressed tiles."""
+        if aixm <= 0:
+            raise ConfigurationError("AI_XM must be positive")
+        return self.machine.memory_bandwidth * aixm
+
+    def vector_rate(self, aixv: float) -> float:
+        """VEC term: how fast vector hardware can decompress tiles."""
+        if aixv <= 0:
+            raise ConfigurationError("AI_XV must be positive")
+        return self.machine.vector_ops_per_second * aixv
+
+    def matrix_rate(self) -> float:
+        """MTX term: how fast matrix hardware can multiply tiles."""
+        return self.machine.matrix_ops_per_second
+
+    # ------------------------------------------------------------------
+    # The Roof-Surface equation.
+    # ------------------------------------------------------------------
+    def tiles_per_second(self, aixm: float, aixv: float) -> float:
+        """Equation 1: the bounding tile-processing rate."""
+        return min(self.memory_rate(aixm), self.vector_rate(aixv), self.matrix_rate())
+
+    def flops(self, aixm: float, aixv: float) -> float:
+        """Equation 2: the attainable FMAs/second."""
+        return flops_per_tile(self.batch_rows) * self.tiles_per_second(aixm, aixv)
+
+    def bounding_factor(self, aixm: float, aixv: float) -> BoundingFactor:
+        """Which resource bounds a kernel with this signature.
+
+        Ties resolve in the order MEM, MTX, VEC: a kernel whose vector rate
+        exactly matches the memory or matrix rate has "escaped" the
+        VEC-bound region in the paper's sense (vector hardware is no longer
+        the unique bottleneck), so ties never report VECTOR.
+        """
+        rates: Dict[BoundingFactor, float] = {
+            BoundingFactor.MEMORY: self.memory_rate(aixm),
+            BoundingFactor.MATRIX: self.matrix_rate(),
+            BoundingFactor.VECTOR: self.vector_rate(aixv),
+        }
+        return min(rates, key=lambda factor: rates[factor])
+
+    def evaluate(self, label: str, aixm: float, aixv: float) -> RoofSurfacePoint:
+        """Evaluate a kernel signature into a full model point."""
+        tps = self.tiles_per_second(aixm, aixv)
+        return RoofSurfacePoint(
+            label=label,
+            aixm=aixm,
+            aixv=aixv,
+            tiles_per_second=tps,
+            flops=flops_per_tile(self.batch_rows) * tps,
+            bound=self.bounding_factor(aixm, aixv),
+        )
+
+    # ------------------------------------------------------------------
+    # Surface sampling for Figure 4a.
+    # ------------------------------------------------------------------
+    def surface_grid(
+        self,
+        aixm_max: float,
+        aixv_max: float,
+        points: int = 33,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample the bounding surface z = FLOPS(x=AI_XM, y=AI_XV).
+
+        Returns (X, Y, Z) mesh arrays suitable for 3-D plotting or textual
+        inspection; Z is in FMAs/second.
+        """
+        if aixm_max <= 0 or aixv_max <= 0:
+            raise ConfigurationError("surface extents must be positive")
+        x = np.linspace(aixm_max / points, aixm_max, points)
+        y = np.linspace(aixv_max / points, aixv_max, points)
+        grid_x, grid_y = np.meshgrid(x, y)
+        mem = self.machine.memory_bandwidth * grid_x
+        vec = self.machine.vector_ops_per_second * grid_y
+        mtx = np.full_like(mem, self.machine.matrix_ops_per_second)
+        tps = np.minimum(np.minimum(mem, vec), mtx)
+        return grid_x, grid_y, flops_per_tile(self.batch_rows) * tps

@@ -1,0 +1,132 @@
+"""Compression schemes: the kernel side of the Roof-Surface signature.
+
+A scheme pairs a storage format with an unstructured-sparsity density. Its
+matriX-to-Memory arithmetic intensity AI_XM = 1 / bytes-per-compressed-tile
+(Section 4.1) depends only on the scheme; the matriX-to-Vector intensity
+AI_XV additionally depends on *who* decompresses (software AVX recipes or a
+DECA design) and therefore lives with the respective kernel models.
+
+Naming follows the paper: ``Q16``/``Q8``/``Q4`` are BF16/BF8/MXFP4, and a
+``_d%`` suffix gives the density (``Q8_20%`` = BF8 at 20% nonzeros).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.formats.registry import QuantFormat, get_format
+from repro.sparse.compress import expected_tile_bytes
+from repro.units import TILE_ELEMS
+
+_FORMAT_BY_Q = {"q16": "bf16", "q8": "bf8", "q4": "mxfp4", "i4": "int4g32"}
+_Q_BY_FORMAT = {value: key.upper() for key, value in _FORMAT_BY_Q.items()}
+_SCHEME_RE = re.compile(r"^([QI]\d+)(?:_(\d+(?:\.\d+)?)%)?$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class CompressionScheme:
+    """A (format, density) pair with its analytical memory signature."""
+
+    format_name: str
+    density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density <= 1.0:
+            raise ConfigurationError(
+                f"density must be in (0, 1], got {self.density}"
+            )
+        get_format(self.format_name)  # validate the name eagerly
+
+    @property
+    def fmt(self) -> QuantFormat:
+        """The storage format descriptor."""
+        return get_format(self.format_name)
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether weights are stored in the bitmask sparse format."""
+        return self.density < 1.0
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``Q8_20%`` or ``Q4``."""
+        prefix = _Q_BY_FORMAT.get(self.format_name, self.format_name.upper())
+        if not self.is_sparse:
+            return prefix
+        percent = self.density * 100
+        text = f"{percent:.10g}"
+        return f"{prefix}_{text}%"
+
+    def bytes_per_tile(self) -> float:
+        """Expected compressed bytes per 512-weight tile."""
+        fmt = self.fmt
+        return expected_tile_bytes(
+            bits=fmt.bits,
+            density=self.density,
+            sparse=self.is_sparse,
+            scale_bits_per_group=fmt.scale_bits,
+            group_size=fmt.group_size or 0,
+        )
+
+    def aixm(self) -> float:
+        """MatriX-to-Memory arithmetic intensity: tile ops per byte loaded."""
+        return 1.0 / self.bytes_per_tile()
+
+    def compression_factor(self) -> float:
+        """Model-size reduction versus dense BF16 (2 bytes per weight)."""
+        return (TILE_ELEMS * 2.0) / self.bytes_per_tile()
+
+    def traditional_ai(self, batch_rows: int) -> float:
+        """Classic roofline arithmetic intensity in FMAs per byte.
+
+        One tile op performs ``512 * min(N, 16)`` FMAs; only weight bytes
+        count, per the paper's small-batch assumption (Section 3.2).
+        """
+        effective = min(batch_rows, 16)
+        return (512.0 * effective) / self.bytes_per_tile()
+
+
+def parse_scheme(name: str) -> CompressionScheme:
+    """Parse a paper-style scheme name such as ``"Q8_20%"`` or ``"Q4"``."""
+    match = _SCHEME_RE.match(name.strip())
+    if not match:
+        raise ConfigurationError(
+            f"cannot parse scheme name {name!r}; expected e.g. 'Q8_20%'"
+        )
+    q_name = match.group(1).lower()
+    if q_name not in _FORMAT_BY_Q:
+        raise ConfigurationError(
+            f"unknown quantization {match.group(1)!r}; known: Q16, Q8, Q4, I4"
+        )
+    density = 1.0
+    if match.group(2) is not None:
+        density = float(match.group(2)) / 100.0
+    return CompressionScheme(_FORMAT_BY_Q[q_name], density)
+
+
+#: The uncompressed BF16 baseline every speedup in the paper is measured
+#: against.
+UNCOMPRESSED = CompressionScheme("bf16", 1.0)
+
+#: The twelve compressed schemes of Figures 12/13, in increasing
+#: compression-factor order as plotted by the paper.
+PAPER_SCHEMES: Tuple[CompressionScheme, ...] = tuple(
+    parse_scheme(name)
+    for name in (
+        "Q16_50%",
+        "Q8",
+        "Q16_30%",
+        "Q8_50%",
+        "Q4",
+        "Q16_20%",
+        "Q8_30%",
+        "Q16_10%",
+        "Q8_20%",
+        "Q16_5%",
+        "Q8_10%",
+        "Q8_5%",
+    )
+)

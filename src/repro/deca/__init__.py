@@ -1,0 +1,44 @@
+"""DECA: the near-core ML-model decompression accelerator (Section 6).
+
+This package implements the DECA processing element both *functionally*
+(bit-exact dequantize -> expand -> scale, validated against the reference
+decompressor) and *temporally* (cycle-exact vOp pipeline with LUT-port
+bubbles, cross-checked against the paper's binomial bubble model), plus
+the Loader/prefetcher front end, the system-integration options of
+Section 9.3, and the area model of Section 8.
+"""
+
+from repro.deca.config import DecaConfig
+from repro.deca.lut import LutArray
+from repro.deca.crossbar import expand_window
+from repro.deca.pipeline import DecaPipeline, TileDecodeStats
+from repro.deca.loader import Loader, LoaderQueues
+from repro.deca.pe import DecaPE
+from repro.deca.integration import (
+    DecaIntegration,
+    INTEGRATION_LADDER,
+    deca_kernel_timing,
+)
+from repro.deca.timing import deca_dec_cycles, deca_aixv_for_scheme
+from repro.deca.area import AreaBreakdown, deca_area
+from repro.deca.energy import EnergyBreakdown, gemm_energy
+
+__all__ = [
+    "DecaConfig",
+    "LutArray",
+    "expand_window",
+    "DecaPipeline",
+    "TileDecodeStats",
+    "Loader",
+    "LoaderQueues",
+    "DecaPE",
+    "DecaIntegration",
+    "INTEGRATION_LADDER",
+    "deca_kernel_timing",
+    "deca_dec_cycles",
+    "deca_aixv_for_scheme",
+    "AreaBreakdown",
+    "deca_area",
+    "EnergyBreakdown",
+    "gemm_energy",
+]

@@ -1,0 +1,101 @@
+"""DECA area model (Section 8).
+
+The paper estimates 56 PEs at {W=32, L=8} occupy ~2.51 mm^2 in 7 nm —
+under 0.2% of the ~1600 mm^2 SPR die — split roughly 55% Loaders/queues/
+TOut registers, 22% LUT array, 23% everything else (crossbar, prefix sum,
+BF16 multipliers). This module reproduces that estimate parametrically:
+the buffering scales linearly with W, the LUT array linearly with L, and
+the crossbar quadratically with W, so alternative (W, L) designs can be
+costed the same way the paper's DSE does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.deca.config import DecaConfig
+from repro.errors import ConfigurationError
+
+#: Published reference point: 56 PEs at {W=32, L=8} in 7 nm.
+REFERENCE_TOTAL_MM2 = 2.51
+REFERENCE_PES = 56
+REFERENCE_WIDTH = 32
+REFERENCE_LUTS = 8
+#: The paper's area split at the reference design.
+REFERENCE_FRACTIONS = {"buffering": 0.55, "lut_array": 0.22, "logic": 0.23}
+#: SPR die area used for the overhead claim.
+SPR_DIE_MM2 = 1600.0
+
+# Per-PE reference areas (mm^2) derived from the published breakdown.
+_REF_PE_TOTAL = REFERENCE_TOTAL_MM2 / REFERENCE_PES
+_REF_BUFFERING = _REF_PE_TOTAL * REFERENCE_FRACTIONS["buffering"]
+_REF_LUT = _REF_PE_TOTAL * REFERENCE_FRACTIONS["lut_array"]
+_REF_LOGIC = _REF_PE_TOTAL * REFERENCE_FRACTIONS["logic"]
+# Logic splits into the W^2-scaling crossbar and W-scaling datapath. The
+# crossbar share follows the high-radix switch data the paper cites [10].
+_REF_CROSSBAR = _REF_LOGIC * 0.5
+_REF_DATAPATH = _REF_LOGIC * 0.5
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-structure area of a DECA deployment (mm^2)."""
+
+    pes: int
+    buffering: float
+    lut_array: float
+    crossbar: float
+    datapath: float
+
+    @property
+    def total(self) -> float:
+        """Total area across all PEs."""
+        return self.buffering + self.lut_array + self.crossbar + self.datapath
+
+    @property
+    def per_pe(self) -> float:
+        """Area of one PE."""
+        return self.total / self.pes
+
+    def fractions(self) -> Dict[str, float]:
+        """Fraction of total area per structure group.
+
+        ``logic`` aggregates crossbar + datapath to match the paper's
+        three-way 55/22/23 split.
+        """
+        total = self.total
+        return {
+            "buffering": self.buffering / total,
+            "lut_array": self.lut_array / total,
+            "logic": (self.crossbar + self.datapath) / total,
+        }
+
+    def die_overhead(self, die_mm2: float = SPR_DIE_MM2) -> float:
+        """Fraction of the die the deployment occupies."""
+        if die_mm2 <= 0:
+            raise ConfigurationError("die area must be positive")
+        return self.total / die_mm2
+
+
+def deca_area(
+    config: DecaConfig | None = None, pes: int = REFERENCE_PES
+) -> AreaBreakdown:
+    """Area of ``pes`` DECA PEs with the given (W, L) configuration.
+
+    Scaling rules: buffering (queues, TOut, LDQ) and the scalar datapath
+    scale linearly with W; the LUT array linearly with L; the expansion
+    crossbar quadratically with W (wire-dominated switch).
+    """
+    config = config if config is not None else DecaConfig()
+    if pes < 1:
+        raise ConfigurationError(f"pes must be >= 1, got {pes}")
+    w_ratio = config.width / REFERENCE_WIDTH
+    l_ratio = config.lut_count / REFERENCE_LUTS
+    return AreaBreakdown(
+        pes=pes,
+        buffering=pes * _REF_BUFFERING * w_ratio,
+        lut_array=pes * _REF_LUT * l_ratio,
+        crossbar=pes * _REF_CROSSBAR * w_ratio**2,
+        datapath=pes * _REF_DATAPATH * w_ratio,
+    )

@@ -1,0 +1,88 @@
+"""DECA processing-element configuration.
+
+The two headline parameters are the vOp output width ``W`` (elements
+produced per pipeline slot) and the number of "big" 256-entry LUTs ``L``
+(elements dequantizable per cycle, modulated by the code bit-width). The
+paper's design-space exploration settles on {W=32, L=8} (Section 9.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bubbles import lut_reads_per_cycle
+from repro.errors import ConfigurationError
+from repro.units import TILE_ELEMS
+
+
+@dataclass(frozen=True)
+class DecaConfig:
+    """Microarchitectural parameters of one DECA PE.
+
+    Attributes:
+        width: W — BF16 elements one vOp writes to the TOut register.
+        lut_count: L — number of 256-entry big LUTs in the LUT array.
+        n_loaders: Loader modules (and TOut registers); two enable the
+            double buffering of Figure 8.
+        ldq_entries: Load-queue entries per Loader.
+        sqq_bytes: Sparse Quantized Queue capacity per Loader.
+        pipeline_stages: Depth of the vOp pipeline (dequant, expand,
+            scale — Figure 11).
+    """
+
+    width: int = 32
+    lut_count: int = 8
+    n_loaders: int = 2
+    ldq_entries: int = 16
+    sqq_bytes: int = 256
+    pipeline_stages: int = 3
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or TILE_ELEMS % self.width != 0:
+            raise ConfigurationError(
+                f"W must divide {TILE_ELEMS}, got {self.width}"
+            )
+        if self.lut_count < 1:
+            raise ConfigurationError(f"L must be >= 1, got {self.lut_count}")
+        if self.lut_count > self.width:
+            raise ConfigurationError(
+                f"L={self.lut_count} > W={self.width} adds LUTs that can "
+                "never be read in a single vOp"
+            )
+        if self.n_loaders < 1:
+            raise ConfigurationError("at least one Loader is required")
+        if self.ldq_entries < 1 or self.sqq_bytes < 64:
+            raise ConfigurationError("queues must hold at least one line")
+        if self.pipeline_stages < 1:
+            raise ConfigurationError("the pipeline needs at least one stage")
+
+    @property
+    def vops_per_tile(self) -> int:
+        """Chunks per 512-element tile: 512 / W."""
+        return TILE_ELEMS // self.width
+
+    def lq(self, bits: int) -> int:
+        """Elements dequantizable per cycle for ``bits``-wide codes."""
+        return lut_reads_per_cycle(self.lut_count, bits)
+
+    def dequant_cycles_for_window(self, window: int, bits: int) -> int:
+        """Cycles a vOp occupies the dequantization stage.
+
+        A window of ``window`` nonzeros needs ``ceil(window / Lq)`` LUT
+        cycles (minimum one even for an all-zero window — the vOp still
+        flows through the stage).
+        """
+        if window < 0 or window > self.width:
+            raise ConfigurationError(
+                f"window must be in [0, {self.width}], got {window}"
+            )
+        lq = self.lq(bits)
+        return max(1, -(-window // lq))
+
+
+#: The paper's chosen design.
+BASELINE_CONFIG = DecaConfig(width=32, lut_count=8)
+
+#: The Figure 16 comparison designs.
+UNDERPROVISIONED_CONFIG = DecaConfig(width=8, lut_count=4)
+OVERPROVISIONED_CONFIG = DecaConfig(width=64, lut_count=64)

@@ -1,0 +1,64 @@
+"""The expansion stage: POPCNT, parallel prefix sum, and the crossbar.
+
+De-sparsification routes each packed nonzero to its dense position. The
+hardware (Figure 11) derives crossbar control signals from the bitmask via
+a parallel prefix sum; this module implements the same computation
+functionally and exposes the window arithmetic the timing model needs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sparse.bitmask import expansion_indices
+
+
+def window_popcount(mask_bits: np.ndarray) -> int:
+    """Number of nonzeros a vOp window must read from the SQQ."""
+    mask_bits = np.ascontiguousarray(mask_bits, dtype=bool)
+    return int(mask_bits.sum())
+
+
+def expand_window(values: np.ndarray, mask_bits: np.ndarray) -> np.ndarray:
+    """Expand packed values into their dense positions (zeros elsewhere).
+
+    ``values`` holds exactly ``popcount(mask_bits)`` entries; the result
+    has one slot per mask bit. This is the crossbar operation, with the
+    routing indices produced by the prefix-sum circuitry.
+    """
+    mask_bits = np.ascontiguousarray(mask_bits, dtype=bool)
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    expected = int(mask_bits.sum())
+    if values.size != expected:
+        raise SimulationError(
+            f"window carries {values.size} values but the mask selects "
+            f"{expected}"
+        )
+    out = np.zeros(mask_bits.size, dtype=np.float32)
+    if expected:
+        indices = expansion_indices(mask_bits)
+        out[mask_bits] = values[indices[mask_bits]]
+    return out
+
+
+def split_windows(
+    mask_bits: np.ndarray, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-vOp window sizes and start offsets into the nonzero stream.
+
+    Splits a tile's 512 mask bits into 512/W consecutive windows; returns
+    (window_sizes, window_starts) where ``window_starts[i]`` is the SQQ
+    position the i-th vOp reads from — the "next window head" the POPCNT
+    circuitry computes ahead of the pipeline.
+    """
+    mask_bits = np.ascontiguousarray(mask_bits, dtype=bool).ravel()
+    if width < 1 or mask_bits.size % width != 0:
+        raise SimulationError(
+            f"W={width} must divide the mask length {mask_bits.size}"
+        )
+    per_window = mask_bits.reshape(-1, width).sum(axis=1).astype(np.int64)
+    starts = np.concatenate(([0], np.cumsum(per_window)[:-1]))
+    return per_window, starts

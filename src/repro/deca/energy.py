@@ -1,0 +1,109 @@
+"""Energy model for compressed-GeMM execution.
+
+The paper's Figure 14 observation — "the extra cores can either be
+freed-up for other workloads ... or power-gated to save energy" — implies
+an energy story this module quantifies. It combines:
+
+* per-core active/idle power (SPR-class cores at a few watts each),
+* a DECA PE's power, scaled from its area share (Section 8: a PE is
+  ~0.045 mm^2, roughly 0.15% of a core's footprint, so single-digit
+  hundreds of milliwatts with its SRAM-heavy composition),
+* and memory access energy per bit (HBM ~4 pJ/bit, DDR ~15 pJ/bit class
+  figures from the public literature).
+
+The absolute constants are order-of-magnitude engineering numbers (the
+paper reports no energy results); the *comparisons* — compression saves
+memory energy proportionally to CF, and a few DECA cores beat many
+conventional cores on energy — are robust to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.pipeline import SimResult
+from repro.sim.system import SimSystem
+
+#: Active power of one SPR-class core running AVX/AMX-heavy code (watts).
+CORE_ACTIVE_WATTS = 5.5
+#: Power of one core in a power-gated/parked state (watts).
+CORE_IDLE_WATTS = 0.4
+#: Power of one active DECA PE (watts) — SRAM-dominated, ~0.045 mm^2.
+DECA_PE_WATTS = 0.25
+#: Memory access energy per bit (picojoules).
+HBM_PJ_PER_BIT = 4.0
+DDR_PJ_PER_BIT = 15.0
+#: Uncore/fabric power attributed per active core (watts).
+UNCORE_WATTS_PER_CORE = 1.5
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one simulated GeMM execution (joules)."""
+
+    core_joules: float
+    deca_joules: float
+    memory_joules: float
+    idle_joules: float
+
+    @property
+    def total(self) -> float:
+        """Total energy."""
+        return (
+            self.core_joules
+            + self.deca_joules
+            + self.memory_joules
+            + self.idle_joules
+        )
+
+    def as_millijoules(self) -> dict:
+        """Rounded mJ view for reports."""
+        return {
+            "cores": round(self.core_joules * 1e3, 2),
+            "deca": round(self.deca_joules * 1e3, 2),
+            "memory": round(self.memory_joules * 1e3, 2),
+            "idle": round(self.idle_joules * 1e3, 2),
+            "total": round(self.total * 1e3, 2),
+        }
+
+
+def memory_pj_per_bit(system: SimSystem) -> float:
+    """Access energy per bit for the system's memory technology."""
+    # HBM-class systems in this library have >400 GB/s of bandwidth.
+    if system.machine.memory_bandwidth > 400e9:
+        return HBM_PJ_PER_BIT
+    return DDR_PJ_PER_BIT
+
+
+def gemm_energy(
+    system: SimSystem,
+    result: SimResult,
+    total_tiles: int,
+    bytes_per_tile: float,
+    uses_deca: bool,
+    parked_cores: int = 0,
+) -> EnergyBreakdown:
+    """Energy to execute a compressed GeMM of ``total_tiles`` tiles.
+
+    ``result`` supplies the per-tile steady-state interval; ``parked_cores``
+    counts power-gated cores kept on-die but idle (the Figure 14 scenario
+    where 16 DECA cores replace 56 conventional ones).
+    """
+    if total_tiles < 1:
+        raise ConfigurationError("total_tiles must be >= 1")
+    if bytes_per_tile <= 0:
+        raise ConfigurationError("bytes_per_tile must be positive")
+    if parked_cores < 0:
+        raise ConfigurationError("parked_cores must be non-negative")
+    seconds = total_tiles / result.tiles_per_second
+    active_cores = system.cores
+    core_power = active_cores * (CORE_ACTIVE_WATTS + UNCORE_WATTS_PER_CORE)
+    deca_power = active_cores * DECA_PE_WATTS if uses_deca else 0.0
+    memory_bits = total_tiles * bytes_per_tile * 8.0
+    return EnergyBreakdown(
+        core_joules=core_power * seconds,
+        deca_joules=deca_power * seconds,
+        memory_joules=memory_bits * memory_pj_per_bit(system) * 1e-12,
+        idle_joules=parked_cores * CORE_IDLE_WATTS * seconds,
+    )

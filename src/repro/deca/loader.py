@@ -1,0 +1,150 @@
+"""DECA Loaders: the memory front end of a PE (Figure 11, left).
+
+Each Loader owns a load queue (LDQ), a prefetcher, and three input queues
+that receive the tile's data structures as cache lines arrive: the Sparse
+Quantized Queue (codes), the Bitmask Queue, and the Scale Factor Queue.
+Two Loaders per PE enable the double buffering of Figure 8.
+
+The functional model tracks queue occupancies and fetched byte counts —
+the quantities the timing model and area model consume — without
+simulating an address space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sparse.tile import CompressedTile
+
+
+@dataclass
+class LoaderQueues:
+    """Occupancy of one Loader's three input queues (bytes)."""
+
+    sqq_capacity: int
+    sqq_bytes: int = 0
+    bitmask_bytes: int = 0
+    scale_bytes: int = 0
+
+    def fill(self, sqq: int, bitmask: int, scales: int) -> None:
+        """Deposit a tile's structures into the queues.
+
+        The SQQ streams: the pipeline drains it while the Loader refills,
+        so its capacity bounds the instantaneous occupancy, not the tile's
+        total code bytes.
+        """
+        if sqq < 0 or bitmask < 0 or scales < 0:
+            raise SimulationError("queue deposits must be non-negative")
+        self.sqq_bytes = min(sqq, self.sqq_capacity)
+        self.bitmask_bytes = bitmask
+        self.scale_bytes = scales
+
+    def drain(self) -> None:
+        """Consume the queued tile (the pipeline has read it)."""
+        self.sqq_bytes = 0
+        self.bitmask_bytes = 0
+        self.scale_bytes = 0
+
+
+@dataclass
+class TileMetadata:
+    """The invocation metadata a core writes to a Loader (Section 5.2).
+
+    Base addresses and lengths of the three data structures; the simulator
+    carries the tile object itself in lieu of an address space.
+    """
+
+    codes_bytes: int
+    bitmask_bytes: int
+    scale_bytes: int
+    tile: Optional[CompressedTile] = None
+
+    @classmethod
+    def for_tile(cls, tile: CompressedTile) -> "TileMetadata":
+        """Build metadata describing a compressed tile."""
+        codes_bytes = math.ceil(tile.nnz * tile.fmt.bits / 8)
+        bitmask_bytes = 0 if tile.bitmask is None else int(tile.bitmask.size)
+        scale_bytes = (
+            0
+            if tile.scale_bits is None
+            else math.ceil(tile.scale_bits.size * tile.fmt.scale_bits / 8)
+        )
+        return cls(codes_bytes, bitmask_bytes, scale_bytes, tile)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes the Loader must fetch for this tile."""
+        return self.codes_bytes + self.bitmask_bytes + self.scale_bytes
+
+
+@dataclass
+class PrefetcherState:
+    """DECA's tile prefetcher: predicts future tiles from observed strides.
+
+    The PF watches the metadata stream; after two tiles it locks onto the
+    stride and issues prefetches ``depth`` tiles ahead, dynamically scaled
+    by the aggressiveness knob (Section 6.1: it targets high L2 MSHR
+    occupancy).
+    """
+
+    depth: int = 24
+    last_total: Optional[int] = None
+    locked: bool = False
+    issued_prefetches: int = 0
+
+    def observe(self, metadata: TileMetadata) -> int:
+        """Record a tile fetch; returns prefetches issued for future tiles."""
+        if self.last_total is not None and metadata.total_bytes > 0:
+            self.locked = True
+        self.last_total = metadata.total_bytes
+        issued = self.depth if self.locked else 0
+        self.issued_prefetches += issued
+        return issued
+
+
+@dataclass
+class Loader:
+    """One Loader: LDQ + prefetcher + input queues."""
+
+    loader_id: int
+    sqq_capacity: int = 256
+    queues: LoaderQueues = field(init=False)
+    prefetcher: PrefetcherState = field(default_factory=PrefetcherState)
+    busy: bool = False
+    fetched_bytes: int = 0
+    tiles_loaded: int = 0
+
+    def __post_init__(self) -> None:
+        self.queues = LoaderQueues(sqq_capacity=self.sqq_capacity)
+
+    def begin_fetch(self, metadata: TileMetadata) -> None:
+        """Accept an invocation: mark the Loader busy and fill queues."""
+        if self.busy:
+            raise SimulationError(
+                f"Loader {self.loader_id} is busy; the TEPL structural "
+                "hazard should have prevented this invocation"
+            )
+        self.busy = True
+        self.prefetcher.observe(metadata)
+        self.queues.fill(
+            metadata.codes_bytes, metadata.bitmask_bytes, metadata.scale_bytes
+        )
+        self.fetched_bytes += metadata.total_bytes
+        self.tiles_loaded += 1
+
+    def complete(self) -> None:
+        """The pipeline consumed the tile; the Loader is free again."""
+        if not self.busy:
+            raise SimulationError(
+                f"Loader {self.loader_id} completed without a fetch in flight"
+            )
+        self.queues.drain()
+        self.busy = False
+
+    def squash(self) -> None:
+        """Abort an in-flight fetch (core pipeline flush, Section 5.3)."""
+        self.queues.drain()
+        self.busy = False

@@ -1,0 +1,107 @@
+"""The DECA LUT array: programmable dequantization (Section 6.1).
+
+Each of the L "big" LUTs stores 256 BF16 values and is split into four
+64-entry sub-LUTs with independent read ports. Dequantizing a code is a
+table read addressed by the code bits; reprogramming the table contents
+retargets DECA at a different <=8-bit format without any hardware change —
+the flexibility argument of Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FormatError
+from repro.formats.registry import QuantFormat, dequant_lut
+
+_BIG_LUT_ENTRIES = 256
+_SUB_LUTS_PER_BIG = 4
+
+
+class LutArray:
+    """A programmable array of L big LUTs (4 sub-LUTs each).
+
+    The array is programmed once per format via privileged control-register
+    writes (:meth:`program`); afterwards :meth:`lookup` dequantizes code
+    arrays and :meth:`read_cycles` reports the port-limited cycle count the
+    timing model charges.
+    """
+
+    def __init__(self, lut_count: int) -> None:
+        if lut_count < 1:
+            raise ConfigurationError(f"lut_count must be >= 1, got {lut_count}")
+        self.lut_count = lut_count
+        self._table: Optional[np.ndarray] = None
+        self._bits: Optional[int] = None
+        self._format_name: Optional[str] = None
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether a format table has been loaded."""
+        return self._table is not None
+
+    @property
+    def format_name(self) -> Optional[str]:
+        """Name of the currently programmed format, if any."""
+        return self._format_name
+
+    @property
+    def bits(self) -> Optional[int]:
+        """Code bit-width of the programmed format."""
+        return self._bits
+
+    def program(self, fmt: QuantFormat) -> None:
+        """Load the dequantization table of a <=8-bit format.
+
+        Narrow formats use only the low ``2**bits`` entries of each big
+        LUT; the rest are redundant at runtime, exactly as the paper notes.
+        """
+        table = dequant_lut(fmt)  # validates bits <= 8
+        padded = np.zeros(_BIG_LUT_ENTRIES, dtype=np.float32)
+        padded[: table.size] = table
+        self._table = padded
+        self._bits = fmt.bits
+        self._format_name = fmt.name
+
+    def invalidate(self) -> None:
+        """Drop the programmed state (context-switch reconfiguration)."""
+        self._table = None
+        self._bits = None
+        self._format_name = None
+
+    def lookup(self, codes: np.ndarray) -> np.ndarray:
+        """Dequantize a 1-D array of codes into BF16-valued float32."""
+        if self._table is None or self._bits is None:
+            raise FormatError("the LUT array has not been programmed")
+        codes = np.ascontiguousarray(codes, dtype=np.uint16)
+        if codes.size and int(codes.max()) >= (1 << self._bits):
+            raise FormatError(
+                f"code out of range for the programmed {self._bits}-bit format"
+            )
+        return self._table[codes]
+
+    def reads_per_cycle(self) -> int:
+        """Lq: parallel reads per cycle for the programmed bit-width.
+
+        8-bit codes address a full big LUT (L reads); 7-bit codes can pair
+        sub-LUTs (2L); 6-bit and below use each 64-entry sub-LUT
+        independently (4L).
+        """
+        if self._bits is None:
+            raise FormatError("the LUT array has not been programmed")
+        if self._bits == 8:
+            return self.lut_count
+        if self._bits == 7:
+            return 2 * self.lut_count
+        return _SUB_LUTS_PER_BIG * self.lut_count
+
+    def read_cycles(self, window: int) -> int:
+        """Cycles to dequantize a window of ``window`` codes (min 1)."""
+        if window < 0:
+            raise ConfigurationError("window must be non-negative")
+        if window == 0:
+            return 1
+        lq = self.reads_per_cycle()
+        return -(-window // lq)

@@ -1,0 +1,128 @@
+"""The complete DECA processing element (Figure 7 / Figure 11).
+
+A :class:`DecaPE` ties together the Loaders, the vOp pipeline, and the
+TOut registers, and models the architectural state that survives context
+switches (control registers + LUT contents, but never tile data —
+Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.deca.config import DecaConfig
+from repro.deca.loader import Loader, TileMetadata
+from repro.deca.pipeline import DecaPipeline, TileDecodeStats
+from repro.errors import SimulationError
+from repro.sparse.tile import CompressedTile
+
+
+@dataclass
+class PeStatistics:
+    """Lifetime counters of one PE."""
+
+    tiles_processed: int = 0
+    vops_executed: int = 0
+    bubbles: int = 0
+    bytes_fetched: int = 0
+    squashes: int = 0
+
+
+class DecaPE:
+    """One near-core DECA processing element.
+
+    Usage: :meth:`configure` for a format (privileged, per-process), then
+    :meth:`process_tile` per tile. Loaders alternate automatically to model
+    the double buffering; :meth:`read_tout` returns the decompressed tile
+    the way a core tload would.
+    """
+
+    def __init__(self, config: Optional[DecaConfig] = None) -> None:
+        self.config = config if config is not None else DecaConfig()
+        self.pipeline = DecaPipeline(self.config)
+        self.loaders: List[Loader] = [
+            Loader(loader_id=i, sqq_capacity=self.config.sqq_bytes)
+            for i in range(self.config.n_loaders)
+        ]
+        self._tout: List[Optional[np.ndarray]] = [None] * self.config.n_loaders
+        self._next_loader = 0
+        self.stats = PeStatistics()
+
+    # ------------------------------------------------------------------
+    # Configuration and context-switch state.
+    # ------------------------------------------------------------------
+    def configure(self, format_name: str) -> None:
+        """Program control registers and LUTs for a storage format."""
+        self.pipeline.configure(format_name)
+
+    def save_state(self) -> Dict[str, object]:
+        """The state the OS saves on a context switch.
+
+        Only control registers and LUT contents — in-flight tile data is
+        never architectural (a new process simply re-invokes).
+        """
+        return {"format_name": self.pipeline.format_name}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore previously saved configuration state."""
+        format_name = state.get("format_name")
+        if format_name is not None:
+            self.pipeline.configure(str(format_name))
+
+    # ------------------------------------------------------------------
+    # Tile processing.
+    # ------------------------------------------------------------------
+    def process_tile(
+        self, tile: CompressedTile, loader_id: Optional[int] = None
+    ) -> Tuple[int, TileDecodeStats]:
+        """Fetch, decompress, and park one tile in a TOut register.
+
+        Returns (tout_index, stats); read the data with :meth:`read_tout`.
+        """
+        if loader_id is None:
+            loader_id = self._next_loader
+            self._next_loader = (self._next_loader + 1) % len(self.loaders)
+        if not 0 <= loader_id < len(self.loaders):
+            raise SimulationError(f"no loader {loader_id} on this PE")
+        loader = self.loaders[loader_id]
+        metadata = TileMetadata.for_tile(tile)
+        loader.begin_fetch(metadata)
+        try:
+            out, stats = self.pipeline.decompress_tile(tile)
+        except Exception:
+            loader.squash()
+            self.stats.squashes += 1
+            raise
+        loader.complete()
+        self._tout[loader_id] = out
+        self.stats.tiles_processed += 1
+        self.stats.vops_executed += stats.vops
+        self.stats.bubbles += stats.bubbles
+        self.stats.bytes_fetched += metadata.total_bytes
+        return loader_id, stats
+
+    def read_tout(self, tout_index: int) -> np.ndarray:
+        """Read a TOut register (what the core's tload/TEPL consumes)."""
+        if not 0 <= tout_index < len(self._tout):
+            raise SimulationError(f"no TOut register {tout_index}")
+        data = self._tout[tout_index]
+        if data is None:
+            raise SimulationError(
+                f"TOut register {tout_index} holds no decompressed tile"
+            )
+        return data
+
+    def squash(self) -> None:
+        """Abort all in-flight work (core pipeline flush, Section 5.3).
+
+        Safe at any point: DECA never updates memory state, so the core may
+        simply reissue the same invocations afterwards.
+        """
+        for loader in self.loaders:
+            if loader.busy:
+                loader.squash()
+                self.stats.squashes += 1
+        self._tout = [None] * len(self.loaders)

@@ -1,0 +1,130 @@
+"""The DECA vOp pipeline: functional and cycle-exact (Figure 11).
+
+A tile flows through three stages — Dequantization (LUT array), Expansion
+(prefix sum + crossbar), Scaling (BF16 multipliers) — in chunks of W output
+elements per vOp. The pipeline accepts one vOp per cycle unless a vOp's
+input window exceeds the LUT array's read ports, in which case it occupies
+the dequantization stage for extra cycles (bubbles).
+
+``decompress_tile`` produces output bit-identical to
+:meth:`repro.sparse.tile.CompressedTile.decompress_reference` *and* the
+exact cycle count, including the distribution of bubbles that the paper's
+binomial model (Section 6.2) only predicts in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.deca.config import DecaConfig
+from repro.deca.crossbar import expand_window, split_windows
+from repro.deca.lut import LutArray
+from repro.errors import FormatError
+from repro.formats.bfloat import bf16_round
+from repro.formats.mxfp import decode_shared_scale
+from repro.formats.registry import get_format
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from repro.units import TILE_ELEMS
+
+
+@dataclass(frozen=True)
+class TileDecodeStats:
+    """Cycle accounting for one tile's journey through the pipeline."""
+
+    vops: int
+    bubbles: int
+    dequant_cycles: int
+    total_cycles: int
+    window_sizes: Tuple[int, ...]
+
+    @property
+    def bubbles_per_vop(self) -> float:
+        """Average bubbles per vOp — comparable to the analytical bpv."""
+        return self.bubbles / self.vops
+
+
+class DecaPipeline:
+    """One PE's decompression pipeline.
+
+    Configure it for a format with :meth:`configure`, then feed tiles. The
+    configuration mirrors the privileged control-register writes of
+    Section 5.1 (including LUT programming).
+    """
+
+    def __init__(self, config: DecaConfig) -> None:
+        self.config = config
+        self.lut = LutArray(config.lut_count)
+        self._format_name: str | None = None
+
+    @property
+    def format_name(self) -> str | None:
+        """Format the pipeline is currently configured for."""
+        return self._format_name
+
+    def configure(self, format_name: str) -> None:
+        """Program the pipeline (and LUT array) for a storage format.
+
+        16-bit formats bypass the LUT stage, so no table is loaded.
+        """
+        fmt = get_format(format_name)
+        if fmt.lut_supported:
+            self.lut.program(fmt)
+        else:
+            self.lut.invalidate()
+        self._format_name = fmt.name
+
+    def decompress_tile(
+        self, tile: CompressedTile
+    ) -> Tuple[np.ndarray, TileDecodeStats]:
+        """Decompress one tile; returns (dense BF16 float32 tile, stats).
+
+        Raises :class:`FormatError` if the pipeline is configured for a
+        different format than the tile carries — real DECA would need an
+        OS-mediated reconfiguration (Section 5.1).
+        """
+        if self._format_name is None:
+            raise FormatError("the pipeline has not been configured")
+        if tile.format_name != self._format_name:
+            raise FormatError(
+                f"pipeline configured for {self._format_name!r} but the "
+                f"tile is {tile.format_name!r}"
+            )
+        fmt = tile.fmt
+        uses_lut = fmt.lut_supported
+        mask = tile.dense_mask().ravel()
+        window_sizes, window_starts = split_windows(mask, self.config.width)
+        # Stage 1+2: dequantize each window and expand it to density.
+        dense = np.zeros(TILE_ELEMS, dtype=np.float32)
+        dequant_cycles = 0
+        width = self.config.width
+        for i, (size, start) in enumerate(zip(window_sizes, window_starts)):
+            codes = tile.codes[start:start + size]
+            if uses_lut:
+                values = self.lut.lookup(codes.astype(np.uint16))
+                dequant_cycles += self.lut.read_cycles(int(size))
+            else:
+                # 16-bit pass-through: the SQQ feeds the expansion stage
+                # directly, one vOp per cycle.
+                values = fmt.decode(codes).astype(np.float32)
+                dequant_cycles += 1
+            window_mask = mask[i * width:(i + 1) * width]
+            dense[i * width:(i + 1) * width] = expand_window(values, window_mask)
+        # Stage 3: group scaling (skipped when the scheme has no groups).
+        if tile.scale_bits is not None:
+            scales = decode_shared_scale(tile.scale_bits)
+            assert fmt.group_size is not None
+            dense = dense * np.repeat(scales, fmt.group_size)
+        out = bf16_round(dense).reshape(TILE_SHAPE)
+        vops = int(len(window_sizes))
+        bubbles = dequant_cycles - vops
+        stats = TileDecodeStats(
+            vops=vops,
+            bubbles=bubbles,
+            dequant_cycles=dequant_cycles,
+            total_cycles=dequant_cycles + (self.config.pipeline_stages - 1),
+            window_sizes=tuple(int(s) for s in window_sizes),
+        )
+        return out, stats

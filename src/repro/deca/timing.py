@@ -1,0 +1,74 @@
+"""DECA timing helpers: expected and exact per-tile decompression cycles.
+
+The *expected* cycle count uses the paper's binomial bubble model
+(Section 6.2); the *exact* count walks real bitmasks through
+:func:`repro.deca.crossbar.split_windows`. The two agree in expectation —
+a property the test suite checks statistically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bubbles import deca_aixv, deca_vops_per_tile
+from repro.core.schemes import CompressionScheme
+from repro.deca.config import DecaConfig
+from repro.deca.crossbar import split_windows
+from repro.sparse.compress import CompressedMatrix
+
+
+def _dequant_needed(scheme: CompressionScheme) -> bool:
+    """16-bit storage bypasses the LUT stage entirely."""
+    return scheme.fmt.bits <= 8
+
+
+def deca_dec_cycles(config: DecaConfig, scheme: CompressionScheme) -> float:
+    """Expected pipeline occupancy (cycles) per tile for a scheme."""
+    return deca_vops_per_tile(
+        width=config.width,
+        lut_count=config.lut_count,
+        bits=min(scheme.fmt.bits, 8),
+        density=scheme.density,
+        sparse=scheme.is_sparse,
+        dequant_needed=_dequant_needed(scheme),
+    )
+
+
+def deca_aixv_for_scheme(
+    config: DecaConfig, scheme: CompressionScheme
+) -> float:
+    """The (W, L) design's AI_XV for a scheme: 1 / expected cycles."""
+    return deca_aixv(
+        width=config.width,
+        lut_count=config.lut_count,
+        bits=min(scheme.fmt.bits, 8),
+        density=scheme.density,
+        sparse=scheme.is_sparse,
+        dequant_needed=_dequant_needed(scheme),
+    )
+
+
+def exact_dec_cycles(
+    config: DecaConfig, matrix: CompressedMatrix
+) -> List[float]:
+    """Exact per-tile pipeline occupancies for a real compressed matrix.
+
+    For each tile, splits the bitmask into vOp windows and charges the
+    LUT-port-limited dequantization cycles — the same arithmetic the
+    cycle-exact pipeline performs, without materialising the values.
+    """
+    scheme_bits = min(matrix.tiles[0].fmt.bits, 8) if matrix.tiles else 8
+    lut_capable = matrix.tiles[0].fmt.lut_supported if matrix.tiles else True
+    cycles: List[float] = []
+    for tile in matrix.tiles:
+        mask = tile.dense_mask().ravel()
+        windows, _starts = split_windows(mask, config.width)
+        if lut_capable:
+            lq = config.lq(scheme_bits)
+            per_vop = np.maximum(1, -(-windows // lq))
+            cycles.append(float(per_vop.sum()))
+        else:
+            cycles.append(float(len(windows)))
+    return cycles

@@ -1,0 +1,49 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a structured result
+with a ``format_table()`` method; the benchmark suite under
+``benchmarks/`` invokes these and prints the regenerated rows/series next
+to the paper's reported values (``paper_reference``).
+"""
+
+from repro.experiments import (
+    batch_sweep,
+    sensitivity,
+    validation,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    table1,
+    table3,
+    table4,
+    area,
+)
+from repro.experiments.report import Table
+
+__all__ = [
+    "batch_sweep",
+    "sensitivity",
+    "validation",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "table1",
+    "table3",
+    "table4",
+    "area",
+    "Table",
+]

@@ -1,0 +1,56 @@
+"""Section 8 area estimate: 56 DECA PEs in ~2.51 mm^2 (<0.2% of the die)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deca.area import AreaBreakdown, deca_area
+from repro.experiments.paper_reference import (
+    AREA_DIE_OVERHEAD_MAX,
+    AREA_FRACTIONS,
+    AREA_TOTAL_MM2,
+)
+from repro.experiments.report import Table
+
+
+@dataclass(frozen=True)
+class AreaResult:
+    """The reproduced breakdown next to the paper's headline numbers."""
+
+    breakdown: AreaBreakdown
+
+    def format_table(self) -> str:
+        table = Table(
+            "Section 8: DECA area (56 PEs, W=32, L=8, 7 nm)",
+            ["structure", "mm^2", "fraction", "paper fraction"],
+        )
+        fractions = self.breakdown.fractions()
+        table.add_row(
+            "Loaders/queues/TOut",
+            round(self.breakdown.buffering, 3),
+            f"{fractions['buffering']:.0%}",
+            f"{AREA_FRACTIONS['buffering']:.0%}",
+        )
+        table.add_row(
+            "LUT array",
+            round(self.breakdown.lut_array, 3),
+            f"{fractions['lut_array']:.0%}",
+            f"{AREA_FRACTIONS['lut_array']:.0%}",
+        )
+        table.add_row(
+            "crossbar + datapath",
+            round(self.breakdown.crossbar + self.breakdown.datapath, 3),
+            f"{fractions['logic']:.0%}",
+            f"{AREA_FRACTIONS['logic']:.0%}",
+        )
+        note = (
+            f"total {self.breakdown.total:.2f} mm^2 (paper {AREA_TOTAL_MM2}) |"
+            f" die overhead {self.breakdown.die_overhead():.3%} "
+            f"(paper < {AREA_DIE_OVERHEAD_MAX:.1%})"
+        )
+        return table.render() + "\n" + note
+
+
+def run() -> AreaResult:
+    """Regenerate the Section 8 area estimate."""
+    return AreaResult(deca_area())

@@ -1,0 +1,44 @@
+"""Figure 12: compressed-GeMM speedups on the DDR machine (N=1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.report import Table
+from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
+from repro.sim.system import ddr_system
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """Per-scheme speedups over uncompressed BF16 (DDR)."""
+
+    speedups: List[SchemeSpeedup]
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 12 (DDR, N=1): speedup vs uncompressed BF16",
+            ["scheme", "software", "DECA", "optimal", "DECA/SW"],
+        )
+        for row in self.speedups:
+            table.add_row(
+                row.scheme.name,
+                round(row.software, 2),
+                round(row.deca, 2),
+                round(row.optimal, 2),
+                round(row.deca_over_software, 2),
+            )
+        return table.render()
+
+    @property
+    def max_deca_over_software(self) -> float:
+        """The paper's headline: DDR speedups reach ~1.7x."""
+        return max(row.deca_over_software for row in self.speedups)
+
+
+def run(batch_rows: int = 1) -> Figure12Result:
+    """Regenerate Figure 12."""
+    return Figure12Result(
+        sweep_speedups(ddr_system(), batch_rows=batch_rows)
+    )

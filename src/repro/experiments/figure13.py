@@ -1,0 +1,44 @@
+"""Figure 13: compressed-GeMM speedups on the HBM machine (N=1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.report import Table
+from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
+from repro.sim.system import hbm_system
+
+
+@dataclass(frozen=True)
+class Figure13Result:
+    """Per-scheme speedups over uncompressed BF16 (HBM)."""
+
+    speedups: List[SchemeSpeedup]
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 13 (HBM, N=1): speedup vs uncompressed BF16",
+            ["scheme", "software", "DECA", "optimal", "DECA/SW"],
+        )
+        for row in self.speedups:
+            table.add_row(
+                row.scheme.name,
+                round(row.software, 2),
+                round(row.deca, 2),
+                round(row.optimal, 2),
+                round(row.deca_over_software, 2),
+            )
+        return table.render()
+
+    @property
+    def max_deca_over_software(self) -> float:
+        """The paper's headline: HBM speedups reach ~4x."""
+        return max(row.deca_over_software for row in self.speedups)
+
+
+def run(batch_rows: int = 1) -> Figure13Result:
+    """Regenerate Figure 13."""
+    return Figure13Result(
+        sweep_speedups(hbm_system(), batch_rows=batch_rows)
+    )

@@ -1,0 +1,74 @@
+"""Figure 14: average TFLOPS vs active core count (DDR, N=4).
+
+The headline: a handful of DECA-augmented cores match or beat the full
+56 conventional cores, freeing the rest for other work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.schemes import PAPER_SCHEMES
+from repro.deca.integration import deca_kernel_timing
+from repro.experiments.report import Table
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import ddr_system
+
+
+@dataclass(frozen=True)
+class Figure14Result:
+    """Average TFLOPS across all schemes, by core count and engine."""
+
+    batch_rows: int
+    core_counts: Tuple[int, ...]
+    software_tflops: Dict[int, float]
+    deca_tflops: Dict[int, float]
+
+    def format_table(self) -> str:
+        table = Table(
+            f"Figure 14 (DDR, N={self.batch_rows}): average TFLOPS across "
+            "all compression schemes",
+            ["cores", "software", "DECA"],
+        )
+        for cores in self.core_counts:
+            table.add_row(
+                cores,
+                round(self.software_tflops[cores], 2),
+                round(self.deca_tflops[cores], 2),
+            )
+        return table.render()
+
+    def deca_cores_matching_full_software(self) -> int:
+        """Smallest DECA core count beating 56 software cores."""
+        target = self.software_tflops[max(self.core_counts)]
+        for cores in self.core_counts:
+            if self.deca_tflops[cores] >= target:
+                return cores
+        return max(self.core_counts)
+
+
+def run(
+    core_counts: Tuple[int, ...] = (8, 16, 24, 32, 40, 48, 56),
+    batch_rows: int = 4,
+) -> Figure14Result:
+    """Regenerate Figure 14."""
+    software: Dict[int, float] = {}
+    deca: Dict[int, float] = {}
+    for cores in core_counts:
+        system = ddr_system(cores)
+        sw_values: List[float] = []
+        deca_values: List[float] = []
+        for scheme in PAPER_SCHEMES:
+            sw = simulate_tile_stream(
+                system, software_kernel_timing(system, scheme)
+            )
+            dc = simulate_tile_stream(system, deca_kernel_timing(system, scheme))
+            sw_values.append(sw.flops(batch_rows) / 1e12)
+            deca_values.append(dc.flops(batch_rows) / 1e12)
+        software[cores] = float(np.mean(sw_values))
+        deca[cores] = float(np.mean(deca_values))
+    return Figure14Result(batch_rows, core_counts, software, deca)

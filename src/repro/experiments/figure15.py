@@ -1,0 +1,78 @@
+"""Figure 15: DECA vs conventionally scaled CPU vector resources (HBM, N=1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.schemes import CompressionScheme, PAPER_SCHEMES
+from repro.deca.integration import deca_kernel_timing
+from repro.experiments.report import Table
+from repro.experiments.speedups import baseline_result
+from repro.kernels.avx import AvxVariant
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import hbm_system
+
+
+@dataclass(frozen=True)
+class Figure15Row:
+    """Speedups over uncompressed BF16 for one scheme."""
+
+    scheme: CompressionScheme
+    more_avx_units: float
+    wider_avx_units: float
+    deca: float
+
+
+@dataclass(frozen=True)
+class Figure15Result:
+    """All schemes' speedups for the three alternatives."""
+
+    rows: List[Figure15Row]
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 15 (HBM, N=1): DECA vs traditional vector scaling",
+            ["scheme", "more AVX units", "wider AVX units", "DECA"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.scheme.name,
+                round(row.more_avx_units, 2),
+                round(row.wider_avx_units, 2),
+                round(row.deca, 2),
+            )
+        return table.render()
+
+    def deca_wins_everywhere(self) -> bool:
+        """Whether DECA beats both alternatives on every scheme."""
+        return all(
+            row.deca >= max(row.more_avx_units, row.wider_avx_units)
+            for row in self.rows
+        )
+
+
+def run() -> Figure15Result:
+    """Regenerate Figure 15."""
+    system = hbm_system()
+    baseline = baseline_result(system)
+    base_interval = baseline.steady_interval_cycles
+    rows: List[Figure15Row] = []
+    for scheme in PAPER_SCHEMES:
+        variants: Dict[AvxVariant, float] = {}
+        for variant in (AvxVariant.MORE_UNITS, AvxVariant.WIDER_UNITS):
+            sim = simulate_tile_stream(
+                system, software_kernel_timing(system, scheme, variant=variant)
+            )
+            variants[variant] = base_interval / sim.steady_interval_cycles
+        deca = simulate_tile_stream(system, deca_kernel_timing(system, scheme))
+        rows.append(
+            Figure15Row(
+                scheme=scheme,
+                more_avx_units=variants[AvxVariant.MORE_UNITS],
+                wider_avx_units=variants[AvxVariant.WIDER_UNITS],
+                deca=base_interval / deca.steady_interval_cycles,
+            )
+        )
+    return Figure15Result(rows)

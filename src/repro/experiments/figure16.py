@@ -1,0 +1,102 @@
+"""Figure 16 + Section 9.2: BORD-driven DECA design-space exploration.
+
+Regenerates the BORDs for the no-DECA machine and three DECA sizings, and
+simulates the Section 9.2 validation: DECA-best is ~2x faster than the
+underprovisioned design while the overprovisioned one gains <3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.bord import Bord, BordPoint
+from repro.core.dse import (
+    DseResult,
+    deca_machine_view,
+    explore_deca_designs,
+    scheme_deca_signature,
+)
+from repro.core.schemes import PAPER_SCHEMES
+from repro.deca.config import DecaConfig
+from repro.deca.integration import deca_kernel_timing
+from repro.deca.timing import deca_dec_cycles
+from repro.experiments.figure4 import scheme_signature
+from repro.experiments.report import Table
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import hbm_system
+
+DESIGNS: Tuple[Tuple[int, int], ...] = ((8, 4), (32, 8), (64, 64))
+
+
+@dataclass(frozen=True)
+class Figure16Result:
+    """BORD points per design plus the simulated §9.2 speedup ratios."""
+
+    no_deca_points: List[BordPoint]
+    design_points: Dict[Tuple[int, int], List[BordPoint]]
+    dse: DseResult
+    best_over_under: float
+    over_over_best: float
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 16 (HBM): bounding factor per scheme and DECA design",
+            ["scheme", "no DECA"] + [f"W={w},L={l}" for w, l in DESIGNS],
+        )
+        for i, point in enumerate(self.no_deca_points):
+            row = [point.label, point.bound.value]
+            for design in DESIGNS:
+                row.append(self.design_points[design][i].bound.value)
+            table.add_row(*row)
+        best = self.dse.best
+        note = (
+            f"DSE best design: W={best.width}, L={best.lut_count} | "
+            f"best over underprovisioned: {self.best_over_under:.2f}x | "
+            f"overprovisioned gain over best: {self.over_over_best - 1:.1%}"
+        )
+        return table.render() + "\n" + note
+
+
+def _mean_speedup(system, config: DecaConfig) -> float:
+    """Geometric-mean tile rate across the schemes for one design."""
+    rates: List[float] = []
+    for scheme in PAPER_SCHEMES:
+        timing = deca_kernel_timing(
+            system, scheme, config=config,
+            dec_cycles=deca_dec_cycles(config, scheme),
+        )
+        sim = simulate_tile_stream(system, timing)
+        rates.append(sim.tiles_per_second)
+    return float(np.exp(np.mean(np.log(rates))))
+
+
+def run() -> Figure16Result:
+    """Regenerate Figure 16 and the Section 9.2 validation ratios."""
+    system = hbm_system()
+    no_deca_bord = Bord(system.machine)
+    no_deca_points = []
+    for scheme in PAPER_SCHEMES:
+        aixm, aixv = scheme_signature(scheme)
+        no_deca_points.append(no_deca_bord.place(scheme.name, aixm, aixv))
+    deca_bord = Bord(deca_machine_view(system.machine))
+    design_points: Dict[Tuple[int, int], List[BordPoint]] = {}
+    for width, luts in DESIGNS:
+        points = []
+        for scheme in PAPER_SCHEMES:
+            aixm, aixv = scheme_deca_signature(scheme, width, luts)
+            points.append(deca_bord.place(scheme.name, aixm, aixv))
+        design_points[(width, luts)] = points
+    dse = explore_deca_designs(system.machine, PAPER_SCHEMES)
+    under = _mean_speedup(system, DecaConfig(width=8, lut_count=4))
+    best = _mean_speedup(system, DecaConfig(width=32, lut_count=8))
+    over = _mean_speedup(system, DecaConfig(width=64, lut_count=64))
+    return Figure16Result(
+        no_deca_points=no_deca_points,
+        design_points=design_points,
+        dse=dse,
+        best_over_under=best / under,
+        over_over_best=over / best,
+    )

@@ -1,0 +1,57 @@
+"""Figure 17: the DECA integration-feature ablation (HBM, N=4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.schemes import CompressionScheme
+from repro.deca.integration import INTEGRATION_LADDER, deca_kernel_timing
+from repro.experiments.report import Table
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import hbm_system
+
+DENSITIES: Tuple[float, ...] = (1.0, 0.5, 0.3, 0.2, 0.1, 0.05)
+
+
+@dataclass(frozen=True)
+class Figure17Result:
+    """Speedups over the base configuration per density and feature."""
+
+    labels: Tuple[str, ...]
+    speedups: Dict[float, List[float]]  # density -> one value per label
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 17 (HBM, N=4, Q8): speedup over the base DECA "
+            "integration",
+            ["density"] + list(self.labels),
+        )
+        for density in sorted(self.speedups, reverse=True):
+            table.add_row(
+                f"{density:.0%}",
+                *[round(v, 2) for v in self.speedups[density]],
+            )
+        return table.render()
+
+    def tepl_gain_at(self, density: float) -> float:
+        """+TEPL speedup over +TOut Regs at a density (paper: ~2x at 5%)."""
+        values = self.speedups[density]
+        return values[-1] / values[-2]
+
+
+def run(densities: Tuple[float, ...] = DENSITIES) -> Figure17Result:
+    """Regenerate Figure 17 for Q8 at the paper's density ladder."""
+    system = hbm_system()
+    labels = tuple(option.label for option in INTEGRATION_LADDER)
+    speedups: Dict[float, List[float]] = {}
+    for density in densities:
+        scheme = CompressionScheme("bf8", density)
+        intervals = []
+        for option in INTEGRATION_LADDER:
+            timing = deca_kernel_timing(system, scheme, integration=option)
+            sim = simulate_tile_stream(system, timing)
+            intervals.append(sim.steady_interval_cycles)
+        base = intervals[0]
+        speedups[density] = [base / interval for interval in intervals]
+    return Figure17Result(labels, speedups)

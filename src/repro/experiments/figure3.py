@@ -1,0 +1,77 @@
+"""Figure 3: traditional 2-D rooflines with observed vs optimal points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.roofline import Roofline, RooflinePoint
+from repro.core.schemes import (
+    CompressionScheme,
+    PAPER_SCHEMES,
+    UNCOMPRESSED,
+)
+from repro.experiments.report import Table
+from repro.kernels.libxsmm import (
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import SimSystem, ddr_system, hbm_system
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """One roofline plot: the curve plus observed/optimal scheme points."""
+
+    memory: str
+    batch_rows: int
+    curve: List[Tuple[float, float]]  # (AI, attainable FLOPS)
+    points: List[RooflinePoint]
+
+    def format_table(self) -> str:
+        table = Table(
+            f"Figure 3 ({self.memory}, N={self.batch_rows}): observed vs "
+            "optimal TFLOPS on the traditional roofline",
+            ["scheme", "AI (FLOP/B)", "observed", "optimal", "efficiency"],
+        )
+        for point in self.points:
+            table.add_row(
+                point.label,
+                round(point.arithmetic_intensity, 2),
+                round(point.observed_flops / 1e12, 2),
+                round(point.optimal_flops / 1e12, 2),
+                round(point.efficiency, 2),
+            )
+        return table.render()
+
+
+def _observed_flops(
+    system: SimSystem, scheme: CompressionScheme, batch_rows: int
+) -> float:
+    if scheme.name == UNCOMPRESSED.name:
+        timing = uncompressed_kernel_timing(system)
+    else:
+        timing = software_kernel_timing(system, scheme)
+    result = simulate_tile_stream(system, timing)
+    return result.flops(batch_rows)
+
+
+def run_one(system: SimSystem, memory: str, batch_rows: int = 4) -> Figure3Result:
+    """One roofline (DDR or HBM) with the software-decompression points."""
+    roofline = Roofline(system.machine, batch_rows)
+    curve = roofline.series(list(roofline.default_intensity_grid()))
+    schemes = (UNCOMPRESSED,) + PAPER_SCHEMES
+    points = [
+        roofline.scheme_point(s, _observed_flops(system, s, batch_rows))
+        for s in schemes
+    ]
+    return Figure3Result(memory, batch_rows, curve, points)
+
+
+def run(batch_rows: int = 4) -> Tuple[Figure3Result, Figure3Result]:
+    """Both panels of Figure 3: (DDR, HBM)."""
+    return (
+        run_one(ddr_system(), "DDR", batch_rows),
+        run_one(hbm_system(), "HBM", batch_rows),
+    )

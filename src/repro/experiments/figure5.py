@@ -1,0 +1,70 @@
+"""Figure 5: Bounding Region Diagrams for the HBM and DDR machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.bord import Bord, BordPoint
+from repro.core.roofsurface import BoundingFactor
+from repro.core.schemes import PAPER_SCHEMES
+from repro.experiments.figure4 import scheme_signature
+from repro.experiments.report import Table
+from repro.sim.system import SimSystem, ddr_system, hbm_system
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """One BORD: the placed kernels plus region-area fractions."""
+
+    memory: str
+    points: List[BordPoint]
+    region_fractions: Dict[BoundingFactor, float]
+    ascii_plot: str
+
+    def format_table(self) -> str:
+        table = Table(
+            f"Figure 5 ({self.memory}): BORD classification of the "
+            "software-decompressed kernels",
+            ["scheme", "AI_XM", "AI_XV", "bound"],
+        )
+        for point in self.points:
+            table.add_row(
+                point.label,
+                round(point.aixm, 5),
+                round(point.aixv, 5),
+                point.bound.value,
+            )
+        regions = ", ".join(
+            f"{factor.value}={fraction:.0%}"
+            for factor, fraction in self.region_fractions.items()
+        )
+        return table.render() + f"\nregion areas: {regions}\n{self.ascii_plot}"
+
+    def vec_bound_names(self) -> List[str]:
+        """Schemes the diagram classifies as VEC-bound."""
+        return [
+            p.label for p in self.points if p.bound is BoundingFactor.VECTOR
+        ]
+
+
+_PLOT_AIXM_MAX = 0.012
+_PLOT_AIXV_MAX = 0.012
+
+
+def run_one(system: SimSystem, memory: str) -> Figure5Result:
+    """One BORD panel with the software kernel signatures."""
+    bord = Bord(system.machine)
+    signatures = []
+    for scheme in PAPER_SCHEMES:
+        aixm, aixv = scheme_signature(scheme)
+        signatures.append((scheme.name, aixm, aixv))
+    points = bord.place_all(signatures)
+    fractions = bord.region_fractions(_PLOT_AIXM_MAX, _PLOT_AIXV_MAX)
+    plot = bord.render_ascii(points, _PLOT_AIXM_MAX, _PLOT_AIXV_MAX)
+    return Figure5Result(memory, points, fractions, plot)
+
+
+def run() -> tuple:
+    """Both panels: (HBM, DDR) like Figures 5a and 5b."""
+    return run_one(hbm_system(), "HBM"), run_one(ddr_system(), "DDR")

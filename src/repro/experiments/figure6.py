@@ -1,0 +1,63 @@
+"""Figure 6: the HBM BORD after scaling vector throughput by 4x."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.bord import Bord, BordPoint
+from repro.core.roofsurface import BoundingFactor
+from repro.core.schemes import PAPER_SCHEMES
+from repro.experiments.figure4 import scheme_signature
+from repro.experiments.figure5 import _PLOT_AIXM_MAX, _PLOT_AIXV_MAX
+from repro.experiments.report import Table
+from repro.sim.system import hbm_system
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """BORD with 4x VOS plus the region shrink relative to baseline."""
+
+    points: List[BordPoint]
+    vec_region_baseline: float
+    vec_region_scaled: float
+
+    def format_table(self) -> str:
+        table = Table(
+            "Figure 6 (HBM, 4x VOS): kernel classification",
+            ["scheme", "bound"],
+        )
+        for point in self.points:
+            table.add_row(point.label, point.bound.value)
+        note = (
+            f"VEC-region share of the window: baseline "
+            f"{self.vec_region_baseline:.0%} -> 4x VOS "
+            f"{self.vec_region_scaled:.0%}"
+        )
+        return table.render() + "\n" + note
+
+    def still_vec_bound(self) -> List[str]:
+        """Kernels a 4x VOS increase still leaves VEC-bound."""
+        return [
+            p.label for p in self.points if p.bound is BoundingFactor.VECTOR
+        ]
+
+
+def run(vos_scale: float = 4.0) -> Figure6Result:
+    """Scale the machine's vector throughput and re-classify the kernels."""
+    base_machine = hbm_system().machine
+    scaled_machine = base_machine.with_vector_scale(vos_scale)
+    baseline_bord = Bord(base_machine)
+    scaled_bord = Bord(scaled_machine)
+    signatures = []
+    for scheme in PAPER_SCHEMES:
+        aixm, aixv = scheme_signature(scheme)
+        signatures.append((scheme.name, aixm, aixv))
+    points = scaled_bord.place_all(signatures)
+    base_fracs = baseline_bord.region_fractions(_PLOT_AIXM_MAX, _PLOT_AIXV_MAX)
+    scaled_fracs = scaled_bord.region_fractions(_PLOT_AIXM_MAX, _PLOT_AIXV_MAX)
+    return Figure6Result(
+        points=points,
+        vec_region_baseline=base_fracs[BoundingFactor.VECTOR],
+        vec_region_scaled=scaled_fracs[BoundingFactor.VECTOR],
+    )

@@ -1,0 +1,104 @@
+"""Grid sweeps over schemes, systems, and engines, with CSV export.
+
+Library tooling for downstream studies: run the simulator across a
+cartesian grid of configurations and collect flat records suitable for
+spreadsheets or further analysis — the batch counterpart of the
+one-figure experiment harnesses.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.schemes import CompressionScheme, PAPER_SCHEMES
+from repro.deca.config import DecaConfig
+from repro.deca.integration import deca_kernel_timing
+from repro.errors import ConfigurationError
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import SimSystem, ddr_system, hbm_system
+
+
+@dataclass(frozen=True)
+class GridRecord:
+    """One simulated configuration's flat result row."""
+
+    system: str
+    scheme: str
+    engine: str
+    interval_cycles: float
+    tiles_per_second: float
+    tflops_n1: float
+    mem_util: float
+    tmul_util: float
+    dec_util: float
+
+
+_FIELDS = (
+    "system", "scheme", "engine", "interval_cycles", "tiles_per_second",
+    "tflops_n1", "mem_util", "tmul_util", "dec_util",
+)
+
+
+def run_grid(
+    systems: Optional[Sequence[SimSystem]] = None,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    engines: Sequence[str] = ("software", "deca"),
+    deca_config: Optional[DecaConfig] = None,
+) -> List[GridRecord]:
+    """Simulate every (system, scheme, engine) combination."""
+    if systems is None:
+        systems = (hbm_system(), ddr_system())
+    records: List[GridRecord] = []
+    for system in systems:
+        for scheme in schemes:
+            for engine in engines:
+                if engine == "software":
+                    timing = software_kernel_timing(system, scheme)
+                elif engine == "deca":
+                    timing = deca_kernel_timing(
+                        system, scheme, config=deca_config
+                    )
+                else:
+                    raise ConfigurationError(
+                        f"unknown engine {engine!r}; use 'software' or 'deca'"
+                    )
+                result = simulate_tile_stream(system, timing)
+                util = result.utilization
+                records.append(
+                    GridRecord(
+                        system=system.machine.name,
+                        scheme=scheme.name,
+                        engine=engine,
+                        interval_cycles=result.steady_interval_cycles,
+                        tiles_per_second=result.tiles_per_second,
+                        tflops_n1=result.flops(1) / 1e12,
+                        mem_util=util.memory,
+                        tmul_util=util.matrix,
+                        dec_util=util.decompress,
+                    )
+                )
+    return records
+
+
+def to_csv(records: Sequence[GridRecord]) -> str:
+    """Serialize grid records as CSV text (header included)."""
+    if not records:
+        raise ConfigurationError("no records to serialize")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(
+            {field: getattr(record, field) for field in _FIELDS}
+        )
+    return buffer.getvalue()
+
+
+def save_csv(records: Sequence[GridRecord], path) -> None:
+    """Write grid records to a CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(to_csv(records))

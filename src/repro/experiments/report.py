@@ -1,0 +1,54 @@
+"""Plain-text table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A simple monospaced table with a title."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        cells = [[str(c) for c in self.columns]]
+        cells.extend([_fmt(v) for v in row] for row in self.rows)
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,105 @@
+"""Shared compressed-GeMM speedup harness for Figures 12, 13 and 15."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.roofline import Roofline
+from repro.core.schemes import CompressionScheme, PAPER_SCHEMES, UNCOMPRESSED
+from repro.deca.config import DecaConfig
+from repro.deca.integration import DecaIntegration, deca_kernel_timing
+from repro.kernels.avx import AvxVariant
+from repro.kernels.libxsmm import (
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.sim.pipeline import SimResult, simulate_tile_stream
+from repro.sim.system import SimSystem
+
+
+@dataclass(frozen=True)
+class SchemeSpeedup:
+    """Speedups of one scheme over the uncompressed BF16 baseline."""
+
+    scheme: CompressionScheme
+    software: float
+    deca: float
+    optimal: float
+
+    @property
+    def deca_over_software(self) -> float:
+        """How much faster DECA is than the software kernel."""
+        return self.deca / self.software
+
+
+def baseline_result(system: SimSystem, tiles: int = 600) -> SimResult:
+    """Simulate the uncompressed BF16 baseline."""
+    return simulate_tile_stream(
+        system, uncompressed_kernel_timing(system), tiles=tiles
+    )
+
+
+def scheme_speedup(
+    system: SimSystem,
+    scheme: CompressionScheme,
+    baseline: SimResult,
+    batch_rows: int = 1,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+    avx_variant: AvxVariant = AvxVariant.BASELINE,
+    tiles: int = 600,
+) -> SchemeSpeedup:
+    """Software / DECA / roofline-optimal speedups for one scheme.
+
+    "Optimal" follows the paper: the traditional roofline bound at the
+    scheme's arithmetic intensity, i.e. all decompression overheads hidden
+    (Section 9.1).
+    """
+    software = simulate_tile_stream(
+        system, software_kernel_timing(system, scheme, variant=avx_variant),
+        tiles=tiles,
+    )
+    deca = simulate_tile_stream(
+        system,
+        deca_kernel_timing(
+            system, scheme, config=deca_config, integration=integration
+        ),
+        tiles=tiles,
+    )
+    roofline = Roofline(system.machine, batch_rows)
+    optimal_flops = roofline.attainable_flops(scheme.traditional_ai(batch_rows))
+    baseline_flops_optimal = roofline.attainable_flops(
+        UNCOMPRESSED.traditional_ai(batch_rows)
+    )
+    base_interval = baseline.steady_interval_cycles
+    return SchemeSpeedup(
+        scheme=scheme,
+        software=base_interval / software.steady_interval_cycles,
+        deca=base_interval / deca.steady_interval_cycles,
+        optimal=optimal_flops / baseline_flops_optimal,
+    )
+
+
+def sweep_speedups(
+    system: SimSystem,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    batch_rows: int = 1,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+    tiles: int = 600,
+) -> List[SchemeSpeedup]:
+    """Speedups for a list of schemes (Figures 12/13's x axis)."""
+    baseline = baseline_result(system, tiles=tiles)
+    return [
+        scheme_speedup(
+            system,
+            scheme,
+            baseline,
+            batch_rows=batch_rows,
+            deca_config=deca_config,
+            integration=integration,
+            tiles=tiles,
+        )
+        for scheme in schemes
+    ]

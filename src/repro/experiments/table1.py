@@ -1,0 +1,57 @@
+"""Table 1: FC-GeMM fraction of the next-token time (Llama2-70B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.paper_reference import TABLE1_FRACTIONS
+from repro.experiments.report import Table
+from repro.llm.inference import EngineKind, next_token_latency
+from repro.llm.models import llama2_70b
+from repro.sim.system import ddr_system, hbm_system
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """GeMM-time fractions keyed by (memory, input_tokens, batch)."""
+
+    fractions: Dict[Tuple[str, int, int], float]
+
+    def format_table(self) -> str:
+        """Side-by-side comparison with the paper's Table 1."""
+        table = Table(
+            "Table 1: FC-GeMM fraction of next-token time (Llama2-70B, %)",
+            ["memory", "tokens", "batch", "reproduced", "paper"],
+        )
+        for key in sorted(self.fractions):
+            memory, tokens, batch = key
+            table.add_row(
+                memory,
+                tokens,
+                batch,
+                round(self.fractions[key] * 100, 1),
+                TABLE1_FRACTIONS.get(key, float("nan")),
+            )
+        return table.render()
+
+
+def run(
+    batches: Tuple[int, ...] = (1, 4, 16),
+    token_counts: Tuple[int, ...] = (32, 128),
+) -> Table1Result:
+    """Regenerate Table 1 for both memory systems."""
+    model = llama2_70b()
+    fractions: Dict[Tuple[str, int, int], float] = {}
+    for memory, system in (("DDR", ddr_system()), ("HBM", hbm_system())):
+        for tokens in token_counts:
+            for batch in batches:
+                breakdown = next_token_latency(
+                    model,
+                    system,
+                    engine=EngineKind.UNCOMPRESSED,
+                    batch=batch,
+                    input_tokens=tokens,
+                )
+                fractions[(memory, tokens, batch)] = breakdown.gemm_fraction
+    return Table1Result(fractions)

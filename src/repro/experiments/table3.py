@@ -1,0 +1,59 @@
+"""Table 3: component utilisation for Q8 at several densities (HBM, N=1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.schemes import CompressionScheme
+from repro.deca.integration import deca_kernel_timing
+from repro.experiments.paper_reference import TABLE3_UTILIZATION
+from repro.experiments.report import Table
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.stats import UtilizationReport
+from repro.sim.system import hbm_system
+
+DENSITIES: Tuple[int, ...] = (100, 50, 20, 5)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Utilisation reports keyed by (density percent, engine)."""
+
+    reports: Dict[Tuple[int, str], UtilizationReport]
+
+    def format_table(self) -> str:
+        table = Table(
+            "Table 3: component utilisation, Q8, N=1, HBM "
+            "(reproduced | paper)",
+            ["density", "engine", "MEM", "TMUL", "AVX/DECA"],
+        )
+        for (density, engine), report in sorted(
+            self.reports.items(), key=lambda kv: (kv[0][1], -kv[0][0])
+        ):
+            paper = TABLE3_UTILIZATION.get((density, engine), {})
+            pct = report.as_percentages()
+            table.add_row(
+                f"{density}%",
+                engine,
+                f"{pct['MEM']} | {paper.get('MEM', '?')}",
+                f"{pct['TMUL']} | {paper.get('TMUL', '?')}",
+                f"{pct['DEC']} | {paper.get('DEC', '?')}",
+            )
+        return table.render()
+
+
+def run(densities: Tuple[int, ...] = DENSITIES) -> Table3Result:
+    """Regenerate Table 3."""
+    system = hbm_system()
+    reports: Dict[Tuple[int, str], UtilizationReport] = {}
+    for density in densities:
+        scheme = CompressionScheme("bf8", density / 100.0)
+        sw = simulate_tile_stream(
+            system, software_kernel_timing(system, scheme)
+        )
+        dc = simulate_tile_stream(system, deca_kernel_timing(system, scheme))
+        reports[(density, "software")] = sw.utilization
+        reports[(density, "deca")] = dc.utilization
+    return Table3Result(reports)

@@ -1,0 +1,98 @@
+"""Table 4: Llama2-70B / OPT-66B next-token latency (milliseconds)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.experiments.paper_reference import TABLE4_LATENCY_MS
+from repro.experiments.report import Table
+from repro.llm.inference import EngineKind, next_token_latency
+from repro.llm.models import llama2_70b, opt_66b
+from repro.sim.system import hbm_system
+
+SCHEMES = ("Q16", "Q4", "Q8_20%", "Q8_5%")
+BATCHES = (1, 16)
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Latencies in ms keyed by (model, batch, scheme, engine)."""
+
+    latencies: Dict[Tuple[str, int, str, str], float]
+
+    def format_table(self) -> str:
+        table = Table(
+            "Table 4: next-token latency (ms), HBM, 128 input tokens "
+            "(reproduced | paper)",
+            ["model", "batch", "scheme", "SW", "DECA"],
+        )
+        for model in ("Llama2-70B", "OPT-66B"):
+            for batch in BATCHES:
+                for scheme in SCHEMES:
+                    sw = self.latencies.get((model, batch, scheme, "software"))
+                    dc = self.latencies.get((model, batch, scheme, "deca"))
+                    paper_sw = TABLE4_LATENCY_MS.get(
+                        (model, batch, scheme, "software")
+                    )
+                    paper_dc = TABLE4_LATENCY_MS.get(
+                        (model, batch, scheme, "deca")
+                    )
+                    table.add_row(
+                        model,
+                        batch,
+                        scheme,
+                        f"{sw:.1f} | {paper_sw}" if sw else "-",
+                        f"{dc:.1f} | {paper_dc}" if dc else "-",
+                    )
+        return table.render()
+
+    def speedup(
+        self, model: str, batch: int, scheme: str
+    ) -> float:
+        """DECA over software for one cell."""
+        return (
+            self.latencies[(model, batch, scheme, "software")]
+            / self.latencies[(model, batch, scheme, "deca")]
+        )
+
+
+def run(input_tokens: int = 128) -> Table4Result:
+    """Regenerate Table 4 on the HBM machine."""
+    system = hbm_system()
+    latencies: Dict[Tuple[str, int, str, str], float] = {}
+    for model in (llama2_70b(), opt_66b()):
+        for batch in BATCHES:
+            for scheme_name in SCHEMES:
+                if scheme_name == "Q16":
+                    # The uncompressed baseline (simulated with enough HBM).
+                    breakdown = next_token_latency(
+                        model,
+                        system,
+                        UNCOMPRESSED,
+                        EngineKind.UNCOMPRESSED,
+                        batch=batch,
+                        input_tokens=input_tokens,
+                    )
+                    latencies[(model.name, batch, "Q16", "software")] = (
+                        breakdown.total_ms
+                    )
+                    continue
+                scheme = parse_scheme(scheme_name)
+                for engine, key in (
+                    (EngineKind.SOFTWARE, "software"),
+                    (EngineKind.DECA, "deca"),
+                ):
+                    breakdown = next_token_latency(
+                        model,
+                        system,
+                        scheme,
+                        engine,
+                        batch=batch,
+                        input_tokens=input_tokens,
+                    )
+                    latencies[(model.name, batch, scheme_name, key)] = (
+                        breakdown.total_ms
+                    )
+    return Table4Result(latencies)

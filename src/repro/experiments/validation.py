@@ -1,0 +1,208 @@
+"""Programmatic validation of the paper's headline claims.
+
+Runs the full reproduction and checks every headline statement of the
+paper against the regenerated numbers, producing a pass/fail checklist —
+the machine-readable counterpart of EXPERIMENTS.md. Exposed on the CLI as
+``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    area,
+    figure6,
+    figure12,
+    figure13,
+    figure14,
+    figure16,
+    figure17,
+    table3,
+    table4,
+)
+from repro.experiments.paper_reference import (
+    TABLE3_UTILIZATION,
+    TABLE4_LATENCY_MS,
+)
+from repro.experiments.report import Table
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim: the paper's statement and our measurement."""
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All claim checks plus an overall verdict."""
+
+    checks: Tuple[ClaimCheck, ...]
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every claim was reproduced."""
+        return all(check.passed for check in self.checks)
+
+    def format_table(self) -> str:
+        table = Table(
+            "Validation: the paper's headline claims vs this reproduction",
+            ["status", "claim", "measured"],
+        )
+        for check in self.checks:
+            table.add_row(
+                "PASS" if check.passed else "FAIL",
+                check.claim,
+                check.measured,
+            )
+        verdict = (
+            f"{sum(c.passed for c in self.checks)}/{len(self.checks)} "
+            "claims reproduced"
+        )
+        return table.render() + "\n" + verdict
+
+
+def _check_figure13() -> ClaimCheck:
+    result = figure13.run()
+    ratio = result.max_deca_over_software
+    return ClaimCheck(
+        claim="DECA accelerates compressed GeMMs by up to 4x over "
+              "software on HBM (abstract)",
+        measured=f"max DECA/SW = {ratio:.2f}x",
+        passed=3.3 <= ratio <= 4.8,
+    )
+
+
+def _check_figure12() -> ClaimCheck:
+    result = figure12.run()
+    ratio = result.max_deca_over_software
+    return ClaimCheck(
+        claim="On DDR the speedups reach ~1.7x (Section 9.1)",
+        measured=f"max DECA/SW = {ratio:.2f}x",
+        passed=1.3 <= ratio <= 2.0,
+    )
+
+
+def _check_figure14() -> ClaimCheck:
+    result = figure14.run(core_counts=(8, 16, 56))
+    cores = result.deca_cores_matching_full_software()
+    return ClaimCheck(
+        claim="16 DECA-augmented cores beat 56 conventional cores "
+              "(Section 9.1)",
+        measured=f"{cores} DECA cores suffice",
+        passed=cores <= 16,
+    )
+
+
+def _check_figure6() -> ClaimCheck:
+    result = figure6.run()
+    remaining = result.still_vec_bound()
+    return ClaimCheck(
+        claim="Even a 4x VOS increase leaves kernels VEC-bound "
+              "(Section 4.2)",
+        measured=f"still VEC-bound: {', '.join(remaining) or 'none'}",
+        passed=len(remaining) >= 1,
+    )
+
+
+def _check_figure16() -> ClaimCheck:
+    result = figure16.run()
+    best = result.dse.best
+    ok = (
+        (best.width, best.lut_count) == (32, 8)
+        and 1.5 <= result.best_over_under <= 2.5
+        and result.over_over_best - 1 < 0.03
+    )
+    return ClaimCheck(
+        claim="DSE picks {W=32, L=8}; ~2x over underprovisioned; "
+              "overprovisioned gains <3% (Section 9.2)",
+        measured=(
+            f"best W={best.width},L={best.lut_count}; "
+            f"{result.best_over_under:.2f}x over under; "
+            f"+{result.over_over_best - 1:.1%} for over"
+        ),
+        passed=ok,
+    )
+
+
+def _check_figure17() -> ClaimCheck:
+    result = figure17.run()
+    gain = result.tepl_gain_at(0.05)
+    return ClaimCheck(
+        claim="TEPLs double performance at 5% density (Section 9.3)",
+        measured=f"+TEPL / +TOut at 5% = {gain:.2f}x",
+        passed=1.7 <= gain <= 2.6,
+    )
+
+
+def _check_table3() -> ClaimCheck:
+    result = table3.run()
+    worst = 0
+    for key, paper in TABLE3_UTILIZATION.items():
+        ours = result.reports[key].as_percentages()
+        for column in ("MEM", "TMUL", "DEC"):
+            worst = max(worst, abs(ours[column] - paper[column]))
+    return ClaimCheck(
+        claim="Component utilisations match Table 3",
+        measured=f"worst cell difference: {worst} points",
+        passed=worst <= 8,
+    )
+
+
+def _check_table4() -> ClaimCheck:
+    result = table4.run()
+    ratios = [
+        result.speedup(model, batch, scheme)
+        for model in ("Llama2-70B", "OPT-66B")
+        for batch in (1, 16)
+        for scheme in ("Q4", "Q8_20%", "Q8_5%")
+    ]
+    worst_cell = 0.0
+    for key, paper in TABLE4_LATENCY_MS.items():
+        ours = result.latencies[key]
+        worst_cell = max(worst_cell, abs(ours - paper) / paper)
+    return ClaimCheck(
+        claim="DECA reduces next-token time by 1.6x-2.6x over software "
+              "(abstract); latencies track Table 4",
+        measured=(
+            f"DECA/SW in [{min(ratios):.2f}, {max(ratios):.2f}]; worst "
+            f"cell off by {worst_cell:.0%}"
+        ),
+        passed=min(ratios) >= 1.5 and max(ratios) <= 2.9 and worst_cell < 0.21,
+    )
+
+
+def _check_area() -> ClaimCheck:
+    result = area.run()
+    overhead = result.breakdown.die_overhead()
+    return ClaimCheck(
+        claim="56 DECA PEs cost ~2.51 mm^2, <0.2% of the die (Section 8)",
+        measured=(
+            f"{result.breakdown.total:.2f} mm^2, {overhead:.3%} of the die"
+        ),
+        passed=abs(result.breakdown.total - 2.51) < 0.05 and overhead < 0.002,
+    )
+
+
+_CHECKS: Tuple[Callable[[], ClaimCheck], ...] = (
+    _check_figure13,
+    _check_figure12,
+    _check_figure14,
+    _check_figure6,
+    _check_figure16,
+    _check_figure17,
+    _check_table3,
+    _check_table4,
+    _check_area,
+)
+
+
+def run() -> ValidationReport:
+    """Execute every claim check."""
+    checks: List[ClaimCheck] = [check() for check in _CHECKS]
+    return ValidationReport(tuple(checks))

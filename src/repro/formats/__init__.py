@@ -1,0 +1,73 @@
+"""Bit-exact number-format codecs used by the compression pipeline.
+
+The paper's compression schemes store weights in low-bit formats (BF16,
+BF8/E5M2, E4M3, MXFP4, INT8, INT4) and DECA dequantizes them through a
+look-up table of BF16 values (Section 6.1). This package provides:
+
+* scalar/array codecs for each format (``bfloat``, ``fp8``, ``mxfp``,
+  ``int_formats``),
+* a :class:`~repro.formats.registry.QuantFormat` descriptor plus a registry
+  keyed by name, and
+* tensor-level quantization entry points (``quantize``).
+"""
+
+from repro.formats.bfloat import (
+    bf16_bits_to_float32,
+    bf16_round,
+    e5m2_bits_to_float32,
+    float32_to_bf16_bits,
+    float32_to_e5m2_bits,
+)
+from repro.formats.fp8 import e4m3_bits_to_float32, float32_to_e4m3_bits
+from repro.formats.mxfp import (
+    E2M1_VALUES,
+    decode_shared_scale,
+    e2m1_bits_to_float32,
+    encode_shared_scale,
+    float32_to_e2m1_bits,
+    mx_group_dequantize,
+    mx_group_quantize,
+)
+from repro.formats.int_formats import (
+    int4_decode,
+    int4_encode,
+    int8_decode,
+    int8_encode,
+)
+from repro.formats.registry import (
+    QuantFormat,
+    available_formats,
+    dequant_lut,
+    get_format,
+    register_format,
+)
+from repro.formats.quantize import QuantizedTensor, dequantize_tensor, quantize_tensor
+
+__all__ = [
+    "bf16_bits_to_float32",
+    "bf16_round",
+    "e5m2_bits_to_float32",
+    "float32_to_bf16_bits",
+    "float32_to_e5m2_bits",
+    "e4m3_bits_to_float32",
+    "float32_to_e4m3_bits",
+    "E2M1_VALUES",
+    "decode_shared_scale",
+    "e2m1_bits_to_float32",
+    "encode_shared_scale",
+    "float32_to_e2m1_bits",
+    "mx_group_dequantize",
+    "mx_group_quantize",
+    "int4_decode",
+    "int4_encode",
+    "int8_decode",
+    "int8_encode",
+    "QuantFormat",
+    "available_formats",
+    "dequant_lut",
+    "get_format",
+    "register_format",
+    "QuantizedTensor",
+    "dequantize_tensor",
+    "quantize_tensor",
+]

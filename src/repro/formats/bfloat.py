@@ -1,0 +1,81 @@
+"""Bit-exact BF16 and BF8 (FP8 E5M2) codecs.
+
+BF16 is the upper 16 bits of an IEEE-754 float32 with round-to-nearest-even
+(RNE). BF8, as used by libxsmm and the paper, is FP8 E5M2 — the upper 8 bits
+of an IEEE-754 float16 with RNE. Both conversions are therefore pure bit
+manipulations, implemented here on numpy arrays so they are fast and exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_F32_QNAN_BF16 = np.uint16(0x7FC0)
+_F16_QNAN_E5M2 = np.uint8(0x7E)
+
+
+def float32_to_bf16_bits(values: np.ndarray) -> np.ndarray:
+    """Encode float32 values into BF16 bit patterns (uint16), using RNE.
+
+    NaNs are canonicalised to the quiet-NaN pattern ``0x7FC0`` with the
+    input's sign preserved.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    bits = values.view(np.uint32)
+    # Round-to-nearest-even on the truncated low 16 bits.
+    rounding_bias = np.uint32(0x7FFF) + ((bits >> np.uint32(16)) & np.uint32(1))
+    rounded = ((bits + rounding_bias) >> np.uint32(16)).astype(np.uint16)
+    nan_mask = np.isnan(values)
+    if np.any(nan_mask):
+        sign = (bits[nan_mask] >> np.uint32(16)).astype(np.uint16) & np.uint16(0x8000)
+        rounded[nan_mask] = sign | _F32_QNAN_BF16
+    return rounded
+
+
+def bf16_bits_to_float32(bits: np.ndarray) -> np.ndarray:
+    """Decode BF16 bit patterns (uint16) into float32 values (exact)."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint16)
+    widened = bits.astype(np.uint32) << np.uint32(16)
+    return widened.view(np.float32)
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to the nearest BF16-representable float32.
+
+    This is the reference "store as BF16, read back" operation used to
+    validate DECA's BF16 output tiles.
+    """
+    return bf16_bits_to_float32(float32_to_bf16_bits(values))
+
+
+def float32_to_e5m2_bits(values: np.ndarray) -> np.ndarray:
+    """Encode float32 values into FP8 E5M2 (BF8) bit patterns (uint8).
+
+    The conversion goes through float16 (numpy's cast performs RNE) and then
+    rounds the low 8 mantissa bits with RNE. Values above the float16 range
+    become infinities, matching hardware truncation behaviour. NaNs are
+    canonicalised to ``0x7E`` with sign preserved.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    with np.errstate(over="ignore"):  # out-of-range floats become inf
+        half_bits = values.astype(np.float16).view(np.uint16)
+    rounding_bias = np.uint16(0x7F) + ((half_bits >> np.uint16(8)) & np.uint16(1))
+    # Widen before adding so the carry out of bit 15 is not lost.
+    rounded32 = (half_bits.astype(np.uint32) + rounding_bias) >> np.uint32(8)
+    encoded = np.minimum(rounded32, np.uint32(0xFF)).astype(np.uint8)
+    # Rounding a large-magnitude finite up past the exponent field yields the
+    # infinity pattern, which is the desired saturate-to-inf behaviour. NaN
+    # inputs need explicit canonicalisation.
+    nan_mask = np.isnan(values)
+    if np.any(nan_mask):
+        sign = (half_bits[nan_mask] >> np.uint16(8)).astype(np.uint8) & np.uint8(0x80)
+        encoded[nan_mask] = sign | _F16_QNAN_E5M2
+    return encoded
+
+
+def e5m2_bits_to_float32(bits: np.ndarray) -> np.ndarray:
+    """Decode FP8 E5M2 (BF8) bit patterns (uint8) into float32 (exact)."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    half = (bits.astype(np.uint16) << np.uint16(8)).view(np.float16)
+    return half.astype(np.float32)

@@ -1,0 +1,81 @@
+"""FP8 E4M3 codec (the OCP "FN" variant: no infinities, max 448).
+
+E4M3 is included because DECA's LUT-based dequantization supports *any*
+8-bit-or-narrower format (Section 6.1: "by changing the values in its LUT
+array ... without redesigning the hardware"). Encoding uses value-space
+round-to-nearest with ties-to-even-code, implemented against the exact
+256-entry decode table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EXP_BITS = 4
+_MAN_BITS = 3
+_BIAS = 7
+
+
+def _build_decode_table() -> np.ndarray:
+    """Exact float32 value of every E4M3FN code (NaN for 0x7F/0xFF)."""
+    codes = np.arange(256, dtype=np.uint32)
+    sign = np.where(codes & 0x80, -1.0, 1.0).astype(np.float64)
+    exp = (codes >> _MAN_BITS) & 0xF
+    man = codes & 0x7
+    normal = (1.0 + man / 8.0) * np.power(2.0, exp.astype(np.float64) - _BIAS)
+    subnormal = (man / 8.0) * 2.0 ** (1 - _BIAS)
+    values = np.where(exp > 0, normal, subnormal) * sign
+    # E4M3FN: exponent 15 with mantissa 7 is NaN; everything else is finite.
+    values[(exp == 15) & (man == 7)] = np.nan
+    return values.astype(np.float32)
+
+
+_DECODE_TABLE = _build_decode_table()
+# Positive finite codes sorted by value, used for nearest-value encoding.
+_POS_CODES = np.array(
+    sorted(
+        (code for code in range(0x80) if not np.isnan(_DECODE_TABLE[code])),
+        key=lambda code: float(_DECODE_TABLE[code]),
+    ),
+    dtype=np.uint8,
+)
+_POS_VALUES = _DECODE_TABLE[_POS_CODES].astype(np.float64)
+_MAX_FINITE = float(_POS_VALUES[-1])  # 448.0
+
+
+def e4m3_bits_to_float32(bits: np.ndarray) -> np.ndarray:
+    """Decode E4M3FN bit patterns (uint8) into float32 values (exact)."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    return _DECODE_TABLE[bits]
+
+
+def float32_to_e4m3_bits(values: np.ndarray) -> np.ndarray:
+    """Encode float32 values into E4M3FN bit patterns (uint8).
+
+    Magnitudes are rounded to the nearest representable value (ties to the
+    even code) and saturated to +-448. NaN encodes to the NaN pattern.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    flat = values.ravel().astype(np.float64)
+    magnitude = np.abs(flat)
+    clipped = np.minimum(magnitude, _MAX_FINITE)
+    # Nearest neighbour among the sorted positive representable values.
+    idx = np.searchsorted(_POS_VALUES, clipped)
+    idx = np.clip(idx, 1, len(_POS_VALUES) - 1)
+    lower = _POS_VALUES[idx - 1]
+    upper = _POS_VALUES[idx]
+    below = clipped - lower
+    above = upper - clipped
+    pick_upper = above < below
+    tie = above == below
+    # Ties go to the code with an even low bit, mirroring IEEE RNE.
+    upper_even = (_POS_CODES[idx] & 1) == 0
+    choice = np.where(pick_upper | (tie & upper_even), idx, idx - 1)
+    codes = _POS_CODES[choice]
+    codes = np.where(clipped == 0.0, np.uint8(0), codes)
+    sign_bit = np.where(np.signbit(flat), np.uint8(0x80), np.uint8(0))
+    encoded = (codes | sign_bit).astype(np.uint8)
+    nan_mask = np.isnan(flat)
+    if np.any(nan_mask):
+        encoded[nan_mask] = np.uint8(0x7F) | sign_bit[nan_mask]
+    return encoded.reshape(values.shape)

@@ -1,0 +1,105 @@
+"""Symmetric integer quantization codecs (INT8 and INT4).
+
+The paper notes that DECA's Q4 performance "is also representative of INT4
+compression schemes with scaling factors such as AWQ" (Section 8). These
+codecs implement symmetric per-group integer quantization so that the
+library can express such schemes end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+
+INT8_QMAX = 127
+INT4_QMAX = 7
+
+
+def _symmetric_encode(
+    values: np.ndarray, group_size: int, qmax: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if values.ndim != 1:
+        raise FormatError(f"expected a 1-D array, got shape {values.shape}")
+    if group_size < 1:
+        raise FormatError(f"group_size must be >= 1, got {group_size}")
+    if values.size % group_size != 0:
+        raise FormatError(
+            f"array length {values.size} is not a multiple of group {group_size}"
+        )
+    groups = values.reshape(-1, group_size).astype(np.float64)
+    amax = np.max(np.abs(groups), axis=1)
+    scales = np.where(amax > 0, amax / qmax, 1.0)
+    quantized = np.rint(groups / scales[:, None])
+    quantized = np.clip(quantized, -qmax, qmax).astype(np.int8)
+    return quantized.reshape(values.shape), scales.astype(np.float32)
+
+
+def _symmetric_decode(
+    codes: np.ndarray, scales: np.ndarray, group_size: int
+) -> np.ndarray:
+    codes = np.ascontiguousarray(codes, dtype=np.int8)
+    if codes.size % group_size != 0:
+        raise FormatError(
+            f"code length {codes.size} is not a multiple of group {group_size}"
+        )
+    scales = np.ascontiguousarray(scales, dtype=np.float32)
+    if scales.size != codes.size // group_size:
+        raise FormatError(
+            f"expected {codes.size // group_size} scales, got {scales.size}"
+        )
+    groups = codes.reshape(-1, group_size).astype(np.float32)
+    return (groups * scales[:, None]).reshape(codes.shape)
+
+
+def int8_encode(
+    values: np.ndarray, group_size: int = 128
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize float32 values into symmetric INT8 codes plus group scales."""
+    return _symmetric_encode(values, group_size, INT8_QMAX)
+
+
+def int8_decode(codes: np.ndarray, scales: np.ndarray, group_size: int = 128) -> np.ndarray:
+    """Reconstruct float32 values from INT8 codes and group scales."""
+    return _symmetric_decode(codes, scales, group_size)
+
+
+def int4_encode(
+    values: np.ndarray, group_size: int = 32
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize float32 values into symmetric INT4 codes (in int8 storage)."""
+    return _symmetric_encode(values, group_size, INT4_QMAX)
+
+
+def int4_decode(codes: np.ndarray, scales: np.ndarray, group_size: int = 32) -> np.ndarray:
+    """Reconstruct float32 values from INT4 codes and group scales."""
+    codes = np.ascontiguousarray(codes, dtype=np.int8)
+    if codes.size and (int(codes.max()) > INT4_QMAX or int(codes.min()) < -INT4_QMAX):
+        raise FormatError("INT4 codes must lie in [-7, 7]")
+    return _symmetric_decode(codes, scales, group_size)
+
+
+def int4_pack(codes: np.ndarray) -> np.ndarray:
+    """Pack INT4 codes (int8 in [-7, 7]) two per byte (low nibble first)."""
+    codes = np.ascontiguousarray(codes, dtype=np.int8)
+    if codes.size % 2 != 0:
+        raise FormatError("INT4 packing requires an even number of codes")
+    unsigned = (codes.astype(np.int16) & 0xF).astype(np.uint8)
+    pairs = unsigned.reshape(-1, 2)
+    return (pairs[:, 0] | (pairs[:, 1] << np.uint8(4))).astype(np.uint8)
+
+
+def int4_unpack(packed: np.ndarray) -> np.ndarray:
+    """Unpack bytes into INT4 codes (int8 in [-8, 7]), low nibble first."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    low = (packed & np.uint8(0xF)).astype(np.uint8)
+    high = (packed >> np.uint8(4)).astype(np.uint8)
+    nibbles = np.empty(packed.size * 2, dtype=np.uint8)
+    nibbles[0::2] = low
+    nibbles[1::2] = high
+    signed = nibbles.astype(np.int8)
+    signed[signed > 7] -= 16
+    return signed

@@ -1,0 +1,128 @@
+"""MXFP4 codec: FP4 E2M1 elements with a shared E8M0 scale per 32 weights.
+
+This follows the OCP Microscaling (MX) specification referenced by the paper
+[7]: a group of 32 elements shares one power-of-two scale stored as a biased
+8-bit exponent (E8M0), and each element is a 4-bit E2M1 float. The eight
+positive representable E2M1 magnitudes are {0, 0.5, 1, 1.5, 2, 3, 4, 6}.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+
+MX_GROUP_SIZE = 32
+_E8M0_BIAS = 127
+_E2M1_EMAX = 2  # exponent of the largest E2M1 binade (4.0 <= |x| <= 6.0)
+
+# Exact decode values of the 16 E2M1 codes (sign bit is code bit 3).
+E2M1_VALUES = np.array(
+    [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0,
+     -0.0, -0.5, -1.0, -1.5, -2.0, -3.0, -4.0, -6.0],
+    dtype=np.float32,
+)
+_POS_MAGNITUDES = E2M1_VALUES[:8].astype(np.float64)
+
+
+def e2m1_bits_to_float32(bits: np.ndarray) -> np.ndarray:
+    """Decode E2M1 codes (uint8 in [0, 15]) into float32 values (exact)."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    if bits.size and int(bits.max()) > 15:
+        raise FormatError("E2M1 codes must be 4-bit values in [0, 15]")
+    return E2M1_VALUES[bits]
+
+
+def float32_to_e2m1_bits(values: np.ndarray) -> np.ndarray:
+    """Encode float32 values into E2M1 codes (uint8 in [0, 15]).
+
+    Magnitudes round to the nearest representable value with ties away from
+    the smaller code resolved to the even code (matching RNE); magnitudes
+    above 6 saturate to 6. NaN raises :class:`FormatError` — MX element NaN
+    is signalled through the scale, not the element codes.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if np.any(np.isnan(values)):
+        raise FormatError("cannot encode NaN as an E2M1 element")
+    flat = values.ravel().astype(np.float64)
+    magnitude = np.minimum(np.abs(flat), _POS_MAGNITUDES[-1])
+    idx = np.searchsorted(_POS_MAGNITUDES, magnitude)
+    idx = np.clip(idx, 1, len(_POS_MAGNITUDES) - 1)
+    lower = _POS_MAGNITUDES[idx - 1]
+    upper = _POS_MAGNITUDES[idx]
+    below = magnitude - lower
+    above = upper - magnitude
+    pick_upper = above < below
+    tie = above == below
+    upper_even = (idx & 1) == 0
+    codes = np.where(pick_upper | (tie & upper_even), idx, idx - 1).astype(np.uint8)
+    codes = np.where(magnitude == 0.0, np.uint8(0), codes)
+    sign = np.where(np.signbit(flat), np.uint8(8), np.uint8(0))
+    return (codes | sign).reshape(values.shape)
+
+
+def encode_shared_scale(group_amax: np.ndarray) -> np.ndarray:
+    """Compute the biased E8M0 shared exponent for each group's amax.
+
+    Per the MX spec: ``shared_exp = floor(log2(amax)) - emax_elem`` clamped to
+    the representable E8M0 range; an all-zero group gets the smallest scale.
+    """
+    group_amax = np.ascontiguousarray(group_amax, dtype=np.float64)
+    if np.any(group_amax < 0):
+        raise FormatError("group amax values must be non-negative")
+    exponents = np.full(group_amax.shape, -_E8M0_BIAS, dtype=np.int32)
+    positive = group_amax > 0
+    exponents[positive] = (
+        np.floor(np.log2(group_amax[positive])).astype(np.int32) - _E2M1_EMAX
+    )
+    exponents = np.clip(exponents, -_E8M0_BIAS, _E8M0_BIAS)
+    return (exponents + _E8M0_BIAS).astype(np.uint8)
+
+
+def decode_shared_scale(scale_bits: np.ndarray) -> np.ndarray:
+    """Decode biased E8M0 exponents into float32 power-of-two scales."""
+    scale_bits = np.ascontiguousarray(scale_bits, dtype=np.uint8)
+    if scale_bits.size and int(scale_bits.max()) == 255:
+        raise FormatError("E8M0 code 255 is NaN and is not produced here")
+    exponents = scale_bits.astype(np.int32) - _E8M0_BIAS
+    return np.power(2.0, exponents).astype(np.float32)
+
+
+def mx_group_quantize(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize a 1-D float32 array into (E2M1 codes, E8M0 scale bits).
+
+    The array length must be a multiple of :data:`MX_GROUP_SIZE`. Returns the
+    element codes (same shape as the input) and one scale byte per group.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if values.ndim != 1:
+        raise FormatError(f"expected a 1-D array, got shape {values.shape}")
+    if values.size % MX_GROUP_SIZE != 0:
+        raise FormatError(
+            f"array length {values.size} is not a multiple of {MX_GROUP_SIZE}"
+        )
+    groups = values.reshape(-1, MX_GROUP_SIZE)
+    amax = np.max(np.abs(groups), axis=1)
+    scale_bits = encode_shared_scale(amax)
+    scales = decode_shared_scale(scale_bits)
+    scaled = groups / scales[:, None]
+    codes = float32_to_e2m1_bits(scaled.astype(np.float32))
+    return codes.reshape(values.shape), scale_bits
+
+
+def mx_group_dequantize(codes: np.ndarray, scale_bits: np.ndarray) -> np.ndarray:
+    """Reconstruct float32 values from E2M1 codes and E8M0 scale bits."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    if codes.size % MX_GROUP_SIZE != 0:
+        raise FormatError(
+            f"code array length {codes.size} is not a multiple of {MX_GROUP_SIZE}"
+        )
+    scales = decode_shared_scale(scale_bits)
+    if scales.size != codes.size // MX_GROUP_SIZE:
+        raise FormatError(
+            f"expected {codes.size // MX_GROUP_SIZE} scales, got {scales.size}"
+        )
+    elements = e2m1_bits_to_float32(codes).reshape(-1, MX_GROUP_SIZE)
+    return (elements * scales[:, None]).reshape(codes.shape).astype(np.float32)

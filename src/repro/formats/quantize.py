@@ -1,0 +1,91 @@
+"""Tensor-level quantization built on the elementwise codecs.
+
+This is the "offline" half of Figure 1 in the paper: a dense float tensor is
+converted into storage codes plus (for grouped formats) shared scale bits.
+Groups are formed along the last axis, matching how weight-matrix rows are
+laid out in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.mxfp import decode_shared_scale, encode_shared_scale
+from repro.formats.registry import QuantFormat, get_format
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized tensor: codes, optional scale bits, and bookkeeping.
+
+    Attributes:
+        format_name: Registry name of the storage format.
+        codes: Element codes with the original tensor shape (uint8/uint16).
+        scale_bits: For grouped formats, one uint8 scale code per group
+            (groups along the flattened last axis); ``None`` otherwise.
+        shape: Original tensor shape.
+    """
+
+    format_name: str
+    codes: np.ndarray
+    scale_bits: Optional[np.ndarray]
+    shape: Tuple[int, ...]
+
+    @property
+    def fmt(self) -> QuantFormat:
+        """The format descriptor for this tensor."""
+        return get_format(self.format_name)
+
+    def storage_bits(self) -> int:
+        """Total bits occupied by codes plus scale factors."""
+        fmt = self.fmt
+        total = self.codes.size * fmt.bits
+        if self.scale_bits is not None:
+            total += self.scale_bits.size * fmt.scale_bits
+        return total
+
+
+def quantize_tensor(values: np.ndarray, format_name: str) -> QuantizedTensor:
+    """Quantize a float tensor into the named storage format.
+
+    For grouped formats the last axis must be a multiple of the group size.
+    """
+    fmt = get_format(format_name)
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if not fmt.is_grouped:
+        codes = fmt.encode(values)
+        return QuantizedTensor(fmt.name, codes, None, values.shape)
+    assert fmt.group_size is not None
+    if values.shape[-1] % fmt.group_size != 0:
+        raise FormatError(
+            f"last axis {values.shape[-1]} is not a multiple of "
+            f"group size {fmt.group_size} for format {fmt.name!r}"
+        )
+    # Generic group quantization: a shared power-of-two (E8M0) scale per
+    # group, elements encoded from the scaled values. This covers MXFP4
+    # and AWQ-style INT4 alike.
+    groups = values.reshape(-1, fmt.group_size)
+    amax = np.max(np.abs(groups), axis=1)
+    scale_bits = encode_shared_scale(amax)
+    scales = decode_shared_scale(scale_bits)
+    scaled = (groups / scales[:, None]).astype(np.float32)
+    codes = fmt.encode(scaled).reshape(values.shape)
+    return QuantizedTensor(fmt.name, codes, scale_bits, values.shape)
+
+
+def dequantize_tensor(tensor: QuantizedTensor) -> np.ndarray:
+    """Reconstruct float32 values from a :class:`QuantizedTensor`."""
+    fmt = tensor.fmt
+    if not fmt.is_grouped:
+        return fmt.decode(tensor.codes)
+    if tensor.scale_bits is None:
+        raise FormatError(f"grouped format {fmt.name!r} requires scale bits")
+    assert fmt.group_size is not None
+    scales = decode_shared_scale(tensor.scale_bits)
+    elements = fmt.decode(tensor.codes.ravel()).reshape(-1, fmt.group_size)
+    flat = (elements * scales[:, None]).astype(np.float32)
+    return flat.reshape(tensor.shape)

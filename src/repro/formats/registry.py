@@ -1,0 +1,203 @@
+"""Quantization-format descriptors and the format registry.
+
+A :class:`QuantFormat` captures everything the rest of the library needs to
+know about a storage format: element bit-width, optional group quantization
+(group size + scale bits), and the element codec. Formats with 8 bits or
+fewer also expose a dequantization look-up table — exactly the table a DECA
+PE's LUT array would be programmed with (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats import bfloat, fp8, mxfp
+
+EncodeFn = Callable[[np.ndarray], np.ndarray]
+DecodeFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class QuantFormat:
+    """Describes one weight storage format.
+
+    Attributes:
+        name: Registry key, e.g. ``"bf8"``.
+        bits: Bits per stored element (1-16).
+        group_size: Elements sharing one scale factor, or ``None`` when the
+            format has no group quantization.
+        scale_bits: Bits per group scale factor (0 when ``group_size`` is
+            ``None``).
+        encode: Elementwise encoder float32 -> codes (uint8/uint16).
+        decode: Elementwise decoder codes -> float32.
+        description: One-line human description.
+    """
+
+    name: str
+    bits: int
+    group_size: Optional[int]
+    scale_bits: int
+    encode: EncodeFn
+    decode: DecodeFn
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise FormatError(f"element bits must be in [1, 16], got {self.bits}")
+        if self.group_size is not None and self.group_size < 1:
+            raise FormatError(f"group_size must be positive, got {self.group_size}")
+        if (self.group_size is None) != (self.scale_bits == 0):
+            raise FormatError(
+                "scale_bits must be zero exactly when group_size is None"
+            )
+
+    @property
+    def is_grouped(self) -> bool:
+        """Whether this format uses group quantization with shared scales."""
+        return self.group_size is not None
+
+    @property
+    def lut_supported(self) -> bool:
+        """Whether a DECA LUT (<= 8-bit addressing) can dequantize elements."""
+        return self.bits <= 8
+
+    def bits_per_weight(self, include_scale: bool = True) -> float:
+        """Average stored bits per weight, optionally amortising the scale."""
+        extra = 0.0
+        if include_scale and self.is_grouped:
+            assert self.group_size is not None
+            extra = self.scale_bits / self.group_size
+        return self.bits + extra
+
+
+_REGISTRY: Dict[str, QuantFormat] = {}
+
+
+def register_format(fmt: QuantFormat) -> QuantFormat:
+    """Add a format to the registry; re-registering a name is an error."""
+    if fmt.name in _REGISTRY:
+        raise FormatError(f"format {fmt.name!r} is already registered")
+    _REGISTRY[fmt.name] = fmt
+    return fmt
+
+
+def get_format(name: str) -> QuantFormat:
+    """Look up a registered format by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise FormatError(f"unknown format {name!r}; known formats: {known}")
+    return _REGISTRY[key]
+
+
+def available_formats() -> Tuple[str, ...]:
+    """Names of every registered format, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))
+
+
+def dequant_lut(fmt: QuantFormat) -> np.ndarray:
+    """Build the BF16-valued dequantization LUT for a <= 8-bit format.
+
+    The returned array has ``2**fmt.bits`` float32 entries, each rounded to a
+    BF16-representable value — exactly what would be loaded into a DECA LUT.
+    """
+    if not fmt.lut_supported:
+        raise FormatError(
+            f"format {fmt.name!r} has {fmt.bits} bits; LUTs address at most 8"
+        )
+    codes = np.arange(2**fmt.bits, dtype=np.uint8)
+    return bfloat.bf16_round(fmt.decode(codes))
+
+
+def _bf16_encode(values: np.ndarray) -> np.ndarray:
+    return bfloat.float32_to_bf16_bits(values)
+
+
+def _bf16_decode(codes: np.ndarray) -> np.ndarray:
+    return bfloat.bf16_bits_to_float32(codes)
+
+
+BF16 = register_format(
+    QuantFormat(
+        name="bf16",
+        bits=16,
+        group_size=None,
+        scale_bits=0,
+        encode=_bf16_encode,
+        decode=_bf16_decode,
+        description="bfloat16: upper half of float32 (uncompressed baseline)",
+    )
+)
+
+BF8 = register_format(
+    QuantFormat(
+        name="bf8",
+        bits=8,
+        group_size=None,
+        scale_bits=0,
+        encode=bfloat.float32_to_e5m2_bits,
+        decode=bfloat.e5m2_bits_to_float32,
+        description="8-bit brain float (FP8 E5M2), the paper's BF8/Q8",
+    )
+)
+
+E4M3 = register_format(
+    QuantFormat(
+        name="e4m3",
+        bits=8,
+        group_size=None,
+        scale_bits=0,
+        encode=fp8.float32_to_e4m3_bits,
+        decode=fp8.e4m3_bits_to_float32,
+        description="FP8 E4M3FN (saturating, no infinities)",
+    )
+)
+
+MXFP4 = register_format(
+    QuantFormat(
+        name="mxfp4",
+        bits=4,
+        group_size=mxfp.MX_GROUP_SIZE,
+        scale_bits=8,
+        encode=mxfp.float32_to_e2m1_bits,
+        decode=mxfp.e2m1_bits_to_float32,
+        description="OCP MXFP4: E2M1 elements, shared E8M0 scale per 32",
+    )
+)
+
+
+def _int4_nibble_encode(values: np.ndarray) -> np.ndarray:
+    """Round scaled values to [-7, 7] stored as two's-complement nibbles."""
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    clipped = np.clip(np.rint(values), -7, 7).astype(np.int8)
+    return (clipped.astype(np.int16) & 0xF).astype(np.uint8)
+
+
+def _int4_nibble_decode(codes: np.ndarray) -> np.ndarray:
+    """Decode two's-complement nibbles into float32 integers."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint8)
+    signed = codes.astype(np.int8)
+    signed = np.where(signed > 7, signed - 16, signed)
+    return signed.astype(np.float32)
+
+
+INT4G32 = register_format(
+    QuantFormat(
+        name="int4g32",
+        bits=4,
+        group_size=32,
+        scale_bits=8,
+        encode=_int4_nibble_encode,
+        decode=_int4_nibble_decode,
+        description=(
+            "AWQ-style grouped INT4: symmetric nibbles with a shared "
+            "power-of-two scale per 32 weights (Section 8: 'Q4 performance "
+            "is also representative of INT4 compression schemes with "
+            "scaling factors such as AWQ')"
+        ),
+    )
+)

@@ -1,0 +1,32 @@
+"""ISA-level models: AMX tile operations and the TEPL extension.
+
+``amx`` provides the functional semantics of the tile register file and
+the TLoad/TStore/TComp instructions; ``tepl`` implements the Tile External
+Preprocess & Load instruction (Section 5.3) with its two-loader structural
+hazard and speculative squash behaviour; ``program`` offers a small
+instruction-stream builder plus interpreter that executes compressed GeMMs
+end to end through these models.
+"""
+
+from repro.isa.amx import TileRegisterFile, tile_compute, tile_load
+from repro.isa.tepl import TeplUnit, TeplInstruction
+from repro.isa.program import (
+    GemmProgram,
+    ProgramResult,
+    build_software_gemm,
+    build_tepl_gemm,
+    run_program,
+)
+
+__all__ = [
+    "TileRegisterFile",
+    "tile_compute",
+    "tile_load",
+    "TeplUnit",
+    "TeplInstruction",
+    "GemmProgram",
+    "ProgramResult",
+    "build_software_gemm",
+    "build_tepl_gemm",
+    "run_program",
+]

@@ -1,0 +1,104 @@
+"""Functional AMX model: tile registers, TLoad, TStore, TComp.
+
+AMX adds eight tile registers of up to 16 rows x 64 bytes (Section 2.3).
+For BF16 GeMMs a weight tile holds 16x32 elements, an activation tile
+N x 32, and TComp performs ``out += A @ W^T`` with BF16 inputs and
+float32 accumulation — 512 x N FMAs per invocation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.formats.bfloat import bf16_round
+from repro.units import TILE_COLS_BF16, TILE_ROWS
+
+N_TILE_REGISTERS = 8
+
+
+class TileRegisterFile:
+    """The eight architectural AMX tile registers."""
+
+    def __init__(self) -> None:
+        self._regs: List[Optional[np.ndarray]] = [None] * N_TILE_REGISTERS
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < N_TILE_REGISTERS:
+            raise ProgramError(
+                f"tile register index must be in [0, {N_TILE_REGISTERS}), "
+                f"got {index}"
+            )
+
+    def write(self, index: int, data: np.ndarray) -> None:
+        """Fill a tile register (at most 16 rows, rounded to BF16 values)."""
+        self._check_index(index)
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[0] > TILE_ROWS:
+            raise ProgramError(
+                f"a tile holds at most {TILE_ROWS} rows, got shape {data.shape}"
+            )
+        self._regs[index] = bf16_round(data)
+
+    def read(self, index: int) -> np.ndarray:
+        """Read a tile register; raises if it was never written."""
+        self._check_index(index)
+        data = self._regs[index]
+        if data is None:
+            raise ProgramError(f"tile register {index} holds no data")
+        return data
+
+    def zero(self, index: int, rows: int, cols: int) -> None:
+        """tilezero: clear a register to an all-zero tile."""
+        self._check_index(index)
+        self._regs[index] = np.zeros((rows, cols), dtype=np.float32)
+
+    def clear(self) -> None:
+        """Release all registers (tilerelease)."""
+        self._regs = [None] * N_TILE_REGISTERS
+
+
+def tile_load(
+    regs: TileRegisterFile, index: int, source: np.ndarray
+) -> None:
+    """TLoad: move a dense BF16 tile from "memory" into a register."""
+    regs.write(index, source)
+
+
+def tile_store(regs: TileRegisterFile, index: int) -> np.ndarray:
+    """TStore: copy a tile register out to "memory"."""
+    return regs.read(index).copy()
+
+
+def tile_compute(
+    regs: TileRegisterFile, out_index: int, act_index: int, weight_index: int
+) -> None:
+    """TComp (TDPBF16PS): out += A @ W^T with float32 accumulation.
+
+    ``A`` is (N, 32) activations, ``W`` is (16, 32) weights, the output
+    register accumulates (N, 16) partial sums.
+    """
+    activations = regs.read(act_index)
+    weights = regs.read(weight_index)
+    if activations.shape[1] != TILE_COLS_BF16:
+        raise ProgramError(
+            f"activation tile must have {TILE_COLS_BF16} columns, got "
+            f"{activations.shape}"
+        )
+    if weights.shape != (TILE_ROWS, TILE_COLS_BF16):
+        raise ProgramError(
+            f"weight tile must be ({TILE_ROWS}, {TILE_COLS_BF16}), got "
+            f"{weights.shape}"
+        )
+    partial = activations @ weights.T
+    accumulator = regs.read(out_index)
+    if accumulator.shape != partial.shape:
+        raise ProgramError(
+            f"output tile is {accumulator.shape} but the product is "
+            f"{partial.shape}"
+        )
+    # Accumulation stays in float32 (the TMUL's accumulators are FP32);
+    # only the A/W inputs are BF16-rounded, which `write` already did.
+    regs._regs[out_index] = accumulator + partial

@@ -1,0 +1,91 @@
+"""TEPL: Tile External Preprocess and Load (Section 5.3).
+
+A TEPL instruction hands tile metadata to a DECA Loader, waits for the
+decompressed tile, and deposits it directly into a core tile register —
+fusing the store + fence + tload sequence of Figure 9 into one renamable,
+speculatively executable instruction. At most ``n_loaders`` TEPLs may be
+in flight (the structural hazard); a pipeline flush squashes outstanding
+TEPLs, which is always safe because DECA never writes memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.deca.pe import DecaPE
+from repro.errors import ProgramError
+from repro.isa.amx import TileRegisterFile
+from repro.sparse.tile import CompressedTile
+
+
+@dataclass(frozen=True)
+class TeplInstruction:
+    """One TEPL: tile metadata source plus a destination tile register."""
+
+    tile: CompressedTile
+    dest_register: int
+
+
+@dataclass
+class TeplUnit:
+    """The core-side TEPL queue and execution ports.
+
+    Functional model: ``issue`` starts a TEPL (enforcing the structural
+    hazard), ``complete_oldest`` retires it into the register file. The
+    timing consequences of the hazard live in the pipeline simulator; this
+    class guarantees the architectural rules.
+    """
+
+    pe: DecaPE
+    regs: TileRegisterFile
+    in_flight: List[TeplInstruction] = field(default_factory=list)
+    issued_total: int = 0
+    squashed_total: int = 0
+
+    @property
+    def ports(self) -> int:
+        """Execution ports — one per DECA Loader."""
+        return self.pe.config.n_loaders
+
+    def can_issue(self) -> bool:
+        """Whether a TEPL may issue (a Loader port is free)."""
+        return len(self.in_flight) < self.ports
+
+    def issue(self, instruction: TeplInstruction) -> None:
+        """Issue a TEPL; raises on a structural-hazard violation."""
+        if not self.can_issue():
+            raise ProgramError(
+                f"structural hazard: {self.ports} TEPLs already in flight"
+            )
+        self.in_flight.append(instruction)
+        self.issued_total += 1
+
+    def complete_oldest(self) -> Optional[TeplInstruction]:
+        """Retire the oldest in-flight TEPL: decompress and load the tile."""
+        if not self.in_flight:
+            return None
+        instruction = self.in_flight.pop(0)
+        tout_index, _stats = self.pe.process_tile(instruction.tile)
+        self.regs.write(instruction.dest_register, self.pe.read_tout(tout_index))
+        return instruction
+
+    def drain(self) -> int:
+        """Complete every in-flight TEPL; returns how many retired."""
+        count = 0
+        while self.in_flight:
+            self.complete_oldest()
+            count += 1
+        return count
+
+    def squash(self) -> int:
+        """Pipeline flush: abort all outstanding TEPLs (always safe).
+
+        The core may reissue the same TEPLs afterwards; no memory state
+        was modified. Returns the number of squashed instructions.
+        """
+        squashed = len(self.in_flight)
+        self.in_flight.clear()
+        self.pe.squash()
+        self.squashed_total += squashed
+        return squashed

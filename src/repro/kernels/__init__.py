@@ -1,0 +1,51 @@
+"""Software compressed-GeMM kernels: the paper's libxsmm baseline.
+
+``avx`` models the AVX-512 decompression instruction sequences (and the
+scaled-vector alternatives of Figure 15); ``libxsmm`` assembles them into
+the double-buffered software kernel's timing; ``gemm`` provides functional
+(numerically exact) compressed GeMM execution; ``parlooper`` partitions
+tile work across cores like the paper's Parlooper loop parallelizer.
+"""
+
+from repro.kernels.avx import (
+    AvxRecipe,
+    AvxVariant,
+    software_recipe,
+    software_vops_per_tile,
+)
+from repro.kernels.libxsmm import (
+    software_aixv,
+    software_dec_cycles,
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.kernels.gemm import (
+    compressed_gemm_reference,
+    dense_gemm_reference,
+)
+from repro.kernels.parlooper import partition_tiles, tiles_for_matrix
+from repro.kernels.jit import (
+    VectorInstruction,
+    emit_decompress_sequence,
+    execute_sequence,
+    verify_against_recipe,
+)
+
+__all__ = [
+    "AvxRecipe",
+    "AvxVariant",
+    "software_recipe",
+    "software_vops_per_tile",
+    "software_aixv",
+    "software_dec_cycles",
+    "software_kernel_timing",
+    "uncompressed_kernel_timing",
+    "compressed_gemm_reference",
+    "dense_gemm_reference",
+    "partition_tiles",
+    "tiles_for_matrix",
+    "VectorInstruction",
+    "emit_decompress_sequence",
+    "execute_sequence",
+    "verify_against_recipe",
+]

@@ -1,0 +1,159 @@
+"""AVX-512 decompression instruction recipes (the software kernel's AI_XV).
+
+Libxsmm decompresses one tile row (32 elements) at a time with vector
+instructions (Section 2.4): masked expands rebuild sparse rows, permute-
+based look-ups dequantize low-bit codes, and the result is stored to an
+L1-resident buffer for the subsequent AMX tload. This module models those
+sequences as explicit per-row instruction blocks.
+
+The block sizes are derived from the algorithm structure and calibrated
+against the paper's real measurements: with these recipes the Roof-Surface
+predictions land within a few percent of Figure 4b's R-S column (e.g.
+~197 vOps/tile for MXFP4 -> 2.9 TFLOPS; ~146 for sparse BF8 -> 4.0;
+~98 for sparse BF16 -> 5.8) and the dense-BF8 AVX utilisation of Table 3.
+
+Splitting every recipe into loads / stores / compute / bookkeeping lets the
+Figure 15 what-if variants reuse them: quadrupling the SIMD *width* shrinks
+only compute and bookkeeping (memory operations still move 64-byte lines),
+while quadrupling the unit *count* is capped by the core's issue slots.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.schemes import CompressionScheme
+from repro.errors import ConfigurationError
+from repro.units import TILE_ELEMS, TILE_ROWS
+
+#: Vector-issue slots available to the decompression sequence per cycle.
+#: SPR cores are 6-wide but spend slots on loads, stores, AMX and loop
+#: control; the paper notes cores already use 40-80% of their commit slots
+#: (Section 4.2), so adding SIMD units beyond the issue supply is futile.
+CORE_VECTOR_ISSUE_SLOTS = 4
+
+#: Baseline SIMD AVX-512 units per SPR core.
+BASELINE_AVX_UNITS = 2
+
+
+class AvxVariant(enum.Enum):
+    """Vector-resource configurations compared in Figure 15."""
+
+    BASELINE = "baseline"
+    MORE_UNITS = "more_avx_units"  # 4x unit count, same ISA width
+    WIDER_UNITS = "wider_avx_units"  # AVX2048: 4x width, same unit count
+
+
+@dataclass(frozen=True)
+class AvxRecipe:
+    """Vector-operation counts for decompressing one 512-element tile."""
+
+    loads: float
+    stores: float
+    compute: float
+    bookkeeping: float
+
+    @property
+    def total(self) -> float:
+        """Total dynamic vector operations per tile."""
+        return self.loads + self.stores + self.compute + self.bookkeeping
+
+    def widened(self, factor: int) -> "AvxRecipe":
+        """The recipe under a ``factor``-times wider vector ISA.
+
+        Compute and bookkeeping shrink by the width factor; loads and
+        stores do not, because each wide memory operation is still executed
+        as ``factor`` cache-line-sized accesses (Section 9.1's optimistic
+        AVX2048 model).
+        """
+        if factor < 1:
+            raise ConfigurationError(f"width factor must be >= 1, got {factor}")
+        return AvxRecipe(
+            loads=self.loads,
+            stores=self.stores,
+            compute=self.compute / factor,
+            bookkeeping=self.bookkeeping / factor,
+        )
+
+
+# Per-row instruction blocks (counts per 32-element row).
+_EXPAND_COMPUTE = 1.0  # vpexpand rebuilding the dense row
+_EXPAND_BOOKKEEPING = 3.0  # kmov mask, popcnt, nonzero-pointer advance
+_DEQUANT_Q8_SPARSE = 3.0  # permute-based 8->16 bit convert of packed codes
+_DEQUANT_Q8_DENSE = 3.0  # same convert on a full row...
+_ALIGN_DENSE = 1.0  # ...plus realigning 32-byte rows out of 64-byte loads
+_UNPACK_Q4 = 3.0  # nibble shift/mask/interleave
+_LUT_Q4 = 3.0  # two in-register table permutes plus merge
+_SCALE_GROUPED = 3.0  # scale extract, broadcast, multiply
+_ROW_STORE = 1.0  # write the decompressed row to the L1 buffer
+_ROW_LOOP = 1.0  # loop control / buffer pointer per row
+
+
+def software_recipe(scheme: CompressionScheme) -> AvxRecipe:
+    """The libxsmm AVX recipe for one tile of the given scheme.
+
+    The uncompressed BF16 baseline needs no vector work at all — AMX
+    tloads read it straight from memory.
+    """
+    fmt = scheme.fmt
+    bits = fmt.bits
+    sparse = scheme.is_sparse
+    if bits == 16 and not sparse:
+        return AvxRecipe(0.0, 0.0, 0.0, 0.0)
+    rows = TILE_ROWS
+    compute = 0.0
+    bookkeeping = rows * _ROW_LOOP
+    stores = rows * _ROW_STORE
+    if sparse:
+        compute += rows * _EXPAND_COMPUTE
+        bookkeeping += rows * _EXPAND_BOOKKEEPING
+    if bits == 8:
+        compute += rows * (_DEQUANT_Q8_SPARSE if sparse else _DEQUANT_Q8_DENSE)
+        if not sparse:
+            compute += rows * _ALIGN_DENSE
+    elif bits == 4:
+        compute += rows * (_UNPACK_Q4 + _LUT_Q4)
+        if not sparse:
+            compute += rows * _ALIGN_DENSE
+    elif bits != 16:
+        raise ConfigurationError(
+            f"no software recipe for {bits}-bit storage; libxsmm supports "
+            "16, 8 and 4 bit schemes"
+        )
+    if fmt.is_grouped:
+        compute += rows * _SCALE_GROUPED
+    # Demand loads: code bytes, the bitmask line, and scale factors.
+    data_loads = math.ceil(TILE_ELEMS * scheme.density * bits / 8 / 64)
+    loads = float(data_loads)
+    if sparse:
+        loads += 1.0  # the 64-byte bitmask
+    if fmt.is_grouped:
+        loads += 1.0  # the per-group scale bytes
+    return AvxRecipe(
+        loads=loads, stores=stores, compute=compute, bookkeeping=bookkeeping
+    )
+
+
+def software_vops_per_tile(
+    scheme: CompressionScheme, variant: AvxVariant = AvxVariant.BASELINE
+) -> float:
+    """Dynamic vector operations per tile under a resource variant."""
+    recipe = software_recipe(scheme)
+    if variant is AvxVariant.WIDER_UNITS:
+        recipe = recipe.widened(4)
+    return recipe.total
+
+
+def effective_vector_throughput(variant: AvxVariant) -> float:
+    """Sustainable vector operations per cycle per core for a variant.
+
+    ``MORE_UNITS`` quadruples the SIMD units but the core's issue slots cap
+    delivery at :data:`CORE_VECTOR_ISSUE_SLOTS`; the paper declines to
+    widen the superscalar core because its area grows quadratically with
+    width (Section 7).
+    """
+    if variant is AvxVariant.MORE_UNITS:
+        return float(min(4 * BASELINE_AVX_UNITS, CORE_VECTOR_ISSUE_SLOTS))
+    return float(BASELINE_AVX_UNITS)

@@ -1,0 +1,86 @@
+"""Functional compressed GeMM execution (numerically exact).
+
+These routines compute the actual numbers a compressed GeMM produces: the
+activation tile times the decompressed weight tile, accumulated in float32
+exactly like the TMUL does (BF16 inputs, single-precision accumulate).
+They are the golden reference the DECA pipeline and the ISA-level program
+interpreter are validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.formats.bfloat import bf16_round
+from repro.sparse.compress import CompressedMatrix
+from repro.sparse.tile import tile_grid
+from repro.units import TILE_COLS_BF16, TILE_ROWS
+
+
+def dense_gemm_reference(
+    activations: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """A @ W^T with BF16 input rounding and float32 accumulation.
+
+    ``activations`` is (N, K), ``weights`` is (M, K); the result is (N, M),
+    matching the TMUL's A x W^T tile operation (Section 2.3).
+    """
+    activations = bf16_round(np.ascontiguousarray(activations, dtype=np.float32))
+    weights = bf16_round(np.ascontiguousarray(weights, dtype=np.float32))
+    if activations.shape[1] != weights.shape[1]:
+        raise CompressionError(
+            f"K mismatch: activations {activations.shape} vs weights "
+            f"{weights.shape}"
+        )
+    return activations @ weights.T
+
+
+def compressed_gemm_reference(
+    activations: np.ndarray, matrix: CompressedMatrix
+) -> np.ndarray:
+    """Tile-by-tile compressed GeMM through the reference decompressor.
+
+    Walks the tile grid exactly like the libxsmm kernel does — decompress
+    one weight tile, multiply it against the matching activation columns,
+    accumulate into the output block — and therefore produces the same
+    floating-point result ordering as a tiled TMUL execution.
+    """
+    activations = bf16_round(np.ascontiguousarray(activations, dtype=np.float32))
+    m_total, k_total = matrix.shape
+    n = activations.shape[0]
+    if activations.shape[1] != k_total:
+        raise CompressionError(
+            f"K mismatch: activations {activations.shape} vs compressed "
+            f"matrix {matrix.shape}"
+        )
+    out = np.zeros((n, m_total), dtype=np.float32)
+    for (row_slice, col_slice), tile in zip(tile_grid(matrix.shape), matrix.tiles):
+        weight_tile = tile.decompress_reference()  # (16, 32)
+        act_block = activations[:, col_slice]  # (N, 32)
+        out[:, row_slice] += act_block @ weight_tile.T
+    return out
+
+
+def tile_operation(
+    activation_tile: np.ndarray, weight_tile: np.ndarray
+) -> np.ndarray:
+    """One TMUL tile operation: (N, 32) x (16, 32)^T -> (N, 16)."""
+    activation_tile = np.ascontiguousarray(activation_tile, dtype=np.float32)
+    weight_tile = np.ascontiguousarray(weight_tile, dtype=np.float32)
+    if activation_tile.ndim != 2 or activation_tile.shape[1] != TILE_COLS_BF16:
+        raise CompressionError(
+            f"activation tile must be (N, {TILE_COLS_BF16}), got "
+            f"{activation_tile.shape}"
+        )
+    if activation_tile.shape[0] > TILE_ROWS:
+        raise CompressionError(
+            f"activation tiles hold at most {TILE_ROWS} rows, got "
+            f"{activation_tile.shape[0]}"
+        )
+    if weight_tile.shape != (TILE_ROWS, TILE_COLS_BF16):
+        raise CompressionError(
+            f"weight tile must be ({TILE_ROWS}, {TILE_COLS_BF16}), got "
+            f"{weight_tile.shape}"
+        )
+    return bf16_round(activation_tile) @ bf16_round(weight_tile).T

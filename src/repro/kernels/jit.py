@@ -1,0 +1,233 @@
+"""Instruction-level model of the libxsmm decompression sequence.
+
+``repro.kernels.avx`` *counts* vector operations; this module makes the
+sequence concrete: :func:`emit_decompress_sequence` produces the explicit
+AVX-style instruction list a libxsmm JIT would generate for one tile, and
+:func:`execute_sequence` interprets it against a real compressed tile,
+reproducing the reference decompression bit-for-bit.
+
+The two views are tied together by construction — the emitted instruction
+counts per category equal the recipe's — so the timing model's vOps/tile
+is backed by an executable artifact, not just arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.schemes import CompressionScheme
+from repro.errors import ProgramError
+from repro.formats.bfloat import bf16_round
+from repro.formats.mxfp import decode_shared_scale
+from repro.kernels.avx import AvxRecipe, software_recipe
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from repro.units import TILE_COLS_BF16, TILE_ROWS
+
+
+@dataclass(frozen=True)
+class VectorInstruction:
+    """One emitted vector instruction.
+
+    Attributes:
+        opcode: Mnemonic-like name (e.g. ``"vpexpandw"``).
+        category: Recipe category it is charged to.
+        row: Tile row the instruction operates on (-1 for tile-level ops).
+    """
+
+    opcode: str
+    category: str  # 'load' | 'store' | 'compute' | 'bookkeeping'
+    row: int = -1
+
+
+def emit_decompress_sequence(
+    scheme: CompressionScheme,
+) -> List[VectorInstruction]:
+    """Emit the per-tile AVX instruction list for a scheme.
+
+    Mirrors the block structure of :func:`repro.kernels.avx.software_recipe`
+    instruction for instruction; the uncompressed baseline emits nothing.
+    """
+    fmt = scheme.fmt
+    bits = fmt.bits
+    sparse = scheme.is_sparse
+    instructions: List[VectorInstruction] = []
+    if bits == 16 and not sparse:
+        return instructions
+    # Tile-level demand loads: code bytes, bitmask line, scale bytes.
+    data_loads = math.ceil(512 * scheme.density * bits / 8 / 64)
+    for _ in range(data_loads):
+        instructions.append(VectorInstruction("vmovdqu64.load", "load"))
+    if sparse:
+        instructions.append(VectorInstruction("vmovdqu64.mask", "load"))
+    if fmt.is_grouped:
+        instructions.append(VectorInstruction("vmovdqu64.scales", "load"))
+    for row in range(TILE_ROWS):
+        if sparse:
+            instructions.append(VectorInstruction("kmovd", "bookkeeping", row))
+            instructions.append(
+                VectorInstruction(
+                    "vpexpandw" if bits == 16 else "vpexpandb",
+                    "compute",
+                    row,
+                )
+            )
+            instructions.append(VectorInstruction("popcnt", "bookkeeping", row))
+            instructions.append(
+                VectorInstruction("add.nzptr", "bookkeeping", row)
+            )
+        if bits == 8:
+            instructions.append(VectorInstruction("vpmovzxbw", "compute", row))
+            instructions.append(VectorInstruction("vpsllw", "compute", row))
+            instructions.append(VectorInstruction("vpermw.merge", "compute", row))
+            if not sparse:
+                instructions.append(
+                    VectorInstruction("valignq", "compute", row)
+                )
+        elif bits == 4:
+            instructions.append(VectorInstruction("vpsrlw.nib", "compute", row))
+            instructions.append(VectorInstruction("vpandd.nib", "compute", row))
+            instructions.append(
+                VectorInstruction("vpunpck.nib", "compute", row)
+            )
+            instructions.append(VectorInstruction("vpermw.lut0", "compute", row))
+            instructions.append(VectorInstruction("vpermw.lut1", "compute", row))
+            instructions.append(
+                VectorInstruction("vpblendmw.lut", "compute", row)
+            )
+            if not sparse:
+                instructions.append(
+                    VectorInstruction("valignq", "compute", row)
+                )
+        if fmt.is_grouped:
+            instructions.append(
+                VectorInstruction("vpbroadcastw.scale", "compute", row)
+            )
+            instructions.append(VectorInstruction("vscalef", "compute", row))
+            instructions.append(
+                VectorInstruction("vcvtx.scale", "compute", row)
+            )
+        instructions.append(VectorInstruction("vmovdqu64.store", "store", row))
+        instructions.append(VectorInstruction("add.loop", "bookkeeping", row))
+    return instructions
+
+
+def count_by_category(instructions: List[VectorInstruction]) -> AvxRecipe:
+    """Aggregate an instruction list into recipe-category counts."""
+    counts = {"load": 0.0, "store": 0.0, "compute": 0.0, "bookkeeping": 0.0}
+    for instruction in instructions:
+        counts[instruction.category] += 1.0
+    return AvxRecipe(
+        loads=counts["load"],
+        stores=counts["store"],
+        compute=counts["compute"],
+        bookkeeping=counts["bookkeeping"],
+    )
+
+
+def verify_against_recipe(scheme: CompressionScheme) -> bool:
+    """Whether the emitted sequence matches the recipe model exactly."""
+    emitted = count_by_category(emit_decompress_sequence(scheme))
+    recipe = software_recipe(scheme)
+    return (
+        emitted.loads == recipe.loads
+        and emitted.stores == recipe.stores
+        and emitted.compute == recipe.compute
+        and emitted.bookkeeping == recipe.bookkeeping
+    )
+
+
+def execute_sequence(
+    instructions: List[VectorInstruction], tile: CompressedTile
+) -> np.ndarray:
+    """Interpret an emitted sequence against a compressed tile.
+
+    A small vector machine: a nonzero pointer, a mask register, one value
+    register per row in flight, and a 16x32 output buffer. Produces output
+    identical to :meth:`CompressedTile.decompress_reference`.
+    """
+    fmt = tile.fmt
+    mask = tile.dense_mask()
+    values_all = fmt.decode(tile.codes).astype(np.float32)
+    scales = (
+        decode_shared_scale(tile.scale_bits)
+        if tile.scale_bits is not None
+        else None
+    )
+    if not instructions:
+        raise ProgramError(
+            "the uncompressed BF16 baseline emits no decompression "
+            "sequence; AMX tloads read it directly"
+        )
+    output = np.zeros(TILE_SHAPE, dtype=np.float32)
+    nz_ptr = 0
+    row_mask: np.ndarray | None = None
+    row_values: np.ndarray | None = None
+    row_count = 0
+    stored_rows = 0
+    for instruction in instructions:
+        op = instruction.opcode
+        row = instruction.row
+        if op.startswith("vmovdqu64.") and instruction.category == "load":
+            continue  # data is modelled as already resident
+        if op == "kmovd":
+            row_mask = mask[row]
+        elif op in ("vpexpandw", "vpexpandb"):
+            if row_mask is None:
+                raise ProgramError("vpexpand before kmovd")
+            row_count = int(row_mask.sum())
+            expanded = np.zeros(TILE_COLS_BF16, dtype=np.float32)
+            expanded[row_mask] = values_all[nz_ptr:nz_ptr + row_count]
+            row_values = expanded
+        elif op == "popcnt":
+            pass  # row_count already derived; hardware computes it here
+        elif op == "add.nzptr":
+            nz_ptr += row_count
+        elif op in (
+            "vpmovzxbw", "vpsllw", "vpermw.merge", "valignq",
+            "vpsrlw.nib", "vpandd.nib", "vpunpck.nib",
+            "vpermw.lut0", "vpermw.lut1", "vpblendmw.lut",
+        ):
+            if not tile.is_sparse and row_values is None:
+                # Dense path: the convert block materialises the row.
+                row_values = values_all[
+                    row * TILE_COLS_BF16:(row + 1) * TILE_COLS_BF16
+                ].copy()
+        elif op == "vpbroadcastw.scale":
+            pass  # scale register setup
+        elif op in ("vscalef", "vcvtx.scale"):
+            if op == "vscalef" and scales is not None:
+                if row_values is None:
+                    raise ProgramError("scaling before dequantization")
+                assert fmt.group_size is not None
+                first_group = row * TILE_COLS_BF16 // fmt.group_size
+                per_elem = np.repeat(
+                    scales[
+                        first_group:first_group
+                        + TILE_COLS_BF16 // fmt.group_size
+                    ],
+                    fmt.group_size,
+                )
+                row_values = row_values * per_elem
+        elif op == "vmovdqu64.store":
+            if row_values is None:
+                # 16-bit dense rows reach the store directly.
+                row_values = values_all[
+                    row * TILE_COLS_BF16:(row + 1) * TILE_COLS_BF16
+                ].copy()
+            output[row] = bf16_round(row_values)
+            row_values = None
+            row_mask = None
+            stored_rows += 1
+        elif op == "add.loop":
+            pass
+        else:
+            raise ProgramError(f"unknown opcode {op!r}")
+    if stored_rows != TILE_ROWS:
+        raise ProgramError(
+            f"sequence stored {stored_rows} rows; a tile has {TILE_ROWS}"
+        )
+    return output

@@ -1,0 +1,109 @@
+"""The libxsmm-style software compressed-GeMM kernel (timing side).
+
+The software kernel (Figure 2) decompresses tile i+1 with AVX while AMX
+multiplies tile i out of a double-buffered L1 scratch area — an OVERLAPPED
+tile stream in this library's simulator. Its defining costs:
+
+* the AVX recipe occupancy (``repro.kernels.avx``),
+* ~10 cycles of serial per-tile core work (loop control, AMX issue, buffer
+  flip) that cannot overlap the AVX sequence because both run on the same
+  instruction stream, and
+* demand-load bandwidth through the core's load queue, capped at
+  :data:`~repro.sim.pipeline.SW_DEMAND_LOAD_BYTES_PER_CYCLE` per core —
+  the reason software decompression saturates DDR but not HBM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.schemes import CompressionScheme
+from repro.kernels.avx import (
+    AvxVariant,
+    effective_vector_throughput,
+    software_vops_per_tile,
+)
+from repro.sim.pipeline import (
+    InvocationMode,
+    KernelTiming,
+    SW_DEMAND_LOAD_BYTES_PER_CYCLE,
+)
+from repro.sim.system import SimSystem
+from repro.units import TILE_BYTES_BF16, TMUL_CYCLES
+
+#: Serial per-tile core overhead of the software kernel (cycles): loop
+#: control, AMX tload/tcomp issue, and the double-buffer flip.
+SW_TILE_OVERHEAD_CYCLES = 10.0
+
+
+def software_dec_cycles(
+    scheme: CompressionScheme, variant: AvxVariant = AvxVariant.BASELINE
+) -> float:
+    """AVX-unit occupancy (cycles) to decompress one tile in software."""
+    vops = software_vops_per_tile(scheme, variant)
+    return vops / effective_vector_throughput(variant)
+
+
+def software_aixv(
+    scheme: CompressionScheme, variant: AvxVariant = AvxVariant.BASELINE
+) -> float:
+    """The software kernel's matriX-to-Vector arithmetic intensity.
+
+    Defined as matrix ops per vector op (Section 4.1); infinite for the
+    uncompressed baseline, which issues no decompression vOps.
+    """
+    vops = software_vops_per_tile(scheme, variant)
+    if vops == 0.0:
+        return float("inf")
+    return 1.0 / vops
+
+
+def software_kernel_timing(
+    system: SimSystem,
+    scheme: CompressionScheme,
+    variant: AvxVariant = AvxVariant.BASELINE,
+    bytes_per_tile: Optional[float] = None,
+) -> KernelTiming:
+    """Timing descriptor for the libxsmm software kernel on a scheme.
+
+    ``bytes_per_tile`` overrides the scheme's expected tile footprint, e.g.
+    to feed measured per-tile sizes from an actual compressed matrix.
+    """
+    dec = software_dec_cycles(scheme, variant)
+    if dec == 0.0:
+        return uncompressed_kernel_timing(system)
+    return KernelTiming(
+        bytes_per_tile=(
+            bytes_per_tile if bytes_per_tile is not None else scheme.bytes_per_tile()
+        ),
+        dec_cycles=dec,
+        mtx_cycles=float(TMUL_CYCLES),
+        mode=InvocationMode.OVERLAPPED,
+        handoff_cycles=0.0,  # the L1 double buffer is the handoff
+        exposed_latency=system.sw_prefetch_exposure,
+        prefetch_window=8,
+        core_overhead_cycles=SW_TILE_OVERHEAD_CYCLES,
+        demand_load_cap=SW_DEMAND_LOAD_BYTES_PER_CYCLE,
+        dec_is_avx=True,
+    )
+
+
+def uncompressed_kernel_timing(system: SimSystem) -> KernelTiming:
+    """Timing for the uncompressed BF16 baseline.
+
+    AMX tloads stream 1-KB tiles straight from memory; there is no vector
+    sequence, and the wide tile loads are not constrained by the software
+    demand-load cap (one instruction moves sixteen cache lines).
+    """
+    return KernelTiming(
+        bytes_per_tile=float(TILE_BYTES_BF16),
+        dec_cycles=0.0,
+        mtx_cycles=float(TMUL_CYCLES),
+        mode=InvocationMode.OVERLAPPED,
+        handoff_cycles=0.0,
+        exposed_latency=system.sw_prefetch_exposure,
+        prefetch_window=8,
+        core_overhead_cycles=0.0,
+        demand_load_cap=None,
+        dec_is_avx=False,
+    )

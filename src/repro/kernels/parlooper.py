@@ -1,0 +1,74 @@
+"""Parlooper-style loop parallelization: distribute tiles across cores.
+
+The paper uses Parlooper [18] to parallelize the FC-layer loops over the
+56 cores. For the simulated workloads what matters is the per-core tile
+count (the streams are symmetric); this module provides the block
+partitioning plus the tile arithmetic used by the LLM layer models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import TILE_COLS_BF16, TILE_ROWS
+
+
+@dataclass(frozen=True)
+class TilePartition:
+    """A contiguous range of tile indices assigned to one core."""
+
+    core: int
+    start: int
+    stop: int
+
+    @property
+    def count(self) -> int:
+        """Number of tiles in this partition."""
+        return self.stop - self.start
+
+
+def tiles_for_matrix(rows: int, cols: int) -> int:
+    """Number of 16x32 weight tiles covering an (rows, cols) matrix."""
+    if rows % TILE_ROWS != 0 or cols % TILE_COLS_BF16 != 0:
+        raise ConfigurationError(
+            f"matrix ({rows}, {cols}) is not tileable by "
+            f"({TILE_ROWS}, {TILE_COLS_BF16})"
+        )
+    return (rows // TILE_ROWS) * (cols // TILE_COLS_BF16)
+
+
+def partition_tiles(total_tiles: int, cores: int) -> List[TilePartition]:
+    """Block-distribute ``total_tiles`` across ``cores`` as evenly as possible.
+
+    The first ``total_tiles % cores`` cores receive one extra tile, so the
+    imbalance is at most one tile — the distribution Parlooper produces for
+    the paper's large FC layers.
+    """
+    if total_tiles < 0:
+        raise ConfigurationError("total_tiles must be non-negative")
+    if cores < 1:
+        raise ConfigurationError("cores must be >= 1")
+    base, extra = divmod(total_tiles, cores)
+    partitions: List[TilePartition] = []
+    cursor = 0
+    for core in range(cores):
+        count = base + (1 if core < extra else 0)
+        partitions.append(TilePartition(core, cursor, cursor + count))
+        cursor += count
+    return partitions
+
+
+def max_tiles_per_core(total_tiles: int, cores: int) -> int:
+    """The critical-path tile count: the busiest core's share."""
+    partitions = partition_tiles(total_tiles, cores)
+    return max(partition.count for partition in partitions)
+
+
+def imbalance(partitions: List[TilePartition]) -> Tuple[int, int]:
+    """(min, max) tile counts across a partitioning."""
+    if not partitions:
+        raise ConfigurationError("cannot measure an empty partitioning")
+    counts = [partition.count for partition in partitions]
+    return min(counts), max(counts)

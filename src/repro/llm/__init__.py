@@ -1,0 +1,56 @@
+"""LLM inference substrate: model inventories and next-token latency.
+
+Provides exact fully-connected-layer inventories for the paper's two
+evaluation models (Llama2-70B and OPT-66B), and the next-token latency
+model that combines simulated FC-GeMM time with a calibrated non-GeMM
+component (attention, normalisation, softmax — kernels weight compression
+does not apply to).
+"""
+
+from repro.llm.models import (
+    FcLayer,
+    LlmConfig,
+    llama2_70b,
+    opt_66b,
+)
+from repro.llm.inference import (
+    EngineKind,
+    LayerTime,
+    NextTokenBreakdown,
+    layer_breakdown,
+    next_token_latency,
+    non_gemm_seconds,
+)
+from repro.llm.prompt import (
+    PromptBreakdown,
+    RequestLatency,
+    prompt_latency,
+    request_latency,
+)
+from repro.llm.accuracy import (
+    FidelityReport,
+    fidelity_sweep,
+    gemm_relative_error,
+    weight_sqnr_db,
+)
+
+__all__ = [
+    "FcLayer",
+    "LlmConfig",
+    "llama2_70b",
+    "opt_66b",
+    "EngineKind",
+    "LayerTime",
+    "NextTokenBreakdown",
+    "layer_breakdown",
+    "next_token_latency",
+    "non_gemm_seconds",
+    "PromptBreakdown",
+    "RequestLatency",
+    "prompt_latency",
+    "request_latency",
+    "FidelityReport",
+    "fidelity_sweep",
+    "gemm_relative_error",
+    "weight_sqnr_db",
+]

@@ -1,0 +1,115 @@
+"""Numerical-fidelity analysis of the compression schemes.
+
+The paper leans on external results for model quality (MXFP4 "has been
+shown to not degrade LLM accuracy", SparseGPT reaches 60-70% sparsity
+"without significant loss"). This module provides the quantitative
+counterpart the library can measure directly:
+
+* per-scheme weight SQNR (signal-to-quantization-noise ratio), and
+* end-to-end GeMM output error against an FP32 reference,
+
+on synthetic Gaussian weights — the distribution trained FC layers
+approximate. These metrics order the schemes exactly as the accuracy
+literature does (BF16 > BF8 ~ INT4-grouped > MXFP4, with pruning noise on
+top), which is what the reproduction can credibly verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.schemes import CompressionScheme
+from repro.errors import ConfigurationError
+from repro.kernels.gemm import compressed_gemm_reference
+from repro.sparse.compress import compress_matrix, decompress_matrix
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Numerical fidelity of one scheme on a synthetic weight matrix."""
+
+    scheme_name: str
+    weight_sqnr_db: float
+    gemm_relative_error: float
+
+    def summary(self) -> str:
+        """One-line report row."""
+        return (
+            f"{self.scheme_name}: SQNR {self.weight_sqnr_db:.1f} dB, "
+            f"GeMM rel. error {self.gemm_relative_error:.4f}"
+        )
+
+
+def weight_sqnr_db(
+    scheme: CompressionScheme,
+    weights: np.ndarray,
+    against_pruned: bool = True,
+) -> float:
+    """SQNR (dB) of storing ``weights`` under a scheme.
+
+    ``against_pruned`` compares against the *pruned* reference (isolating
+    quantization noise); pass ``False`` to charge pruning loss as noise
+    too.
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float32)
+    matrix = compress_matrix(weights, scheme.format_name, scheme.density)
+    restored = decompress_matrix(matrix)
+    if against_pruned:
+        reference = np.where(restored != 0, weights, 0.0)
+    else:
+        reference = weights
+    noise = restored - reference
+    signal_power = float(np.mean(reference.astype(np.float64) ** 2))
+    noise_power = float(np.mean(noise.astype(np.float64) ** 2))
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        raise ConfigurationError("cannot compute SQNR of an all-zero matrix")
+    return float(10.0 * np.log10(signal_power / noise_power))
+
+
+def gemm_relative_error(
+    scheme: CompressionScheme,
+    weights: np.ndarray,
+    activations: np.ndarray,
+) -> float:
+    """Relative L2 error of the compressed GeMM vs the FP32 product.
+
+    Pruning is part of the model here (the compressed model *is* the
+    model), so the reference is the full-precision dense product.
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float32)
+    activations = np.ascontiguousarray(activations, dtype=np.float32)
+    matrix = compress_matrix(weights, scheme.format_name, scheme.density)
+    approx = compressed_gemm_reference(activations, matrix)
+    exact = activations.astype(np.float64) @ weights.astype(np.float64).T
+    error = np.linalg.norm(approx - exact) / (np.linalg.norm(exact) + 1e-30)
+    return float(error)
+
+
+def fidelity_sweep(
+    schemes: Sequence[CompressionScheme],
+    rows: int = 256,
+    cols: int = 256,
+    batch: int = 8,
+    rng: Optional[np.random.Generator] = None,
+) -> list:
+    """Fidelity reports for several schemes on one synthetic layer."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    weights = (rng.normal(scale=0.05, size=(rows, cols))).astype(np.float32)
+    activations = rng.normal(size=(batch, cols)).astype(np.float32)
+    reports = []
+    for scheme in schemes:
+        reports.append(
+            FidelityReport(
+                scheme_name=scheme.name,
+                weight_sqnr_db=weight_sqnr_db(scheme, weights),
+                gemm_relative_error=gemm_relative_error(
+                    scheme, weights, activations
+                ),
+            )
+        )
+    return reports

@@ -1,0 +1,250 @@
+"""Next-token latency model (Tables 1 and 4).
+
+Next-token time = FC-GeMM time + non-GeMM time. The GeMM component comes
+from the tile-stream simulator: total weight tiles are Parlooper-distributed
+across the cores and each core's stream is simulated with the appropriate
+kernel timing (software, DECA, or the uncompressed baseline). The non-GeMM
+component covers attention score/softmax, normalisation, rotary embeddings
+and framework overhead — work that weight compression does not touch.
+
+GeMM time additionally carries a small per-tile activation-handling cost
+that grows with the batch: each TMUL operation needs its N-row activation
+tile staged into a tile register (and the output strip written back),
+serial work on the core's load/store path of about 0.75 cycles per
+activation row per weight tile.
+
+The non-GeMM term is calibrated against the paper's Table 1 GeMM-time
+fractions for Llama2-70B on HBM (see DESIGN.md): in milliseconds,
+
+    non_gemm_ms = (19.5 + 0.111 * N + 0.0034 * N * T + 0.00285 * T) * s
+
+with batch size N, input-token count T, and a model-size factor
+``s = (blocks * hidden) / (80 * 8192)`` that transfers the calibration to
+OPT-66B. The same constants reproduce the DDR fractions to within ~1
+percentage point, consistent with the paper's observation that non-GeMM
+time is nearly memory-independent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.schemes import CompressionScheme, UNCOMPRESSED
+from repro.deca.config import DecaConfig
+from repro.deca.integration import DecaIntegration, deca_kernel_timing
+from repro.errors import ConfigurationError
+from repro.kernels.avx import AvxVariant
+from repro.kernels.libxsmm import (
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.kernels.parlooper import max_tiles_per_core
+from repro.llm.models import LlmConfig
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import SimSystem
+
+# Calibration constants (milliseconds) for the non-GeMM component of
+# Llama2-70B, fitted to Table 1 (see module docstring).
+_NG_BASE_MS = 19.5
+_NG_PER_BATCH_MS = 0.111
+_NG_PER_BATCH_TOKEN_MS = 0.0034
+_NG_PER_TOKEN_MS = 0.00285
+_NG_REFERENCE_SIZE = 80 * 8192  # Llama2-70B blocks x hidden
+
+#: Serial activation-staging cycles per weight tile per activation row.
+_ACT_CYCLES_PER_ROW = 0.75
+
+
+class EngineKind(enum.Enum):
+    """Who decompresses the weight tiles."""
+
+    UNCOMPRESSED = "uncompressed"
+    SOFTWARE = "software"
+    DECA = "deca"
+
+
+@dataclass(frozen=True)
+class NextTokenBreakdown:
+    """Next-token latency split into its two components (seconds)."""
+
+    model_name: str
+    scheme_name: str
+    engine: EngineKind
+    batch: int
+    input_tokens: int
+    gemm_seconds: float
+    non_gemm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end next-token latency."""
+        return self.gemm_seconds + self.non_gemm_seconds
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency in milliseconds (Table 4's unit)."""
+        return self.total_seconds * 1e3
+
+    @property
+    def gemm_fraction(self) -> float:
+        """Fraction of next-token time spent in FC GeMMs (Table 1)."""
+        return self.gemm_seconds / self.total_seconds
+
+
+def non_gemm_seconds(
+    model: LlmConfig, batch: int, input_tokens: int
+) -> float:
+    """Calibrated non-GeMM time per generated token."""
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    if input_tokens < 1:
+        raise ConfigurationError(
+            f"input_tokens must be >= 1, got {input_tokens}"
+        )
+    scale = (model.blocks * model.hidden) / _NG_REFERENCE_SIZE
+    ms = scale * (
+        _NG_BASE_MS
+        + _NG_PER_BATCH_MS * batch
+        + _NG_PER_BATCH_TOKEN_MS * batch * input_tokens
+        + _NG_PER_TOKEN_MS * input_tokens
+    )
+    return ms * 1e-3
+
+
+def fc_gemm_seconds(
+    model: LlmConfig,
+    system: SimSystem,
+    scheme: CompressionScheme,
+    engine: EngineKind,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+    avx_variant: AvxVariant = AvxVariant.BASELINE,
+    batch: int = 1,
+    sample_tiles: int = 400,
+) -> float:
+    """Simulated time to execute all FC GeMMs for one generated token.
+
+    The busiest core's tile count (Parlooper block distribution) sets the
+    critical path; its stream is simulated for ``sample_tiles`` tiles and
+    extrapolated to the full per-token tile count. ``batch`` adds the
+    activation-staging cost to the core/TMUL chain.
+    """
+    if engine is EngineKind.UNCOMPRESSED:
+        timing = uncompressed_kernel_timing(system)
+    elif engine is EngineKind.SOFTWARE:
+        timing = software_kernel_timing(system, scheme, variant=avx_variant)
+    else:
+        timing = deca_kernel_timing(
+            system, scheme, config=deca_config, integration=integration
+        )
+    act_cycles = _ACT_CYCLES_PER_ROW * min(batch, 16)
+    if engine is EngineKind.SOFTWARE:
+        # The same core stages activations and runs the AVX sequence.
+        timing = replace(
+            timing,
+            core_overhead_cycles=timing.core_overhead_cycles + act_cycles,
+        )
+    else:
+        timing = replace(timing, mtx_cycles=timing.mtx_cycles + act_cycles)
+    result = simulate_tile_stream(system, timing, tiles=sample_tiles)
+    per_core = max_tiles_per_core(model.fc_tiles, system.cores)
+    return result.seconds_for(per_core)
+
+
+def next_token_latency(
+    model: LlmConfig,
+    system: SimSystem,
+    scheme: CompressionScheme = UNCOMPRESSED,
+    engine: EngineKind = EngineKind.UNCOMPRESSED,
+    batch: int = 1,
+    input_tokens: int = 128,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+    avx_variant: AvxVariant = AvxVariant.BASELINE,
+) -> NextTokenBreakdown:
+    """Full next-token latency for a model / scheme / engine combination.
+
+    Mirrors the paper's Table 4 setup: 128 input tokens by default, batch
+    sizes 1-16, with the uncompressed BF16 model simulated as if it fit in
+    HBM (the paper assumes a larger HBM for that baseline).
+    """
+    if engine is EngineKind.UNCOMPRESSED and scheme.name != UNCOMPRESSED.name:
+        raise ConfigurationError(
+            "the uncompressed engine only runs the BF16 baseline scheme"
+        )
+    gemm = fc_gemm_seconds(
+        model,
+        system,
+        scheme,
+        engine,
+        deca_config=deca_config,
+        integration=integration,
+        avx_variant=avx_variant,
+        batch=batch,
+    )
+    return NextTokenBreakdown(
+        model_name=model.name,
+        scheme_name=scheme.name,
+        engine=engine,
+        batch=batch,
+        input_tokens=input_tokens,
+        gemm_seconds=gemm,
+        non_gemm_seconds=non_gemm_seconds(model, batch, input_tokens),
+    )
+
+
+@dataclass(frozen=True)
+class LayerTime:
+    """Per-layer GeMM time within one generated token."""
+
+    layer_name: str
+    instances: int
+    tiles: int
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        """Time in ms across all instances of this layer."""
+        return self.seconds * 1e3
+
+
+def layer_breakdown(
+    model: LlmConfig,
+    system: SimSystem,
+    scheme: CompressionScheme,
+    engine: EngineKind,
+    batch: int = 1,
+) -> list:
+    """Per-layer-type FC GeMM time for one generated token.
+
+    Every layer's tiles flow through the same kernel, so time divides
+    proportionally to tile counts; the result names where the milliseconds
+    go (e.g. Llama2's MLP dominates its attention projections ~5:1).
+    """
+    total_seconds = fc_gemm_seconds(
+        model, system, scheme, engine, batch=batch
+    )
+    rows = []
+    per_token_tiles = model.fc_tiles
+    for layer in model.block_layers:
+        tiles = layer.tiles * model.blocks
+        rows.append(
+            LayerTime(
+                layer_name=layer.name,
+                instances=model.blocks,
+                tiles=tiles,
+                seconds=total_seconds * tiles / per_token_tiles,
+            )
+        )
+    for layer in model.head_layers:
+        rows.append(
+            LayerTime(
+                layer_name=layer.name,
+                instances=1,
+                tiles=layer.tiles,
+                seconds=total_seconds * layer.tiles / per_token_tiles,
+            )
+        )
+    return rows

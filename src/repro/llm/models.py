@@ -1,0 +1,127 @@
+"""Evaluation-model inventories: Llama2-70B and OPT-66B.
+
+Only the fully connected layers matter for the compressed-GeMM analysis
+(Section 3.1); attention score computation, softmax, normalisation etc.
+are captured by the calibrated non-GeMM term in ``inference``. The layer
+shapes below follow the published architectures:
+
+* Llama2-70B: 80 decoder blocks, hidden 8192, grouped-query attention with
+  8 KV heads (KV projections 8192 -> 1024), SwiGLU MLP with intermediate
+  28672, vocabulary 32000.
+* OPT-66B: 64 decoder blocks, hidden 9216, full multi-head attention,
+  4x-hidden ReLU MLP, vocabulary 50272.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.kernels.parlooper import tiles_for_matrix
+
+
+@dataclass(frozen=True)
+class FcLayer:
+    """One fully connected layer: output features x input features.
+
+    The weight matrix is (out_features, in_features); a GeMM reads it once
+    per generated token.
+    """
+
+    name: str
+    out_features: int
+    in_features: int
+
+    def __post_init__(self) -> None:
+        if self.out_features < 1 or self.in_features < 1:
+            raise ConfigurationError(
+                f"layer {self.name!r} has non-positive dimensions"
+            )
+
+    @property
+    def params(self) -> int:
+        """Weight count of this layer."""
+        return self.out_features * self.in_features
+
+    @property
+    def tiles(self) -> int:
+        """Number of 16x32 weight tiles in this layer."""
+        return tiles_for_matrix(self.out_features, self.in_features)
+
+
+@dataclass(frozen=True)
+class LlmConfig:
+    """A decoder-only LLM described by its FC-layer inventory."""
+
+    name: str
+    hidden: int
+    blocks: int
+    block_layers: Tuple[FcLayer, ...]
+    head_layers: Tuple[FcLayer, ...]  # applied once per token (lm_head)
+
+    @property
+    def fc_params(self) -> int:
+        """Total FC weights across all blocks plus the head."""
+        per_block = sum(layer.params for layer in self.block_layers)
+        head = sum(layer.params for layer in self.head_layers)
+        return per_block * self.blocks + head
+
+    @property
+    def fc_tiles(self) -> int:
+        """Total weight tiles read per generated token."""
+        per_block = sum(layer.tiles for layer in self.block_layers)
+        head = sum(layer.tiles for layer in self.head_layers)
+        return per_block * self.blocks + head
+
+    def fc_bytes_bf16(self) -> int:
+        """Uncompressed BF16 footprint of the FC weights."""
+        return self.fc_params * 2
+
+
+def llama2_70b() -> LlmConfig:
+    """Llama2-70B (grouped-query attention, SwiGLU MLP)."""
+    hidden = 8192
+    kv_dim = 1024  # 8 KV heads x 128 head dim
+    intermediate = 28672
+    block = (
+        FcLayer("q_proj", hidden, hidden),
+        FcLayer("k_proj", kv_dim, hidden),
+        FcLayer("v_proj", kv_dim, hidden),
+        FcLayer("o_proj", hidden, hidden),
+        FcLayer("gate_proj", intermediate, hidden),
+        FcLayer("up_proj", intermediate, hidden),
+        FcLayer("down_proj", hidden, intermediate),
+    )
+    head = (FcLayer("lm_head", 32000, hidden),)
+    return LlmConfig(
+        name="Llama2-70B",
+        hidden=hidden,
+        blocks=80,
+        block_layers=block,
+        head_layers=head,
+    )
+
+
+def opt_66b() -> LlmConfig:
+    """OPT-66B (full attention, 4x-hidden MLP)."""
+    hidden = 9216
+    intermediate = 4 * hidden
+    block = (
+        FcLayer("q_proj", hidden, hidden),
+        FcLayer("k_proj", hidden, hidden),
+        FcLayer("v_proj", hidden, hidden),
+        FcLayer("o_proj", hidden, hidden),
+        FcLayer("fc1", intermediate, hidden),
+        FcLayer("fc2", hidden, intermediate),
+    )
+    # OPT's vocabulary is 50272; the embedding width is padded to a tile
+    # multiple for the GeMM (50272 = 1571 x 32, already a multiple of 16).
+    head = (FcLayer("lm_head", 50272, hidden),)
+    return LlmConfig(
+        name="OPT-66B",
+        hidden=hidden,
+        blocks=64,
+        block_layers=block,
+        head_layers=head,
+    )

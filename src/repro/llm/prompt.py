@@ -1,0 +1,163 @@
+"""Prompt-phase and end-to-end request latency (Section 2.1).
+
+The paper optimises the generation phase because it dominates practical
+serving, but a complete inference story needs the prompt phase too: all T
+input tokens pass through every layer in one batch, so the FC GeMMs run
+at high arithmetic intensity (weights are reused T times) and become
+compute-bound on the TMUL rather than memory-bound.
+
+``prompt_latency`` models that: tile operations = weight-tiles x
+ceil(T/16) activation-row blocks, bounded below by one full weight sweep
+from memory; attention adds the quadratic-in-T score/softmax work.
+``request_latency`` composes it with the next-token model into the full
+time-to-last-token.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.schemes import CompressionScheme, UNCOMPRESSED
+from repro.deca.config import DecaConfig
+from repro.deca.integration import DecaIntegration
+from repro.errors import ConfigurationError
+from repro.llm.inference import EngineKind, next_token_latency
+from repro.llm.models import LlmConfig
+from repro.sim.pipeline import DRAM_EFFICIENCY
+from repro.sim.system import SimSystem
+from repro.units import TILE_ROWS
+
+#: Attention score+softmax FMAs per (layer, token-pair, head-dim) unit,
+#: folded into one constant: 2 GeMMs (QK^T and PV) plus softmax overhead.
+_ATTN_FLOPS_FACTOR = 2.5
+#: Fraction of TMUL peak the prompt phase sustains (tiling/sync losses).
+_PROMPT_COMPUTE_EFFICIENCY = 0.85
+
+
+@dataclass(frozen=True)
+class PromptBreakdown:
+    """Prompt-phase latency components (seconds)."""
+
+    model_name: str
+    input_tokens: int
+    fc_seconds: float
+    attention_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Prompt-phase latency."""
+        return self.fc_seconds + self.attention_seconds
+
+    @property
+    def total_ms(self) -> float:
+        """Prompt-phase latency in milliseconds."""
+        return self.total_seconds * 1e3
+
+
+@dataclass(frozen=True)
+class RequestLatency:
+    """End-to-end request: prompt plus generated tokens."""
+
+    prompt: PromptBreakdown
+    per_token_seconds: float
+    output_tokens: int
+
+    @property
+    def generation_seconds(self) -> float:
+        """Total generation-phase time."""
+        return self.per_token_seconds * self.output_tokens
+
+    @property
+    def total_seconds(self) -> float:
+        """Time to the last generated token."""
+        return self.prompt.total_seconds + self.generation_seconds
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Steady-state generation throughput."""
+        return 1.0 / self.per_token_seconds
+
+
+def prompt_latency(
+    model: LlmConfig,
+    system: SimSystem,
+    scheme: CompressionScheme = UNCOMPRESSED,
+    input_tokens: int = 128,
+) -> PromptBreakdown:
+    """Prompt-phase latency for ``input_tokens`` tokens.
+
+    FC GeMMs: every weight tile is multiplied against ``ceil(T/16)``
+    activation-row blocks; compute time is that tile-op count over the
+    TMUL rate (derated by a tiling-efficiency factor), floored by one
+    sweep of the compressed weights from memory. Decompression is charged
+    once per weight tile but is amortised over the row blocks, so the
+    prompt phase is insensitive to the engine — the paper's reason to
+    focus on generation.
+    """
+    if input_tokens < 1:
+        raise ConfigurationError(
+            f"input_tokens must be >= 1, got {input_tokens}"
+        )
+    row_blocks = math.ceil(input_tokens / TILE_ROWS)
+    tile_ops = model.fc_tiles * row_blocks
+    compute_rate = (
+        system.machine.matrix_ops_per_second * _PROMPT_COMPUTE_EFFICIENCY
+    )
+    compute_seconds = tile_ops / compute_rate
+    weight_bytes = model.fc_tiles * scheme.bytes_per_tile()
+    memory_seconds = weight_bytes / (
+        system.machine.memory_bandwidth * DRAM_EFFICIENCY
+    )
+    fc_seconds = max(compute_seconds, memory_seconds)
+    # Attention scores/softmax/PV: ~T^2 x hidden FMAs per layer.
+    attn_flops = (
+        _ATTN_FLOPS_FACTOR * model.blocks * input_tokens**2 * model.hidden
+    )
+    attn_seconds = attn_flops / (
+        system.machine.matrix_ops_per_second
+        * 512.0
+        * TILE_ROWS
+        * _PROMPT_COMPUTE_EFFICIENCY
+    )
+    return PromptBreakdown(
+        model_name=model.name,
+        input_tokens=input_tokens,
+        fc_seconds=fc_seconds,
+        attention_seconds=attn_seconds,
+    )
+
+
+def request_latency(
+    model: LlmConfig,
+    system: SimSystem,
+    scheme: CompressionScheme = UNCOMPRESSED,
+    engine: EngineKind = EngineKind.UNCOMPRESSED,
+    input_tokens: int = 128,
+    output_tokens: int = 128,
+    batch: int = 1,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+) -> RequestLatency:
+    """Full request latency: prompt phase plus ``output_tokens`` steps."""
+    if output_tokens < 1:
+        raise ConfigurationError(
+            f"output_tokens must be >= 1, got {output_tokens}"
+        )
+    prompt = prompt_latency(model, system, scheme, input_tokens)
+    token = next_token_latency(
+        model,
+        system,
+        scheme,
+        engine,
+        batch=batch,
+        input_tokens=input_tokens,
+        deca_config=deca_config,
+        integration=integration,
+    )
+    return RequestLatency(
+        prompt=prompt,
+        per_token_seconds=token.total_seconds,
+        output_tokens=output_tokens,
+    )

@@ -1,0 +1,22 @@
+"""Figure export without plotting dependencies.
+
+The evaluation environment has no matplotlib, so this package writes the
+paper's figures as hand-built SVG: rooflines (Figure 3), BORDs (Figures
+5/6/16), and grouped speedup bars (Figures 12/13/15/17).
+"""
+
+from repro.report.svg import SvgCanvas
+from repro.report.figures import (
+    bord_svg,
+    roofline_svg,
+    speedup_bars_svg,
+)
+from repro.report.surface3d import roofsurface_svg
+
+__all__ = [
+    "SvgCanvas",
+    "bord_svg",
+    "roofline_svg",
+    "speedup_bars_svg",
+    "roofsurface_svg",
+]

@@ -1,0 +1,103 @@
+"""Isometric SVG projection of the 3-D Roof-Surface (Figure 4a).
+
+Without matplotlib, the 3-D surface is rendered as an isometric
+projection: the (AI_XM, AI_XV) grid cells become shaded quadrilaterals
+whose fill encodes the bounding region, painted back-to-front so nearer
+cells occlude farther ones, with the observed kernel points dropped on
+top as vertical stems.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.roofsurface import BoundingFactor, RoofSurface, RoofSurfacePoint
+from repro.errors import ConfigurationError
+from repro.report.svg import SvgCanvas
+
+_REGION_FILLS = {
+    BoundingFactor.MEMORY: "#8fbc8f",
+    BoundingFactor.VECTOR: "#e8b86d",
+    BoundingFactor.MATRIX: "#7f9fd4",
+}
+_ISO_ANGLE = math.radians(30)
+
+
+def _project(
+    u: float, v: float, w: float, canvas: SvgCanvas, z_px: float
+) -> Tuple[float, float]:
+    """Isometric projection of normalised (u, v, w) in [0, 1]^3."""
+    cos_a, sin_a = math.cos(_ISO_ANGLE), math.sin(_ISO_ANGLE)
+    span_x = canvas.width * 0.42
+    x = canvas.width / 2 + (u - v) * cos_a * span_x
+    y = (
+        canvas.height * 0.82
+        - (u + v) * sin_a * span_x
+        - w * z_px
+    )
+    return x, y
+
+
+def roofsurface_svg(
+    model: RoofSurface,
+    points: Sequence[RoofSurfacePoint],
+    aixm_max: float,
+    aixv_max: float,
+    title: str = "Figure 4a: the Roof-Surface",
+    grid: int = 24,
+) -> str:
+    """Render the bounding surface plus kernel points isometrically."""
+    if grid < 4:
+        raise ConfigurationError("grid must be at least 4 cells per axis")
+    canvas = SvgCanvas(720, 520)
+    x, y, z = model.surface_grid(aixm_max, aixv_max, points=grid + 1)
+    z_peak = float(z.max())
+    z_px = canvas.height * 0.45
+
+    def corner(i: int, j: int) -> Tuple[float, float]:
+        return _project(
+            x[i, j] / aixm_max, y[i, j] / aixv_max,
+            z[i, j] / z_peak, canvas, z_px,
+        )
+
+    canvas.text(canvas.width / 2, 22, title, size=14, anchor="middle")
+    # Paint back-to-front: cells with the largest (u + v) first project
+    # highest on screen and must be drawn before nearer cells.
+    order = sorted(
+        ((i, j) for i in range(grid) for j in range(grid)),
+        key=lambda ij: -(ij[0] + ij[1]),
+    )
+    for i, j in order:
+        center_m = (x[i, j] + x[i + 1, j + 1]) / 2
+        center_v = (y[i, j] + y[i + 1, j + 1]) / 2
+        fill = _REGION_FILLS[model.bounding_factor(center_m, center_v)]
+        corners = [
+            corner(i, j), corner(i, j + 1),
+            corner(i + 1, j + 1), corner(i + 1, j),
+        ]
+        path = " ".join(f"{px:.1f},{py:.1f}" for px, py in corners)
+        canvas._elements.append(
+            f'<polygon points="{path}" fill="{fill}" stroke="#ffffff" '
+            f'stroke-width="0.4" opacity="0.95"/>'
+        )
+    # Kernel points as stems from the floor to their FLOPS height.
+    for point in points:
+        u = min(point.aixm / aixm_max, 1.0)
+        v = min(point.aixv / aixv_max, 1.0)
+        base = _project(u, v, 0.0, canvas, z_px)
+        tip = _project(u, v, point.flops / z_peak, canvas, z_px)
+        canvas.line(*base, *tip, stroke="#a00", width=1.2)
+        canvas.circle(tip[0], tip[1], r=3.0, fill="#a00")
+        canvas.text(tip[0] + 5, tip[1] - 4, point.label, size=8)
+    # Legend and axis hints.
+    legend_x = 18.0
+    for offset, (factor, fill) in enumerate(_REGION_FILLS.items()):
+        y_pos = 46 + offset * 16
+        canvas.rect(legend_x, y_pos - 9, 11, 11, fill=fill)
+        canvas.text(legend_x + 16, y_pos, f"{factor.value}-bound", size=10)
+    canvas.text(canvas.width - 16, canvas.height - 30,
+                "x: AI_XM, y: AI_XV, z: FLOPS", size=10, anchor="end")
+    return canvas.render()

@@ -1,0 +1,141 @@
+"""A minimal SVG canvas: primitives the figure builders compose.
+
+Deliberately tiny — shapes, text, polylines, and axis helpers with linear
+or log10 coordinate mapping. Output is plain SVG 1.1 that any browser or
+paper pipeline renders.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class AxisScale:
+    """Maps data coordinates onto pixel coordinates (linear or log10)."""
+
+    def __init__(
+        self,
+        data_min: float,
+        data_max: float,
+        pixel_min: float,
+        pixel_max: float,
+        log: bool = False,
+    ) -> None:
+        if data_max <= data_min:
+            raise ConfigurationError("axis range must be increasing")
+        if log and data_min <= 0:
+            raise ConfigurationError("log axes need positive data")
+        self.data_min = data_min
+        self.data_max = data_max
+        self.pixel_min = pixel_min
+        self.pixel_max = pixel_max
+        self.log = log
+
+    def __call__(self, value: float) -> float:
+        if self.log:
+            lo, hi = math.log10(self.data_min), math.log10(self.data_max)
+            fraction = (math.log10(max(value, 1e-300)) - lo) / (hi - lo)
+        else:
+            fraction = (value - self.data_min) / (self.data_max - self.data_min)
+        return self.pixel_min + fraction * (self.pixel_max - self.pixel_min)
+
+    def ticks(self, count: int = 5) -> List[float]:
+        """Representative tick positions in data space."""
+        if self.log:
+            lo = math.ceil(math.log10(self.data_min))
+            hi = math.floor(math.log10(self.data_max))
+            return [10.0**e for e in range(lo, hi + 1)]
+        step = (self.data_max - self.data_min) / (count - 1)
+        return [self.data_min + i * step for i in range(count)]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and renders the final document."""
+
+    def __init__(self, width: int = 640, height: int = 420) -> None:
+        if width < 64 or height < 64:
+            raise ConfigurationError("canvas too small to hold a figure")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def rect(
+        self, x: float, y: float, w: float, h: float,
+        fill: str, opacity: float = 1.0,
+    ) -> None:
+        """Add a filled rectangle."""
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(w)}" '
+            f'height="{_fmt(h)}" fill="{fill}" opacity="{opacity:g}"/>'
+        )
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "#333", width: float = 1.0, dash: Optional[str] = None,
+    ) -> None:
+        """Add a line segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{width:g}"{dash_attr}/>'
+        )
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]],
+        stroke: str = "#06c", width: float = 1.5,
+    ) -> None:
+        """Add a connected polyline."""
+        if len(points) < 2:
+            raise ConfigurationError("a polyline needs at least two points")
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:g}"/>'
+        )
+
+    def circle(
+        self, x: float, y: float, r: float = 3.5, fill: str = "#c22"
+    ) -> None:
+        """Add a marker circle."""
+        self._elements.append(
+            f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="{r:g}" fill="{fill}"/>'
+        )
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: int = 11, anchor: str = "start", fill: str = "#222",
+    ) -> None:
+        """Add a text label."""
+        escaped = (
+            content.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}">{escaped}</text>'
+        )
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n  {body}\n</svg>\n'
+        )
+
+    def save(self, path) -> None:
+        """Write the document to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

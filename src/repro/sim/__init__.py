@@ -1,0 +1,56 @@
+"""Discrete simulation substrate for compressed-GeMM execution.
+
+The paper evaluates DECA on an internal Sniper-based cycle-level simulator.
+This package substitutes a tile-granularity model that captures the same
+first-order phenomena:
+
+* a shared-bandwidth memory system with latency and prefetch hiding,
+* per-core decompression engines (AVX units or a DECA PE),
+* the per-core TMUL occupancy,
+* and the three core<->DECA invocation disciplines (overlapped software,
+  store+fence serialization, and TEPL with a two-loader structural hazard).
+
+``simulate_tile_stream`` runs the per-core recurrence (all cores are
+symmetric, so one core with a 1/cores bandwidth share is exact in steady
+state); ``simulate_multicore_event`` is an exact event-driven multi-core
+cross-check used by the test suite.
+"""
+
+from repro.sim.system import (
+    SimSystem,
+    ddr_system,
+    hbm_system,
+)
+from repro.sim.memory import MemoryChannel, SharedMemoryServer
+from repro.sim.noc import MeshNoc, spr_mesh
+from repro.sim.engine import EventEngine
+from repro.sim.pipeline import (
+    InvocationMode,
+    KernelTiming,
+    PipelineTrace,
+    SimResult,
+    simulate_multicore_event,
+    simulate_tile_stream,
+)
+from repro.sim.stats import UtilizationReport
+from repro.sim.trace import render_gantt, stage_latency_summary
+
+__all__ = [
+    "SimSystem",
+    "ddr_system",
+    "hbm_system",
+    "MemoryChannel",
+    "SharedMemoryServer",
+    "MeshNoc",
+    "spr_mesh",
+    "EventEngine",
+    "InvocationMode",
+    "KernelTiming",
+    "PipelineTrace",
+    "SimResult",
+    "simulate_multicore_event",
+    "simulate_tile_stream",
+    "UtilizationReport",
+    "render_gantt",
+    "stage_latency_summary",
+]

@@ -1,0 +1,65 @@
+"""A minimal discrete-event engine.
+
+Used by the exact multi-core simulation backend: each core is a coroutine-
+like state machine that schedules its next step, and the engine advances
+global time in event order. Kept deliberately small — the heavy lifting in
+this library happens in the tile-stream recurrences.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventEngine:
+    """A heap-ordered discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, Callback]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (cycles)."""
+        return self._now
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, max_events: int = 10_000_000) -> float:
+        """Process events until the queue drains; returns the final time."""
+        processed = 0
+        while self._queue:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exceeded; likely a "
+                    "scheduling loop"
+                )
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)

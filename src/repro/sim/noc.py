@@ -1,0 +1,99 @@
+"""Mesh network-on-chip latency model (the fabric of Figure 7).
+
+SPR cores sit on a 2-D mesh; every L2 miss crosses the NoC to an LLC
+slice (address-hashed across all tiles) and possibly onward to a memory
+controller at the mesh edge. This module derives the *average* LLC and
+memory access latencies from the floorplan, providing a principled origin
+for the flat `llc_latency` / `memory_latency` numbers in
+:class:`~repro.sim.system.SimSystem` and letting experiments scale
+latency with core count (bigger mesh -> longer average hop distance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeshNoc:
+    """A rows x cols mesh of core tiles with edge memory controllers.
+
+    Attributes:
+        rows: Mesh rows.
+        cols: Mesh columns.
+        hop_cycles: Per-hop router+link traversal latency.
+        l2_cycles: L2 lookup before a request enters the mesh.
+        llc_slice_cycles: LLC slice lookup at the destination tile.
+        controller_cycles: Memory-controller queue plus DRAM access.
+    """
+
+    rows: int
+    cols: int
+    hop_cycles: float = 4.0
+    l2_cycles: float = 26.0
+    llc_slice_cycles: float = 28.0
+    controller_cycles: float = 230.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("mesh dimensions must be >= 1")
+        if min(
+            self.hop_cycles, self.l2_cycles,
+            self.llc_slice_cycles, self.controller_cycles,
+        ) < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+    @property
+    def tiles(self) -> int:
+        """Number of mesh tiles."""
+        return self.rows * self.cols
+
+    def average_hops_to_random_tile(self) -> float:
+        """Mean Manhattan distance between two uniform random tiles.
+
+        LLC slices are address-hashed over all tiles, so a miss travels to
+        a uniformly random slice. For a uniform pair on an n-point line the
+        mean distance is (n^2 - 1) / (3n); rows and columns separate.
+        """
+        def line_mean(n: int) -> float:
+            return (n * n - 1) / (3 * n)
+
+        return line_mean(self.rows) + line_mean(self.cols)
+
+    def average_hops_to_edge(self) -> float:
+        """Mean hops from a random tile to its nearest mesh-edge column.
+
+        Memory controllers sit on the left/right edges (as on SPR); a tile
+        in column c is min(c, cols - 1 - c) hops from the nearer edge.
+        """
+        total = sum(min(c, self.cols - 1 - c) for c in range(self.cols))
+        return total / self.cols
+
+    def llc_latency(self) -> float:
+        """Average L2-miss-to-LLC-hit latency."""
+        return (
+            self.l2_cycles
+            + self.average_hops_to_random_tile() * self.hop_cycles
+            + self.llc_slice_cycles
+        )
+
+    def memory_latency(self) -> float:
+        """Average L2-miss-to-DRAM latency (LLC miss path)."""
+        extra_hops = self.average_hops_to_edge()
+        return (
+            self.llc_latency()
+            + extra_hops * self.hop_cycles
+            + self.controller_cycles
+        )
+
+
+def spr_mesh(cores: int = 56) -> MeshNoc:
+    """An SPR-like mesh sized for ``cores`` tiles (near-square)."""
+    if cores < 1:
+        raise ConfigurationError(f"cores must be >= 1, got {cores}")
+    rows = max(1, int(math.floor(math.sqrt(cores))))
+    cols = math.ceil(cores / rows)
+    return MeshNoc(rows=rows, cols=cols)

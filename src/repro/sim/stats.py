@@ -1,0 +1,47 @@
+"""Utilization accounting for simulated runs (Table 3's raw material)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy-fraction of each resource over a simulated run.
+
+    ``decompress`` is the AVX-unit utilization for the software kernel and
+    the DECA-PE utilization for DECA runs — the same column the paper
+    labels "AVX" or "DECA" in Table 3.
+    """
+
+    memory: float
+    matrix: float
+    decompress: float
+
+    def __post_init__(self) -> None:
+        for name in ("memory", "matrix", "decompress"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise SimulationError(
+                    f"{name} utilization must be in [0, 1], got {value}"
+                )
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the most-utilized resource."""
+        pairs = [
+            ("MEM", self.memory),
+            ("MTX", self.matrix),
+            ("DEC", self.decompress),
+        ]
+        return max(pairs, key=lambda item: item[1])[0]
+
+    def as_percentages(self) -> dict:
+        """Rounded percentage view, keyed like the paper's Table 3."""
+        return {
+            "MEM": round(self.memory * 100),
+            "TMUL": round(self.matrix * 100),
+            "DEC": round(self.decompress * 100),
+        }

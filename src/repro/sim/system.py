@@ -1,0 +1,124 @@
+"""Simulated-system configuration: machine parameters plus latencies.
+
+A :class:`SimSystem` extends the analytical :class:`~repro.core.machine.
+MachineSpec` with the microarchitectural latencies that the Roof-Surface
+model deliberately ignores but that the simulation needs: cache and memory
+access latencies, core<->DECA communication costs, and how much of the
+memory latency each prefetching discipline leaves exposed.
+
+The default latency values follow public SPR characteristics (L2 ~26
+cycles, LLC ~80 cycles, loaded memory latency in the 110-140 ns range) and
+are deliberately round numbers — the experiments depend on their relative
+magnitudes, not their third significant digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.machine import MachineSpec, spr_ddr, spr_hbm
+from repro.errors import ConfigurationError
+from repro.units import ns_to_cycles
+
+
+@dataclass(frozen=True)
+class SimSystem:
+    """A simulated SPR-like server.
+
+    Attributes:
+        machine: The analytical machine description (cores, rates).
+        l2_latency: Cycles for an L2 hit.
+        llc_latency: Cycles for an LLC hit.
+        memory_latency: Cycles for a loaded main-memory access.
+        tout_read_latency: Core reading a DECA TOut register (adjacent).
+        mmio_store_latency: Core store to a DECA memory-mapped register.
+        tepl_issue_latency: Issue overhead of one TEPL instruction.
+        fence_drain_cycles: Pipeline-drain cost of a memory fence.
+        loader_fill_latency: Invocation-to-first-dequant turnaround inside
+            a DECA Loader (LDQ read of a prefetched L2 line streaming into
+            the SQQ).
+        exposed_latency_none: Fraction of memory latency exposed per tile
+            fetch with no prefetching (base DECA config reads via LLC).
+        exposed_latency_l2pf: Same, with the stock L2 hardware prefetcher.
+        exposed_latency_decapf: Same, with DECA's own aggressive prefetcher.
+        sw_prefetch_exposure: Exposure for the software kernel (stock L1/L2
+            prefetchers streaming into the core).
+    """
+
+    machine: MachineSpec
+    l2_latency: float = 26.0
+    llc_latency: float = 80.0
+    memory_latency: float = field(default=0.0)  # filled by __post_init__
+    tout_read_latency: float = 12.0
+    mmio_store_latency: float = 20.0
+    tepl_issue_latency: float = 2.0
+    fence_drain_cycles: float = 10.0
+    loader_fill_latency: float = 10.0
+    exposed_latency_none: float = 1.0
+    exposed_latency_l2pf: float = 0.25
+    exposed_latency_decapf: float = 0.04
+    sw_prefetch_exposure: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.memory_latency == 0.0:
+            object.__setattr__(
+                self,
+                "memory_latency",
+                ns_to_cycles(130.0, self.machine.frequency_hz),
+            )
+        for name in (
+            "l2_latency",
+            "llc_latency",
+            "memory_latency",
+            "tout_read_latency",
+            "mmio_store_latency",
+            "tepl_issue_latency",
+            "fence_drain_cycles",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        for name in (
+            "exposed_latency_none",
+            "exposed_latency_l2pf",
+            "exposed_latency_decapf",
+            "sw_prefetch_exposure",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def cores(self) -> int:
+        """Active core count."""
+        return self.machine.cores
+
+    @property
+    def frequency_hz(self) -> float:
+        """Core clock frequency."""
+        return self.machine.frequency_hz
+
+    def bytes_per_cycle(self) -> float:
+        """Aggregate memory bandwidth expressed in bytes per core cycle."""
+        return self.machine.memory_bandwidth / self.machine.frequency_hz
+
+    def per_core_bytes_per_cycle(self) -> float:
+        """Fair-share bandwidth of one core, bytes per cycle."""
+        return self.bytes_per_cycle() / self.machine.cores
+
+    def with_machine(self, machine: MachineSpec) -> "SimSystem":
+        """A copy of this system with a different machine description."""
+        return replace(self, machine=machine)
+
+    def with_cores(self, cores: int) -> "SimSystem":
+        """A copy with a different active core count (Figure 14 sweeps)."""
+        return replace(self, machine=self.machine.with_cores(cores))
+
+
+def hbm_system(cores: int = 56) -> SimSystem:
+    """The paper's HBM-equipped 56-core SPR simulation target."""
+    return SimSystem(machine=spr_hbm(cores))
+
+
+def ddr_system(cores: int = 56) -> SimSystem:
+    """The paper's DDR5-equipped 56-core SPR simulation target."""
+    return SimSystem(machine=spr_ddr(cores))

@@ -1,0 +1,83 @@
+"""Textual Gantt rendering of simulated tile streams.
+
+Turns a :class:`~repro.sim.pipeline.SimResult`'s per-tile stage
+timestamps into an ASCII timeline, making the pipeline behaviour visible:
+where the software kernel's AVX sequence back-pressures memory, how the
+store+fence discipline serializes, and how TEPL overlaps tiles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.sim.pipeline import SimResult
+
+_STAGE_GLYPHS = (("fetch", "."), ("decompress", "d"), ("matrix", "M"))
+
+
+def render_gantt(
+    result: SimResult,
+    first_tile: int = 0,
+    tiles: int = 8,
+    width: int = 96,
+) -> str:
+    """Render a window of a simulated stream as an ASCII Gantt chart.
+
+    One row per tile; ``.`` marks the fetch in flight, ``d`` the
+    decompression engine occupancy, ``M`` the TMUL. Overlapping stages on
+    one tile keep the later stage's glyph.
+    """
+    if result.trace is None:
+        raise SimulationError("this SimResult carries no pipeline trace")
+    trace = result.trace
+    last = first_tile + tiles
+    if first_tile < 0 or last > len(trace.mtx_done):
+        raise SimulationError(
+            f"tile window [{first_tile}, {last}) outside the trace of "
+            f"{len(trace.mtx_done)} tiles"
+        )
+    if width < 16:
+        raise SimulationError("gantt width must be at least 16 columns")
+    t0 = float(trace.fetch_issue[first_tile])
+    t1 = float(trace.mtx_done[last - 1])
+    span = max(t1 - t0, 1e-9)
+    scale = (width - 1) / span
+
+    def column(when: float) -> int:
+        return min(width - 1, max(0, int((when - t0) * scale)))
+
+    lines: List[str] = [
+        f"tiles {first_tile}..{last - 1}: cycles {t0:.0f}..{t1:.0f} "
+        f"(interval {result.steady_interval_cycles:.1f} cy/tile)"
+    ]
+    for index in range(first_tile, last):
+        spans = trace.stage_spans(index)
+        row = [" "] * width
+        for stage, glyph in _STAGE_GLYPHS:
+            start, end = spans[stage]
+            if end < start:
+                continue
+            for col in range(column(start), column(end) + 1):
+                row[col] = glyph
+        lines.append(f"tile {index:4d} |{''.join(row)}|")
+    lines.append("legend: . fetch   d decompress   M matrix (TMUL)")
+    return "\n".join(lines)
+
+
+def stage_latency_summary(result: SimResult) -> dict:
+    """Mean per-tile stage durations over the steady half of the run."""
+    if result.trace is None:
+        raise SimulationError("this SimResult carries no pipeline trace")
+    trace = result.trace
+    half = len(trace.mtx_done) // 2
+    fetch = (trace.mem_done[half:] - trace.fetch_issue[half:]).mean()
+    dec = (trace.dec_done[half:] - trace.dec_start[half:]).mean()
+    mtx = (trace.mtx_done[half:] - trace.mtx_start[half:]).mean()
+    wait = (trace.mtx_start[half:] - trace.dec_done[half:]).mean()
+    return {
+        "fetch_cycles": float(fetch),
+        "decompress_cycles": float(dec),
+        "matrix_cycles": float(mtx),
+        "handoff_wait_cycles": float(wait),
+    }

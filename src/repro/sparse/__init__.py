@@ -1,0 +1,47 @@
+"""Unstructured-sparsity substrate: bitmask format, pruning, tiling.
+
+The paper assumes a bitmask-based sparse format (Section 2.2): nonzero
+weights are stored consecutively, and a bitmask with one bit per original
+element records their positions. This package implements that format at the
+granularity the TMUL consumes — 16x32 AMX weight tiles — plus the offline
+compression pipeline of Figure 1.
+"""
+
+from repro.sparse.bitmask import (
+    expansion_indices,
+    pack_bitmask,
+    popcount,
+    unpack_bitmask,
+)
+from repro.sparse.prune import (
+    kept_energy_fraction,
+    magnitude_mask,
+    random_mask,
+    structured_24_mask,
+)
+from repro.sparse.tile import CompressedTile, TILE_SHAPE, tile_grid
+from repro.sparse.compress import (
+    CompressedMatrix,
+    compress_matrix,
+    decompress_matrix,
+)
+from repro.sparse.serialize import load_matrix, save_matrix
+
+__all__ = [
+    "expansion_indices",
+    "pack_bitmask",
+    "popcount",
+    "unpack_bitmask",
+    "kept_energy_fraction",
+    "magnitude_mask",
+    "random_mask",
+    "structured_24_mask",
+    "CompressedTile",
+    "TILE_SHAPE",
+    "tile_grid",
+    "CompressedMatrix",
+    "compress_matrix",
+    "decompress_matrix",
+    "load_matrix",
+    "save_matrix",
+]

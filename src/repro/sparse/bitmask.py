@@ -1,0 +1,49 @@
+"""Packed-bitmask helpers for the unstructured sparse format.
+
+Bits are packed LSB-first within each byte (bit ``i`` of byte ``j`` covers
+element ``8*j + i``), matching how a hardware POPCNT/prefix-sum unit would
+scan the mask from low addresses upward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+
+def pack_bitmask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean array into bytes, LSB-first, zero-padded at the end."""
+    mask = np.ascontiguousarray(mask, dtype=bool).ravel()
+    return np.packbits(mask, bitorder="little")
+
+
+def unpack_bitmask(packed: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``count`` bits from an LSB-first packed byte array."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    if count < 0:
+        raise CompressionError(f"bit count must be non-negative, got {count}")
+    if count > packed.size * 8:
+        raise CompressionError(
+            f"asked for {count} bits but the mask holds only {packed.size * 8}"
+        )
+    bits = np.unpackbits(packed, bitorder="little")
+    return bits[:count].astype(bool)
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Number of set bits in a packed bitmask (the hardware POPCNT result)."""
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    return int(np.unpackbits(packed).sum())
+
+
+def expansion_indices(mask: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of the mask — DECA's crossbar control indices.
+
+    For each dense output position ``p`` with ``mask[p]`` set, the returned
+    value is the index into the packed nonzero array that must be routed to
+    ``p``. This mirrors the Parallel Prefix Sum circuitry of Figure 11.
+    """
+    mask = np.ascontiguousarray(mask, dtype=bool).ravel()
+    inclusive = np.cumsum(mask.astype(np.int64))
+    return inclusive - mask.astype(np.int64)

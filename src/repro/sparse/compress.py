@@ -1,0 +1,122 @@
+"""Offline matrix compression: the left half of the paper's Figure 1.
+
+A weight matrix is pruned to a target density, quantized, and split into
+compressed 16x32 tiles. :class:`CompressedMatrix` is what the online side
+(software kernels or DECA) consumes tile by tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.sparse.prune import magnitude_mask, random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE, tile_grid
+from repro.units import TILE_ELEMS
+
+
+@dataclass(frozen=True)
+class CompressedMatrix:
+    """A weight matrix stored as compressed tiles (row-major tile order)."""
+
+    shape: Tuple[int, int]
+    format_name: str
+    tiles: Tuple[CompressedTile, ...]
+
+    @property
+    def tile_count(self) -> int:
+        """Number of 16x32 tiles in the matrix."""
+        return len(self.tiles)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored nonzero weights."""
+        return sum(tile.nnz for tile in self.tiles)
+
+    @property
+    def density(self) -> float:
+        """Overall fraction of nonzero weights."""
+        return self.nnz / (self.shape[0] * self.shape[1])
+
+    def nbytes(self) -> int:
+        """Total compressed footprint in bytes."""
+        return sum(tile.nbytes() for tile in self.tiles)
+
+    def compression_factor(self) -> float:
+        """Size reduction versus the dense BF16 baseline (2 bytes/weight)."""
+        dense_bytes = self.shape[0] * self.shape[1] * 2
+        return dense_bytes / self.nbytes()
+
+
+def compress_matrix(
+    weights: np.ndarray,
+    format_name: str,
+    density: float = 1.0,
+    pruning: str = "magnitude",
+    rng: Optional[np.random.Generator] = None,
+) -> CompressedMatrix:
+    """Prune, quantize, and tile a dense float32 weight matrix.
+
+    Args:
+        weights: Dense matrix whose dimensions are multiples of (16, 32).
+        format_name: Storage format from the registry (e.g. ``"bf8"``).
+        density: Target fraction of nonzeros; 1.0 stores the matrix dense
+            (no bitmask), anything lower uses the sparse bitmask format.
+        pruning: ``"magnitude"`` (keep largest |w|) or ``"random"``.
+        rng: Random generator for ``"random"`` pruning.
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float32)
+    if weights.ndim != 2:
+        raise CompressionError(f"expected a 2-D matrix, got shape {weights.shape}")
+    mask: Optional[np.ndarray] = None
+    if density < 1.0:
+        if pruning == "magnitude":
+            mask = magnitude_mask(weights, density)
+        elif pruning == "random":
+            mask = random_mask(weights.shape, density, rng=rng)
+        else:
+            raise CompressionError(
+                f"unknown pruning method {pruning!r}; use 'magnitude' or 'random'"
+            )
+    tiles: List[CompressedTile] = []
+    for row_slice, col_slice in tile_grid(weights.shape):
+        tile_mask = None if mask is None else mask[row_slice, col_slice]
+        tiles.append(
+            CompressedTile.from_dense(
+                weights[row_slice, col_slice], format_name, tile_mask
+            )
+        )
+    return CompressedMatrix(weights.shape, format_name, tuple(tiles))
+
+
+def decompress_matrix(matrix: CompressedMatrix) -> np.ndarray:
+    """Reconstruct the dense BF16-valued float32 matrix from its tiles."""
+    out = np.zeros(matrix.shape, dtype=np.float32)
+    for (row_slice, col_slice), tile in zip(tile_grid(matrix.shape), matrix.tiles):
+        out[row_slice, col_slice] = tile.decompress_reference()
+    return out
+
+
+def expected_tile_bytes(
+    bits: int,
+    density: float,
+    sparse: bool,
+    scale_bits_per_group: int = 0,
+    group_size: int = 0,
+) -> float:
+    """Analytical expected bytes per compressed tile (used by the models).
+
+    ``512 * density * bits / 8`` code bytes, plus the 64-byte bitmask when
+    sparse, plus amortised scale bytes for grouped formats.
+    """
+    if not 0.0 < density <= 1.0:
+        raise CompressionError(f"density must be in (0, 1], got {density}")
+    total = TILE_ELEMS * density * bits / 8.0
+    if sparse:
+        total += TILE_ELEMS / 8.0
+    if group_size > 0:
+        total += (TILE_ELEMS / group_size) * scale_bits_per_group / 8.0
+    return total

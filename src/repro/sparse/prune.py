@@ -1,0 +1,112 @@
+"""Weight pruning: produce keep-masks at a target density.
+
+The paper evaluates unstructured sparsity produced by methods such as
+SparseGPT; for the reproduction the relevant property is only the *density*
+(fraction of nonzeros) and its spatial distribution. ``magnitude_mask``
+keeps the largest-magnitude weights (the classic pruning criterion) and
+``random_mask`` draws a uniform unstructured pattern — the distribution the
+paper's binomial bubble model assumes (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+
+def _validate_density(density: float) -> None:
+    if not 0.0 < density <= 1.0:
+        raise CompressionError(f"density must be in (0, 1], got {density}")
+
+
+def _target_nnz(size: int, density: float) -> int:
+    """Number of weights kept: rounded, but at least one."""
+    return max(1, int(round(size * density)))
+
+
+def magnitude_mask(weights: np.ndarray, density: float) -> np.ndarray:
+    """Keep-mask selecting the ``density`` fraction of largest |weights|.
+
+    Ties at the threshold are broken by position (earlier elements kept), so
+    the mask always has exactly ``round(size * density)`` ones (min 1).
+    """
+    _validate_density(density)
+    weights = np.ascontiguousarray(weights, dtype=np.float32)
+    keep = _target_nnz(weights.size, density)
+    if keep >= weights.size:
+        return np.ones(weights.shape, dtype=bool)
+    flat = np.abs(weights.ravel())
+    # argpartition gives the indices of the `keep` largest magnitudes.
+    top = np.argpartition(flat, weights.size - keep)[weights.size - keep:]
+    mask = np.zeros(weights.size, dtype=bool)
+    mask[top] = True
+    return mask.reshape(weights.shape)
+
+
+def random_mask(
+    shape: Tuple[int, ...],
+    density: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform unstructured keep-mask with an exact nonzero count.
+
+    Exactly ``round(size * density)`` positions (min 1) are kept, drawn
+    uniformly at random without replacement.
+    """
+    _validate_density(density)
+    rng = rng if rng is not None else np.random.default_rng()
+    size = int(np.prod(shape))
+    keep = _target_nnz(size, density)
+    mask = np.zeros(size, dtype=bool)
+    mask[rng.choice(size, size=min(keep, size), replace=False)] = True
+    return mask.reshape(shape)
+
+
+def achieved_density(mask: np.ndarray) -> float:
+    """Fraction of kept weights in a mask."""
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    if mask.size == 0:
+        raise CompressionError("cannot compute the density of an empty mask")
+    return float(mask.sum()) / mask.size
+
+
+def structured_24_mask(weights: np.ndarray) -> np.ndarray:
+    """2:4 structured keep-mask: the two largest |weights| of every four.
+
+    This is the pattern NVIDIA sparse Tensor Cores and VEGETA-style
+    in-core units support (paper Table 2). The last axis must be a
+    multiple of four. Density is exactly 50%, but unlike unstructured
+    pruning the choice is constrained within each group of four — which
+    is why unstructured sparsity reaches higher accuracy at equal density
+    (Section 2.2).
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float32)
+    if weights.shape[-1] % 4 != 0:
+        raise CompressionError(
+            f"2:4 sparsity needs the last axis to be a multiple of 4, "
+            f"got {weights.shape[-1]}"
+        )
+    groups = np.abs(weights).reshape(-1, 4)
+    order = np.argsort(groups, axis=1)
+    mask = np.ones_like(groups, dtype=bool)
+    rows = np.arange(groups.shape[0])
+    # Drop the two smallest magnitudes of each group.
+    mask[rows, order[:, 0]] = False
+    mask[rows, order[:, 1]] = False
+    return mask.reshape(weights.shape)
+
+
+def kept_energy_fraction(weights: np.ndarray, mask: np.ndarray) -> float:
+    """Fraction of the squared weight norm a keep-mask preserves.
+
+    A proxy for pruning quality: magnitude-unstructured pruning keeps
+    strictly more energy than 2:4 at the same 50% density.
+    """
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    total = float(np.sum(weights**2))
+    if total == 0.0:
+        raise CompressionError("cannot measure energy of an all-zero matrix")
+    return float(np.sum((weights * mask) ** 2)) / total

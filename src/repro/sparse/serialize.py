@@ -1,0 +1,109 @@
+"""Persist compressed matrices to disk (.npz) and load them back.
+
+A practical library feature: offline compression (Figure 1, left) happens
+once, so downstream users serialize the result. The format stores the
+concatenated code/bitmask/scale streams plus per-tile offsets — the same
+three data structures a DECA Loader fetches.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.formats.registry import get_format
+from repro.sparse.compress import CompressedMatrix
+from repro.sparse.tile import CompressedTile
+
+_MAGIC = "repro-compressed-matrix-v1"
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_matrix(matrix: CompressedMatrix, path: PathLike) -> None:
+    """Write a compressed matrix to an ``.npz`` file."""
+    code_arrays = [tile.codes for tile in matrix.tiles]
+    code_offsets = np.zeros(len(code_arrays) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in code_arrays], out=code_offsets[1:])
+    codes = (
+        np.concatenate(code_arrays)
+        if code_arrays
+        else np.zeros(0, dtype=np.uint8)
+    )
+    sparse = matrix.tiles[0].is_sparse if matrix.tiles else False
+    bitmasks = (
+        np.concatenate([tile.bitmask for tile in matrix.tiles])
+        if sparse
+        else np.zeros(0, dtype=np.uint8)
+    )
+    grouped = (
+        matrix.tiles[0].scale_bits is not None if matrix.tiles else False
+    )
+    scales = (
+        np.concatenate([tile.scale_bits for tile in matrix.tiles])
+        if grouped
+        else np.zeros(0, dtype=np.uint8)
+    )
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC),
+        format_name=np.array(matrix.format_name),
+        shape=np.array(matrix.shape, dtype=np.int64),
+        sparse=np.array(sparse),
+        grouped=np.array(grouped),
+        codes=codes,
+        code_offsets=code_offsets,
+        bitmasks=bitmasks,
+        scales=scales,
+    )
+
+
+def load_matrix(path: PathLike) -> CompressedMatrix:
+    """Read a compressed matrix written by :func:`save_matrix`."""
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["magic"]) != _MAGIC:
+            raise CompressionError(
+                f"{path!s} is not a repro compressed-matrix file"
+            )
+        format_name = str(data["format_name"])
+        get_format(format_name)  # validate eagerly
+        shape = tuple(int(v) for v in data["shape"])
+        sparse = bool(data["sparse"])
+        grouped = bool(data["grouped"])
+        codes = data["codes"]
+        offsets = data["code_offsets"]
+        bitmasks = data["bitmasks"]
+        scales = data["scales"]
+    tile_count = len(offsets) - 1
+    fmt = get_format(format_name)
+    scale_entries = (
+        (512 // fmt.group_size) if grouped and fmt.group_size else 0
+    )
+    tiles: List[CompressedTile] = []
+    for i in range(tile_count):
+        tile_codes = codes[offsets[i]:offsets[i + 1]]
+        bitmask = bitmasks[i * 64:(i + 1) * 64] if sparse else None
+        scale_bits = (
+            scales[i * scale_entries:(i + 1) * scale_entries]
+            if grouped
+            else None
+        )
+        tiles.append(
+            CompressedTile(
+                format_name=format_name,
+                codes=tile_codes,
+                bitmask=bitmask,
+                scale_bits=scale_bits,
+            )
+        )
+    matrix = CompressedMatrix(shape, format_name, tuple(tiles))
+    expected = (shape[0] // 16) * (shape[1] // 32)
+    if matrix.tile_count != expected:
+        raise CompressionError(
+            f"file holds {matrix.tile_count} tiles but shape {shape} "
+            f"needs {expected}"
+        )
+    return matrix

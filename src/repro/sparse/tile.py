@@ -1,0 +1,188 @@
+"""Compressed AMX weight tiles: the unit DECA and the TMUL operate on.
+
+A weight tile holds 16 rows x 32 BF16 columns = 512 weights (Section 2.3).
+Its compressed form (Figure 1) carries up to three data structures:
+
+* ``codes`` — the nonzero weights' storage codes, packed consecutively,
+* ``bitmask`` — 512 bits marking nonzero positions (absent when dense),
+* ``scale_bits`` — one shared scale byte per quantization group (grouped
+  formats only; for MXFP4 a group is one 32-element row).
+
+``decompress_reference`` is the golden dequantize -> expand -> scale path
+that DECA's pipeline output must match bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.formats import bfloat
+from repro.formats.registry import QuantFormat, get_format
+from repro.formats.mxfp import decode_shared_scale, encode_shared_scale
+from repro.sparse import bitmask as bm
+from repro.units import TILE_COLS_BF16, TILE_ELEMS, TILE_ROWS
+
+TILE_SHAPE = (TILE_ROWS, TILE_COLS_BF16)
+BITMASK_BYTES = TILE_ELEMS // 8  # 64 bytes for the 512-bit mask
+
+
+@dataclass(frozen=True)
+class CompressedTile:
+    """One compressed 16x32 weight tile.
+
+    Attributes:
+        format_name: Storage format of the nonzero codes.
+        codes: 1-D array of nonzero codes in row-major dense order.
+        bitmask: Packed 512-bit mask (64 bytes), or ``None`` when dense.
+        scale_bits: Per-group scale bytes (grouped formats), else ``None``.
+    """
+
+    format_name: str
+    codes: np.ndarray
+    bitmask: Optional[np.ndarray]
+    scale_bits: Optional[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if self.bitmask is not None and self.bitmask.size != BITMASK_BYTES:
+            raise CompressionError(
+                f"tile bitmask must be {BITMASK_BYTES} bytes, "
+                f"got {self.bitmask.size}"
+            )
+        nnz = self.nnz
+        if self.bitmask is None and nnz != TILE_ELEMS:
+            raise CompressionError(
+                f"dense tile must carry {TILE_ELEMS} codes, got {nnz}"
+            )
+        if self.bitmask is not None and bm.popcount(self.bitmask) != nnz:
+            raise CompressionError(
+                "bitmask popcount does not match the number of stored codes"
+            )
+
+    @property
+    def fmt(self) -> QuantFormat:
+        """The storage format descriptor."""
+        return get_format(self.format_name)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (nonzero) weights."""
+        return int(self.codes.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of nonzero weights in the tile."""
+        return self.nnz / TILE_ELEMS
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the tile carries a bitmask (sparse storage)."""
+        return self.bitmask is not None
+
+    def dense_mask(self) -> np.ndarray:
+        """Boolean (16, 32) mask of nonzero positions."""
+        if self.bitmask is None:
+            return np.ones(TILE_SHAPE, dtype=bool)
+        return bm.unpack_bitmask(self.bitmask, TILE_ELEMS).reshape(TILE_SHAPE)
+
+    def nbytes(self) -> int:
+        """Bytes occupied in memory: codes + bitmask + scale factors.
+
+        Codes are bit-packed, so e.g. MXFP4 stores two weights per byte.
+        """
+        total = math.ceil(self.nnz * self.fmt.bits / 8)
+        if self.bitmask is not None:
+            total += BITMASK_BYTES
+        if self.scale_bits is not None:
+            total += math.ceil(self.scale_bits.size * self.fmt.scale_bits / 8)
+        return total
+
+    def row_nnz(self) -> np.ndarray:
+        """Nonzero count of each of the 16 rows."""
+        return self.dense_mask().sum(axis=1).astype(np.int64)
+
+    def decompress_reference(self) -> np.ndarray:
+        """Golden decompression to a dense (16, 32) BF16-valued float32 tile.
+
+        Dequantize the codes, expand them into their dense positions, and
+        apply group scales — the reference DECA's pipeline must reproduce.
+        """
+        fmt = self.fmt
+        values = fmt.decode(self.codes).astype(np.float32)
+        dense = np.zeros(TILE_ELEMS, dtype=np.float32)
+        mask = self.dense_mask().ravel()
+        dense[mask] = values
+        if self.scale_bits is not None:
+            scales = decode_shared_scale(self.scale_bits)
+            assert fmt.group_size is not None
+            per_elem = np.repeat(scales, fmt.group_size)
+            dense = dense * per_elem
+        return bfloat.bf16_round(dense).reshape(TILE_SHAPE)
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        format_name: str,
+        mask: Optional[np.ndarray] = None,
+    ) -> "CompressedTile":
+        """Compress a dense (16, 32) float tile, optionally with a keep-mask.
+
+        When ``mask`` is given the tile is stored sparse (bitmask + packed
+        nonzeros); grouped formats compute one scale per group from the
+        *surviving* weights, so pruning never inflates the quantization
+        range.
+        """
+        dense = np.ascontiguousarray(dense, dtype=np.float32)
+        if dense.shape != TILE_SHAPE:
+            raise CompressionError(
+                f"a weight tile must be {TILE_SHAPE}, got {dense.shape}"
+            )
+        fmt = get_format(format_name)
+        if mask is not None:
+            mask = np.ascontiguousarray(mask, dtype=bool)
+            if mask.shape != TILE_SHAPE:
+                raise CompressionError(
+                    f"tile mask must be {TILE_SHAPE}, got {mask.shape}"
+                )
+        kept = dense if mask is None else np.where(mask, dense, 0.0)
+        scale_bits: Optional[np.ndarray] = None
+        to_encode = kept
+        if fmt.is_grouped:
+            assert fmt.group_size is not None
+            if TILE_ELEMS % fmt.group_size != 0:
+                raise CompressionError(
+                    f"group size {fmt.group_size} does not divide {TILE_ELEMS}"
+                )
+            groups = kept.reshape(-1, fmt.group_size)
+            amax = np.max(np.abs(groups), axis=1)
+            scale_bits = encode_shared_scale(amax)
+            scales = decode_shared_scale(scale_bits)
+            to_encode = (groups / scales[:, None]).reshape(TILE_SHAPE)
+        codes_dense = fmt.encode(to_encode.astype(np.float32)).ravel()
+        if mask is None:
+            return cls(fmt.name, codes_dense, None, scale_bits)
+        packed_mask = bm.pack_bitmask(mask)
+        codes = codes_dense[mask.ravel()]
+        return cls(fmt.name, codes, packed_mask, scale_bits)
+
+
+def tile_grid(shape: Tuple[int, int]) -> Iterator[Tuple[slice, slice]]:
+    """Iterate row-major over the 16x32 tile slices covering a matrix.
+
+    The matrix dimensions must be multiples of the tile dimensions, as is
+    the case for every FC layer in the evaluated models.
+    """
+    rows, cols = shape
+    if rows % TILE_ROWS != 0 or cols % TILE_COLS_BF16 != 0:
+        raise CompressionError(
+            f"matrix shape {shape} is not a multiple of the tile "
+            f"shape {TILE_SHAPE}"
+        )
+    for r in range(0, rows, TILE_ROWS):
+        for c in range(0, cols, TILE_COLS_BF16):
+            yield slice(r, r + TILE_ROWS), slice(c, c + TILE_COLS_BF16)

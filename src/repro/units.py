@@ -1,0 +1,59 @@
+"""Unit helpers and constants shared across the library.
+
+The simulator works internally in *cycles* at the core frequency; analytical
+models work in SI units (bytes/second, operations/second). These helpers
+keep the conversions explicit and in one place.
+"""
+
+from __future__ import annotations
+
+# Multipliers (decimal, matching how the paper quotes bandwidths).
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+# AMX tile geometry (Section 2.3 of the paper).
+TILE_ROWS = 16
+TILE_COLS_BF16 = 32
+TILE_ELEMS = TILE_ROWS * TILE_COLS_BF16  # 512 weights per tile
+TILE_BYTES_BF16 = TILE_ELEMS * 2  # 1 KB decompressed BF16 tile
+TMUL_CYCLES = 16  # one TMUL tile multiplication takes 16 cycles
+FMAS_PER_TILE_PER_ROW = 512  # N*K*M = N*32*16 => 512 FMAs per activation row
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth expressed in GB/s into bytes/second."""
+    return value * GIGA
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency expressed in GHz into Hz."""
+    return value * GIGA
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert wall-clock seconds into (fractional) core cycles."""
+    return seconds * frequency_hz
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert core cycles into wall-clock seconds."""
+    return cycles / frequency_hz
+
+
+def ns_to_cycles(nanoseconds: float, frequency_hz: float) -> float:
+    """Convert a latency in nanoseconds into (fractional) core cycles."""
+    return nanoseconds * 1e-9 * frequency_hz
+
+
+def flops_per_tile(batch_rows: int) -> int:
+    """FMAs performed by one TMUL tile operation for ``batch_rows`` rows.
+
+    The paper counts FLOPs as FMAs: a tile op performs N x K x M =
+    N x 32 x 16 = 512 * N FMAs (Section 2.3).
+    """
+    if batch_rows < 1:
+        raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+    effective = min(batch_rows, TILE_ROWS)
+    return FMAS_PER_TILE_PER_ROW * effective

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.sim.system import ddr_system, hbm_system
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def hbm():
+    """The paper's HBM-equipped 56-core system."""
+    return hbm_system()
+
+
+@pytest.fixture
+def ddr():
+    """The paper's DDR-equipped 56-core system."""
+    return ddr_system()
+
+
+@pytest.fixture(
+    params=["Q16_50%", "Q8", "Q8_20%", "Q4", "Q8_5%"],
+    ids=lambda name: name.replace("%", ""),
+)
+def scheme(request):
+    """A representative slice of the paper's compression schemes."""
+    return parse_scheme(request.param)
+
+
+def random_weights(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Gaussian weights like a trained FC layer's."""
+    return (rng.normal(scale=0.05, size=(rows, cols))).astype(np.float32)

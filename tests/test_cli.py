@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFormats:
+    def test_lists_formats(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bf16", "bf8", "mxfp4", "int4g32"):
+            assert name in out
+
+
+class TestSimulate:
+    def test_default_run(self, capsys):
+        assert main(["simulate", "--scheme", "Q8_20%"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/tile" in out
+        assert "TFLOPS" in out
+
+    def test_software_engine(self, capsys):
+        assert main([
+            "simulate", "--scheme", "Q4", "--engine", "software",
+            "--memory", "ddr",
+        ]) == 0
+        assert "SPR-DDR" in capsys.readouterr().out
+
+    def test_gantt(self, capsys):
+        assert main(["simulate", "--gantt", "4"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_uncompressed_software(self, capsys):
+        assert main([
+            "simulate", "--scheme", "Q16", "--engine", "software",
+        ]) == 0
+
+
+class TestLlm:
+    def test_llama_deca(self, capsys):
+        assert main(["llm", "--scheme", "Q8_5%", "--engine", "deca"]) == 0
+        out = capsys.readouterr().out
+        assert "Llama2-70B" in out and "next-token latency" in out
+
+    def test_opt_uncompressed(self, capsys):
+        assert main([
+            "llm", "--model", "opt-66b", "--engine", "uncompressed",
+        ]) == 0
+        assert "OPT-66B" in capsys.readouterr().out
+
+
+class TestDse:
+    def test_prints_best(self, capsys):
+        assert main(["dse"]) == 0
+        assert "best: W=32, L=8" in capsys.readouterr().out
+
+
+class TestArea:
+    def test_reference_design(self, capsys):
+        assert main(["area"]) == 0
+        assert "2.51 mm^2" in capsys.readouterr().out
+
+    def test_custom_design(self, capsys):
+        assert main(["area", "--width", "64", "--luts", "64"]) == 0
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "area"]) == 0
+        assert "2.51" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "figure99"]) == 2
+
+    def test_fast_subset(self, capsys):
+        assert main(["experiments", "table3", "figure17"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Figure 17" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFigures:
+    def test_exports_svgs(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["figures", "--output", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("*.svg"))) == 6

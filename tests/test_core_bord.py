@@ -1,0 +1,80 @@
+"""Tests for the Bounding Region Diagram."""
+
+import pytest
+
+from repro.core.bord import Bord
+from repro.core.machine import SPR_DDR, SPR_HBM
+from repro.core.roofsurface import BoundingFactor
+from repro.errors import ConfigurationError
+
+
+class TestLines:
+    def test_boundary_line_parameters(self):
+        lines = Bord(SPR_HBM).lines
+        assert lines.mem_vec_slope == pytest.approx(850e9 / 280e9)
+        assert lines.mem_mtx_x == pytest.approx(8.75e9 / 850e9)
+        assert lines.vec_mtx_y == pytest.approx(8.75e9 / 280e9)
+
+    def test_classification_matches_lines(self):
+        bord = Bord(SPR_HBM)
+        lines = bord.lines
+        # A point just below the MEM/VEC line (y < slope*x) is VEC-bound.
+        x = lines.mem_mtx_x / 2
+        assert bord.classify(x, lines.mem_vec_slope * x * 0.9) is (
+            BoundingFactor.VECTOR
+        )
+        assert bord.classify(x, lines.mem_vec_slope * x * 1.1) is (
+            BoundingFactor.MEMORY
+        )
+
+
+class TestRegions:
+    def test_fractions_sum_to_one(self):
+        fractions = Bord(SPR_HBM).region_fractions(0.012, 0.012, samples=50)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_ddr_grows_mem_region(self):
+        window = (0.012, 0.012)
+        hbm = Bord(SPR_HBM).region_fractions(*window, samples=60)
+        ddr = Bord(SPR_DDR).region_fractions(*window, samples=60)
+        assert ddr[BoundingFactor.MEMORY] > hbm[BoundingFactor.MEMORY]
+
+    def test_ddr_mtx_region_vanishes_in_window(self):
+        # Figure 5b: the MTX region is no longer visible for DDR.
+        ddr = Bord(SPR_DDR).region_fractions(0.012, 0.012, samples=60)
+        assert ddr[BoundingFactor.MATRIX] < 0.02
+
+    def test_vos_scaling_shrinks_vec_region(self):
+        base = Bord(SPR_HBM).region_fractions(0.012, 0.012, samples=60)
+        scaled = Bord(SPR_HBM.with_vector_scale(4)).region_fractions(
+            0.012, 0.012, samples=60
+        )
+        assert (
+            scaled[BoundingFactor.VECTOR] < base[BoundingFactor.VECTOR]
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            Bord(SPR_HBM).region_fractions(0.0, 0.01)
+
+
+class TestAscii:
+    def test_contains_all_regions_for_hbm(self):
+        bord = Bord(SPR_HBM)
+        art = bord.render_ascii([], 0.012, 0.012)
+        assert "m" in art and "v" in art and "x" in art
+
+    def test_points_plotted(self):
+        bord = Bord(SPR_HBM)
+        point = bord.place("Q8", 0.002, 0.002)
+        art = bord.render_ascii([point], 0.012, 0.012)
+        assert "*" in art
+
+    def test_too_small_canvas(self):
+        with pytest.raises(ConfigurationError):
+            Bord(SPR_HBM).render_ascii([], 0.01, 0.01, width=4, height=2)
+
+    def test_place_all(self):
+        bord = Bord(SPR_HBM)
+        points = bord.place_all([("a", 0.001, 0.001), ("b", 0.01, 0.01)])
+        assert [p.label for p in points] == ["a", "b"]

@@ -1,0 +1,81 @@
+"""Tests for the DECA design-space exploration."""
+
+import pytest
+
+from repro.core.dse import (
+    deca_machine_view,
+    design_cost,
+    explore_deca_designs,
+    scheme_deca_signature,
+)
+from repro.core.machine import SPR_HBM
+from repro.core.roofsurface import BoundingFactor
+from repro.core.schemes import PAPER_SCHEMES, parse_scheme
+from repro.errors import ConfigurationError
+
+
+class TestDecaMachineView:
+    def test_one_vop_per_cycle_per_core(self):
+        view = deca_machine_view(SPR_HBM)
+        assert view.vector_ops_per_second == pytest.approx(56 * 2.5e9)
+
+    def test_other_rates_unchanged(self):
+        view = deca_machine_view(SPR_HBM)
+        assert view.matrix_ops_per_second == SPR_HBM.matrix_ops_per_second
+        assert view.memory_bandwidth == SPR_HBM.memory_bandwidth
+
+
+class TestSignatures:
+    def test_q16_bypasses_lut(self):
+        # 16-bit storage needs no dequantization: AI_XV = W / 512.
+        _aixm, aixv = scheme_deca_signature(parse_scheme("Q16_50%"), 32, 8)
+        assert aixv == pytest.approx(1 / 16)
+
+    def test_dense_q8_bubbles(self):
+        _aixm, aixv = scheme_deca_signature(parse_scheme("Q8"), 32, 8)
+        assert aixv == pytest.approx(1 / 64)
+
+    def test_q4_uses_sub_luts(self):
+        _aixm, aixv = scheme_deca_signature(parse_scheme("Q4"), 32, 8)
+        assert aixv == pytest.approx(1 / 16)
+
+
+class TestExploration:
+    def test_paper_best_design(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        assert (result.best.width, result.best.lut_count) == (32, 8)
+
+    def test_underprovisioned_fails(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        under = result.design(8, 4)
+        assert not under.saturates
+        assert len(under.vec_bound_schemes) >= 8
+
+    def test_overprovisioned_saturates(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        assert result.design(64, 64).saturates
+
+    def test_best_is_cheapest_saturating(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        for point in result.designs:
+            if point.saturates:
+                assert point.cost >= result.best.cost
+
+    def test_unknown_design_lookup(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        with pytest.raises(ConfigurationError):
+            result.design(7, 3)
+
+    def test_cost_monotone_in_w_and_l(self):
+        assert design_cost(64, 8) > design_cost(32, 8)
+        assert design_cost(32, 16) > design_cost(32, 8)
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            explore_deca_designs(SPR_HBM, [])
+
+    def test_bounds_recorded_per_scheme(self):
+        result = explore_deca_designs(SPR_HBM, PAPER_SCHEMES)
+        best = result.best
+        assert set(best.bounds) == {s.name for s in PAPER_SCHEMES}
+        assert all(isinstance(b, BoundingFactor) for b in best.bounds.values())

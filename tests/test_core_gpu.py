@@ -1,0 +1,42 @@
+"""Tests for the GPU Roof-Surface presets (Section 10 extension)."""
+
+import pytest
+
+from repro.core.gpu import a100_like, gpu_bord, h100_like
+from repro.core.roofsurface import BoundingFactor, RoofSurface
+from repro.core.schemes import PAPER_SCHEMES
+from repro.kernels.libxsmm import software_aixv
+
+
+class TestPresets:
+    def test_a100_rates(self):
+        gpu = a100_like()
+        # ~305 G tile ops/s and ~1.2 T vector ops/s.
+        assert gpu.matrix_ops_per_second == pytest.approx(304.7e9, rel=0.01)
+        assert gpu.vector_ops_per_second == pytest.approx(1.218e12, rel=0.01)
+
+    def test_h100_faster_everywhere(self):
+        a100, h100 = a100_like(), h100_like()
+        assert h100.memory_bandwidth > a100.memory_bandwidth
+        assert h100.matrix_ops_per_second > a100.matrix_ops_per_second
+
+    def test_fractional_tmul_cycles_allowed(self):
+        assert 0 < a100_like().tmul_cycles < 1
+
+
+class TestGpuBord:
+    def test_software_decompression_vec_bound_on_gpu_too(self):
+        # The paper's Section 10 argument: Flash-LLM-style software
+        # decompression leaves most schemes vector-bound on GPUs as well.
+        bord = gpu_bord()
+        vec_bound = 0
+        for scheme in PAPER_SCHEMES:
+            bound = bord.classify(scheme.aixm(), software_aixv(scheme))
+            if bound is BoundingFactor.VECTOR:
+                vec_bound += 1
+        assert vec_bound >= 6
+
+    def test_roof_surface_model_composes(self):
+        model = RoofSurface(a100_like(), batch_rows=16)
+        flops = model.flops(0.002, 0.01)
+        assert flops > 0

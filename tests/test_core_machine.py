@@ -1,0 +1,49 @@
+"""Tests for machine specifications."""
+
+import pytest
+
+from repro.core.machine import SPR_DDR, SPR_HBM, MachineSpec, spr_hbm
+from repro.errors import ConfigurationError
+
+
+class TestMachineSpec:
+    def test_hbm_vos(self):
+        # 2.5 GHz x 56 cores x 2 SIMD units = 280 G vOps/s.
+        assert SPR_HBM.vector_ops_per_second == pytest.approx(280e9)
+
+    def test_hbm_mos(self):
+        # 2.5 GHz x 56 / 16 cycles = 8.75 G tile ops/s.
+        assert SPR_HBM.matrix_ops_per_second == pytest.approx(8.75e9)
+
+    def test_bandwidths(self):
+        assert SPR_HBM.memory_bandwidth == pytest.approx(850e9)
+        assert SPR_DDR.memory_bandwidth == pytest.approx(260e9)
+
+    def test_with_cores(self):
+        small = SPR_HBM.with_cores(8)
+        assert small.cores == 8
+        assert small.matrix_ops_per_second == pytest.approx(8.75e9 / 7)
+
+    def test_with_vector_scale(self):
+        scaled = SPR_HBM.with_vector_scale(4)
+        assert scaled.vector_ops_per_second == pytest.approx(4 * 280e9)
+        assert scaled.matrix_ops_per_second == SPR_HBM.matrix_ops_per_second
+
+    def test_with_bandwidth(self):
+        fast = SPR_DDR.with_bandwidth(500e9)
+        assert fast.memory_bandwidth == 500e9
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec("x", 0, 2.5e9, 2, 1e9)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec("x", 1, 0.0, 2, 1e9)
+
+    def test_invalid_vector_scale(self):
+        with pytest.raises(ConfigurationError):
+            SPR_HBM.with_vector_scale(0.1)
+
+    def test_custom_core_count_preset(self):
+        assert spr_hbm(16).cores == 16

@@ -1,0 +1,67 @@
+"""Tests for the traditional 2-D roofline."""
+
+import pytest
+
+from repro.core.machine import SPR_DDR, SPR_HBM
+from repro.core.roofline import Roofline
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.errors import ConfigurationError
+
+
+class TestRoofline:
+    def test_peak_flops(self):
+        roofline = Roofline(SPR_HBM, batch_rows=4)
+        assert roofline.peak_flops == pytest.approx(512 * 4 * 8.75e9)
+
+    def test_memory_bound_region(self):
+        roofline = Roofline(SPR_HBM, batch_rows=4)
+        ai = UNCOMPRESSED.traditional_ai(4)
+        assert roofline.is_memory_bound(ai)
+        assert roofline.attainable_flops(ai) == pytest.approx(850e9 * ai)
+
+    def test_compute_ceiling(self):
+        roofline = Roofline(SPR_HBM, batch_rows=4)
+        huge_ai = roofline.ridge_intensity * 100
+        assert roofline.attainable_flops(huge_ai) == roofline.peak_flops
+
+    def test_ridge_point_continuity(self):
+        roofline = Roofline(SPR_DDR, batch_rows=1)
+        ridge = roofline.ridge_intensity
+        assert roofline.attainable_flops(ridge) == pytest.approx(
+            roofline.peak_flops
+        )
+
+    def test_ddr_ridge_is_further_right(self):
+        # Lower bandwidth pushes the ridge point right.
+        assert (
+            Roofline(SPR_DDR, 4).ridge_intensity
+            > Roofline(SPR_HBM, 4).ridge_intensity
+        )
+
+    def test_scheme_point_efficiency(self):
+        roofline = Roofline(SPR_HBM, batch_rows=4)
+        scheme = parse_scheme("Q8")
+        point = roofline.scheme_point(scheme, observed_flops=1e12)
+        assert point.efficiency == pytest.approx(
+            1e12 / roofline.attainable_flops(scheme.traditional_ai(4))
+        )
+
+    def test_series_matches_pointwise(self):
+        roofline = Roofline(SPR_HBM, batch_rows=1)
+        grid = [0.5, 1.0, 2.0]
+        series = roofline.series(grid)
+        for (ai, flops) in series:
+            assert flops == roofline.attainable_flops(ai)
+
+    def test_invalid_ai(self):
+        with pytest.raises(ConfigurationError):
+            Roofline(SPR_HBM).attainable_flops(0.0)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            Roofline(SPR_HBM, batch_rows=0)
+
+    def test_intensity_grid_spans_ridge(self):
+        roofline = Roofline(SPR_HBM, batch_rows=4)
+        grid = roofline.default_intensity_grid()
+        assert grid[0] < roofline.ridge_intensity < grid[-1]

@@ -1,0 +1,83 @@
+"""Tests for the 3-D Roof-Surface model."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import SPR_HBM
+from repro.core.roofsurface import BoundingFactor, RoofSurface
+from repro.errors import ConfigurationError
+
+
+class TestEquation:
+    def test_min_of_three_terms(self):
+        model = RoofSurface(SPR_HBM, batch_rows=1)
+        aixm, aixv = 0.002, 0.01
+        expected = min(850e9 * aixm, 280e9 * aixv, 8.75e9)
+        assert model.tiles_per_second(aixm, aixv) == pytest.approx(expected)
+
+    def test_flops_is_512n_times_tps(self):
+        model = RoofSurface(SPR_HBM, batch_rows=4)
+        assert model.flops(0.002, 0.01) == pytest.approx(
+            512 * 4 * model.tiles_per_second(0.002, 0.01)
+        )
+
+    def test_batch_saturates_at_16(self):
+        m16 = RoofSurface(SPR_HBM, batch_rows=16)
+        m32 = RoofSurface(SPR_HBM, batch_rows=32)
+        assert m16.flops(0.002, 0.01) == m32.flops(0.002, 0.01)
+
+    def test_memory_bound_classification(self):
+        model = RoofSurface(SPR_HBM)
+        assert model.bounding_factor(1e-4, 1.0) is BoundingFactor.MEMORY
+
+    def test_vector_bound_classification(self):
+        model = RoofSurface(SPR_HBM)
+        assert model.bounding_factor(1.0, 1e-4) is BoundingFactor.VECTOR
+
+    def test_matrix_bound_classification(self):
+        model = RoofSurface(SPR_HBM)
+        assert model.bounding_factor(1.0, 1.0) is BoundingFactor.MATRIX
+
+    def test_tie_never_reports_vector(self):
+        model = RoofSurface(SPR_HBM)
+        # Pick AI_XV so VEC rate exactly equals MOS.
+        aixv = SPR_HBM.matrix_ops_per_second / SPR_HBM.vector_ops_per_second
+        assert model.bounding_factor(1.0, aixv) is BoundingFactor.MATRIX
+
+    def test_evaluate_summary(self):
+        model = RoofSurface(SPR_HBM, batch_rows=4)
+        point = model.evaluate("Q8", 0.002, 0.01)
+        assert "Q8" in point.summary()
+        assert point.bound in BoundingFactor
+
+    def test_invalid_intensities(self):
+        model = RoofSurface(SPR_HBM)
+        with pytest.raises(ConfigurationError):
+            model.tiles_per_second(0.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            model.tiles_per_second(0.01, -1.0)
+
+
+class TestSurfaceGrid:
+    def test_shape(self):
+        model = RoofSurface(SPR_HBM, batch_rows=4)
+        x, y, z = model.surface_grid(0.01, 0.04, points=17)
+        assert x.shape == y.shape == z.shape == (17, 17)
+
+    def test_grid_matches_equation(self):
+        model = RoofSurface(SPR_HBM, batch_rows=4)
+        x, y, z = model.surface_grid(0.01, 0.04, points=9)
+        for i in range(9):
+            for j in range(9):
+                assert z[i, j] == pytest.approx(model.flops(x[i, j], y[i, j]))
+
+    def test_surface_is_monotone(self):
+        model = RoofSurface(SPR_HBM, batch_rows=1)
+        _x, _y, z = model.surface_grid(0.01, 0.04, points=15)
+        # Increasing either intensity never decreases attainable FLOPS.
+        assert np.all(np.diff(z, axis=0) >= -1e-6)
+        assert np.all(np.diff(z, axis=1) >= -1e-6)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ConfigurationError):
+            RoofSurface(SPR_HBM).surface_grid(0.0, 0.01)

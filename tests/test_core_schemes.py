@@ -1,0 +1,85 @@
+"""Tests for compression schemes and their memory signatures."""
+
+import pytest
+
+from repro.core.schemes import (
+    CompressionScheme,
+    PAPER_SCHEMES,
+    UNCOMPRESSED,
+    parse_scheme,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParsing:
+    def test_dense_names(self):
+        assert parse_scheme("Q8").format_name == "bf8"
+        assert parse_scheme("Q4").format_name == "mxfp4"
+        assert parse_scheme("Q16").format_name == "bf16"
+
+    def test_density_suffix(self):
+        scheme = parse_scheme("Q8_20%")
+        assert scheme.density == pytest.approx(0.2)
+
+    def test_case_insensitive(self):
+        assert parse_scheme("q8_5%").name == "Q8_5%"
+
+    def test_name_roundtrip(self):
+        for scheme in PAPER_SCHEMES:
+            assert parse_scheme(scheme.name) == scheme
+
+    def test_bad_name(self):
+        with pytest.raises(ConfigurationError):
+            parse_scheme("FP8_20%")
+        with pytest.raises(ConfigurationError):
+            parse_scheme("Q8_")
+
+    def test_unknown_q(self):
+        with pytest.raises(ConfigurationError):
+            parse_scheme("Q2")
+
+    def test_invalid_density(self):
+        with pytest.raises(ConfigurationError):
+            CompressionScheme("bf8", 0.0)
+        with pytest.raises(ConfigurationError):
+            CompressionScheme("bf8", 1.2)
+
+
+class TestBytesAndFactors:
+    def test_uncompressed_tile_bytes(self):
+        assert UNCOMPRESSED.bytes_per_tile() == 1024
+
+    def test_dense_q8(self):
+        assert parse_scheme("Q8").bytes_per_tile() == 512
+
+    def test_sparse_adds_bitmask(self):
+        # 512 x 0.2 x 1B + 64B bitmask.
+        assert parse_scheme("Q8_20%").bytes_per_tile() == pytest.approx(166.4)
+
+    def test_q4_includes_scales(self):
+        assert parse_scheme("Q4").bytes_per_tile() == 256 + 16
+
+    def test_compression_factor_formula(self):
+        # Paper: CF = 16 / (Q * d + 1) for sparse schemes.
+        scheme = parse_scheme("Q8_20%")
+        assert scheme.compression_factor() == pytest.approx(16 / (8 * 0.2 + 1))
+
+    def test_paper_scheme_order_is_increasing_cf(self):
+        factors = [s.compression_factor() for s in PAPER_SCHEMES]
+        assert factors == sorted(factors)
+
+    def test_aixm_inverse_of_bytes(self, scheme):
+        assert scheme.aixm() == pytest.approx(1.0 / scheme.bytes_per_tile())
+
+    def test_traditional_ai_scales_with_batch(self):
+        scheme = parse_scheme("Q8")
+        assert scheme.traditional_ai(4) == pytest.approx(
+            4 * scheme.traditional_ai(1)
+        )
+
+    def test_traditional_ai_saturates_at_16(self):
+        scheme = parse_scheme("Q8")
+        assert scheme.traditional_ai(32) == scheme.traditional_ai(16)
+
+    def test_twelve_paper_schemes(self):
+        assert len(PAPER_SCHEMES) == 12

@@ -1,0 +1,52 @@
+"""Tests for the DECA area model."""
+
+import pytest
+
+from repro.deca.area import deca_area
+from repro.deca.config import DecaConfig
+from repro.errors import ConfigurationError
+
+
+class TestReferenceDesign:
+    def test_total_matches_paper(self):
+        breakdown = deca_area()
+        assert breakdown.total == pytest.approx(2.51, rel=0.01)
+
+    def test_fractions_match_paper(self):
+        fractions = deca_area().fractions()
+        assert fractions["buffering"] == pytest.approx(0.55, abs=0.01)
+        assert fractions["lut_array"] == pytest.approx(0.22, abs=0.01)
+        assert fractions["logic"] == pytest.approx(0.23, abs=0.01)
+
+    def test_die_overhead_under_0_2_percent(self):
+        assert deca_area().die_overhead() < 0.002
+
+    def test_per_pe(self):
+        breakdown = deca_area()
+        assert breakdown.per_pe == pytest.approx(2.51 / 56, rel=0.01)
+
+
+class TestScaling:
+    def test_lut_scales_with_l(self):
+        big = deca_area(DecaConfig(width=32, lut_count=16))
+        base = deca_area()
+        assert big.lut_array == pytest.approx(2 * base.lut_array)
+        assert big.buffering == pytest.approx(base.buffering)
+
+    def test_crossbar_scales_quadratically_with_w(self):
+        big = deca_area(DecaConfig(width=64, lut_count=8))
+        base = deca_area()
+        assert big.crossbar == pytest.approx(4 * base.crossbar)
+        assert big.buffering == pytest.approx(2 * base.buffering)
+
+    def test_overprovisioned_much_larger(self):
+        over = deca_area(DecaConfig(width=64, lut_count=64))
+        assert over.total > 2 * deca_area().total
+
+    def test_pe_count(self):
+        half = deca_area(pes=28)
+        assert half.total == pytest.approx(deca_area().total / 2)
+
+    def test_invalid_pes(self):
+        with pytest.raises(ConfigurationError):
+            deca_area(pes=0)

@@ -1,0 +1,51 @@
+"""Tests for the DECA PE configuration."""
+
+import pytest
+
+from repro.deca.config import (
+    BASELINE_CONFIG,
+    OVERPROVISIONED_CONFIG,
+    UNDERPROVISIONED_CONFIG,
+    DecaConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDecaConfig:
+    def test_baseline_is_paper_design(self):
+        assert (BASELINE_CONFIG.width, BASELINE_CONFIG.lut_count) == (32, 8)
+
+    def test_vops_per_tile(self):
+        assert DecaConfig(width=32).vops_per_tile == 16
+        assert DecaConfig(width=8, lut_count=4).vops_per_tile == 64
+
+    def test_lq_by_bits(self):
+        config = DecaConfig(width=32, lut_count=8)
+        assert config.lq(8) == 8
+        assert config.lq(7) == 16
+        assert config.lq(4) == 32
+
+    def test_dequant_cycles_for_window(self):
+        config = DecaConfig(width=32, lut_count=8)
+        assert config.dequant_cycles_for_window(0, 8) == 1
+        assert config.dequant_cycles_for_window(8, 8) == 1
+        assert config.dequant_cycles_for_window(9, 8) == 2
+        assert config.dequant_cycles_for_window(32, 8) == 4
+        assert config.dequant_cycles_for_window(32, 4) == 1
+
+    def test_window_out_of_range(self):
+        config = DecaConfig()
+        with pytest.raises(ConfigurationError):
+            config.dequant_cycles_for_window(33, 8)
+
+    def test_width_must_divide_512(self):
+        with pytest.raises(ConfigurationError):
+            DecaConfig(width=24)
+
+    def test_l_greater_than_w_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecaConfig(width=8, lut_count=16)
+
+    def test_figure16_designs_valid(self):
+        assert UNDERPROVISIONED_CONFIG.width == 8
+        assert OVERPROVISIONED_CONFIG.lut_count == 64

@@ -1,0 +1,58 @@
+"""Tests for the expansion crossbar and window arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.deca.crossbar import expand_window, split_windows, window_popcount
+from repro.errors import SimulationError
+
+
+class TestExpandWindow:
+    def test_routes_values(self):
+        mask = np.array([True, False, True, False], dtype=bool)
+        out = expand_window(np.array([1.0, 2.0], dtype=np.float32), mask)
+        assert out.tolist() == [1.0, 0.0, 2.0, 0.0]
+
+    def test_empty_window(self):
+        mask = np.zeros(8, dtype=bool)
+        out = expand_window(np.zeros(0, dtype=np.float32), mask)
+        assert np.all(out == 0.0)
+
+    def test_full_window_is_identity(self, rng):
+        values = rng.normal(size=16).astype(np.float32)
+        out = expand_window(values, np.ones(16, dtype=bool))
+        assert np.array_equal(out, values)
+
+    def test_count_mismatch(self):
+        with pytest.raises(SimulationError):
+            expand_window(
+                np.zeros(3, dtype=np.float32),
+                np.array([True, False], dtype=bool),
+            )
+
+    def test_popcount(self):
+        assert window_popcount(np.array([True, False, True])) == 2
+
+
+class TestSplitWindows:
+    def test_sizes_and_starts(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[:10] = True   # 10 in window 0
+        mask[40:45] = True  # 5 in window 1
+        sizes, starts = split_windows(mask, 32)
+        assert sizes.tolist() == [10, 5]
+        assert starts.tolist() == [0, 10]
+
+    def test_total_equals_popcount(self, rng):
+        mask = rng.random(512) < 0.3
+        sizes, _ = split_windows(mask, 32)
+        assert sizes.sum() == mask.sum()
+
+    def test_window_count(self, rng):
+        mask = rng.random(512) < 0.5
+        sizes, _ = split_windows(mask, 8)
+        assert len(sizes) == 64
+
+    def test_indivisible_width_rejected(self):
+        with pytest.raises(SimulationError):
+            split_windows(np.zeros(10, dtype=bool), 3)

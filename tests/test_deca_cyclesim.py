@@ -1,0 +1,102 @@
+"""Tests for the cycle-accurate PE scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.deca.config import DecaConfig
+from repro.deca.cyclesim import (
+    occupancy_histogram,
+    simulate_pe_cycles,
+    validate_against_tile_model,
+)
+from repro.errors import ConfigurationError
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tiles(rng, fmt="bf8", density=0.3, count=4):
+    tiles = []
+    for _ in range(count):
+        mask = (
+            None if density >= 1.0
+            else random_mask(TILE_SHAPE, density, rng=rng)
+        )
+        tiles.append(
+            CompressedTile.from_dense(
+                random_weights(rng, *TILE_SHAPE), fmt, mask
+            )
+        )
+    return tiles
+
+
+class TestCycleSim:
+    def test_dense_q8_occupancy(self, rng):
+        result = simulate_pe_cycles(
+            DecaConfig(32, 8), _tiles(rng, density=1.0, count=2)
+        )
+        # 2 tiles x 16 vOps x 4 cycles + 2 drain cycles.
+        assert result.total_cycles == 2 * 64 + 2
+        assert result.stage_utilization() > 0.95
+
+    def test_matches_tile_pipeline_model(self, rng):
+        tiles = _tiles(rng, density=0.25, count=6)
+        assert validate_against_tile_model(DecaConfig(32, 8), tiles)
+
+    def test_loaders_alternate(self, rng):
+        result = simulate_pe_cycles(DecaConfig(32, 8), _tiles(rng, count=4))
+        loader_by_tile = {
+            e.tile_index: e.loader_id for e in result.events
+        }
+        assert loader_by_tile == {0: 0, 1: 1, 2: 0, 3: 1}
+
+    def test_vops_in_order(self, rng):
+        result = simulate_pe_cycles(DecaConfig(32, 8), _tiles(rng, count=2))
+        starts = [e.dequant_start for e in result.events]
+        assert starts == sorted(starts)
+
+    def test_sparse_beats_dense_throughput(self, rng):
+        dense = simulate_pe_cycles(
+            DecaConfig(32, 8), _tiles(rng, density=1.0, count=3)
+        )
+        sparse = simulate_pe_cycles(
+            DecaConfig(32, 8), _tiles(rng, density=0.1, count=3)
+        )
+        assert sparse.total_cycles < dense.total_cycles
+
+    def test_histogram_shape(self, rng):
+        result = simulate_pe_cycles(
+            DecaConfig(32, 8), _tiles(rng, density=1.0, count=1)
+        )
+        hist = occupancy_histogram(result)
+        # Dense 8-bit at W=32, L=8: every vOp takes exactly 4 cycles.
+        assert hist[4] == 16
+        assert hist[:4].sum() == 0
+
+    def test_bf16_one_cycle_per_vop(self, rng):
+        result = simulate_pe_cycles(
+            DecaConfig(32, 8), _tiles(rng, fmt="bf16", density=0.5, count=2)
+        )
+        assert all(e.dequant_cycles == 1 for e in result.events)
+
+    def test_mixed_formats_rejected(self, rng):
+        tiles = _tiles(rng, fmt="bf8", count=1) + _tiles(
+            rng, fmt="mxfp4", density=1.0, count=1
+        )
+        with pytest.raises(ConfigurationError):
+            simulate_pe_cycles(DecaConfig(), tiles)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_pe_cycles(DecaConfig(), [])
+
+    def test_mean_cycles_match_binomial_model(self, rng):
+        from repro.core.bubbles import deca_vops_per_tile
+        config = DecaConfig(32, 8)
+        tiles = _tiles(rng, density=0.3, count=40)
+        result = simulate_pe_cycles(config, tiles)
+        measured = np.mean(
+            [result.tile_pipeline_cycles(i) for i in range(len(tiles))]
+        )
+        expected = deca_vops_per_tile(32, 8, 8, 0.3, sparse=True)
+        assert measured == pytest.approx(expected, rel=0.05)

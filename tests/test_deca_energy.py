@@ -1,0 +1,84 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.deca.energy import (
+    EnergyBreakdown,
+    gemm_energy,
+    memory_pj_per_bit,
+)
+from repro.deca.integration import deca_kernel_timing
+from repro.errors import ConfigurationError
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sim.system import ddr_system, hbm_system
+
+
+class TestBasics:
+    def test_memory_technology_selection(self):
+        assert memory_pj_per_bit(hbm_system()) == 4.0
+        assert memory_pj_per_bit(ddr_system()) == 15.0
+
+    def test_breakdown_total(self):
+        b = EnergyBreakdown(1.0, 0.5, 0.25, 0.25)
+        assert b.total == 2.0
+        assert b.as_millijoules()["total"] == 2000.0
+
+    def test_validation(self, hbm):
+        scheme = parse_scheme("Q8")
+        result = simulate_tile_stream(hbm, deca_kernel_timing(hbm, scheme))
+        with pytest.raises(ConfigurationError):
+            gemm_energy(hbm, result, 0, 512.0, uses_deca=True)
+        with pytest.raises(ConfigurationError):
+            gemm_energy(hbm, result, 100, -1.0, uses_deca=True)
+
+
+class TestComparisons:
+    def test_compression_saves_memory_energy(self, hbm):
+        tiles = 100_000
+        from repro.kernels.libxsmm import uncompressed_kernel_timing
+        base = simulate_tile_stream(hbm, uncompressed_kernel_timing(hbm))
+        base_energy = gemm_energy(
+            hbm, base, tiles, 1024.0, uses_deca=False
+        )
+        scheme = parse_scheme("Q8_10%")
+        deca = simulate_tile_stream(hbm, deca_kernel_timing(hbm, scheme))
+        deca_energy = gemm_energy(
+            hbm, deca, tiles, scheme.bytes_per_tile(), uses_deca=True
+        )
+        assert deca_energy.memory_joules < base_energy.memory_joules / 7
+        assert deca_energy.total < base_energy.total
+
+    def test_few_deca_cores_beat_many_sw_cores_on_energy(self):
+        # The Figure 14 scenario: 16 DECA cores (40 parked) vs 56 software
+        # cores, Q8_5% on DDR, equal work.
+        scheme = parse_scheme("Q8_5%")
+        tiles = 200_000
+        sw_system = ddr_system(56)
+        sw = simulate_tile_stream(
+            sw_system, software_kernel_timing(sw_system, scheme)
+        )
+        sw_energy = gemm_energy(
+            sw_system, sw, tiles, scheme.bytes_per_tile(), uses_deca=False
+        )
+        deca_system = ddr_system(16)
+        deca = simulate_tile_stream(
+            deca_system, deca_kernel_timing(deca_system, scheme)
+        )
+        deca_energy = gemm_energy(
+            deca_system, deca, tiles, scheme.bytes_per_tile(),
+            uses_deca=True, parked_cores=40,
+        )
+        # Even paying idle power for 40 parked cores, the DECA setup uses
+        # far less energy (and finishes sooner, per Figure 14).
+        assert deca_energy.total < sw_energy.total
+        assert deca.tiles_per_second >= sw.tiles_per_second * 0.95
+
+    def test_deca_power_is_small_adder(self, hbm):
+        scheme = parse_scheme("Q8")
+        result = simulate_tile_stream(hbm, deca_kernel_timing(hbm, scheme))
+        energy = gemm_energy(
+            hbm, result, 10_000, scheme.bytes_per_tile(), uses_deca=True
+        )
+        assert energy.deca_joules < 0.05 * energy.core_joules

@@ -1,0 +1,78 @@
+"""Tests for the DECA integration ladder (Figure 17 options)."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.deca.integration import (
+    INTEGRATION_LADDER,
+    DecaIntegration,
+    FULL_INTEGRATION,
+    deca_kernel_timing,
+)
+from repro.errors import ConfigurationError
+from repro.sim.pipeline import InvocationMode, simulate_tile_stream
+
+
+class TestLadder:
+    def test_five_rungs(self):
+        assert len(INTEGRATION_LADDER) == 5
+        assert INTEGRATION_LADDER[0].label == "Base"
+        assert INTEGRATION_LADDER[-1].label == "+TEPL (DECA)"
+
+    def test_full_integration_is_last(self):
+        assert FULL_INTEGRATION.tepl
+        assert FULL_INTEGRATION.tout_regs
+
+    def test_prefetch_windows_increase(self):
+        windows = [opt.prefetch_window for opt in INTEGRATION_LADDER[:3]]
+        assert windows == sorted(windows)
+        assert windows[0] < windows[-1]
+
+    def test_exposure_decreases(self, hbm):
+        exposures = [
+            opt.exposed_latency(hbm) for opt in INTEGRATION_LADDER[:3]
+        ]
+        assert exposures == sorted(exposures, reverse=True)
+
+    def test_tout_shortens_handoff(self, hbm):
+        without = INTEGRATION_LADDER[2].handoff_cycles(hbm)
+        with_tout = INTEGRATION_LADDER[3].handoff_cycles(hbm)
+        assert with_tout < without
+
+    def test_prefetcher_requires_l2(self):
+        with pytest.raises(ConfigurationError):
+            DecaIntegration(
+                reads_l2=False, own_prefetcher=True,
+                tout_regs=False, tepl=False,
+            )
+
+
+class TestKernelTiming:
+    def test_tepl_mode(self, hbm):
+        timing = deca_kernel_timing(hbm, parse_scheme("Q8_20%"))
+        assert timing.mode is InvocationMode.TEPL
+        assert timing.fence_cycles == 0.0
+        assert not timing.dec_is_avx
+
+    def test_store_mode_before_tepl(self, hbm):
+        timing = deca_kernel_timing(
+            hbm, parse_scheme("Q8_20%"), integration=INTEGRATION_LADDER[3]
+        )
+        assert timing.mode is InvocationMode.SERIALIZED
+        assert timing.invoke_cycles == hbm.mmio_store_latency
+
+    def test_each_rung_improves(self, hbm):
+        scheme = parse_scheme("Q8_10%")
+        intervals = []
+        for option in INTEGRATION_LADDER:
+            timing = deca_kernel_timing(hbm, scheme, integration=option)
+            sim = simulate_tile_stream(hbm, timing)
+            intervals.append(sim.steady_interval_cycles)
+        for prev, nxt in zip(intervals, intervals[1:]):
+            assert nxt < prev
+
+    def test_dec_cycles_override(self, hbm):
+        timing = deca_kernel_timing(
+            hbm, parse_scheme("Q8"), dec_cycles=[10.0, 20.0]
+        )
+        assert timing.tile_dec_cycles(4).tolist() == [10, 20, 10, 20]

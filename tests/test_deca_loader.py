@@ -1,0 +1,93 @@
+"""Tests for the DECA Loaders."""
+
+import pytest
+
+from repro.deca.loader import Loader, PrefetcherState, TileMetadata
+from repro.errors import SimulationError
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, fmt="bf8", density=0.5):
+    mask = random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(random_weights(rng, *TILE_SHAPE), fmt, mask)
+
+
+class TestTileMetadata:
+    def test_byte_counts_match_tile(self, rng):
+        tile = _tile(rng)
+        metadata = TileMetadata.for_tile(tile)
+        assert metadata.total_bytes == tile.nbytes()
+        assert metadata.bitmask_bytes == 64
+
+    def test_dense_tile_has_no_bitmask(self, rng):
+        tile = CompressedTile.from_dense(
+            random_weights(rng, *TILE_SHAPE), "bf8"
+        )
+        assert TileMetadata.for_tile(tile).bitmask_bytes == 0
+
+    def test_mxfp4_scale_bytes(self, rng):
+        tile = CompressedTile.from_dense(
+            random_weights(rng, *TILE_SHAPE), "mxfp4"
+        )
+        assert TileMetadata.for_tile(tile).scale_bytes == 16
+
+
+class TestLoader:
+    def test_fetch_lifecycle(self, rng):
+        loader = Loader(loader_id=0)
+        metadata = TileMetadata.for_tile(_tile(rng))
+        loader.begin_fetch(metadata)
+        assert loader.busy
+        assert loader.fetched_bytes == metadata.total_bytes
+        loader.complete()
+        assert not loader.busy
+        assert loader.queues.sqq_bytes == 0
+
+    def test_double_fetch_rejected(self, rng):
+        loader = Loader(loader_id=0)
+        metadata = TileMetadata.for_tile(_tile(rng))
+        loader.begin_fetch(metadata)
+        with pytest.raises(SimulationError, match="busy"):
+            loader.begin_fetch(metadata)
+
+    def test_complete_without_fetch_rejected(self):
+        with pytest.raises(SimulationError):
+            Loader(loader_id=0).complete()
+
+    def test_squash_frees_loader(self, rng):
+        loader = Loader(loader_id=0)
+        loader.begin_fetch(TileMetadata.for_tile(_tile(rng)))
+        loader.squash()
+        assert not loader.busy
+        # After a squash the same fetch may be reissued.
+        loader.begin_fetch(TileMetadata.for_tile(_tile(rng)))
+
+    def test_sqq_occupancy_clamped(self, rng):
+        loader = Loader(loader_id=0, sqq_capacity=64)
+        loader.begin_fetch(TileMetadata.for_tile(_tile(rng, density=1.0)))
+        assert loader.queues.sqq_bytes <= 64
+
+    def test_tile_counter(self, rng):
+        loader = Loader(loader_id=0)
+        for _ in range(3):
+            loader.begin_fetch(TileMetadata.for_tile(_tile(rng)))
+            loader.complete()
+        assert loader.tiles_loaded == 3
+
+
+class TestPrefetcher:
+    def test_locks_after_two_tiles(self, rng):
+        pf = PrefetcherState(depth=8)
+        first = pf.observe(TileMetadata.for_tile(_tile(rng)))
+        second = pf.observe(TileMetadata.for_tile(_tile(rng)))
+        assert first == 0
+        assert second == 8
+        assert pf.locked
+
+    def test_issued_accumulates(self, rng):
+        pf = PrefetcherState(depth=4)
+        for _ in range(3):
+            pf.observe(TileMetadata.for_tile(_tile(rng)))
+        assert pf.issued_prefetches == 8

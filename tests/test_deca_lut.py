@@ -1,0 +1,90 @@
+"""Tests for the LUT array."""
+
+import numpy as np
+import pytest
+
+from repro.deca.lut import LutArray
+from repro.errors import ConfigurationError, FormatError
+from repro.formats.registry import dequant_lut, get_format
+
+
+class TestProgramming:
+    def test_starts_unprogrammed(self):
+        lut = LutArray(8)
+        assert not lut.is_programmed
+        with pytest.raises(FormatError):
+            lut.lookup(np.array([0], dtype=np.uint8))
+
+    def test_program_bf8(self):
+        lut = LutArray(8)
+        lut.program(get_format("bf8"))
+        assert lut.is_programmed
+        assert lut.format_name == "bf8"
+        assert lut.bits == 8
+
+    def test_reprogram_switches_format(self):
+        lut = LutArray(8)
+        lut.program(get_format("bf8"))
+        lut.program(get_format("mxfp4"))
+        assert lut.format_name == "mxfp4"
+
+    def test_invalidate(self):
+        lut = LutArray(8)
+        lut.program(get_format("bf8"))
+        lut.invalidate()
+        assert not lut.is_programmed
+
+    def test_bf16_rejected(self):
+        with pytest.raises(FormatError):
+            LutArray(8).program(get_format("bf16"))
+
+    def test_invalid_lut_count(self):
+        with pytest.raises(ConfigurationError):
+            LutArray(0)
+
+
+class TestLookup:
+    def test_matches_decode_table(self):
+        lut = LutArray(8)
+        fmt = get_format("bf8")
+        lut.program(fmt)
+        codes = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(
+            lut.lookup(codes), dequant_lut(fmt), equal_nan=True
+        )
+
+    def test_narrow_format_low_entries(self):
+        lut = LutArray(8)
+        lut.program(get_format("mxfp4"))
+        codes = np.arange(16, dtype=np.uint8)
+        assert np.array_equal(lut.lookup(codes), dequant_lut(get_format("mxfp4")))
+
+    def test_out_of_range_code_rejected(self):
+        lut = LutArray(8)
+        lut.program(get_format("mxfp4"))
+        with pytest.raises(FormatError):
+            lut.lookup(np.array([16], dtype=np.uint8))
+
+
+class TestPortLimits:
+    def test_reads_per_cycle_8bit(self):
+        lut = LutArray(8)
+        lut.program(get_format("bf8"))
+        assert lut.reads_per_cycle() == 8
+
+    def test_reads_per_cycle_4bit(self):
+        lut = LutArray(8)
+        lut.program(get_format("mxfp4"))
+        assert lut.reads_per_cycle() == 32
+
+    def test_read_cycles(self):
+        lut = LutArray(8)
+        lut.program(get_format("bf8"))
+        assert lut.read_cycles(0) == 1
+        assert lut.read_cycles(8) == 1
+        assert lut.read_cycles(9) == 2
+        assert lut.read_cycles(32) == 4
+
+    def test_unprogrammed_rejects_reads(self):
+        with pytest.raises(FormatError):
+            LutArray(4).reads_per_cycle()

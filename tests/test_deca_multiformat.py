@@ -1,0 +1,88 @@
+"""Cross-format DECA PE workflows: reconfiguration and context switches."""
+
+import numpy as np
+import pytest
+
+from repro.deca.pe import DecaPE
+from repro.errors import FormatError
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, fmt, density=0.5):
+    mask = None if density >= 1.0 else random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(
+        random_weights(rng, *TILE_SHAPE), fmt, mask
+    )
+
+
+class TestReconfiguration:
+    def test_pe_switches_formats_via_lut_reprogram(self, rng):
+        # The Section 7 flexibility claim: one PE, many formats, no
+        # hardware change — only control state.
+        pe = DecaPE()
+        for fmt in ("bf8", "mxfp4", "e4m3", "int4g32", "bf16"):
+            pe.configure(fmt)
+            tile = _tile(rng, fmt)
+            tout, _ = pe.process_tile(tile)
+            assert np.array_equal(
+                pe.read_tout(tout), tile.decompress_reference()
+            ), fmt
+
+    def test_interleaved_processes_context_switch(self, rng):
+        # Two "processes" with different formats sharing one PE through
+        # OS-mediated save/restore (Section 5.1).
+        pe = DecaPE()
+        pe.configure("bf8")
+        state_a = pe.save_state()
+        pe.configure("mxfp4")
+        state_b = pe.save_state()
+        tile_a = _tile(rng, "bf8")
+        tile_b = _tile(rng, "mxfp4", density=1.0)
+        for _ in range(3):
+            pe.restore_state(state_a)
+            tout, _ = pe.process_tile(tile_a)
+            assert np.array_equal(
+                pe.read_tout(tout), tile_a.decompress_reference()
+            )
+            pe.restore_state(state_b)
+            tout, _ = pe.process_tile(tile_b)
+            assert np.array_equal(
+                pe.read_tout(tout), tile_b.decompress_reference()
+            )
+
+    def test_wrong_process_traps(self, rng):
+        # A process using the PE without reconfiguration traps — the OS
+        # hook the paper proposes.
+        pe = DecaPE()
+        pe.configure("bf8")
+        with pytest.raises(FormatError):
+            pe.process_tile(_tile(rng, "mxfp4", density=1.0))
+
+
+class TestThroughputAcrossFormats:
+    def test_narrower_codes_never_slower(self, rng):
+        # At fixed density, <=6-bit codes quadruple LUT reads: 4-bit
+        # dequantization can never take more cycles than 8-bit.
+        pe = DecaPE()
+        dense = random_weights(rng, *TILE_SHAPE)
+        mask = random_mask(TILE_SHAPE, 0.5, rng=rng)
+        pe.configure("bf8")
+        _t, stats8 = pe.process_tile(
+            CompressedTile.from_dense(dense, "bf8", mask)
+        )
+        pe.configure("int4g32")
+        _t, stats4 = pe.process_tile(
+            CompressedTile.from_dense(dense, "int4g32", mask)
+        )
+        assert stats4.dequant_cycles <= stats8.dequant_cycles
+
+    def test_stats_track_multiple_formats(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        pe.process_tile(_tile(rng, "bf8"))
+        pe.configure("mxfp4")
+        pe.process_tile(_tile(rng, "mxfp4", density=1.0))
+        assert pe.stats.tiles_processed == 2
+        assert pe.stats.vops_executed == 32

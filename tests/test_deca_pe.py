@@ -1,0 +1,104 @@
+"""Tests for the complete DECA PE."""
+
+import numpy as np
+import pytest
+
+from repro.deca.config import DecaConfig
+from repro.deca.pe import DecaPE
+from repro.errors import FormatError, SimulationError
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, fmt="bf8", density=0.4):
+    mask = random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(random_weights(rng, *TILE_SHAPE), fmt, mask)
+
+
+class TestProcessTile:
+    def test_output_matches_reference(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        tile = _tile(rng)
+        tout, _stats = pe.process_tile(tile)
+        assert np.array_equal(pe.read_tout(tout), tile.decompress_reference())
+
+    def test_loaders_alternate(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        first, _ = pe.process_tile(_tile(rng))
+        second, _ = pe.process_tile(_tile(rng))
+        assert {first, second} == {0, 1}
+
+    def test_explicit_loader(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        tout, _ = pe.process_tile(_tile(rng), loader_id=1)
+        assert tout == 1
+
+    def test_invalid_loader(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        with pytest.raises(SimulationError):
+            pe.process_tile(_tile(rng), loader_id=5)
+
+    def test_statistics_accumulate(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        tiles = [_tile(rng) for _ in range(4)]
+        for tile in tiles:
+            pe.process_tile(tile)
+        assert pe.stats.tiles_processed == 4
+        assert pe.stats.vops_executed == 4 * 16
+        assert pe.stats.bytes_fetched == sum(t.nbytes() for t in tiles)
+
+    def test_format_mismatch_squashes_loader(self, rng):
+        pe = DecaPE()
+        pe.configure("mxfp4")
+        with pytest.raises(FormatError):
+            pe.process_tile(_tile(rng, "bf8"))
+        # The loader must be free again for the next (correct) tile.
+        tile = _tile(rng, "mxfp4")
+        pe.process_tile(tile)
+        assert pe.stats.squashes == 1
+
+
+class TestToutRegisters:
+    def test_unwritten_register_rejected(self):
+        pe = DecaPE()
+        with pytest.raises(SimulationError):
+            pe.read_tout(0)
+
+    def test_bad_index(self):
+        pe = DecaPE()
+        with pytest.raises(SimulationError):
+            pe.read_tout(7)
+
+
+class TestContextSwitch:
+    def test_state_roundtrip(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        state = pe.save_state()
+        other = DecaPE()
+        other.restore_state(state)
+        tile = _tile(rng)
+        tout, _ = other.process_tile(tile)
+        assert np.array_equal(
+            other.read_tout(tout), tile.decompress_reference()
+        )
+
+    def test_squash_clears_touts(self, rng):
+        pe = DecaPE()
+        pe.configure("bf8")
+        tout, _ = pe.process_tile(_tile(rng))
+        pe.squash()
+        with pytest.raises(SimulationError):
+            pe.read_tout(tout)
+
+    def test_custom_config(self, rng):
+        pe = DecaPE(DecaConfig(width=8, lut_count=4))
+        pe.configure("bf8")
+        _tout, stats = pe.process_tile(_tile(rng))
+        assert stats.vops == 64

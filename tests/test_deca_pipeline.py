@@ -1,0 +1,100 @@
+"""Tests for the DECA vOp pipeline: functional and cycle-exact."""
+
+import numpy as np
+import pytest
+
+from repro.deca.config import DecaConfig
+from repro.deca.pipeline import DecaPipeline
+from repro.errors import FormatError
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, fmt="bf8", density=1.0):
+    dense = random_weights(rng, *TILE_SHAPE)
+    mask = None if density >= 1.0 else random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(dense, fmt, mask)
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("fmt", ["bf8", "e4m3", "mxfp4", "bf16"])
+    @pytest.mark.parametrize("density", [1.0, 0.5, 0.2, 0.05])
+    def test_bit_exact_vs_reference(self, rng, fmt, density):
+        tile = _tile(rng, fmt, density)
+        pipeline = DecaPipeline(DecaConfig())
+        pipeline.configure(fmt)
+        out, _stats = pipeline.decompress_tile(tile)
+        assert np.array_equal(out, tile.decompress_reference())
+
+    def test_unconfigured_rejected(self, rng):
+        pipeline = DecaPipeline(DecaConfig())
+        with pytest.raises(FormatError):
+            pipeline.decompress_tile(_tile(rng))
+
+    def test_format_mismatch_rejected(self, rng):
+        pipeline = DecaPipeline(DecaConfig())
+        pipeline.configure("mxfp4")
+        with pytest.raises(FormatError, match="configured for"):
+            pipeline.decompress_tile(_tile(rng, "bf8"))
+
+    def test_different_configs_same_output(self, rng):
+        tile = _tile(rng, "bf8", 0.3)
+        outs = []
+        for config in (DecaConfig(8, 4), DecaConfig(32, 8), DecaConfig(64, 64)):
+            pipeline = DecaPipeline(config)
+            pipeline.configure("bf8")
+            out, _ = pipeline.decompress_tile(tile)
+            outs.append(out)
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+
+
+class TestCycleCounting:
+    def test_dense_q8_bubbles(self, rng):
+        # W=32, L=8, 8-bit dense: every vOp needs 4 dequant cycles.
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("bf8")
+        _out, stats = pipeline.decompress_tile(_tile(rng, "bf8", 1.0))
+        assert stats.vops == 16
+        assert stats.bubbles == 16 * 3
+        assert stats.dequant_cycles == 64
+
+    def test_dense_q4_no_bubbles(self, rng):
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("mxfp4")
+        _out, stats = pipeline.decompress_tile(_tile(rng, "mxfp4", 1.0))
+        assert stats.bubbles == 0
+
+    def test_bf16_passthrough_no_bubbles(self, rng):
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("bf16")
+        _out, stats = pipeline.decompress_tile(_tile(rng, "bf16", 0.5))
+        assert stats.bubbles == 0
+
+    def test_sparse_fewer_bubbles_than_dense(self, rng):
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("bf8")
+        _o, dense_stats = pipeline.decompress_tile(_tile(rng, "bf8", 1.0))
+        _o, sparse_stats = pipeline.decompress_tile(_tile(rng, "bf8", 0.2))
+        assert sparse_stats.bubbles < dense_stats.bubbles
+
+    def test_total_cycles_includes_drain(self, rng):
+        config = DecaConfig(32, 8, pipeline_stages=3)
+        pipeline = DecaPipeline(config)
+        pipeline.configure("bf8")
+        _out, stats = pipeline.decompress_tile(_tile(rng, "bf8", 1.0))
+        assert stats.total_cycles == stats.dequant_cycles + 2
+
+    def test_window_sizes_match_mask(self, rng):
+        tile = _tile(rng, "bf8", 0.3)
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("bf8")
+        _out, stats = pipeline.decompress_tile(tile)
+        assert sum(stats.window_sizes) == tile.nnz
+
+    def test_bubbles_per_vop_property(self, rng):
+        pipeline = DecaPipeline(DecaConfig(32, 8))
+        pipeline.configure("bf8")
+        _out, stats = pipeline.decompress_tile(_tile(rng, "bf8", 1.0))
+        assert stats.bubbles_per_vop == pytest.approx(3.0)

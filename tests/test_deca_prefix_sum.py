@@ -1,0 +1,56 @@
+"""Tests for the Kogge-Stone prefix-sum network."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.deca.prefix_sum import KoggeStonePrefixSum
+from repro.errors import ConfigurationError
+from repro.sparse.bitmask import expansion_indices
+
+
+class TestNetwork:
+    def test_stage_count(self):
+        assert KoggeStonePrefixSum(32).stage_count == 5
+        assert KoggeStonePrefixSum(1).stage_count == 0
+        assert KoggeStonePrefixSum(33).stage_count == 6
+
+    def test_adder_count_w32(self):
+        # Sum over s of (32 - 2^s) for s in 0..4 = 160 - 31 = 129.
+        assert KoggeStonePrefixSum(32).adder_count() == 129
+
+    def test_inclusive_scan(self):
+        network = KoggeStonePrefixSum(8)
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=bool)
+        trace = network.evaluate(bits)
+        assert trace.inclusive.tolist() == [1, 1, 2, 3, 3, 3, 4, 4]
+        assert trace.exclusive.tolist() == [0, 1, 1, 2, 3, 3, 3, 4]
+
+    def test_depth_matches_stage_count(self):
+        network = KoggeStonePrefixSum(16)
+        trace = network.evaluate(np.ones(16, dtype=bool))
+        assert trace.depth == network.stage_count
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KoggeStonePrefixSum(8).evaluate(np.ones(9, dtype=bool))
+        with pytest.raises(ConfigurationError):
+            KoggeStonePrefixSum(0)
+
+    @given(bits=arrays(dtype=bool, shape=32))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_cumsum_shortcut(self, bits):
+        network = KoggeStonePrefixSum(32)
+        assert np.array_equal(
+            network.expansion_indices(bits), expansion_indices(bits)
+        )
+        assert network.matches_reference(bits)
+
+    def test_non_power_of_two_width(self):
+        network = KoggeStonePrefixSum(24)
+        bits = np.zeros(24, dtype=bool)
+        bits[[0, 5, 23]] = True
+        assert np.array_equal(
+            network.expansion_indices(bits), expansion_indices(bits)
+        )

@@ -1,0 +1,71 @@
+"""Tests for DECA timing helpers (expected vs exact cycles)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.deca.config import DecaConfig
+from repro.deca.timing import (
+    deca_aixv_for_scheme,
+    deca_dec_cycles,
+    exact_dec_cycles,
+)
+from repro.sparse.compress import compress_matrix
+from tests.conftest import random_weights
+
+
+class TestExpectedCycles:
+    def test_dense_q8(self):
+        assert deca_dec_cycles(DecaConfig(32, 8), parse_scheme("Q8")) == 64
+
+    def test_dense_q4(self):
+        assert deca_dec_cycles(DecaConfig(32, 8), parse_scheme("Q4")) == 16
+
+    def test_q16_bypasses_lut(self):
+        assert deca_dec_cycles(DecaConfig(32, 8), parse_scheme("Q16_50%")) == 16
+
+    def test_aixv_reciprocal(self):
+        scheme = parse_scheme("Q8_30%")
+        config = DecaConfig(32, 8)
+        assert deca_aixv_for_scheme(config, scheme) == pytest.approx(
+            1 / deca_dec_cycles(config, scheme)
+        )
+
+
+class TestExactCycles:
+    def test_expected_matches_exact_in_mean(self, rng):
+        # Statistical agreement between the binomial model and real masks.
+        scheme = parse_scheme("Q8_30%")
+        config = DecaConfig(32, 8)
+        w = random_weights(rng, 256, 256)
+        matrix = compress_matrix(
+            w, "bf8", density=0.3, pruning="random", rng=rng
+        )
+        exact = exact_dec_cycles(config, matrix)
+        expected = deca_dec_cycles(config, scheme)
+        assert np.mean(exact) == pytest.approx(expected, rel=0.03)
+
+    def test_dense_matrix_exact(self, rng):
+        config = DecaConfig(32, 8)
+        matrix = compress_matrix(random_weights(rng, 32, 64), "bf8")
+        assert exact_dec_cycles(config, matrix) == [64.0, 64.0, 64.0, 64.0]
+
+    def test_bf16_matrix_one_cycle_per_vop(self, rng):
+        config = DecaConfig(32, 8)
+        matrix = compress_matrix(
+            random_weights(rng, 32, 64), "bf16", density=0.5
+        )
+        assert exact_dec_cycles(config, matrix) == [16.0] * 4
+
+    def test_matches_pipeline_stats(self, rng):
+        from repro.deca.pipeline import DecaPipeline
+        config = DecaConfig(32, 8)
+        matrix = compress_matrix(
+            random_weights(rng, 64, 64), "bf8", density=0.25,
+            pruning="random", rng=rng,
+        )
+        pipeline = DecaPipeline(config)
+        pipeline.configure("bf8")
+        for tile, cycles in zip(matrix.tiles, exact_dec_cycles(config, matrix)):
+            _out, stats = pipeline.decompress_tile(tile)
+            assert stats.dequant_cycles == cycles

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CompressionError,
+    ConfigurationError,
+    FormatError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        FormatError, CompressionError, ConfigurationError,
+        SimulationError, ProgramError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(FormatError):
+            raise FormatError("x")
+
+    def test_base_not_builtin_shadow(self):
+        assert not issubclass(ReproError, (ValueError, TypeError))

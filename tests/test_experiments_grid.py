@@ -1,0 +1,55 @@
+"""Tests for the grid-sweep tooling."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.errors import ConfigurationError
+from repro.experiments.grid import run_grid, save_csv, to_csv
+from repro.sim.system import hbm_system
+
+
+class TestRunGrid:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_grid(
+            systems=(hbm_system(),),
+            schemes=(parse_scheme("Q8"), parse_scheme("Q8_5%")),
+        )
+
+    def test_cartesian_coverage(self, records):
+        assert len(records) == 1 * 2 * 2
+        keys = {(r.scheme, r.engine) for r in records}
+        assert ("Q8_5%", "deca") in keys
+
+    def test_deca_faster_on_vec_bound_scheme(self, records):
+        by_key = {(r.scheme, r.engine): r for r in records}
+        assert (
+            by_key[("Q8_5%", "deca")].tiles_per_second
+            > by_key[("Q8_5%", "software")].tiles_per_second
+        )
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            run_grid(
+                systems=(hbm_system(),),
+                schemes=(parse_scheme("Q8"),),
+                engines=("fpga",),
+            )
+
+
+class TestCsv:
+    def test_roundtrippable_csv(self, tmp_path):
+        records = run_grid(
+            systems=(hbm_system(),), schemes=(parse_scheme("Q4"),)
+        )
+        text = to_csv(records)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("system,scheme,engine")
+        assert len(lines) == len(records) + 1
+        path = tmp_path / "grid.csv"
+        save_csv(records, path)
+        assert path.read_text() == text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_csv([])

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment harness modules themselves."""
+
+import numpy as np
+import pytest
+
+from repro.core.roofsurface import BoundingFactor
+from repro.experiments import (
+    batch_sweep,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+)
+from repro.sim.system import hbm_system
+
+
+class TestTable1Module:
+    def test_custom_parameters(self):
+        result = table1.run(batches=(1,), token_counts=(32,))
+        assert set(result.fractions) == {("DDR", 32, 1), ("HBM", 32, 1)}
+
+    def test_format_table_includes_paper(self):
+        result = table1.run(batches=(1,), token_counts=(32,))
+        text = result.format_table()
+        assert "paper" in text and "HBM" in text
+
+
+class TestFigure3Module:
+    def test_run_one(self):
+        result = figure3.run_one(hbm_system(), "HBM", batch_rows=4)
+        assert result.memory == "HBM"
+        assert len(result.points) == 13  # 12 schemes + uncompressed
+        assert len(result.curve) == 64
+
+    def test_points_sorted_by_ai(self):
+        result = figure3.run_one(hbm_system(), "HBM")
+        ais = [p.arithmetic_intensity for p in result.points]
+        assert ais == sorted(ais)
+
+    def test_observed_never_exceeds_optimal(self):
+        result = figure3.run_one(hbm_system(), "HBM")
+        for point in result.points:
+            assert point.observed_flops <= point.optimal_flops * 1.01
+
+
+class TestFigure4Module:
+    def test_surface_and_points_consistent(self):
+        result = figure4.run()
+        assert len(result.points) == 12
+        x, y, z = result.surface
+        assert float(z.max()) > 0
+        # Every evaluated point's FLOPS must sit on or under the surface
+        # maximum for its region.
+        for point in result.points:
+            assert point.flops <= float(z.max()) * 1.01
+
+
+class TestFigure5Module:
+    def test_ascii_plot_embedded(self):
+        hbm, _ddr = figure5.run()
+        assert "BORD" in hbm.ascii_plot
+        assert "*" in hbm.ascii_plot
+
+    def test_region_fractions_complete(self):
+        hbm, ddr = figure5.run()
+        for result in (hbm, ddr):
+            assert set(result.region_fractions) == set(BoundingFactor)
+            assert sum(result.region_fractions.values()) == pytest.approx(1.0)
+
+
+class TestFigure6Module:
+    def test_custom_scale(self):
+        mild = figure6.run(vos_scale=2.0)
+        strong = figure6.run(vos_scale=8.0)
+        assert len(strong.still_vec_bound()) <= len(mild.still_vec_bound())
+
+
+class TestBatchSweepModule:
+    def test_custom_batches(self):
+        result = batch_sweep.run(batches=(1, 8))
+        assert result.batches == (1, 8)
+        assert set(result.speedups) == {1, 8}
+
+    def test_spread_small(self):
+        result = batch_sweep.run(batches=(1, 16))
+        assert result.max_ratio_spread() < 0.10

@@ -1,0 +1,258 @@
+"""Qualitative reproduction tests: the paper's claims must hold.
+
+These tests assert the *shape* of every reproduced table and figure — who
+wins, by roughly what factor, where crossovers fall — with generous
+tolerances, exactly as the reproduction scope demands.
+"""
+
+import pytest
+
+from repro.core.roofsurface import BoundingFactor
+from repro.experiments import (
+    area,
+    figure4,
+    figure5,
+    figure6,
+    figure12,
+    figure13,
+    figure14,
+    figure16,
+    figure17,
+    table1,
+    table3,
+    table4,
+)
+from repro.experiments.paper_reference import (
+    FIGURE4B_TFLOPS,
+    TABLE1_FRACTIONS,
+    TABLE3_UTILIZATION,
+    TABLE4_LATENCY_MS,
+)
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return figure13.run()
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return figure12.run()
+
+
+class TestTable1:
+    def test_fractions_close_to_paper(self):
+        result = table1.run()
+        for key, paper in TABLE1_FRACTIONS.items():
+            ours = result.fractions[key] * 100
+            assert ours == pytest.approx(paper, abs=2.0), key
+
+    def test_ddr_higher_than_hbm(self):
+        result = table1.run()
+        for tokens in (32, 128):
+            for batch in (1, 4, 16):
+                assert (
+                    result.fractions[("DDR", tokens, batch)]
+                    > result.fractions[("HBM", tokens, batch)]
+                )
+
+
+class TestFigure4b:
+    def test_roof_surface_within_10_percent(self):
+        result = figure4.run()
+        for name, (_rl, paper_rs, _real) in FIGURE4B_TFLOPS.items():
+            _ours_rl, ours_rs, _ours_real = result.comparison[name]
+            assert ours_rs == pytest.approx(paper_rs, rel=0.10), name
+
+    def test_roof_surface_never_exceeds_roofline(self):
+        result = figure4.run()
+        for name, (rl, rs, _real) in result.comparison.items():
+            assert rs <= rl + 1e-6, name
+
+    def test_real_below_roof_surface(self):
+        result = figure4.run()
+        for name, (_rl, rs, real) in result.comparison.items():
+            assert real <= rs * 1.02, name
+
+
+class TestFigure5:
+    def test_hbm_mostly_vec_bound(self):
+        hbm, _ddr = figure5.run()
+        assert len(hbm.vec_bound_names()) >= 8
+
+    def test_hbm_mem_bound_trio(self):
+        # Paper: BF8, BF16_50% and BF16_30% are MEM-bound on HBM.
+        hbm, _ddr = figure5.run()
+        mem_bound = {
+            p.label for p in hbm.points
+            if p.bound is BoundingFactor.MEMORY
+        }
+        assert mem_bound == {"Q8", "Q16_50%", "Q16_30%"}
+
+    def test_ddr_mostly_mem_bound(self):
+        _hbm, ddr = figure5.run()
+        mem = [
+            p for p in ddr.points if p.bound is BoundingFactor.MEMORY
+        ]
+        assert len(mem) >= 9
+
+    def test_ddr_mem_region_larger(self):
+        hbm, ddr = figure5.run()
+        assert (
+            ddr.region_fractions[BoundingFactor.MEMORY]
+            > hbm.region_fractions[BoundingFactor.MEMORY]
+        )
+
+
+class TestFigure6:
+    def test_4x_vos_not_enough(self):
+        # Paper: "even a 4x VOS increase is not enough to make all kernels
+        # not VEC-bound."
+        result = figure6.run()
+        assert len(result.still_vec_bound()) >= 1
+
+    def test_vec_region_shrinks(self):
+        result = figure6.run()
+        assert result.vec_region_scaled < result.vec_region_baseline
+
+
+class TestFigure12:
+    def test_software_reaches_optimal_at_low_cf(self, fig12):
+        for row in fig12.speedups[:6]:
+            assert row.software == pytest.approx(row.optimal, rel=0.08)
+
+    def test_deca_gain_emerges_at_high_cf(self, fig12):
+        assert 1.3 <= fig12.max_deca_over_software <= 2.0
+
+    def test_deca_never_slower(self, fig12):
+        for row in fig12.speedups:
+            assert row.deca >= row.software * 0.99
+
+
+class TestFigure13:
+    def test_headline_4x(self, fig13):
+        assert 3.3 <= fig13.max_deca_over_software <= 4.8
+
+    def test_deca_near_optimal(self, fig13):
+        for row in fig13.speedups:
+            assert row.deca >= 0.8 * row.optimal
+
+    def test_software_diverges_from_optimal(self, fig13):
+        worst = min(r.software / r.optimal for r in fig13.speedups)
+        # Paper Section 3.3: optimal/observed reaches 4.94x at Q8_5%.
+        assert worst == pytest.approx(1 / 4.94, rel=0.15)
+
+    def test_speedups_grow_with_cf(self, fig13):
+        optima = [r.optimal for r in fig13.speedups]
+        assert optima == sorted(optima)
+
+
+class TestFigure14:
+    def test_16_deca_cores_beat_56_software_cores(self):
+        result = figure14.run(core_counts=(8, 16, 56))
+        assert result.deca_tflops[16] >= result.software_tflops[56]
+
+    def test_software_scales_with_cores(self):
+        result = figure14.run(core_counts=(8, 56))
+        assert result.software_tflops[56] > result.software_tflops[8]
+
+
+class TestTable3:
+    def test_all_cells_within_8_points(self):
+        result = table3.run()
+        for (density, engine), paper in TABLE3_UTILIZATION.items():
+            ours = result.reports[(density, engine)].as_percentages()
+            for column in ("MEM", "TMUL", "DEC"):
+                assert ours[column] == pytest.approx(
+                    paper[column], abs=8
+                ), (density, engine, column)
+
+    def test_software_bottleneck_is_avx_when_sparse(self):
+        result = table3.run()
+        for density in (50, 20, 5):
+            assert result.reports[(density, "software")].bottleneck == "DEC"
+
+    def test_deca_bottleneck_is_memory_at_high_density(self):
+        result = table3.run()
+        for density in (100, 50, 20):
+            assert result.reports[(density, "deca")].bottleneck == "MEM"
+
+
+class TestFigure16:
+    def test_dse_picks_paper_design(self):
+        result = figure16.run()
+        assert (result.dse.best.width, result.dse.best.lut_count) == (32, 8)
+
+    def test_underprovisioned_stays_vec_bound(self):
+        result = figure16.run()
+        under = result.design_points[(8, 4)]
+        vec = [p for p in under if p.bound is BoundingFactor.VECTOR]
+        assert len(vec) >= 8
+
+    def test_best_about_2x_over_under(self):
+        result = figure16.run()
+        assert 1.5 <= result.best_over_under <= 2.5
+
+    def test_overprovisioned_gain_below_3_percent(self):
+        result = figure16.run()
+        assert result.over_over_best - 1 < 0.03
+
+
+class TestFigure17:
+    def test_each_feature_helps(self):
+        result = figure17.run()
+        for density, values in result.speedups.items():
+            assert values == sorted(values), density
+
+    def test_tepl_benefit_grows_with_sparsity(self):
+        result = figure17.run()
+        assert result.tepl_gain_at(0.05) > result.tepl_gain_at(1.0)
+
+    def test_tepl_roughly_doubles_at_5_percent(self):
+        result = figure17.run()
+        assert 1.7 <= result.tepl_gain_at(0.05) <= 2.6
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run()
+
+    def test_batch1_cells_within_10_percent(self, result):
+        for (model, batch, scheme, engine), paper in TABLE4_LATENCY_MS.items():
+            if batch != 1:
+                continue
+            ours = result.latencies[(model, batch, scheme, engine)]
+            assert ours == pytest.approx(paper, rel=0.10), (model, scheme)
+
+    def test_batch16_cells_within_20_percent(self, result):
+        for (model, batch, scheme, engine), paper in TABLE4_LATENCY_MS.items():
+            if batch != 16:
+                continue
+            ours = result.latencies[(model, batch, scheme, engine)]
+            assert ours == pytest.approx(paper, rel=0.20), (model, scheme)
+
+    def test_deca_over_sw_headline(self, result):
+        # Paper: 1.6x-2.6x over the software-only solution.
+        ratios = [
+            result.speedup(model, batch, scheme)
+            for model in ("Llama2-70B", "OPT-66B")
+            for batch in (1, 16)
+            for scheme in ("Q4", "Q8_20%", "Q8_5%")
+        ]
+        assert min(ratios) >= 1.5
+        assert max(ratios) <= 2.9
+
+    def test_deca_over_uncompressed_headline(self, result):
+        # Paper: 2.5x-5.0x over the uncompressed baseline.
+        for model in ("Llama2-70B", "OPT-66B"):
+            base = result.latencies[(model, 1, "Q16", "software")]
+            best = result.latencies[(model, 1, "Q8_5%", "deca")]
+            assert 2.5 <= base / best <= 5.5
+
+
+class TestArea:
+    def test_matches_paper(self):
+        result = area.run()
+        assert result.breakdown.total == pytest.approx(2.51, rel=0.02)
+        assert result.breakdown.die_overhead() < 0.002

@@ -1,0 +1,33 @@
+"""Tests for the report-table renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import Table
+
+
+class TestTable:
+    def test_renders_aligned(self):
+        table = Table("title", ["a", "bb"])
+        table.add_row(1, "x")
+        table.add_row(22, "yy")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert len(set(len(line) for line in lines[1:] if line)) <= 2
+
+    def test_row_length_validated(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(123.456)
+        table.add_row(1.23456)
+        table.add_row(0.000123)
+        table.add_row(0.0)
+        text = table.render()
+        assert "123" in text
+        assert "1.23" in text
+        assert "0.0001" in text

@@ -1,0 +1,50 @@
+"""Tests for the shared speedup harness."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.experiments.speedups import (
+    baseline_result,
+    scheme_speedup,
+    sweep_speedups,
+)
+from repro.sim.system import ddr_system, hbm_system
+
+
+class TestSchemeSpeedup:
+    def test_optimal_is_compression_factor_when_mem_bound(self, hbm):
+        baseline = baseline_result(hbm)
+        scheme = parse_scheme("Q8")
+        row = scheme_speedup(hbm, scheme, baseline)
+        assert row.optimal == pytest.approx(scheme.compression_factor())
+
+    def test_deca_over_software_property(self, hbm):
+        baseline = baseline_result(hbm)
+        row = scheme_speedup(hbm, parse_scheme("Q8_10%"), baseline)
+        assert row.deca_over_software == pytest.approx(
+            row.deca / row.software
+        )
+
+    def test_batch_changes_optimal_only_via_ratio(self, hbm):
+        baseline = baseline_result(hbm)
+        n1 = scheme_speedup(hbm, parse_scheme("Q8"), baseline, batch_rows=1)
+        n4 = scheme_speedup(hbm, parse_scheme("Q8"), baseline, batch_rows=4)
+        # Speedups are ratios: batch cancels out for weight-bound kernels.
+        assert n4.optimal == pytest.approx(n1.optimal)
+        assert n4.software == pytest.approx(n1.software)
+
+
+class TestSweep:
+    def test_order_preserved(self, ddr):
+        rows = sweep_speedups(ddr)
+        names = [row.scheme.name for row in rows]
+        assert names[0] == "Q16_50%" and names[-1] == "Q8_5%"
+
+    def test_small_tile_budget_still_stable(self, hbm):
+        fast = sweep_speedups(
+            hbm, schemes=[parse_scheme("Q8_5%")], tiles=200
+        )[0]
+        slow = sweep_speedups(
+            hbm, schemes=[parse_scheme("Q8_5%")], tiles=1200
+        )[0]
+        assert fast.deca == pytest.approx(slow.deca, rel=0.03)

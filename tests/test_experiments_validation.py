@@ -1,0 +1,44 @@
+"""Tests for the validation and sensitivity harnesses."""
+
+import pytest
+
+from repro.experiments import sensitivity, validation
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validation.run()
+
+    def test_all_claims_pass(self, report):
+        failing = [c.claim for c in report.checks if not c.passed]
+        assert report.all_passed, failing
+
+    def test_covers_nine_claims(self, report):
+        assert len(report.checks) == 9
+
+    def test_table_renders(self, report):
+        text = report.format_table()
+        assert "9/9 claims reproduced" in text
+        assert "PASS" in text
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sensitivity.run()
+
+    def test_nine_rows(self, result):
+        assert len(result.rows) == 9
+
+    def test_headline_robust_to_20_percent(self, result):
+        # The 4x-class headline must not collapse under +-20% calibration
+        # error; 25% relative shift is the acceptance bound.
+        assert result.max_headline_shift() < 0.25
+
+    def test_dram_efficiency_restored(self, result):
+        from repro.sim.pipeline import DRAM_EFFICIENCY
+        assert DRAM_EFFICIENCY == 0.93
+
+    def test_table_renders(self, result):
+        assert "Sensitivity" in result.format_table()

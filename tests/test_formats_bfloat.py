@@ -1,0 +1,120 @@
+"""Tests for the BF16 and BF8 (E5M2) codecs."""
+
+import numpy as np
+import pytest
+
+from repro.formats.bfloat import (
+    bf16_bits_to_float32,
+    bf16_round,
+    e5m2_bits_to_float32,
+    float32_to_bf16_bits,
+    float32_to_e5m2_bits,
+)
+
+
+class TestBf16:
+    def test_exact_values_roundtrip(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 2.0, -3.5], dtype=np.float32)
+        bits = float32_to_bf16_bits(values)
+        assert np.array_equal(bf16_bits_to_float32(bits), values)
+
+    def test_round_to_nearest_even_up(self):
+        # 1 + 2^-8 is exactly halfway between two BF16 values around 1.0;
+        # RNE picks the even mantissa (1.0).
+        value = np.array([1.0 + 2.0**-8], dtype=np.float32)
+        assert bf16_round(value)[0] == np.float32(1.0)
+
+    def test_round_up_when_above_half(self):
+        value = np.array([1.0 + 2.0**-8 + 2.0**-12], dtype=np.float32)
+        assert bf16_round(value)[0] == np.float32(1.0 + 2.0**-7)
+
+    def test_sign_preserved(self):
+        values = np.array([-1.3, 1.3], dtype=np.float32)
+        rounded = bf16_round(values)
+        assert rounded[0] == -rounded[1]
+
+    def test_negative_zero_preserved(self):
+        bits = float32_to_bf16_bits(np.array([-0.0], dtype=np.float32))
+        assert bits[0] == 0x8000
+
+    def test_infinity_roundtrip(self):
+        values = np.array([np.inf, -np.inf], dtype=np.float32)
+        assert np.array_equal(bf16_round(values), values)
+
+    def test_nan_canonicalised(self):
+        bits = float32_to_bf16_bits(np.array([np.nan], dtype=np.float32))
+        assert bits[0] & 0x7FFF == 0x7FC0
+        assert np.isnan(bf16_bits_to_float32(bits))[0]
+
+    def test_large_value_rounds_to_inf(self):
+        # The largest float32 exceeds BF16's max after rounding up.
+        value = np.array([3.4e38], dtype=np.float32)
+        assert np.isinf(bf16_round(value))[0]
+
+    def test_idempotent(self):
+        values = np.linspace(-5, 5, 101, dtype=np.float32)
+        once = bf16_round(values)
+        assert np.array_equal(bf16_round(once), once)
+
+    def test_matches_numpy_cast_on_random_values(self, rng):
+        # numpy has no bf16, but truncation+RNE must preserve order.
+        values = rng.normal(size=1000).astype(np.float32)
+        rounded = bf16_round(values)
+        assert np.all(np.abs(rounded - values) <= np.abs(values) * 2.0**-8 + 1e-45)
+
+    def test_preserves_shape(self, rng):
+        values = rng.normal(size=(7, 9)).astype(np.float32)
+        assert bf16_round(values).shape == (7, 9)
+
+
+class TestE5M2:
+    def test_exact_values_roundtrip(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 2.0, 1.5, -1.75], dtype=np.float32)
+        bits = float32_to_e5m2_bits(values)
+        assert np.array_equal(e5m2_bits_to_float32(bits), values)
+
+    def test_all_codes_decode_finite_or_special(self):
+        codes = np.arange(256, dtype=np.uint8)
+        decoded = e5m2_bits_to_float32(codes)
+        # 0x7C/0xFC are inf, 0x7D-0x7F / 0xFD-0xFF are NaN.
+        nan_count = int(np.isnan(decoded).sum())
+        inf_count = int(np.isinf(decoded).sum())
+        assert nan_count == 6
+        assert inf_count == 2
+
+    def test_decode_is_monotonic_on_positive_finite(self):
+        codes = np.arange(0, 0x7C, dtype=np.uint8)
+        decoded = e5m2_bits_to_float32(codes)
+        assert np.all(np.diff(decoded) > 0)
+
+    def test_rounding_is_nearest(self, rng):
+        values = rng.normal(scale=2.0, size=500).astype(np.float32)
+        encoded = float32_to_e5m2_bits(values)
+        decoded = e5m2_bits_to_float32(encoded)
+        # E5M2 has 2 mantissa bits: relative error bound 2^-3 for normals.
+        finite = np.isfinite(decoded)
+        rel = np.abs(decoded[finite] - values[finite])
+        assert np.all(rel <= np.maximum(np.abs(values[finite]) * 0.125, 2.0**-16))
+
+    def test_nan_canonicalised(self):
+        bits = float32_to_e5m2_bits(np.array([np.nan], dtype=np.float32))
+        assert bits[0] & 0x7F == 0x7E
+
+    def test_overflow_saturates_to_inf(self):
+        bits = float32_to_e5m2_bits(np.array([1e9], dtype=np.float32))
+        assert np.isinf(e5m2_bits_to_float32(bits))[0]
+
+    def test_negative_sign_bit(self):
+        bits = float32_to_e5m2_bits(np.array([-1.0], dtype=np.float32))
+        assert bits[0] & 0x80
+
+    def test_subnormal_values_decode(self):
+        # The smallest E5M2 subnormal is 2^-16.
+        smallest = np.array([0x01], dtype=np.uint8)
+        assert e5m2_bits_to_float32(smallest)[0] == np.float32(2.0**-16)
+
+    def test_roundtrip_idempotent(self, rng):
+        values = rng.normal(size=200).astype(np.float32)
+        once = e5m2_bits_to_float32(float32_to_e5m2_bits(values))
+        twice = e5m2_bits_to_float32(float32_to_e5m2_bits(once))
+        assert np.array_equal(once, twice, equal_nan=True)

@@ -1,0 +1,92 @@
+"""Exhaustive codec checks over complete code spaces."""
+
+import numpy as np
+import pytest
+
+from repro.formats.bfloat import (
+    bf16_bits_to_float32,
+    e5m2_bits_to_float32,
+    float32_to_bf16_bits,
+    float32_to_e5m2_bits,
+)
+from repro.formats.fp8 import e4m3_bits_to_float32, float32_to_e4m3_bits
+from repro.formats.mxfp import e2m1_bits_to_float32, float32_to_e2m1_bits
+from repro.formats.registry import get_format
+
+
+class TestExhaustiveFixedPoints:
+    def test_every_e5m2_code_is_a_fixed_point(self):
+        codes = np.arange(256, dtype=np.uint8)
+        values = e5m2_bits_to_float32(codes)
+        finite = np.isfinite(values)
+        reencoded = float32_to_e5m2_bits(values[finite])
+        assert np.array_equal(
+            e5m2_bits_to_float32(reencoded), values[finite]
+        )
+
+    def test_every_e4m3_value_is_a_fixed_point(self):
+        codes = np.arange(256, dtype=np.uint8)
+        values = e4m3_bits_to_float32(codes)
+        finite = np.isfinite(values)
+        reencoded = float32_to_e4m3_bits(values[finite])
+        assert np.array_equal(
+            e4m3_bits_to_float32(reencoded), values[finite]
+        )
+
+    def test_every_e2m1_code_is_a_fixed_point(self):
+        codes = np.arange(16, dtype=np.uint8)
+        values = e2m1_bits_to_float32(codes)
+        assert np.array_equal(
+            e2m1_bits_to_float32(float32_to_e2m1_bits(values)), values
+        )
+
+    def test_bf16_positive_code_space_monotone(self):
+        # All positive finite BF16 codes decode monotonically.
+        codes = np.arange(0x0000, 0x7F80, dtype=np.uint16)
+        values = bf16_bits_to_float32(codes)
+        assert np.all(np.diff(values) > 0)
+
+    def test_bf16_sample_codes_fixed_points(self):
+        codes = np.arange(0x0000, 0x7F80, 37, dtype=np.uint16)
+        values = bf16_bits_to_float32(codes)
+        assert np.array_equal(float32_to_bf16_bits(values), codes)
+
+
+class TestNearestNeighbourProperty:
+    @pytest.mark.parametrize("fmt_name,encode,decode,bits", [
+        ("bf8", float32_to_e5m2_bits, e5m2_bits_to_float32, 8),
+        ("e4m3", float32_to_e4m3_bits, e4m3_bits_to_float32, 8),
+        ("mxfp4", float32_to_e2m1_bits, e2m1_bits_to_float32, 4),
+    ])
+    def test_encode_picks_nearest_value(self, rng, fmt_name, encode, decode, bits):
+        # Brute-force verification on random probes: no representable
+        # value may be strictly closer than the chosen one.
+        table = decode(np.arange(2**bits, dtype=np.uint8))
+        finite_table = table[np.isfinite(table)]
+        max_finite = np.nanmax(np.abs(finite_table))
+        probes = rng.uniform(-max_finite, max_finite, size=500).astype(
+            np.float32
+        )
+        chosen = decode(encode(probes))
+        chosen_dist = np.abs(chosen.astype(np.float64) - probes)
+        best_dist = np.min(
+            np.abs(
+                finite_table[None, :].astype(np.float64)
+                - probes[:, None]
+            ),
+            axis=1,
+        )
+        assert np.allclose(chosen_dist, best_dist, rtol=0, atol=1e-12)
+
+
+class TestLutDecoderEquivalence:
+    @pytest.mark.parametrize("name", ["bf8", "e4m3", "mxfp4", "int4g32"])
+    def test_lut_is_complete_decoder(self, name):
+        from repro.formats.registry import dequant_lut
+        fmt = get_format(name)
+        lut = dequant_lut(fmt)
+        codes = np.arange(2**fmt.bits, dtype=np.uint8)
+        from repro.formats.bfloat import bf16_round
+        assert np.array_equal(
+            lut, bf16_round(fmt.decode(codes)), equal_nan=True
+        )

@@ -1,0 +1,81 @@
+"""Tests for the E4M3FN codec."""
+
+import numpy as np
+import pytest
+
+from repro.formats.fp8 import e4m3_bits_to_float32, float32_to_e4m3_bits
+
+
+class TestE4M3Decode:
+    def test_zero(self):
+        assert e4m3_bits_to_float32(np.array([0], dtype=np.uint8))[0] == 0.0
+
+    def test_one(self):
+        # 1.0 = exponent 7 (biased), mantissa 0 -> code 0x38.
+        assert e4m3_bits_to_float32(np.array([0x38], dtype=np.uint8))[0] == 1.0
+
+    def test_max_finite_is_448(self):
+        codes = np.arange(0x80, dtype=np.uint8)
+        decoded = e4m3_bits_to_float32(codes)
+        assert np.nanmax(decoded) == 448.0
+
+    def test_nan_codes(self):
+        decoded = e4m3_bits_to_float32(np.array([0x7F, 0xFF], dtype=np.uint8))
+        assert np.all(np.isnan(decoded))
+
+    def test_no_infinities(self):
+        codes = np.arange(256, dtype=np.uint8)
+        decoded = e4m3_bits_to_float32(codes)
+        assert not np.any(np.isinf(decoded))
+
+    def test_subnormals(self):
+        # Code 1: smallest subnormal 2^-9.
+        assert e4m3_bits_to_float32(np.array([1], dtype=np.uint8))[0] == 2.0**-9
+
+    def test_sign_symmetry(self):
+        pos = np.arange(0x7F, dtype=np.uint8)
+        neg = (pos | 0x80).astype(np.uint8)
+        assert np.array_equal(
+            e4m3_bits_to_float32(pos), -e4m3_bits_to_float32(neg)
+        )
+
+
+class TestE4M3Encode:
+    def test_exact_roundtrip(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 448.0, -448.0], dtype=np.float32)
+        codes = float32_to_e4m3_bits(values)
+        assert np.array_equal(e4m3_bits_to_float32(codes), values)
+
+    def test_saturation(self):
+        codes = float32_to_e4m3_bits(np.array([1e6, -1e6], dtype=np.float32))
+        decoded = e4m3_bits_to_float32(codes)
+        assert decoded[0] == 448.0 and decoded[1] == -448.0
+
+    def test_nearest_rounding(self, rng):
+        values = rng.normal(scale=10.0, size=1000).astype(np.float32)
+        decoded = e4m3_bits_to_float32(float32_to_e4m3_bits(values))
+        # 3 mantissa bits: relative error <= 2^-4 for normals in range.
+        in_range = np.abs(values) <= 448
+        rel = np.abs(decoded[in_range] - values[in_range])
+        bound = np.maximum(np.abs(values[in_range]) * 2.0**-4, 2.0**-9)
+        assert np.all(rel <= bound)
+
+    def test_nan_encodes_to_nan(self):
+        codes = float32_to_e4m3_bits(np.array([np.nan], dtype=np.float32))
+        assert np.isnan(e4m3_bits_to_float32(codes))[0]
+
+    def test_all_finite_codes_are_fixed_points(self):
+        codes = np.array(
+            [c for c in range(256) if not np.isnan(
+                e4m3_bits_to_float32(np.array([c], dtype=np.uint8))[0])],
+            dtype=np.uint8,
+        )
+        values = e4m3_bits_to_float32(codes)
+        reencoded = float32_to_e4m3_bits(values)
+        assert np.array_equal(
+            e4m3_bits_to_float32(reencoded), values
+        )
+
+    def test_shape_preserved(self, rng):
+        values = rng.normal(size=(3, 5)).astype(np.float32)
+        assert float32_to_e4m3_bits(values).shape == (3, 5)

@@ -1,0 +1,80 @@
+"""Tests for the INT8/INT4 codecs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.int_formats import (
+    int4_decode,
+    int4_encode,
+    int4_pack,
+    int4_unpack,
+    int8_decode,
+    int8_encode,
+)
+
+
+class TestInt8:
+    def test_roundtrip_error(self, rng):
+        values = rng.normal(size=256).astype(np.float32)
+        codes, scales = int8_encode(values, group_size=128)
+        restored = int8_decode(codes, scales, group_size=128)
+        amax = np.abs(values).reshape(-1, 128).max(axis=1)
+        bound = np.repeat(amax / 127 / 2 + 1e-7, 128)
+        assert np.all(np.abs(restored - values) <= bound)
+
+    def test_codes_in_range(self, rng):
+        values = (rng.normal(size=128) * 100).astype(np.float32)
+        codes, _ = int8_encode(values, group_size=128)
+        assert codes.max() <= 127 and codes.min() >= -127
+
+    def test_zero_group(self):
+        codes, scales = int8_encode(np.zeros(128, dtype=np.float32))
+        assert np.all(codes == 0)
+        assert np.all(int8_decode(codes, scales) == 0.0)
+
+    def test_group_size_mismatch(self):
+        with pytest.raises(FormatError):
+            int8_encode(np.zeros(100, dtype=np.float32), group_size=128)
+
+
+class TestInt4:
+    def test_roundtrip_error(self, rng):
+        values = rng.normal(size=64).astype(np.float32)
+        codes, scales = int4_encode(values, group_size=32)
+        restored = int4_decode(codes, scales, group_size=32)
+        amax = np.abs(values).reshape(-1, 32).max(axis=1)
+        bound = np.repeat(amax / 7 / 2 + 1e-7, 32)
+        assert np.all(np.abs(restored - values) <= bound)
+
+    def test_codes_in_range(self, rng):
+        values = (rng.normal(size=32) * 50).astype(np.float32)
+        codes, _ = int4_encode(values, group_size=32)
+        assert codes.max() <= 7 and codes.min() >= -7
+
+    def test_decode_rejects_out_of_range_codes(self):
+        with pytest.raises(FormatError):
+            int4_decode(
+                np.full(32, 8, dtype=np.int8),
+                np.ones(1, dtype=np.float32),
+                group_size=32,
+            )
+
+
+class TestInt4Packing:
+    def test_pack_unpack_roundtrip(self, rng):
+        codes = rng.integers(-7, 8, size=64).astype(np.int8)
+        assert np.array_equal(int4_unpack(int4_pack(codes)), codes)
+
+    def test_pack_halves_size(self):
+        codes = np.zeros(64, dtype=np.int8)
+        assert int4_pack(codes).size == 32
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(FormatError):
+            int4_pack(np.zeros(3, dtype=np.int8))
+
+    def test_low_nibble_first(self):
+        codes = np.array([1, 2], dtype=np.int8)
+        packed = int4_pack(codes)
+        assert packed[0] == 0x21

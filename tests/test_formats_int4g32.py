@@ -1,0 +1,73 @@
+"""Tests for the AWQ-style grouped INT4 format (I4 schemes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.deca.pe import DecaPE
+from repro.formats.quantize import dequantize_tensor, quantize_tensor
+from repro.formats.registry import dequant_lut, get_format
+from repro.sparse.compress import compress_matrix, decompress_matrix
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+class TestCodec:
+    def test_nibble_roundtrip(self):
+        fmt = get_format("int4g32")
+        values = np.arange(-7, 8, dtype=np.float32)
+        assert np.array_equal(fmt.decode(fmt.encode(values)), values)
+
+    def test_clipping(self):
+        fmt = get_format("int4g32")
+        codes = fmt.encode(np.array([100.0, -100.0], dtype=np.float32))
+        assert fmt.decode(codes).tolist() == [7.0, -7.0]
+
+    def test_lut_compatible(self):
+        lut = dequant_lut(get_format("int4g32"))
+        assert lut.shape == (16,)
+        assert lut[1] == 1.0 and lut[15] == -1.0
+
+    def test_grouped_tensor_roundtrip_bounded(self, rng):
+        values = rng.normal(size=(4, 32)).astype(np.float32)
+        restored = dequantize_tensor(quantize_tensor(values, "int4g32"))
+        amax = np.abs(values).max(axis=1, keepdims=True)
+        # Error <= half a step (scale/2) plus saturation above 7x scale.
+        assert np.all(np.abs(restored - values) <= amax * 0.25 + 1e-6)
+
+
+class TestScheme:
+    def test_parse_i4(self):
+        scheme = parse_scheme("I4")
+        assert scheme.format_name == "int4g32"
+        assert parse_scheme("I4_20%").density == pytest.approx(0.2)
+
+    def test_same_footprint_as_mxfp4(self):
+        assert parse_scheme("I4").bytes_per_tile() == (
+            parse_scheme("Q4").bytes_per_tile()
+        )
+
+    def test_name_roundtrip(self):
+        assert parse_scheme("I4_10%").name == "I4_10%"
+
+
+class TestEndToEnd:
+    def test_tile_through_deca(self, rng):
+        tile = CompressedTile.from_dense(
+            random_weights(rng, *TILE_SHAPE), "int4g32"
+        )
+        pe = DecaPE()
+        pe.configure("int4g32")
+        tout, stats = pe.process_tile(tile)
+        assert np.array_equal(
+            pe.read_tout(tout), tile.decompress_reference()
+        )
+        # 4-bit codes use the sub-LUTs: no bubbles at {W=32, L=8}.
+        assert stats.bubbles == 0
+
+    def test_sparse_matrix_roundtrip(self, rng):
+        w = random_weights(rng, 64, 64)
+        matrix = compress_matrix(w, "int4g32", density=0.3)
+        restored = decompress_matrix(matrix)
+        kept = restored != 0
+        assert kept.mean() == pytest.approx(0.3, abs=0.02)

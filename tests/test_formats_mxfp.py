@@ -1,0 +1,126 @@
+"""Tests for the MXFP4 (E2M1 + E8M0) codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.mxfp import (
+    E2M1_VALUES,
+    MX_GROUP_SIZE,
+    decode_shared_scale,
+    e2m1_bits_to_float32,
+    encode_shared_scale,
+    float32_to_e2m1_bits,
+    mx_group_dequantize,
+    mx_group_quantize,
+)
+
+
+class TestE2M1:
+    def test_value_table(self):
+        expected = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+        assert list(E2M1_VALUES[:8]) == expected
+
+    def test_decode_all_codes(self):
+        codes = np.arange(16, dtype=np.uint8)
+        decoded = e2m1_bits_to_float32(codes)
+        assert decoded[8] == 0.0  # negative zero
+        assert decoded[15] == -6.0
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            e2m1_bits_to_float32(np.array([16], dtype=np.uint8))
+
+    def test_exact_roundtrip(self):
+        values = E2M1_VALUES[np.array([0, 1, 2, 3, 4, 5, 6, 7, 9, 15])]
+        codes = float32_to_e2m1_bits(values)
+        assert np.array_equal(e2m1_bits_to_float32(codes), values)
+
+    def test_saturation_at_six(self):
+        codes = float32_to_e2m1_bits(np.array([100.0, -100.0], dtype=np.float32))
+        decoded = e2m1_bits_to_float32(codes)
+        assert decoded[0] == 6.0 and decoded[1] == -6.0
+
+    def test_nearest_rounding(self):
+        # 2.4 is nearer to 2 than 3; 2.6 nearer to 3.
+        codes = float32_to_e2m1_bits(np.array([2.4, 2.6], dtype=np.float32))
+        decoded = e2m1_bits_to_float32(codes)
+        assert decoded[0] == 2.0 and decoded[1] == 3.0
+
+    def test_tie_to_even_code(self):
+        # 2.5 is halfway between 2 (code 4, even) and 3 (code 5, odd).
+        codes = float32_to_e2m1_bits(np.array([2.5], dtype=np.float32))
+        assert e2m1_bits_to_float32(codes)[0] == 2.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(FormatError):
+            float32_to_e2m1_bits(np.array([np.nan], dtype=np.float32))
+
+
+class TestSharedScale:
+    def test_power_of_two_scales(self):
+        bits = encode_shared_scale(np.array([4.0]))
+        # amax 4.0 -> floor(log2) = 2, minus emax 2 -> exponent 0 -> 1.0.
+        assert decode_shared_scale(bits)[0] == 1.0
+
+    def test_zero_group_gets_smallest_scale(self):
+        bits = encode_shared_scale(np.array([0.0]))
+        assert decode_shared_scale(bits)[0] == np.float32(2.0**-127)
+
+    def test_negative_amax_rejected(self):
+        with pytest.raises(FormatError):
+            encode_shared_scale(np.array([-1.0]))
+
+    def test_scale_clamped(self):
+        bits = encode_shared_scale(np.array([1e38]))
+        assert decode_shared_scale(bits)[0] <= np.float32(2.0**127)
+
+
+class TestGroupQuantize:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.normal(size=4 * MX_GROUP_SIZE).astype(np.float32)
+        codes, scales = mx_group_quantize(values)
+        restored = mx_group_dequantize(codes, scales)
+        # The E2M1 grid's widest gap is 2, and the OCP floor-based shared
+        # exponent lets amax/scale reach just under 8, so elements in
+        # (6, 8) x scale saturate to 6 x scale: error < 2 scale units.
+        scale_values = decode_shared_scale(scales)
+        bound = np.repeat(scale_values, MX_GROUP_SIZE) * 2.0 + 1e-7
+        assert np.all(np.abs(restored - values) < bound)
+
+    def test_amax_element_is_representable(self, rng):
+        values = rng.normal(size=MX_GROUP_SIZE).astype(np.float32)
+        codes, scales = mx_group_quantize(values)
+        restored = mx_group_dequantize(codes, scales)
+        peak = np.argmax(np.abs(values))
+        # The group's largest element must not saturate badly.
+        assert abs(restored[peak]) >= abs(values[peak]) * 0.66
+
+    def test_group_count_validation(self):
+        with pytest.raises(FormatError):
+            mx_group_quantize(np.zeros(MX_GROUP_SIZE + 1, dtype=np.float32))
+
+    def test_scale_count_validation(self):
+        codes = np.zeros(MX_GROUP_SIZE, dtype=np.uint8)
+        with pytest.raises(FormatError):
+            mx_group_dequantize(codes, np.array([127, 127], dtype=np.uint8))
+
+    def test_all_zero_group(self):
+        values = np.zeros(MX_GROUP_SIZE, dtype=np.float32)
+        codes, scales = mx_group_quantize(values)
+        assert np.all(mx_group_dequantize(codes, scales) == 0.0)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(FormatError):
+            mx_group_quantize(np.zeros((2, MX_GROUP_SIZE), dtype=np.float32))
+
+    def test_multiple_groups_use_independent_scales(self):
+        values = np.concatenate([
+            np.full(MX_GROUP_SIZE, 100.0, dtype=np.float32),
+            np.full(MX_GROUP_SIZE, 0.01, dtype=np.float32),
+        ])
+        codes, scales = mx_group_quantize(values)
+        assert scales[0] != scales[1]
+        restored = mx_group_dequantize(codes, scales)
+        # Constant groups land exactly on representable values x scale.
+        assert np.all(np.abs(restored - values) <= np.abs(values) * 0.35)

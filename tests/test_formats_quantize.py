@@ -1,0 +1,63 @@
+"""Tests for tensor-level quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.quantize import (
+    dequantize_tensor,
+    quantize_tensor,
+)
+
+
+class TestQuantizeTensor:
+    def test_bf16_roundtrip_is_rounding(self, rng):
+        values = rng.normal(size=(8, 32)).astype(np.float32)
+        tensor = quantize_tensor(values, "bf16")
+        restored = dequantize_tensor(tensor)
+        assert np.all(np.abs(restored - values) <= np.abs(values) * 2.0**-8)
+
+    def test_bf8_storage_bits(self, rng):
+        values = rng.normal(size=(4, 32)).astype(np.float32)
+        tensor = quantize_tensor(values, "bf8")
+        assert tensor.storage_bits() == 4 * 32 * 8
+
+    def test_mxfp4_storage_bits_include_scales(self, rng):
+        values = rng.normal(size=(2, 64)).astype(np.float32)
+        tensor = quantize_tensor(values, "mxfp4")
+        assert tensor.storage_bits() == 2 * 64 * 4 + 4 * 8  # 4 groups
+
+    def test_mxfp4_shape_preserved(self, rng):
+        values = rng.normal(size=(2, 64)).astype(np.float32)
+        tensor = quantize_tensor(values, "mxfp4")
+        assert tensor.codes.shape == (2, 64)
+        assert dequantize_tensor(tensor).shape == (2, 64)
+
+    def test_mxfp4_group_alignment_enforced(self, rng):
+        values = rng.normal(size=(2, 33)).astype(np.float32)
+        with pytest.raises(FormatError, match="not a multiple"):
+            quantize_tensor(values, "mxfp4")
+
+    def test_mxfp4_error_bound(self, rng):
+        values = rng.normal(size=(4, 32)).astype(np.float32)
+        restored = dequantize_tensor(quantize_tensor(values, "mxfp4"))
+        # Error is bounded by two shared-scale units per group; the scale
+        # is at least amax/8, so amax/4 bounds every element's error.
+        amax = np.abs(values).max(axis=1, keepdims=True)
+        assert np.all(np.abs(restored - values) <= amax * 0.25 + 1e-6)
+
+    def test_unknown_format(self, rng):
+        with pytest.raises(FormatError):
+            quantize_tensor(np.zeros((2, 32), dtype=np.float32), "nope")
+
+    def test_missing_scales_rejected(self, rng):
+        values = rng.normal(size=(2, 32)).astype(np.float32)
+        tensor = quantize_tensor(values, "mxfp4")
+        broken = type(tensor)(
+            format_name=tensor.format_name,
+            codes=tensor.codes,
+            scale_bits=None,
+            shape=tensor.shape,
+        )
+        with pytest.raises(FormatError, match="requires scale bits"):
+            dequantize_tensor(broken)

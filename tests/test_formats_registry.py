@@ -1,0 +1,84 @@
+"""Tests for the format registry and LUT generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.bfloat import bf16_round
+from repro.formats.registry import (
+    QuantFormat,
+    available_formats,
+    dequant_lut,
+    get_format,
+    register_format,
+)
+
+
+class TestRegistry:
+    def test_builtin_formats_present(self):
+        names = available_formats()
+        for expected in ("bf16", "bf8", "e4m3", "mxfp4"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_format("BF8") is get_format("bf8")
+
+    def test_unknown_format(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            get_format("fp6")
+
+    def test_duplicate_registration_rejected(self):
+        fmt = get_format("bf8")
+        with pytest.raises(FormatError, match="already registered"):
+            register_format(fmt)
+
+    def test_bits_per_weight_with_scale(self):
+        mxfp4 = get_format("mxfp4")
+        assert mxfp4.bits_per_weight() == pytest.approx(4 + 8 / 32)
+        assert mxfp4.bits_per_weight(include_scale=False) == 4
+
+    def test_bits_per_weight_ungrouped(self):
+        assert get_format("bf8").bits_per_weight() == 8
+
+    def test_grouped_flag(self):
+        assert get_format("mxfp4").is_grouped
+        assert not get_format("bf8").is_grouped
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(FormatError):
+            QuantFormat(
+                name="bad", bits=0, group_size=None, scale_bits=0,
+                encode=lambda x: x, decode=lambda x: x,
+            )
+
+    def test_scale_bits_group_consistency(self):
+        with pytest.raises(FormatError):
+            QuantFormat(
+                name="bad2", bits=4, group_size=None, scale_bits=8,
+                encode=lambda x: x, decode=lambda x: x,
+            )
+
+
+class TestDequantLut:
+    def test_bf8_lut_has_256_entries(self):
+        lut = dequant_lut(get_format("bf8"))
+        assert lut.shape == (256,)
+
+    def test_mxfp4_lut_has_16_entries(self):
+        lut = dequant_lut(get_format("mxfp4"))
+        assert lut.shape == (16,)
+
+    def test_lut_entries_are_bf16_values(self):
+        lut = dequant_lut(get_format("bf8"))
+        assert np.array_equal(bf16_round(lut), lut, equal_nan=True)
+
+    def test_lut_matches_decoder(self):
+        fmt = get_format("e4m3")
+        lut = dequant_lut(fmt)
+        codes = np.arange(256, dtype=np.uint8)
+        expected = bf16_round(fmt.decode(codes))
+        assert np.array_equal(lut, expected, equal_nan=True)
+
+    def test_bf16_has_no_lut(self):
+        with pytest.raises(FormatError, match="LUTs address at most 8"):
+            dequant_lut(get_format("bf16"))

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: the full compressed-GeMM story."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import CompressionScheme, parse_scheme
+from repro.deca.integration import deca_kernel_timing
+from repro.deca.pe import DecaPE
+from repro.deca.timing import deca_dec_cycles, exact_dec_cycles
+from repro.deca.config import DecaConfig
+from repro.isa.program import build_software_gemm, build_tepl_gemm, run_program
+from repro.kernels.gemm import compressed_gemm_reference, dense_gemm_reference
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim.pipeline import simulate_tile_stream
+from repro.sparse.compress import compress_matrix, decompress_matrix
+from tests.conftest import random_weights
+
+
+class TestFunctionalAgreement:
+    """All three execution paths must produce identical numerics."""
+
+    @pytest.mark.parametrize("fmt,density", [
+        ("bf16", 1.0), ("bf16", 0.3), ("bf8", 1.0), ("bf8", 0.15),
+        ("mxfp4", 1.0), ("e4m3", 0.5),
+    ])
+    def test_three_paths_agree(self, rng, fmt, density):
+        w = random_weights(rng, 64, 96)
+        a = rng.normal(size=(8, 96)).astype(np.float32)
+        matrix = compress_matrix(w, fmt, density=density)
+        reference = compressed_gemm_reference(a, matrix)
+        software = run_program(build_software_gemm(a, matrix))
+        pe = DecaPE()
+        pe.configure(fmt)
+        tepl = run_program(build_tepl_gemm(a, matrix), pe)
+        assert np.array_equal(software.output, reference)
+        assert np.array_equal(tepl.output, reference)
+
+    def test_compression_error_propagates_sensibly(self, rng):
+        # Lossy formats change the GeMM result, but boundedly.
+        w = random_weights(rng, 64, 128)
+        a = rng.normal(size=(4, 128)).astype(np.float32)
+        exact = dense_gemm_reference(a, w)
+        for fmt, tolerance in (("bf8", 0.15), ("mxfp4", 0.35)):
+            matrix = compress_matrix(w, fmt)
+            approx = compressed_gemm_reference(a, matrix)
+            scale = np.abs(exact).mean() + 1e-6
+            assert np.abs(approx - exact).mean() < tolerance * scale
+
+    def test_pruned_gemm_equals_gemm_of_pruned_matrix(self, rng):
+        w = random_weights(rng, 32, 64)
+        a = rng.normal(size=(4, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf16", density=0.4)
+        pruned = decompress_matrix(matrix)
+        assert np.allclose(
+            compressed_gemm_reference(a, matrix),
+            dense_gemm_reference(a, pruned),
+            rtol=1e-6, atol=1e-6,
+        )
+
+
+class TestExactWorkloadTiming:
+    """Feeding measured per-tile costs into the simulator."""
+
+    def test_exact_cycles_drive_simulation(self, rng, hbm):
+        scheme = parse_scheme("Q8_30%")
+        config = DecaConfig()
+        w = random_weights(rng, 128, 256)
+        matrix = compress_matrix(
+            w, "bf8", density=0.3, pruning="random", rng=rng
+        )
+        per_tile = exact_dec_cycles(config, matrix)
+        bytes_per_tile = [float(t.nbytes()) for t in matrix.tiles]
+        exact_timing = deca_kernel_timing(
+            hbm, scheme, dec_cycles=per_tile, bytes_per_tile=bytes_per_tile
+        )
+        expected_timing = deca_kernel_timing(hbm, scheme)
+        exact = simulate_tile_stream(hbm, exact_timing)
+        expected = simulate_tile_stream(hbm, expected_timing)
+        assert exact.steady_interval_cycles == pytest.approx(
+            expected.steady_interval_cycles, rel=0.05
+        )
+
+    def test_magnitude_vs_random_pruning_similar_timing(self, rng, hbm):
+        # Magnitude pruning of Gaussian weights is spatially uniform, so
+        # the timing should match the binomial expectation too.
+        config = DecaConfig()
+        w = random_weights(rng, 128, 256)
+        matrix = compress_matrix(w, "bf8", density=0.3)
+        per_tile = np.array(exact_dec_cycles(config, matrix))
+        expected = deca_dec_cycles(config, parse_scheme("Q8_30%"))
+        assert per_tile.mean() == pytest.approx(expected, rel=0.05)
+
+
+class TestSoftwareVsDecaConsistency:
+    def test_speedup_direction_matches_bord(self, rng, hbm):
+        # Any VEC-bound scheme must benefit from DECA in simulation.
+        scheme = CompressionScheme("bf8", 0.1)
+        sw = simulate_tile_stream(hbm, software_kernel_timing(hbm, scheme))
+        dc = simulate_tile_stream(hbm, deca_kernel_timing(hbm, scheme))
+        assert dc.steady_interval_cycles < sw.steady_interval_cycles
+
+    def test_mem_bound_scheme_gains_little_on_ddr(self, ddr):
+        scheme = CompressionScheme("bf8", 1.0)
+        sw = simulate_tile_stream(ddr, software_kernel_timing(ddr, scheme))
+        dc = simulate_tile_stream(ddr, deca_kernel_timing(ddr, scheme))
+        ratio = sw.steady_interval_cycles / dc.steady_interval_cycles
+        assert ratio == pytest.approx(1.0, abs=0.05)

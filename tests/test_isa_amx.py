@@ -1,0 +1,84 @@
+"""Tests for the AMX functional model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.formats.bfloat import bf16_round
+from repro.isa.amx import (
+    TileRegisterFile,
+    tile_compute,
+    tile_load,
+    tile_store,
+)
+
+
+class TestRegisterFile:
+    def test_write_read(self, rng):
+        regs = TileRegisterFile()
+        data = rng.normal(size=(16, 32)).astype(np.float32)
+        regs.write(0, data)
+        assert np.array_equal(regs.read(0), bf16_round(data))
+
+    def test_unwritten_read_rejected(self):
+        with pytest.raises(ProgramError):
+            TileRegisterFile().read(3)
+
+    def test_bad_index(self):
+        regs = TileRegisterFile()
+        with pytest.raises(ProgramError):
+            regs.read(8)
+        with pytest.raises(ProgramError):
+            regs.write(-1, np.zeros((1, 1), dtype=np.float32))
+
+    def test_too_many_rows(self):
+        with pytest.raises(ProgramError):
+            TileRegisterFile().write(0, np.zeros((17, 32), dtype=np.float32))
+
+    def test_zero(self):
+        regs = TileRegisterFile()
+        regs.zero(2, 4, 16)
+        assert np.all(regs.read(2) == 0.0)
+        assert regs.read(2).shape == (4, 16)
+
+    def test_clear(self):
+        regs = TileRegisterFile()
+        regs.zero(0, 1, 1)
+        regs.clear()
+        with pytest.raises(ProgramError):
+            regs.read(0)
+
+
+class TestTileOps:
+    def test_tload_tstore_roundtrip(self, rng):
+        regs = TileRegisterFile()
+        data = bf16_round(rng.normal(size=(16, 32)).astype(np.float32))
+        tile_load(regs, 1, data)
+        assert np.array_equal(tile_store(regs, 1), data)
+
+    def test_tcomp_accumulates(self, rng):
+        regs = TileRegisterFile()
+        act = bf16_round(rng.normal(size=(4, 32)).astype(np.float32))
+        weights = bf16_round(rng.normal(size=(16, 32)).astype(np.float32))
+        regs.write(0, act)
+        regs.write(1, weights)
+        regs.zero(2, 4, 16)
+        tile_compute(regs, 2, 0, 1)
+        tile_compute(regs, 2, 0, 1)
+        assert np.allclose(regs.read(2), 2 * (act @ weights.T), rtol=1e-6)
+
+    def test_tcomp_shape_validation(self, rng):
+        regs = TileRegisterFile()
+        regs.write(0, np.zeros((4, 16), dtype=np.float32))  # wrong K
+        regs.write(1, np.zeros((16, 32), dtype=np.float32))
+        regs.zero(2, 4, 16)
+        with pytest.raises(ProgramError):
+            tile_compute(regs, 2, 0, 1)
+
+    def test_tcomp_accumulator_shape(self, rng):
+        regs = TileRegisterFile()
+        regs.write(0, np.zeros((4, 32), dtype=np.float32))
+        regs.write(1, np.zeros((16, 32), dtype=np.float32))
+        regs.zero(2, 8, 16)  # wrong N
+        with pytest.raises(ProgramError):
+            tile_compute(regs, 2, 0, 1)

@@ -1,0 +1,84 @@
+"""Tests for the GeMM instruction-stream builder and interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.deca.pe import DecaPE
+from repro.errors import ProgramError
+from repro.isa.program import (
+    build_software_gemm,
+    build_tepl_gemm,
+    run_program,
+)
+from repro.kernels.gemm import compressed_gemm_reference
+from repro.sparse.compress import compress_matrix
+from tests.conftest import random_weights
+
+
+def _setup(rng, fmt="bf8", density=0.4, m=64, k=96, n=4):
+    w = random_weights(rng, m, k)
+    a = rng.normal(size=(n, k)).astype(np.float32)
+    matrix = compress_matrix(w, fmt, density=density)
+    return a, matrix
+
+
+class TestSoftwareProgram:
+    def test_matches_reference(self, rng):
+        a, matrix = _setup(rng)
+        result = run_program(build_software_gemm(a, matrix))
+        assert np.array_equal(result.output, compressed_gemm_reference(a, matrix))
+
+    def test_instruction_count(self, rng):
+        a, matrix = _setup(rng, m=32, k=64)
+        program = build_software_gemm(a, matrix)
+        # Per m-block: tilezero + store + 3 per k-block.
+        m_blocks, k_blocks = 2, 2
+        assert len(program.instructions) == m_blocks * (2 + 3 * k_blocks)
+
+    def test_tiles_decompressed_counted(self, rng):
+        a, matrix = _setup(rng)
+        result = run_program(build_software_gemm(a, matrix))
+        assert result.tiles_decompressed == matrix.tile_count
+
+
+class TestTeplProgram:
+    @pytest.mark.parametrize("fmt,density", [
+        ("bf8", 0.4), ("mxfp4", 1.0), ("bf16", 0.2), ("e4m3", 1.0),
+    ])
+    def test_matches_software_path(self, rng, fmt, density):
+        a, matrix = _setup(rng, fmt=fmt, density=density)
+        software = run_program(build_software_gemm(a, matrix))
+        pe = DecaPE()
+        pe.configure(fmt)
+        tepl = run_program(build_tepl_gemm(a, matrix), pe)
+        assert np.array_equal(tepl.output, software.output)
+
+    def test_needs_pe(self, rng):
+        a, matrix = _setup(rng)
+        with pytest.raises(ProgramError, match="needs a DecaPE"):
+            run_program(build_tepl_gemm(a, matrix))
+
+    def test_pe_format_must_match(self, rng):
+        a, matrix = _setup(rng, fmt="bf8")
+        pe = DecaPE()
+        pe.configure("mxfp4")
+        with pytest.raises(ProgramError, match="configured for"):
+            run_program(build_tepl_gemm(a, matrix), pe)
+
+    def test_tepl_count(self, rng):
+        a, matrix = _setup(rng)
+        pe = DecaPE()
+        pe.configure("bf8")
+        result = run_program(build_tepl_gemm(a, matrix), pe)
+        assert result.tepl_issued == matrix.tile_count
+
+    def test_batch_too_large(self, rng):
+        a, matrix = _setup(rng, n=17)
+        with pytest.raises(ProgramError, match="at most 16"):
+            build_tepl_gemm(a, matrix)
+
+    def test_activation_k_mismatch(self, rng):
+        _a, matrix = _setup(rng)
+        bad = np.zeros((4, 32), dtype=np.float32)
+        with pytest.raises(ProgramError):
+            build_software_gemm(bad, matrix)

@@ -1,0 +1,97 @@
+"""Tests for the TEPL instruction model."""
+
+import numpy as np
+import pytest
+
+from repro.deca.pe import DecaPE
+from repro.errors import ProgramError
+from repro.isa.amx import TileRegisterFile
+from repro.isa.tepl import TeplInstruction, TeplUnit
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, density=0.4):
+    mask = random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(
+        random_weights(rng, *TILE_SHAPE), "bf8", mask
+    )
+
+
+def _unit():
+    pe = DecaPE()
+    pe.configure("bf8")
+    return TeplUnit(pe=pe, regs=TileRegisterFile())
+
+
+class TestStructuralHazard:
+    def test_two_in_flight_allowed(self, rng):
+        unit = _unit()
+        unit.issue(TeplInstruction(_tile(rng), 0))
+        unit.issue(TeplInstruction(_tile(rng), 1))
+        assert not unit.can_issue()
+
+    def test_third_rejected(self, rng):
+        unit = _unit()
+        unit.issue(TeplInstruction(_tile(rng), 0))
+        unit.issue(TeplInstruction(_tile(rng), 1))
+        with pytest.raises(ProgramError, match="structural hazard"):
+            unit.issue(TeplInstruction(_tile(rng), 0))
+
+    def test_completion_frees_port(self, rng):
+        unit = _unit()
+        unit.issue(TeplInstruction(_tile(rng), 0))
+        unit.issue(TeplInstruction(_tile(rng), 1))
+        unit.complete_oldest()
+        assert unit.can_issue()
+
+
+class TestCompletion:
+    def test_loads_destination_register(self, rng):
+        unit = _unit()
+        tile = _tile(rng)
+        unit.issue(TeplInstruction(tile, 3))
+        unit.complete_oldest()
+        assert np.array_equal(
+            unit.regs.read(3), tile.decompress_reference()
+        )
+
+    def test_fifo_order(self, rng):
+        unit = _unit()
+        first, second = _tile(rng), _tile(rng)
+        unit.issue(TeplInstruction(first, 0))
+        unit.issue(TeplInstruction(second, 1))
+        done = unit.complete_oldest()
+        assert done.tile is first
+
+    def test_complete_on_empty_returns_none(self):
+        assert _unit().complete_oldest() is None
+
+    def test_drain(self, rng):
+        unit = _unit()
+        unit.issue(TeplInstruction(_tile(rng), 0))
+        unit.issue(TeplInstruction(_tile(rng), 1))
+        assert unit.drain() == 2
+        assert unit.issued_total == 2
+
+
+class TestSquash:
+    def test_squash_aborts_everything(self, rng):
+        unit = _unit()
+        unit.issue(TeplInstruction(_tile(rng), 0))
+        unit.issue(TeplInstruction(_tile(rng), 1))
+        assert unit.squash() == 2
+        assert unit.can_issue()
+        assert unit.squashed_total == 2
+
+    def test_reissue_after_squash_is_safe(self, rng):
+        unit = _unit()
+        tile = _tile(rng)
+        unit.issue(TeplInstruction(tile, 0))
+        unit.squash()
+        unit.issue(TeplInstruction(tile, 0))
+        unit.complete_oldest()
+        assert np.array_equal(
+            unit.regs.read(0), tile.decompress_reference()
+        )

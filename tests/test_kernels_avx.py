@@ -1,0 +1,92 @@
+"""Tests for the AVX recipe model."""
+
+import pytest
+
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.errors import ConfigurationError
+from repro.kernels.avx import (
+    AvxRecipe,
+    AvxVariant,
+    effective_vector_throughput,
+    software_recipe,
+    software_vops_per_tile,
+)
+
+
+class TestRecipes:
+    def test_uncompressed_needs_no_vops(self):
+        assert software_vops_per_tile(UNCOMPRESSED) == 0.0
+
+    def test_calibration_sparse_q16(self):
+        # Fig 4b calibration target: ~98 vOps for sparse BF16.
+        vops = software_vops_per_tile(parse_scheme("Q16_5%"))
+        assert 90 <= vops <= 108
+
+    def test_calibration_dense_q8(self):
+        # Table 3 calibration target: ~104-120 vOps for dense BF8.
+        vops = software_vops_per_tile(parse_scheme("Q8"))
+        assert 96 <= vops <= 120
+
+    def test_calibration_sparse_q8(self):
+        # Fig 4b calibration target: ~144-150 vOps for sparse BF8.
+        vops = software_vops_per_tile(parse_scheme("Q8_20%"))
+        assert 138 <= vops <= 158
+
+    def test_calibration_dense_q4(self):
+        # Fig 4b calibration target: ~197 vOps for MXFP4.
+        vops = software_vops_per_tile(parse_scheme("Q4"))
+        assert 188 <= vops <= 208
+
+    def test_sparse_costs_more_than_dense_q8(self):
+        assert software_vops_per_tile(
+            parse_scheme("Q8_50%")
+        ) > software_vops_per_tile(parse_scheme("Q8"))
+
+    def test_loads_scale_with_density(self):
+        low = software_recipe(parse_scheme("Q8_5%"))
+        high = software_recipe(parse_scheme("Q8_50%"))
+        assert high.loads > low.loads
+
+    def test_sparse_q4_supported(self):
+        # Not in libxsmm, but the model extrapolates (DECA handles it).
+        vops = software_vops_per_tile(parse_scheme("Q4_20%"))
+        assert vops > software_vops_per_tile(parse_scheme("Q4"))
+
+
+class TestWidening:
+    def test_compute_shrinks_but_memory_ops_do_not(self):
+        recipe = software_recipe(parse_scheme("Q8_20%"))
+        wide = recipe.widened(4)
+        assert wide.compute == pytest.approx(recipe.compute / 4)
+        assert wide.bookkeeping == pytest.approx(recipe.bookkeeping / 4)
+        assert wide.loads == recipe.loads
+        assert wide.stores == recipe.stores
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            software_recipe(parse_scheme("Q8")).widened(0)
+
+    def test_wider_variant_reduces_vops(self):
+        base = software_vops_per_tile(parse_scheme("Q4"))
+        wide = software_vops_per_tile(
+            parse_scheme("Q4"), AvxVariant.WIDER_UNITS
+        )
+        assert wide < base
+        # ... but not by the full 4x: loads and stores remain.
+        assert wide > base / 4
+
+
+class TestThroughput:
+    def test_baseline_two_units(self):
+        assert effective_vector_throughput(AvxVariant.BASELINE) == 2.0
+
+    def test_more_units_issue_capped(self):
+        # 8 units installed, but only 4 issue slots available.
+        assert effective_vector_throughput(AvxVariant.MORE_UNITS) == 4.0
+
+    def test_wider_keeps_unit_count(self):
+        assert effective_vector_throughput(AvxVariant.WIDER_UNITS) == 2.0
+
+    def test_total_is_sum_of_categories(self):
+        recipe = AvxRecipe(loads=2, stores=3, compute=5, bookkeeping=7)
+        assert recipe.total == 17

@@ -1,0 +1,86 @@
+"""Tests for functional GeMM execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.formats.bfloat import bf16_round
+from repro.kernels.gemm import (
+    compressed_gemm_reference,
+    dense_gemm_reference,
+    tile_operation,
+)
+from repro.sparse.compress import compress_matrix, decompress_matrix
+from tests.conftest import random_weights
+
+
+class TestDenseGemm:
+    def test_matches_numpy_on_bf16_inputs(self, rng):
+        a = bf16_round(rng.normal(size=(4, 64)).astype(np.float32))
+        w = bf16_round(rng.normal(size=(32, 64)).astype(np.float32))
+        assert np.allclose(dense_gemm_reference(a, w), a @ w.T, rtol=1e-6)
+
+    def test_k_mismatch(self, rng):
+        with pytest.raises(CompressionError):
+            dense_gemm_reference(
+                np.zeros((4, 64), dtype=np.float32),
+                np.zeros((32, 32), dtype=np.float32),
+            )
+
+
+class TestCompressedGemm:
+    def test_equals_dense_gemm_of_decompressed(self, rng):
+        w = random_weights(rng, 64, 96)
+        a = rng.normal(size=(4, 96)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8", density=0.3)
+        restored = decompress_matrix(matrix)
+        via_tiles = compressed_gemm_reference(a, matrix)
+        direct = bf16_round(a) @ restored.T
+        assert np.allclose(via_tiles, direct, rtol=1e-5, atol=1e-6)
+
+    def test_bf16_dense_exact(self, rng):
+        w = random_weights(rng, 32, 64)
+        a = rng.normal(size=(2, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf16")
+        # Tile-by-tile accumulation reorders the K summation; only
+        # rounding noise may differ.
+        assert np.allclose(
+            compressed_gemm_reference(a, matrix),
+            dense_gemm_reference(a, w),
+            rtol=1e-6,
+            atol=1e-6,
+        )
+
+    def test_shape(self, rng):
+        w = random_weights(rng, 48, 64)
+        a = rng.normal(size=(3, 64)).astype(np.float32)
+        out = compressed_gemm_reference(a, compress_matrix(w, "bf8"))
+        assert out.shape == (3, 48)
+
+    def test_k_mismatch(self, rng):
+        w = random_weights(rng, 32, 64)
+        with pytest.raises(CompressionError):
+            compressed_gemm_reference(
+                np.zeros((2, 32), dtype=np.float32), compress_matrix(w, "bf8")
+            )
+
+
+class TestTileOperation:
+    def test_shapes(self, rng):
+        act = rng.normal(size=(4, 32)).astype(np.float32)
+        w = rng.normal(size=(16, 32)).astype(np.float32)
+        assert tile_operation(act, w).shape == (4, 16)
+
+    def test_too_many_rows(self, rng):
+        with pytest.raises(CompressionError):
+            tile_operation(
+                np.zeros((17, 32), dtype=np.float32),
+                np.zeros((16, 32), dtype=np.float32),
+            )
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(CompressionError):
+            tile_operation(
+                np.zeros((4, 32), dtype=np.float32),
+                np.zeros((16, 16), dtype=np.float32),
+            )

@@ -1,0 +1,75 @@
+"""Tests for the instruction-level libxsmm sequence model."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import PAPER_SCHEMES, UNCOMPRESSED, parse_scheme
+from repro.errors import ProgramError
+from repro.kernels.jit import (
+    count_by_category,
+    emit_decompress_sequence,
+    execute_sequence,
+    verify_against_recipe,
+)
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+from tests.conftest import random_weights
+
+
+def _tile(rng, fmt, density):
+    dense = random_weights(rng, *TILE_SHAPE)
+    mask = None if density >= 1.0 else random_mask(TILE_SHAPE, density, rng=rng)
+    return CompressedTile.from_dense(dense, fmt, mask)
+
+
+class TestEmission:
+    def test_counts_match_recipe_for_all_paper_schemes(self):
+        for scheme in PAPER_SCHEMES:
+            assert verify_against_recipe(scheme), scheme.name
+
+    def test_uncompressed_emits_nothing(self):
+        assert emit_decompress_sequence(UNCOMPRESSED) == []
+
+    def test_sparse_has_expand_instructions(self):
+        seq = emit_decompress_sequence(parse_scheme("Q8_20%"))
+        opcodes = [i.opcode for i in seq]
+        assert opcodes.count("vpexpandb") == 16
+        assert opcodes.count("kmovd") == 16
+
+    def test_q4_has_lut_permutes(self):
+        seq = emit_decompress_sequence(parse_scheme("Q4"))
+        opcodes = [i.opcode for i in seq]
+        assert opcodes.count("vpermw.lut0") == 16
+        assert opcodes.count("vscalef") == 16
+
+    def test_category_aggregation(self):
+        seq = emit_decompress_sequence(parse_scheme("Q8"))
+        recipe = count_by_category(seq)
+        assert recipe.total == len(seq)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("fmt,density", [
+        ("bf8", 1.0), ("bf8", 0.2), ("bf16", 0.5),
+        ("mxfp4", 1.0), ("int4g32", 1.0), ("mxfp4", 0.3),
+    ])
+    def test_matches_reference(self, rng, fmt, density):
+        tile = _tile(rng, fmt, density)
+        scheme_density = 1.0 if density >= 1.0 else density
+        from repro.core.schemes import CompressionScheme
+        scheme = CompressionScheme(fmt, scheme_density)
+        seq = emit_decompress_sequence(scheme)
+        out = execute_sequence(seq, tile)
+        assert np.array_equal(out, tile.decompress_reference())
+
+    def test_empty_sequence_rejected(self, rng):
+        tile = _tile(rng, "bf16", 1.0)
+        with pytest.raises(ProgramError, match="uncompressed"):
+            execute_sequence([], tile)
+
+    def test_truncated_sequence_rejected(self, rng):
+        from repro.core.schemes import CompressionScheme
+        tile = _tile(rng, "bf8", 0.5)
+        seq = emit_decompress_sequence(CompressionScheme("bf8", 0.5))
+        with pytest.raises(ProgramError, match="stored"):
+            execute_sequence(seq[: len(seq) // 2], tile)

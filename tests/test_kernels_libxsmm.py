@@ -1,0 +1,73 @@
+"""Tests for the software kernel timing builder."""
+
+import math
+
+import pytest
+
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.kernels.avx import AvxVariant
+from repro.kernels.libxsmm import (
+    SW_TILE_OVERHEAD_CYCLES,
+    software_aixv,
+    software_dec_cycles,
+    software_kernel_timing,
+    uncompressed_kernel_timing,
+)
+from repro.sim.pipeline import (
+    InvocationMode,
+    SW_DEMAND_LOAD_BYTES_PER_CYCLE,
+)
+
+
+class TestDecCycles:
+    def test_two_vops_per_cycle(self):
+        scheme = parse_scheme("Q8_20%")
+        cycles = software_dec_cycles(scheme)
+        from repro.kernels.avx import software_vops_per_tile
+        assert cycles == pytest.approx(software_vops_per_tile(scheme) / 2)
+
+    def test_uncompressed_is_free(self):
+        assert software_dec_cycles(UNCOMPRESSED) == 0.0
+
+    def test_more_units_halves_time(self):
+        scheme = parse_scheme("Q8_20%")
+        assert software_dec_cycles(
+            scheme, AvxVariant.MORE_UNITS
+        ) == pytest.approx(software_dec_cycles(scheme) / 2)
+
+
+class TestAixv:
+    def test_reciprocal_of_vops(self):
+        scheme = parse_scheme("Q4")
+        from repro.kernels.avx import software_vops_per_tile
+        assert software_aixv(scheme) == pytest.approx(
+            1 / software_vops_per_tile(scheme)
+        )
+
+    def test_uncompressed_is_infinite(self):
+        assert math.isinf(software_aixv(UNCOMPRESSED))
+
+
+class TestTimingBuilders:
+    def test_software_timing_fields(self, hbm):
+        timing = software_kernel_timing(hbm, parse_scheme("Q8_20%"))
+        assert timing.mode is InvocationMode.OVERLAPPED
+        assert timing.core_overhead_cycles == SW_TILE_OVERHEAD_CYCLES
+        assert timing.demand_load_cap == SW_DEMAND_LOAD_BYTES_PER_CYCLE
+        assert timing.dec_is_avx
+
+    def test_uncompressed_timing(self, hbm):
+        timing = uncompressed_kernel_timing(hbm)
+        assert timing.dec_cycles == 0.0
+        assert timing.bytes_per_tile == 1024.0
+        assert timing.demand_load_cap is None
+
+    def test_bf16_scheme_falls_back_to_uncompressed(self, hbm):
+        timing = software_kernel_timing(hbm, UNCOMPRESSED)
+        assert timing.dec_cycles == 0.0
+
+    def test_bytes_override(self, hbm):
+        timing = software_kernel_timing(
+            hbm, parse_scheme("Q8"), bytes_per_tile=600.0
+        )
+        assert timing.bytes_per_tile == 600.0

@@ -1,0 +1,58 @@
+"""Tests for the Parlooper-style tile partitioning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.parlooper import (
+    imbalance,
+    max_tiles_per_core,
+    partition_tiles,
+    tiles_for_matrix,
+)
+
+
+class TestTilesForMatrix:
+    def test_counts(self):
+        assert tiles_for_matrix(16, 32) == 1
+        assert tiles_for_matrix(8192, 8192) == 512 * 256
+
+    def test_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            tiles_for_matrix(17, 32)
+
+
+class TestPartition:
+    def test_covers_everything(self):
+        parts = partition_tiles(1000, 7)
+        assert sum(p.count for p in parts) == 1000
+        assert parts[0].start == 0
+        assert parts[-1].stop == 1000
+
+    def test_contiguous(self):
+        parts = partition_tiles(100, 3)
+        for prev, nxt in zip(parts, parts[1:]):
+            assert prev.stop == nxt.start
+
+    def test_imbalance_at_most_one(self):
+        parts = partition_tiles(1001, 56)
+        lo, hi = imbalance(parts)
+        assert hi - lo <= 1
+
+    def test_max_tiles_per_core(self):
+        assert max_tiles_per_core(100, 7) == 15
+
+    def test_exact_division(self):
+        assert max_tiles_per_core(112, 56) == 2
+
+    def test_more_cores_than_tiles(self):
+        parts = partition_tiles(3, 8)
+        assert sum(p.count for p in parts) == 3
+        assert max(p.count for p in parts) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            partition_tiles(-1, 4)
+        with pytest.raises(ConfigurationError):
+            partition_tiles(4, 0)
+        with pytest.raises(ConfigurationError):
+            imbalance([])

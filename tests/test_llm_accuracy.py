@@ -1,0 +1,76 @@
+"""Tests for the numerical-fidelity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.llm.accuracy import (
+    fidelity_sweep,
+    gemm_relative_error,
+    weight_sqnr_db,
+)
+from tests.conftest import random_weights
+
+
+class TestSqnr:
+    def test_bf16_very_high(self, rng):
+        w = random_weights(rng, 64, 64)
+        assert weight_sqnr_db(parse_scheme("Q16"), w) > 45
+
+    def test_ordering_by_bits(self, rng):
+        # More mantissa bits -> higher SQNR.
+        w = random_weights(rng, 64, 64)
+        q16 = weight_sqnr_db(parse_scheme("Q16"), w)
+        q8 = weight_sqnr_db(parse_scheme("Q8"), w)
+        q4 = weight_sqnr_db(parse_scheme("Q4"), w)
+        assert q16 > q8 > q4
+
+    def test_q4_still_usable(self, rng):
+        # MXFP4's group scaling keeps SQNR in the usable range the
+        # accuracy literature reports.
+        w = random_weights(rng, 128, 128)
+        assert weight_sqnr_db(parse_scheme("Q4"), w) > 12
+
+    def test_pruning_isolated_from_quantization(self, rng):
+        w = random_weights(rng, 64, 64)
+        pruned_only = weight_sqnr_db(
+            parse_scheme("Q16_50%"), w, against_pruned=True
+        )
+        with_pruning_noise = weight_sqnr_db(
+            parse_scheme("Q16_50%"), w, against_pruned=False
+        )
+        assert pruned_only > with_pruning_noise
+
+
+class TestGemmError:
+    def test_error_grows_with_compression(self, rng):
+        w = random_weights(rng, 64, 128)
+        a = rng.normal(size=(4, 128)).astype(np.float32)
+        e16 = gemm_relative_error(parse_scheme("Q16"), w, a)
+        e8 = gemm_relative_error(parse_scheme("Q8"), w, a)
+        e4 = gemm_relative_error(parse_scheme("Q4"), w, a)
+        assert e16 < e8 < e4
+
+    def test_magnitude_pruning_bounded_error(self, rng):
+        # 50% magnitude pruning of Gaussian weights keeps most energy.
+        w = random_weights(rng, 64, 128)
+        a = rng.normal(size=(4, 128)).astype(np.float32)
+        error = gemm_relative_error(parse_scheme("Q16_50%"), w, a)
+        assert error < 0.45
+
+    def test_int4_comparable_to_mxfp4(self, rng):
+        w = random_weights(rng, 64, 128)
+        a = rng.normal(size=(4, 128)).astype(np.float32)
+        e_mx = gemm_relative_error(parse_scheme("Q4"), w, a)
+        e_i4 = gemm_relative_error(parse_scheme("I4"), w, a)
+        assert e_i4 == pytest.approx(e_mx, rel=0.8)
+
+
+class TestSweep:
+    def test_reports_for_all_schemes(self, rng):
+        schemes = [parse_scheme(n) for n in ("Q16", "Q8", "Q4", "I4")]
+        reports = fidelity_sweep(schemes, rows=64, cols=64, rng=rng)
+        assert [r.scheme_name for r in reports] == ["Q16", "Q8", "Q4", "I4"]
+        for report in reports:
+            assert report.weight_sqnr_db > 0
+            assert "SQNR" in report.summary()

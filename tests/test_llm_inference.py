@@ -1,0 +1,123 @@
+"""Tests for the next-token latency model."""
+
+import pytest
+
+from repro.core.schemes import UNCOMPRESSED, parse_scheme
+from repro.errors import ConfigurationError
+from repro.llm.inference import (
+    EngineKind,
+    next_token_latency,
+    non_gemm_seconds,
+)
+from repro.llm.models import llama2_70b, opt_66b
+
+
+class TestNonGemm:
+    def test_grows_with_batch(self):
+        model = llama2_70b()
+        assert non_gemm_seconds(model, 16, 128) > non_gemm_seconds(model, 1, 128)
+
+    def test_grows_with_tokens(self):
+        model = llama2_70b()
+        assert non_gemm_seconds(model, 4, 512) > non_gemm_seconds(model, 4, 32)
+
+    def test_scales_with_model_size(self):
+        assert non_gemm_seconds(opt_66b(), 1, 128) < non_gemm_seconds(
+            llama2_70b(), 1, 128
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            non_gemm_seconds(llama2_70b(), 0, 128)
+        with pytest.raises(ConfigurationError):
+            non_gemm_seconds(llama2_70b(), 1, 0)
+
+
+class TestNextTokenLatency:
+    def test_uncompressed_baseline_near_paper(self, hbm):
+        breakdown = next_token_latency(
+            llama2_70b(), hbm, batch=1, input_tokens=128
+        )
+        # Paper Table 4: 192.3 ms.
+        assert breakdown.total_ms == pytest.approx(192.3, rel=0.05)
+
+    def test_gemm_fraction_matches_table1(self, hbm):
+        breakdown = next_token_latency(
+            llama2_70b(), hbm, batch=1, input_tokens=32
+        )
+        assert breakdown.gemm_fraction == pytest.approx(0.898, abs=0.01)
+
+    def test_deca_beats_software(self, hbm):
+        model = llama2_70b()
+        scheme = parse_scheme("Q8_5%")
+        sw = next_token_latency(
+            model, hbm, scheme, EngineKind.SOFTWARE, batch=1
+        )
+        deca = next_token_latency(
+            model, hbm, scheme, EngineKind.DECA, batch=1
+        )
+        assert 1.6 <= sw.total_seconds / deca.total_seconds <= 2.8
+
+    def test_deca_vs_uncompressed_headline(self, hbm):
+        # Paper: 2.5x-5.0x over the uncompressed base model.
+        model = llama2_70b()
+        base = next_token_latency(model, hbm, batch=1)
+        deca = next_token_latency(
+            model, hbm, parse_scheme("Q8_5%"), EngineKind.DECA, batch=1
+        )
+        assert 2.5 <= base.total_seconds / deca.total_seconds <= 5.5
+
+    def test_uncompressed_requires_bf16(self, hbm):
+        with pytest.raises(ConfigurationError):
+            next_token_latency(
+                llama2_70b(), hbm, parse_scheme("Q8"),
+                EngineKind.UNCOMPRESSED,
+            )
+
+    def test_breakdown_consistency(self, hbm):
+        breakdown = next_token_latency(llama2_70b(), hbm, batch=4)
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.gemm_seconds + breakdown.non_gemm_seconds
+        )
+        assert 0 < breakdown.gemm_fraction < 1
+
+    def test_ddr_much_slower(self, hbm, ddr):
+        fast = next_token_latency(llama2_70b(), hbm, batch=1)
+        slow = next_token_latency(llama2_70b(), ddr, batch=1)
+        assert slow.total_seconds > 2.5 * fast.total_seconds
+
+    def test_opt_faster_than_llama(self, hbm):
+        llama = next_token_latency(llama2_70b(), hbm, batch=1)
+        opt = next_token_latency(opt_66b(), hbm, batch=1)
+        assert opt.total_seconds < llama.total_seconds
+
+
+class TestLayerBreakdown:
+    def test_sums_to_total(self, hbm):
+        from repro.llm.inference import fc_gemm_seconds, layer_breakdown
+        model = llama2_70b()
+        scheme = parse_scheme("Q8_20%")
+        rows = layer_breakdown(model, hbm, scheme, EngineKind.DECA)
+        total = fc_gemm_seconds(model, hbm, scheme, EngineKind.DECA)
+        assert sum(r.seconds for r in rows) == pytest.approx(total, rel=1e-6)
+
+    def test_mlp_dominates_llama(self, hbm):
+        from repro.llm.inference import layer_breakdown
+        rows = layer_breakdown(
+            llama2_70b(), hbm, parse_scheme("Q4"), EngineKind.SOFTWARE
+        )
+        by_name = {r.layer_name: r.seconds for r in rows}
+        mlp = by_name["gate_proj"] + by_name["up_proj"] + by_name["down_proj"]
+        attn = (
+            by_name["q_proj"] + by_name["k_proj"]
+            + by_name["v_proj"] + by_name["o_proj"]
+        )
+        assert mlp > 4 * attn
+
+    def test_head_counted_once(self, hbm):
+        from repro.llm.inference import layer_breakdown
+        rows = layer_breakdown(
+            opt_66b(), hbm, parse_scheme("Q8"), EngineKind.DECA
+        )
+        head = next(r for r in rows if r.layer_name == "lm_head")
+        assert head.instances == 1

@@ -1,0 +1,58 @@
+"""Tests for the LLM model inventories."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.llm.models import FcLayer, llama2_70b, opt_66b
+
+
+class TestLlama2:
+    def test_fc_param_count(self):
+        # ~68.7B FC weights (the 70B headline includes embeddings/norms).
+        model = llama2_70b()
+        assert model.fc_params == pytest.approx(68.7e9, rel=0.01)
+
+    def test_block_structure(self):
+        model = llama2_70b()
+        names = [layer.name for layer in model.block_layers]
+        assert names == [
+            "q_proj", "k_proj", "v_proj", "o_proj",
+            "gate_proj", "up_proj", "down_proj",
+        ]
+
+    def test_gqa_kv_projections(self):
+        model = llama2_70b()
+        k_proj = model.block_layers[1]
+        assert k_proj.out_features == 1024  # 8 KV heads x 128
+
+    def test_tiles_per_token(self):
+        model = llama2_70b()
+        assert model.fc_tiles == model.fc_params // 512
+
+    def test_bf16_footprint(self):
+        model = llama2_70b()
+        assert model.fc_bytes_bf16() == model.fc_params * 2
+
+
+class TestOpt:
+    def test_fc_param_count(self):
+        assert opt_66b().fc_params == pytest.approx(65.7e9, rel=0.01)
+
+    def test_four_x_mlp(self):
+        model = opt_66b()
+        fc1 = next(l for l in model.block_layers if l.name == "fc1")
+        assert fc1.out_features == 4 * model.hidden
+
+    def test_smaller_than_llama(self):
+        assert opt_66b().fc_params < llama2_70b().fc_params
+
+
+class TestFcLayer:
+    def test_params(self):
+        layer = FcLayer("x", 64, 32)
+        assert layer.params == 2048
+        assert layer.tiles == 4 * 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            FcLayer("bad", 0, 32)

@@ -1,0 +1,85 @@
+"""Tests for the prompt-phase and request-latency models."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.errors import ConfigurationError
+from repro.llm.inference import EngineKind
+from repro.llm.models import llama2_70b, opt_66b
+from repro.llm.prompt import prompt_latency, request_latency
+
+
+class TestPromptPhase:
+    def test_compute_bound_for_long_prompts(self, hbm):
+        # Past ~150 tokens the TMUL becomes the bottleneck and FC time
+        # scales linearly with the token count.
+        t256 = prompt_latency(llama2_70b(), hbm, input_tokens=256)
+        t2048 = prompt_latency(llama2_70b(), hbm, input_tokens=2048)
+        assert t2048.fc_seconds == pytest.approx(
+            8 * t256.fc_seconds, rel=0.05
+        )
+        # While a short prompt sits on the memory floor.
+        t16 = prompt_latency(llama2_70b(), hbm, input_tokens=16)
+        t1 = prompt_latency(llama2_70b(), hbm, input_tokens=1)
+        assert t16.fc_seconds == pytest.approx(t1.fc_seconds, rel=0.01)
+
+    def test_memory_floor_for_single_token(self, hbm):
+        # One token still sweeps all the weights once.
+        result = prompt_latency(llama2_70b(), hbm, input_tokens=1)
+        weight_seconds = llama2_70b().fc_bytes_bf16() / (850e9 * 0.93)
+        assert result.fc_seconds == pytest.approx(weight_seconds, rel=0.01)
+
+    def test_compression_shrinks_short_prompt_time(self, hbm):
+        base = prompt_latency(llama2_70b(), hbm, input_tokens=16)
+        compressed = prompt_latency(
+            llama2_70b(), hbm, parse_scheme("Q8_10%"), input_tokens=16
+        )
+        assert compressed.fc_seconds < base.fc_seconds
+
+    def test_attention_quadratic(self, hbm):
+        t1 = prompt_latency(llama2_70b(), hbm, input_tokens=256)
+        t2 = prompt_latency(llama2_70b(), hbm, input_tokens=512)
+        assert t2.attention_seconds == pytest.approx(
+            4 * t1.attention_seconds, rel=0.01
+        )
+
+    def test_validation(self, hbm):
+        with pytest.raises(ConfigurationError):
+            prompt_latency(llama2_70b(), hbm, input_tokens=0)
+
+
+class TestRequestLatency:
+    def test_composition(self, hbm):
+        request = request_latency(
+            llama2_70b(), hbm, parse_scheme("Q4"), EngineKind.DECA,
+            input_tokens=128, output_tokens=128,
+        )
+        assert request.total_seconds == pytest.approx(
+            request.prompt.total_seconds + 128 * request.per_token_seconds
+        )
+
+    def test_generation_dominates_long_outputs(self, hbm):
+        # The paper's premise: generation dominates end-to-end time.
+        request = request_latency(
+            llama2_70b(), hbm, input_tokens=128, output_tokens=128,
+        )
+        assert request.generation_seconds > 5 * request.prompt.total_seconds
+
+    def test_deca_improves_tokens_per_second(self, hbm):
+        scheme = parse_scheme("Q8_5%")
+        sw = request_latency(
+            llama2_70b(), hbm, scheme, EngineKind.SOFTWARE,
+        )
+        deca = request_latency(
+            llama2_70b(), hbm, scheme, EngineKind.DECA,
+        )
+        assert deca.tokens_per_second > 2 * sw.tokens_per_second
+
+    def test_opt_request_faster(self, hbm):
+        llama = request_latency(llama2_70b(), hbm)
+        opt = request_latency(opt_66b(), hbm)
+        assert opt.total_seconds < llama.total_seconds
+
+    def test_validation(self, hbm):
+        with pytest.raises(ConfigurationError):
+            request_latency(llama2_70b(), hbm, output_tokens=0)

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants covered:
+
+* codec round trips are idempotent and error-bounded for every format,
+* bitmask pack/unpack/expand is an exact bijection,
+* tile compression -> DECA pipeline decompression is bit-exact against the
+  reference for arbitrary data, formats, and densities,
+* the binomial bubble model matches exact window counting in expectation,
+* the Roof-Surface equation is monotone in both intensities.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bubbles import bubbles_per_vop_sparse, lut_reads_per_cycle
+from repro.core.machine import SPR_HBM
+from repro.core.roofsurface import RoofSurface
+from repro.deca.config import DecaConfig
+from repro.deca.crossbar import expand_window, split_windows
+from repro.deca.pipeline import DecaPipeline
+from repro.formats.bfloat import bf16_round, e5m2_bits_to_float32, float32_to_e5m2_bits
+from repro.formats.fp8 import e4m3_bits_to_float32, float32_to_e4m3_bits
+from repro.formats.mxfp import mx_group_dequantize, mx_group_quantize
+from repro.sparse.bitmask import expansion_indices, pack_bitmask, popcount, unpack_bitmask
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+@st.composite
+def float_arrays(draw, size):
+    return draw(
+        arrays(dtype=np.float32, shape=size, elements=finite_floats)
+    )
+
+
+class TestCodecProperties:
+    @given(values=float_arrays(64))
+    @settings(max_examples=50, deadline=None)
+    def test_bf16_round_idempotent(self, values):
+        once = bf16_round(values)
+        assert np.array_equal(bf16_round(once), once)
+
+    @given(values=float_arrays(64))
+    @settings(max_examples=50, deadline=None)
+    def test_bf16_relative_error(self, values):
+        rounded = bf16_round(values)
+        # 2^-132 of absolute slack covers float32 subnormals below BF16's
+        # smallest subnormal (2^-133), which round to zero or to it.
+        assert np.all(
+            np.abs(rounded - values) <= np.abs(values) * 2.0**-8 + 2.0**-132
+        )
+
+    @given(values=float_arrays(64))
+    @settings(max_examples=50, deadline=None)
+    def test_e5m2_fixed_point(self, values):
+        decoded = e5m2_bits_to_float32(float32_to_e5m2_bits(values))
+        again = e5m2_bits_to_float32(float32_to_e5m2_bits(decoded))
+        assert np.array_equal(decoded, again, equal_nan=True)
+
+    @given(values=float_arrays(64))
+    @settings(max_examples=50, deadline=None)
+    def test_e4m3_fixed_point(self, values):
+        decoded = e4m3_bits_to_float32(float32_to_e4m3_bits(values))
+        again = e4m3_bits_to_float32(float32_to_e4m3_bits(decoded))
+        assert np.array_equal(decoded, again, equal_nan=True)
+
+    @given(values=float_arrays(32))
+    @settings(max_examples=50, deadline=None)
+    def test_mx_group_roundtrip_bounded(self, values):
+        codes, scales = mx_group_quantize(values)
+        restored = mx_group_dequantize(codes, scales)
+        from repro.formats.mxfp import decode_shared_scale
+        bound = float(decode_shared_scale(scales)[0]) * 2.0 + 1e-6
+        assert np.all(np.abs(restored - values) <= bound)
+
+
+class TestBitmaskProperties:
+    @given(mask=arrays(dtype=bool, shape=512))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_unpack_bijection(self, mask):
+        assert np.array_equal(unpack_bitmask(pack_bitmask(mask), 512), mask)
+
+    @given(mask=arrays(dtype=bool, shape=512))
+    @settings(max_examples=50, deadline=None)
+    def test_popcount_invariant(self, mask):
+        assert popcount(pack_bitmask(mask)) == int(mask.sum())
+
+    @given(mask=arrays(dtype=bool, shape=64), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_expand_inverts_compaction(self, mask, data):
+        nnz = int(mask.sum())
+        values = data.draw(float_arrays(nnz))
+        dense = expand_window(values, mask)
+        # Compacting the dense vector must give the values back.
+        assert np.array_equal(dense[mask], values)
+        assert np.all(dense[~mask] == 0.0)
+
+    @given(mask=arrays(dtype=bool, shape=256))
+    @settings(max_examples=50, deadline=None)
+    def test_expansion_indices_monotone(self, mask):
+        indices = expansion_indices(mask)
+        assert np.all(np.diff(indices) >= 0)
+
+    @given(mask=arrays(dtype=bool, shape=512),
+           width=st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=50, deadline=None)
+    def test_split_windows_partition(self, mask, width):
+        sizes, starts = split_windows(mask, width)
+        assert sizes.sum() == mask.sum()
+        assert starts[0] == 0
+        assert np.all(np.diff(starts) == sizes[:-1])
+
+
+class TestPipelineProperties:
+    @given(
+        data=st.data(),
+        fmt=st.sampled_from(["bf8", "e4m3", "mxfp4", "bf16"]),
+        width=st.sampled_from([8, 16, 32]),
+        luts=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pipeline_bit_exact_for_arbitrary_tiles(
+        self, data, fmt, width, luts
+    ):
+        dense = data.draw(float_arrays(TILE_SHAPE))
+        mask = data.draw(arrays(dtype=bool, shape=TILE_SHAPE))
+        if not mask.any():
+            mask[0, 0] = True
+        tile = CompressedTile.from_dense(dense, fmt, mask)
+        pipeline = DecaPipeline(DecaConfig(width=width, lut_count=luts))
+        pipeline.configure(fmt)
+        out, stats = pipeline.decompress_tile(tile)
+        assert np.array_equal(
+            out, tile.decompress_reference(), equal_nan=True
+        )
+        assert stats.vops == 512 // width
+
+    @given(
+        density=st.floats(min_value=0.02, max_value=0.98),
+        width=st.sampled_from([16, 32]),
+        luts=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bubble_model_matches_exact_windows(self, density, width, luts):
+        # Expected bubbles from the CDF formula vs counting real windows.
+        rng = np.random.default_rng(0)
+        lq = lut_reads_per_cycle(luts, 8)
+        windows = rng.binomial(width, density, size=50_000)
+        empirical = float(
+            np.mean(np.maximum(np.ceil(windows / lq), 1) - 1)
+        )
+        model = bubbles_per_vop_sparse(width, lq, density)
+        assert math.isclose(model, empirical, abs_tol=0.05)
+
+
+class TestRoofSurfaceProperties:
+    @given(
+        aixm=st.floats(min_value=1e-5, max_value=1.0),
+        aixv=st.floats(min_value=1e-5, max_value=1.0),
+        scale=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_intensities(self, aixm, aixv, scale):
+        model = RoofSurface(SPR_HBM, batch_rows=1)
+        base = model.tiles_per_second(aixm, aixv)
+        assert model.tiles_per_second(aixm * scale, aixv) >= base
+        assert model.tiles_per_second(aixm, aixv * scale) >= base
+
+    @given(
+        aixm=st.floats(min_value=1e-5, max_value=1.0),
+        aixv=st.floats(min_value=1e-5, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_any_term(self, aixm, aixv):
+        model = RoofSurface(SPR_HBM, batch_rows=1)
+        tps = model.tiles_per_second(aixm, aixv)
+        assert tps <= model.memory_rate(aixm) + 1e-6
+        assert tps <= model.vector_rate(aixv) + 1e-6
+        assert tps <= model.matrix_rate() + 1e-6

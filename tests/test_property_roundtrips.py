@@ -1,0 +1,76 @@
+"""Property tests on end-to-end round trips across the stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.formats.bfloat import bf16_round
+from repro.sparse.compress import compress_matrix, decompress_matrix
+from repro.sparse.serialize import load_matrix, save_matrix
+from repro.sparse.tile import CompressedTile, TILE_SHAPE
+
+finite = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False,
+    allow_infinity=False, width=32,
+)
+
+
+class TestTileRoundtrips:
+    @given(
+        data=st.data(),
+        fmt=st.sampled_from(["bf16", "bf8", "e4m3", "mxfp4", "int4g32"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dense_positions_preserved(self, data, fmt):
+        dense = data.draw(
+            arrays(dtype=np.float32, shape=TILE_SHAPE, elements=finite)
+        )
+        mask = data.draw(arrays(dtype=bool, shape=TILE_SHAPE))
+        if not mask.any():
+            mask[0, 0] = True
+        tile = CompressedTile.from_dense(dense, fmt, mask)
+        out = tile.decompress_reference()
+        # Pruned positions are exactly zero; kept positions carry the
+        # quantized value (never silently zeroed for nonzero input).
+        assert np.all(out[~mask] == 0.0)
+
+    @given(
+        data=st.data(),
+        fmt=st.sampled_from(["bf16", "bf8"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bf16_kept_values_exact(self, data, fmt):
+        dense = data.draw(
+            arrays(dtype=np.float32, shape=TILE_SHAPE, elements=finite)
+        )
+        mask = data.draw(arrays(dtype=bool, shape=TILE_SHAPE))
+        if not mask.any():
+            mask[0, 0] = True
+        if fmt == "bf16":
+            tile = CompressedTile.from_dense(dense, fmt, mask)
+            out = tile.decompress_reference()
+            assert np.array_equal(out[mask], bf16_round(dense)[mask])
+
+
+class TestMatrixSerializationProperty:
+    @given(
+        data=st.data(),
+        fmt=st.sampled_from(["bf8", "mxfp4", "bf16"]),
+        density=st.sampled_from([1.0, 0.5, 0.2]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_save_load_identity(self, tmp_path_factory, data, fmt, density):
+        dense = data.draw(
+            arrays(dtype=np.float32, shape=(32, 64), elements=finite)
+        )
+        matrix = compress_matrix(dense, fmt, density=density)
+        path = tmp_path_factory.mktemp("ser") / "m.npz"
+        save_matrix(matrix, path)
+        loaded = load_matrix(path)
+        assert np.array_equal(
+            decompress_matrix(loaded),
+            decompress_matrix(matrix),
+            equal_nan=True,
+        )
+        assert loaded.nnz == matrix.nnz

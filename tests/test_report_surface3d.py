@@ -1,0 +1,42 @@
+"""Tests for the isometric Roof-Surface rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.machine import SPR_HBM
+from repro.core.roofsurface import RoofSurface
+from repro.errors import ConfigurationError
+from repro.report.surface3d import roofsurface_svg
+
+
+class TestSurfaceSvg:
+    @pytest.fixture
+    def model(self):
+        return RoofSurface(SPR_HBM, batch_rows=4)
+
+    def test_well_formed(self, model):
+        point = model.evaluate("Q8", 0.002, 0.01)
+        svg = roofsurface_svg(model, [point], 0.012, 0.07, grid=8)
+        root = ET.fromstring(svg)
+        polygons = [c for c in root if c.tag.endswith("polygon")]
+        assert len(polygons) == 8 * 8
+
+    def test_points_rendered_as_stems(self, model):
+        points = [
+            model.evaluate("a", 0.002, 0.01),
+            model.evaluate("b", 0.008, 0.03),
+        ]
+        svg = roofsurface_svg(model, points, 0.012, 0.07, grid=6)
+        root = ET.fromstring(svg)
+        circles = [c for c in root if c.tag.endswith("circle")]
+        assert len(circles) == 2
+
+    def test_all_regions_coloured(self, model):
+        svg = roofsurface_svg(model, [], 0.012, 0.07, grid=12)
+        for fill in ("#8fbc8f", "#e8b86d", "#7f9fd4"):
+            assert fill in svg
+
+    def test_tiny_grid_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            roofsurface_svg(model, [], 0.01, 0.01, grid=2)

@@ -1,0 +1,62 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+
+
+class TestEventEngine:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule_at(5.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append(1))
+        engine.schedule_at(1.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_relative_scheduling(self):
+        engine = EventEngine()
+        times = []
+        def first():
+            times.append(engine.now)
+            engine.schedule(3.0, lambda: times.append(engine.now))
+        engine.schedule_at(2.0, first)
+        final = engine.run()
+        assert times == [2.0, 5.0]
+        assert final == 5.0
+
+    def test_past_scheduling_rejected(self):
+        engine = EventEngine()
+        engine.schedule_at(10.0, lambda: engine.schedule_at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventEngine().schedule(-1.0, lambda: None)
+
+    def test_event_budget(self):
+        engine = EventEngine()
+        def loop():
+            engine.schedule(1.0, loop)
+        engine.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            engine.run(max_events=100)
+
+    def test_pending_count(self):
+        engine = EventEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
+        engine.run()
+        assert engine.pending == 0

@@ -1,0 +1,55 @@
+"""Tests for the mesh NoC latency model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.noc import MeshNoc, spr_mesh
+from repro.sim.system import hbm_system
+
+
+class TestMeshGeometry:
+    def test_average_hops_line_formula(self):
+        # For a 1xN line, mean pairwise distance is (N^2-1)/(3N).
+        mesh = MeshNoc(rows=1, cols=8)
+        assert mesh.average_hops_to_random_tile() == pytest.approx(
+            (64 - 1) / 24
+        )
+
+    def test_single_tile_zero_hops(self):
+        mesh = MeshNoc(rows=1, cols=1)
+        assert mesh.average_hops_to_random_tile() == 0.0
+        assert mesh.average_hops_to_edge() == 0.0
+
+    def test_bigger_mesh_longer_hops(self):
+        small = spr_mesh(16)
+        large = spr_mesh(56)
+        assert (
+            large.average_hops_to_random_tile()
+            > small.average_hops_to_random_tile()
+        )
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshNoc(rows=0, cols=4)
+
+
+class TestDerivedLatencies:
+    def test_llc_latency_near_system_default(self):
+        # The 56-core mesh should land near the flat 80-cycle default.
+        mesh = spr_mesh(56)
+        assert mesh.llc_latency() == pytest.approx(
+            hbm_system().llc_latency, rel=0.2
+        )
+
+    def test_memory_latency_near_system_default(self):
+        mesh = spr_mesh(56)
+        assert mesh.memory_latency() == pytest.approx(
+            hbm_system().memory_latency, rel=0.2
+        )
+
+    def test_memory_beyond_llc(self):
+        mesh = spr_mesh(56)
+        assert mesh.memory_latency() > mesh.llc_latency()
+
+    def test_tiles_cover_cores(self):
+        assert spr_mesh(56).tiles >= 56

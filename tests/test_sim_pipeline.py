@@ -1,0 +1,233 @@
+"""Tests for the tile-stream pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.pipeline import (
+    DRAM_EFFICIENCY,
+    InvocationMode,
+    KernelTiming,
+    simulate_multicore_event,
+    simulate_tile_stream,
+)
+from repro.sim.system import hbm_system
+from repro.units import TMUL_CYCLES
+
+
+def _timing(**kwargs) -> KernelTiming:
+    defaults = dict(bytes_per_tile=512.0, dec_cycles=32.0)
+    defaults.update(kwargs)
+    return KernelTiming(**defaults)
+
+
+class TestOverlapped:
+    def test_memory_bound_interval(self, hbm):
+        # Huge tiles: memory is the bottleneck.
+        timing = _timing(bytes_per_tile=4096.0, dec_cycles=1.0)
+        result = simulate_tile_stream(hbm, timing)
+        expected = 4096.0 / (hbm.per_core_bytes_per_cycle() * DRAM_EFFICIENCY)
+        assert result.steady_interval_cycles == pytest.approx(expected, rel=0.02)
+
+    def test_dec_bound_interval(self, hbm):
+        timing = _timing(bytes_per_tile=64.0, dec_cycles=200.0)
+        result = simulate_tile_stream(hbm, timing)
+        assert result.steady_interval_cycles == pytest.approx(200.0, rel=0.02)
+
+    def test_mtx_bound_interval(self, hbm):
+        timing = _timing(bytes_per_tile=16.0, dec_cycles=1.0)
+        result = simulate_tile_stream(hbm, timing)
+        assert result.steady_interval_cycles == pytest.approx(
+            TMUL_CYCLES, rel=0.05
+        )
+
+    def test_zero_dec_is_passthrough(self, hbm):
+        timing = _timing(bytes_per_tile=1024.0, dec_cycles=0.0)
+        result = simulate_tile_stream(hbm, timing)
+        expected = 1024.0 / (hbm.per_core_bytes_per_cycle() * DRAM_EFFICIENCY)
+        assert result.steady_interval_cycles == pytest.approx(expected, rel=0.02)
+        assert result.utilization.decompress == 0.0
+
+    def test_core_overhead_serialises_with_dec(self, hbm):
+        base = simulate_tile_stream(
+            hbm, _timing(bytes_per_tile=64.0, dec_cycles=100.0)
+        )
+        loaded = simulate_tile_stream(
+            hbm,
+            _timing(
+                bytes_per_tile=64.0, dec_cycles=100.0,
+                core_overhead_cycles=20.0,
+            ),
+        )
+        assert loaded.steady_interval_cycles == pytest.approx(
+            base.steady_interval_cycles + 20.0, rel=0.02
+        )
+
+    def test_demand_cap_limits_bandwidth(self, hbm):
+        capped = simulate_tile_stream(
+            hbm,
+            _timing(bytes_per_tile=512.0, dec_cycles=1.0, demand_load_cap=2.0),
+        )
+        assert capped.steady_interval_cycles == pytest.approx(256.0, rel=0.02)
+
+
+class TestSerialized:
+    def test_communication_exposed(self, hbm):
+        overlapped = simulate_tile_stream(
+            hbm,
+            _timing(bytes_per_tile=64.0, dec_cycles=30.0,
+                    mode=InvocationMode.OVERLAPPED),
+        )
+        serialized = simulate_tile_stream(
+            hbm,
+            _timing(
+                bytes_per_tile=64.0, dec_cycles=30.0,
+                mode=InvocationMode.SERIALIZED,
+                invoke_cycles=20.0, fence_cycles=10.0, handoff_cycles=12.0,
+            ),
+        )
+        gap = (
+            serialized.steady_interval_cycles
+            - overlapped.steady_interval_cycles
+        )
+        # The store, the fence, and part of the handoff/TMUL chain fall on
+        # the critical path once the core serializes.
+        assert gap >= 25.0
+
+    def test_interval_at_least_comm_plus_mtx(self, hbm):
+        timing = _timing(
+            bytes_per_tile=16.0, dec_cycles=1.0,
+            mode=InvocationMode.SERIALIZED,
+            invoke_cycles=20.0, fence_cycles=10.0, handoff_cycles=12.0,
+        )
+        result = simulate_tile_stream(hbm, timing)
+        assert result.steady_interval_cycles >= 20.0 + 10.0 + TMUL_CYCLES
+
+
+class TestTepl:
+    def test_hazard_floor(self, hbm):
+        # Tiny decompress time: the two-loader hazard sets the interval at
+        # (issue + loader + dec + handoff) / 2.
+        timing = _timing(
+            bytes_per_tile=16.0, dec_cycles=4.0, mtx_cycles=1.0,
+            mode=InvocationMode.TEPL,
+            invoke_cycles=2.0, handoff_cycles=12.0,
+            loader_latency_cycles=10.0, n_loaders=2, prefetch_window=24,
+        )
+        result = simulate_tile_stream(hbm, timing)
+        assert result.steady_interval_cycles == pytest.approx(
+            (2.0 + 4.0 + 12.0 + 10.0) / 2, rel=0.05
+        )
+
+    def test_more_loaders_relax_hazard(self, hbm):
+        def run(loaders):
+            return simulate_tile_stream(
+                hbm,
+                _timing(
+                    bytes_per_tile=16.0, dec_cycles=4.0, mtx_cycles=1.0,
+                    mode=InvocationMode.TEPL, invoke_cycles=2.0,
+                    handoff_cycles=12.0, loader_latency_cycles=10.0,
+                    n_loaders=loaders, prefetch_window=24,
+                ),
+            ).steady_interval_cycles
+        assert run(4) < run(2)
+
+    def test_dec_chain_still_binds(self, hbm):
+        timing = _timing(
+            bytes_per_tile=16.0, dec_cycles=64.0,
+            mode=InvocationMode.TEPL,
+            invoke_cycles=2.0, handoff_cycles=12.0,
+            loader_latency_cycles=10.0, prefetch_window=24,
+        )
+        result = simulate_tile_stream(hbm, timing)
+        assert result.steady_interval_cycles == pytest.approx(64.0, rel=0.03)
+
+    def test_faster_than_serialized(self, hbm):
+        kwargs = dict(
+            bytes_per_tile=64.0, dec_cycles=16.0,
+            invoke_cycles=20.0, handoff_cycles=12.0,
+            loader_latency_cycles=10.0,
+        )
+        serialized = simulate_tile_stream(
+            hbm,
+            _timing(mode=InvocationMode.SERIALIZED, fence_cycles=10.0, **kwargs),
+        )
+        tepl = simulate_tile_stream(
+            hbm, _timing(mode=InvocationMode.TEPL, **kwargs)
+        )
+        assert tepl.steady_interval_cycles < serialized.steady_interval_cycles
+
+
+class TestPerTileSequences:
+    def test_varying_dec_cycles_average_out(self, hbm):
+        rng = np.random.default_rng(0)
+        per_tile = rng.uniform(10.0, 50.0, size=600)
+        varying = simulate_tile_stream(
+            hbm, _timing(bytes_per_tile=16.0, dec_cycles=per_tile)
+        )
+        constant = simulate_tile_stream(
+            hbm, _timing(bytes_per_tile=16.0, dec_cycles=float(per_tile.mean()))
+        )
+        assert varying.steady_interval_cycles == pytest.approx(
+            constant.steady_interval_cycles, rel=0.05
+        )
+
+    def test_short_sequence_tiled(self, hbm):
+        timing = _timing(bytes_per_tile=[100.0, 200.0], dec_cycles=1.0)
+        assert timing.tile_bytes(6).tolist() == [100, 200, 100, 200, 100, 200]
+
+
+class TestResultApi:
+    def test_flops_scaling(self, hbm):
+        result = simulate_tile_stream(hbm, _timing())
+        assert result.flops(4) == pytest.approx(4 * result.flops(1))
+        assert result.flops(16) == result.flops(32)
+
+    def test_seconds_for_extrapolates(self, hbm):
+        result = simulate_tile_stream(hbm, _timing(), tiles=100)
+        short = result.seconds_for(100)
+        long = result.seconds_for(1000)
+        assert long > short * 8
+
+    def test_minimum_tiles(self, hbm):
+        with pytest.raises(ConfigurationError):
+            simulate_tile_stream(hbm, _timing(), tiles=4)
+
+
+class TestEventBackendAgreement:
+    def test_matches_fair_share_memory_bound(self, hbm):
+        timing = _timing(bytes_per_tile=1024.0, dec_cycles=0.0)
+        fair = simulate_tile_stream(hbm, timing, tiles=300)
+        event = simulate_multicore_event(hbm, timing, tiles_per_core=300)
+        assert event.steady_interval_cycles == pytest.approx(
+            fair.steady_interval_cycles, rel=0.02
+        )
+
+    def test_matches_fair_share_dec_bound(self, hbm):
+        timing = _timing(bytes_per_tile=64.0, dec_cycles=120.0)
+        fair = simulate_tile_stream(hbm, timing, tiles=300)
+        event = simulate_multicore_event(hbm, timing, tiles_per_core=300)
+        assert event.steady_interval_cycles == pytest.approx(
+            fair.steady_interval_cycles, rel=0.02
+        )
+
+    def test_event_backend_rejects_other_modes(self, hbm):
+        timing = _timing(mode=InvocationMode.TEPL)
+        with pytest.raises(ConfigurationError):
+            simulate_multicore_event(hbm, timing)
+
+
+class TestValidation:
+    def test_bad_mtx_cycles(self):
+        with pytest.raises(ConfigurationError):
+            KernelTiming(bytes_per_tile=1.0, dec_cycles=1.0, mtx_cycles=0.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            KernelTiming(bytes_per_tile=1.0, dec_cycles=1.0, prefetch_window=0)
+
+    def test_bad_exposure(self):
+        with pytest.raises(ConfigurationError):
+            KernelTiming(
+                bytes_per_tile=1.0, dec_cycles=1.0, exposed_latency=2.0
+            )

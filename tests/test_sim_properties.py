@@ -1,0 +1,111 @@
+"""Property-based tests on the tile-stream simulator's invariants.
+
+A performance model that violates basic monotonicity (more resources can
+never hurt; more work can never help) produces nonsense design guidance.
+These tests pin those invariants across the parameter space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.pipeline import InvocationMode, KernelTiming, simulate_tile_stream
+from repro.sim.system import hbm_system
+
+_HBM = hbm_system()
+
+bytes_strategy = st.floats(min_value=32.0, max_value=2048.0)
+dec_strategy = st.floats(min_value=0.5, max_value=256.0)
+modes = st.sampled_from(list(InvocationMode))
+
+
+def _interval(**kwargs) -> float:
+    defaults = dict(
+        bytes_per_tile=256.0,
+        dec_cycles=32.0,
+        handoff_cycles=12.0,
+        invoke_cycles=4.0,
+        loader_latency_cycles=10.0,
+        prefetch_window=8,
+    )
+    defaults.update(kwargs)
+    return simulate_tile_stream(
+        _HBM, KernelTiming(**defaults), tiles=120
+    ).steady_interval_cycles
+
+
+class TestMonotonicity:
+    @given(nbytes=bytes_strategy, dec=dec_strategy, mode=modes)
+    @settings(max_examples=40, deadline=None)
+    def test_more_decompress_work_never_faster(self, nbytes, dec, mode):
+        base = _interval(bytes_per_tile=nbytes, dec_cycles=dec, mode=mode)
+        slower = _interval(
+            bytes_per_tile=nbytes, dec_cycles=dec * 1.5, mode=mode
+        )
+        assert slower >= base - 1e-6
+
+    @given(nbytes=bytes_strategy, dec=dec_strategy, mode=modes)
+    @settings(max_examples=40, deadline=None)
+    def test_more_bytes_never_faster(self, nbytes, dec, mode):
+        base = _interval(bytes_per_tile=nbytes, dec_cycles=dec, mode=mode)
+        heavier = _interval(
+            bytes_per_tile=nbytes * 1.5, dec_cycles=dec, mode=mode
+        )
+        assert heavier >= base - 1e-6
+
+    @given(nbytes=bytes_strategy, dec=dec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_interval_at_least_every_resource(self, nbytes, dec):
+        interval = _interval(bytes_per_tile=nbytes, dec_cycles=dec)
+        from repro.sim.pipeline import DRAM_EFFICIENCY
+        mem = nbytes / (_HBM.per_core_bytes_per_cycle() * DRAM_EFFICIENCY)
+        assert interval >= mem - 1e-6
+        assert interval >= dec - 1e-6
+        assert interval >= 16.0 - 1e-6  # the TMUL occupancy
+
+    @given(nbytes=bytes_strategy, dec=dec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_tepl_never_slower_than_serialized(self, nbytes, dec):
+        serialized = _interval(
+            bytes_per_tile=nbytes, dec_cycles=dec,
+            mode=InvocationMode.SERIALIZED,
+            invoke_cycles=20.0, fence_cycles=10.0,
+        )
+        tepl = _interval(
+            bytes_per_tile=nbytes, dec_cycles=dec,
+            mode=InvocationMode.TEPL, invoke_cycles=2.0,
+            prefetch_window=24,
+        )
+        assert tepl <= serialized + 1e-6
+
+    @given(
+        nbytes=bytes_strategy,
+        dec=dec_strategy,
+        window=st.sampled_from([2, 4, 8, 24]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_larger_prefetch_window_never_slower(self, nbytes, dec, window):
+        small = _interval(
+            bytes_per_tile=nbytes, dec_cycles=dec, prefetch_window=window
+        )
+        large = _interval(
+            bytes_per_tile=nbytes, dec_cycles=dec, prefetch_window=window * 2
+        )
+        assert large <= small + 1e-6
+
+    @given(nbytes=bytes_strategy, dec=dec_strategy, mode=modes)
+    @settings(max_examples=30, deadline=None)
+    def test_utilizations_bounded(self, nbytes, dec, mode):
+        result = simulate_tile_stream(
+            _HBM,
+            KernelTiming(
+                bytes_per_tile=nbytes, dec_cycles=dec, mode=mode,
+                handoff_cycles=12.0, invoke_cycles=4.0,
+                loader_latency_cycles=10.0,
+            ),
+            tiles=120,
+        )
+        util = result.utilization
+        assert 0.0 <= util.memory <= 1.0
+        assert 0.0 <= util.matrix <= 1.0
+        assert 0.0 <= util.decompress <= 1.0

@@ -1,0 +1,27 @@
+"""Tests for utilization reporting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import UtilizationReport
+
+
+class TestUtilizationReport:
+    def test_bottleneck(self):
+        report = UtilizationReport(memory=0.9, matrix=0.2, decompress=0.5)
+        assert report.bottleneck == "MEM"
+
+    def test_bottleneck_dec(self):
+        report = UtilizationReport(memory=0.3, matrix=0.2, decompress=0.9)
+        assert report.bottleneck == "DEC"
+
+    def test_percent_rounding(self):
+        report = UtilizationReport(memory=0.934, matrix=0.18, decompress=0.746)
+        pct = report.as_percentages()
+        assert pct == {"MEM": 93, "TMUL": 18, "DEC": 75}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            UtilizationReport(memory=1.2, matrix=0.0, decompress=0.0)
+        with pytest.raises(SimulationError):
+            UtilizationReport(memory=-0.1, matrix=0.0, decompress=0.0)

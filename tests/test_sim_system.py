@@ -1,0 +1,39 @@
+"""Tests for the simulated-system configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.system import SimSystem, ddr_system, hbm_system
+
+
+class TestSimSystem:
+    def test_memory_latency_default(self):
+        system = hbm_system()
+        # 130 ns at 2.5 GHz = 325 cycles.
+        assert system.memory_latency == pytest.approx(325.0)
+
+    def test_bytes_per_cycle(self):
+        assert hbm_system().bytes_per_cycle() == pytest.approx(340.0)
+        assert ddr_system().bytes_per_cycle() == pytest.approx(104.0)
+
+    def test_per_core_share(self):
+        assert hbm_system().per_core_bytes_per_cycle() == pytest.approx(
+            340.0 / 56
+        )
+
+    def test_with_cores(self):
+        small = hbm_system().with_cores(8)
+        assert small.cores == 8
+        assert small.per_core_bytes_per_cycle() == pytest.approx(340.0 / 8)
+
+    def test_exposure_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimSystem(machine=hbm_system().machine, exposed_latency_l2pf=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimSystem(machine=hbm_system().machine, l2_latency=-1.0)
+
+    def test_custom_memory_latency_kept(self):
+        system = SimSystem(machine=hbm_system().machine, memory_latency=200.0)
+        assert system.memory_latency == 200.0

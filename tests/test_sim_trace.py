@@ -1,0 +1,65 @@
+"""Tests for pipeline tracing and Gantt rendering."""
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.deca.integration import INTEGRATION_LADDER, deca_kernel_timing
+from repro.errors import SimulationError
+from repro.kernels.libxsmm import software_kernel_timing
+from repro.sim import render_gantt, simulate_tile_stream, stage_latency_summary
+
+
+@pytest.fixture
+def result(hbm):
+    timing = software_kernel_timing(hbm, parse_scheme("Q8_20%"))
+    return simulate_tile_stream(hbm, timing, tiles=64)
+
+
+class TestTrace:
+    def test_trace_attached(self, result):
+        assert result.trace is not None
+        assert len(result.trace.mtx_done) == 64
+
+    def test_stage_ordering_invariants(self, result):
+        trace = result.trace
+        for i in range(64):
+            spans = trace.stage_spans(i)
+            assert spans["fetch"][0] <= spans["fetch"][1]
+            assert spans["decompress"][0] <= spans["decompress"][1]
+            assert spans["matrix"][0] <= spans["matrix"][1]
+            # Data must arrive before decompression starts.
+            assert spans["fetch"][1] <= spans["decompress"][0] + 1e-9
+            # The TMUL consumes only decompressed tiles.
+            assert spans["decompress"][1] <= spans["matrix"][0] + 1e-9
+
+    def test_out_of_range_tile(self, result):
+        with pytest.raises(SimulationError):
+            result.trace.stage_spans(64)
+
+    def test_all_modes_traced(self, hbm):
+        scheme = parse_scheme("Q8_20%")
+        for option in INTEGRATION_LADDER:
+            timing = deca_kernel_timing(hbm, scheme, integration=option)
+            result = simulate_tile_stream(hbm, timing, tiles=32)
+            assert result.trace is not None
+            spans = result.trace.stage_spans(10)
+            assert spans["decompress"][1] <= spans["matrix"][0] + 1e-9
+
+
+class TestGantt:
+    def test_renders_all_stages(self, result):
+        art = render_gantt(result, first_tile=20, tiles=6)
+        assert "d" in art and "M" in art
+        assert art.count("tile ") == 6
+
+    def test_window_validation(self, result):
+        with pytest.raises(SimulationError):
+            render_gantt(result, first_tile=60, tiles=10)
+        with pytest.raises(SimulationError):
+            render_gantt(result, width=4)
+
+    def test_summary_values(self, result):
+        summary = stage_latency_summary(result)
+        assert summary["matrix_cycles"] == pytest.approx(16.0)
+        assert summary["decompress_cycles"] > 0
+        assert summary["fetch_cycles"] > 0

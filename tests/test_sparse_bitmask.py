@@ -1,0 +1,77 @@
+"""Tests for the packed-bitmask helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.sparse.bitmask import (
+    expansion_indices,
+    pack_bitmask,
+    popcount,
+    unpack_bitmask,
+)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, rng):
+        mask = rng.random(512) < 0.3
+        packed = pack_bitmask(mask)
+        assert np.array_equal(unpack_bitmask(packed, 512), mask)
+
+    def test_lsb_first_order(self):
+        mask = np.zeros(8, dtype=bool)
+        mask[0] = True
+        assert pack_bitmask(mask)[0] == 1
+        mask = np.zeros(8, dtype=bool)
+        mask[7] = True
+        assert pack_bitmask(mask)[0] == 0x80
+
+    def test_padding(self):
+        mask = np.ones(3, dtype=bool)
+        packed = pack_bitmask(mask)
+        assert packed.size == 1 and packed[0] == 0b111
+
+    def test_512_bits_is_64_bytes(self):
+        packed = pack_bitmask(np.ones(512, dtype=bool))
+        assert packed.size == 64
+
+    def test_unpack_count_too_large(self):
+        with pytest.raises(CompressionError):
+            unpack_bitmask(np.zeros(1, dtype=np.uint8), 9)
+
+    def test_unpack_negative_count(self):
+        with pytest.raises(CompressionError):
+            unpack_bitmask(np.zeros(1, dtype=np.uint8), -1)
+
+
+class TestPopcount:
+    def test_matches_sum(self, rng):
+        mask = rng.random(512) < 0.5
+        assert popcount(pack_bitmask(mask)) == int(mask.sum())
+
+    def test_empty(self):
+        assert popcount(pack_bitmask(np.zeros(64, dtype=bool))) == 0
+
+    def test_full(self):
+        assert popcount(pack_bitmask(np.ones(64, dtype=bool))) == 64
+
+
+class TestExpansionIndices:
+    def test_exclusive_prefix_sum(self):
+        mask = np.array([1, 0, 1, 1, 0, 1], dtype=bool)
+        indices = expansion_indices(mask)
+        assert list(indices) == [0, 1, 1, 2, 3, 3]
+
+    def test_routing_reconstructs_dense(self, rng):
+        mask = rng.random(64) < 0.4
+        values = rng.normal(size=int(mask.sum())).astype(np.float32)
+        indices = expansion_indices(mask)
+        dense = np.zeros(64, dtype=np.float32)
+        dense[mask] = values[indices[mask]]
+        expected = np.zeros(64, dtype=np.float32)
+        expected[mask] = values
+        assert np.array_equal(dense, expected)
+
+    def test_all_zeros(self):
+        indices = expansion_indices(np.zeros(16, dtype=bool))
+        assert np.all(indices == 0)

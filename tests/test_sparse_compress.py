@@ -1,0 +1,78 @@
+"""Tests for matrix-level compression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.formats.bfloat import bf16_round
+from repro.sparse.compress import (
+    compress_matrix,
+    decompress_matrix,
+    expected_tile_bytes,
+)
+
+
+class TestCompressMatrix:
+    def test_tile_count(self, rng):
+        w = rng.normal(size=(64, 96)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8")
+        assert matrix.tile_count == (64 // 16) * (96 // 32)
+
+    def test_dense_roundtrip_bf16(self, rng):
+        w = rng.normal(size=(32, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf16")
+        assert np.array_equal(decompress_matrix(matrix), bf16_round(w))
+
+    def test_density_respected(self, rng):
+        w = rng.normal(size=(64, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8", density=0.3)
+        assert matrix.density == pytest.approx(0.3, abs=0.01)
+
+    def test_magnitude_pruning_keeps_largest(self, rng):
+        w = rng.normal(size=(16, 32)).astype(np.float32)
+        matrix = compress_matrix(w, "bf16", density=0.1)
+        out = decompress_matrix(matrix)
+        kept = out != 0
+        assert np.abs(w[kept]).min() >= np.abs(w[~kept]).max()
+
+    def test_random_pruning(self, rng):
+        w = rng.normal(size=(32, 32)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8", density=0.5, pruning="random", rng=rng)
+        assert matrix.density == pytest.approx(0.5, abs=0.02)
+
+    def test_unknown_pruning(self, rng):
+        w = rng.normal(size=(16, 32)).astype(np.float32)
+        with pytest.raises(CompressionError, match="unknown pruning"):
+            compress_matrix(w, "bf8", density=0.5, pruning="structured")
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(CompressionError):
+            compress_matrix(np.zeros((2, 16, 32), dtype=np.float32), "bf8")
+
+    def test_compression_factor_dense_bf8(self, rng):
+        w = rng.normal(size=(32, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8")
+        assert matrix.compression_factor() == pytest.approx(2.0)
+
+    def test_compression_factor_sparse(self, rng):
+        w = rng.normal(size=(64, 64)).astype(np.float32)
+        matrix = compress_matrix(w, "bf8", density=0.2)
+        # CF = 16 / (8 * 0.2 + 1) = 6.15
+        assert matrix.compression_factor() == pytest.approx(6.15, rel=0.02)
+
+
+class TestExpectedTileBytes:
+    def test_dense_bf16(self):
+        assert expected_tile_bytes(16, 1.0, sparse=False) == 1024
+
+    def test_sparse_adds_bitmask(self):
+        assert expected_tile_bytes(8, 0.5, sparse=True) == 256 + 64
+
+    def test_group_scales(self):
+        assert expected_tile_bytes(
+            4, 1.0, sparse=False, scale_bits_per_group=8, group_size=32
+        ) == 256 + 16
+
+    def test_invalid_density(self):
+        with pytest.raises(CompressionError):
+            expected_tile_bytes(8, 0.0, sparse=True)

@@ -1,0 +1,73 @@
+"""Tests for the pruning utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.sparse.prune import achieved_density, magnitude_mask, random_mask
+
+
+class TestMagnitudeMask:
+    def test_exact_count(self, rng):
+        weights = rng.normal(size=(16, 32)).astype(np.float32)
+        mask = magnitude_mask(weights, 0.25)
+        assert mask.sum() == round(0.25 * weights.size)
+
+    def test_keeps_largest(self, rng):
+        weights = rng.normal(size=100).astype(np.float32)
+        mask = magnitude_mask(weights, 0.1)
+        kept_min = np.abs(weights[mask]).min()
+        dropped_max = np.abs(weights[~mask]).max()
+        assert kept_min >= dropped_max
+
+    def test_full_density(self, rng):
+        weights = rng.normal(size=(4, 4)).astype(np.float32)
+        assert magnitude_mask(weights, 1.0).all()
+
+    def test_invalid_density(self):
+        with pytest.raises(CompressionError):
+            magnitude_mask(np.ones(4, dtype=np.float32), 0.0)
+        with pytest.raises(CompressionError):
+            magnitude_mask(np.ones(4, dtype=np.float32), 1.5)
+
+    def test_at_least_one_kept(self):
+        weights = np.ones(1000, dtype=np.float32)
+        mask = magnitude_mask(weights, 0.0001)
+        assert mask.sum() == 1
+
+    def test_shape_preserved(self, rng):
+        weights = rng.normal(size=(16, 32)).astype(np.float32)
+        assert magnitude_mask(weights, 0.5).shape == (16, 32)
+
+
+class TestRandomMask:
+    def test_exact_count(self, rng):
+        mask = random_mask((16, 32), 0.2, rng=rng)
+        assert mask.sum() == round(0.2 * 512)
+
+    def test_deterministic_with_seed(self):
+        a = random_mask((8, 8), 0.5, rng=np.random.default_rng(7))
+        b = random_mask((8, 8), 0.5, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_uniformity(self):
+        # Across many draws every position should be selected sometimes.
+        rng = np.random.default_rng(3)
+        total = np.zeros(64)
+        for _ in range(200):
+            total += random_mask((64,), 0.5, rng=rng)
+        assert total.min() > 50 and total.max() < 150
+
+    def test_invalid_density(self):
+        with pytest.raises(CompressionError):
+            random_mask((4,), -0.1)
+
+
+class TestAchievedDensity:
+    def test_value(self):
+        mask = np.array([True, False, True, False])
+        assert achieved_density(mask) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            achieved_density(np.zeros(0, dtype=bool))

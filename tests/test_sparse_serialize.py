@@ -1,0 +1,40 @@
+"""Tests for compressed-matrix serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.sparse.compress import compress_matrix, decompress_matrix
+from repro.sparse.serialize import load_matrix, save_matrix
+from tests.conftest import random_weights
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("fmt,density", [
+        ("bf16", 1.0), ("bf8", 0.25), ("mxfp4", 1.0),
+        ("bf8", 1.0), ("int4g32", 0.5),
+    ])
+    def test_bit_exact(self, rng, tmp_path, fmt, density):
+        w = random_weights(rng, 64, 96)
+        matrix = compress_matrix(w, fmt, density=density)
+        path = tmp_path / "m.npz"
+        save_matrix(matrix, path)
+        loaded = load_matrix(path)
+        assert loaded.shape == matrix.shape
+        assert loaded.format_name == matrix.format_name
+        assert np.array_equal(
+            decompress_matrix(loaded), decompress_matrix(matrix)
+        )
+
+    def test_nbytes_preserved(self, rng, tmp_path):
+        w = random_weights(rng, 32, 64)
+        matrix = compress_matrix(w, "bf8", density=0.3)
+        path = tmp_path / "m.npz"
+        save_matrix(matrix, path)
+        assert load_matrix(path).nbytes() == matrix.nbytes()
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, magic=np.array("nope"), data=np.zeros(3))
+        with pytest.raises(CompressionError):
+            load_matrix(path)

@@ -1,0 +1,130 @@
+"""Tests for compressed AMX tiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.formats.bfloat import bf16_round
+from repro.sparse.prune import random_mask
+from repro.sparse.tile import BITMASK_BYTES, CompressedTile, TILE_SHAPE, tile_grid
+
+
+def _dense_tile(rng):
+    return rng.normal(scale=0.05, size=TILE_SHAPE).astype(np.float32)
+
+
+class TestFromDense:
+    def test_dense_tile_has_no_bitmask(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8")
+        assert tile.bitmask is None
+        assert tile.nnz == 512
+
+    def test_sparse_tile_has_bitmask(self, rng):
+        mask = random_mask(TILE_SHAPE, 0.2, rng=rng)
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8", mask)
+        assert tile.bitmask is not None
+        assert tile.bitmask.size == BITMASK_BYTES
+        assert tile.nnz == int(mask.sum())
+
+    def test_density_property(self, rng):
+        mask = random_mask(TILE_SHAPE, 0.25, rng=rng)
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf16", mask)
+        assert tile.density == pytest.approx(0.25)
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(CompressionError):
+            CompressedTile.from_dense(
+                np.zeros((8, 32), dtype=np.float32), "bf8"
+            )
+
+    def test_wrong_mask_shape_rejected(self, rng):
+        with pytest.raises(CompressionError):
+            CompressedTile.from_dense(
+                _dense_tile(rng), "bf8", np.ones((8, 32), dtype=bool)
+            )
+
+    def test_mxfp4_has_scales(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "mxfp4")
+        assert tile.scale_bits is not None
+        assert tile.scale_bits.size == 16  # 512 / 32 groups
+
+    def test_bf8_has_no_scales(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8")
+        assert tile.scale_bits is None
+
+
+class TestNbytes:
+    def test_dense_bf16(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf16")
+        assert tile.nbytes() == 1024
+
+    def test_dense_bf8(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8")
+        assert tile.nbytes() == 512
+
+    def test_dense_mxfp4(self, rng):
+        tile = CompressedTile.from_dense(_dense_tile(rng), "mxfp4")
+        assert tile.nbytes() == 256 + 16  # packed nibbles + scales
+
+    def test_sparse_adds_bitmask(self, rng):
+        mask = random_mask(TILE_SHAPE, 0.5, rng=rng)
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8", mask)
+        assert tile.nbytes() == 256 + 64
+
+
+class TestDecompressReference:
+    def test_dense_bf16_is_rounding(self, rng):
+        dense = _dense_tile(rng)
+        tile = CompressedTile.from_dense(dense, "bf16")
+        assert np.array_equal(tile.decompress_reference(), bf16_round(dense))
+
+    def test_sparse_zeros_in_place(self, rng):
+        dense = _dense_tile(rng)
+        mask = random_mask(TILE_SHAPE, 0.3, rng=rng)
+        tile = CompressedTile.from_dense(dense, "bf16", mask)
+        out = tile.decompress_reference()
+        assert np.all(out[~mask] == 0.0)
+        assert np.array_equal(out[mask], bf16_round(dense)[mask])
+
+    def test_row_nnz_matches_mask(self, rng):
+        mask = random_mask(TILE_SHAPE, 0.4, rng=rng)
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8", mask)
+        assert np.array_equal(tile.row_nnz(), mask.sum(axis=1))
+
+    def test_mxfp4_scaling_applied(self, rng):
+        dense = (_dense_tile(rng) * 100).astype(np.float32)
+        tile = CompressedTile.from_dense(dense, "mxfp4")
+        out = tile.decompress_reference()
+        # Error bounded by 2 shared-scale units; scales are per 32-element
+        # row group, so amax/4 per row bounds every element.
+        amax = np.abs(dense).max(axis=1, keepdims=True)
+        assert np.all(np.abs(out - dense) <= amax * 0.25 + 1e-4)
+
+    def test_bitmask_popcount_validated(self, rng):
+        mask = random_mask(TILE_SHAPE, 0.5, rng=rng)
+        tile = CompressedTile.from_dense(_dense_tile(rng), "bf8", mask)
+        with pytest.raises(CompressionError, match="popcount"):
+            CompressedTile(
+                format_name=tile.format_name,
+                codes=tile.codes[:-1],  # drop one code
+                bitmask=tile.bitmask,
+                scale_bits=None,
+            )
+
+
+class TestTileGrid:
+    def test_covers_matrix(self):
+        slices = list(tile_grid((32, 64)))
+        assert len(slices) == 2 * 2
+
+    def test_row_major_order(self):
+        slices = list(tile_grid((32, 64)))
+        assert slices[0] == (slice(0, 16), slice(0, 32))
+        assert slices[1] == (slice(0, 16), slice(32, 64))
+        assert slices[2] == (slice(16, 32), slice(0, 32))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(CompressionError):
+            list(tile_grid((30, 64)))
+        with pytest.raises(CompressionError):
+            list(tile_grid((32, 60)))
