@@ -1,0 +1,8 @@
+"""Micro-benchmark harness tracking the simulator's performance trajectory.
+
+``run_bench.py`` times the hot paths (tile-stream engines, PE tile
+decompress, a full figure sweep) against their retained loop references
+and writes ``BENCH_perf.json`` at the repository root;
+``check_regression.py`` re-measures and fails on >25% regressions. See
+docs/PERFORMANCE.md.
+"""

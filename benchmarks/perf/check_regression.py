@@ -1,0 +1,117 @@
+"""Compare a fresh benchmark run against ``BENCH_perf.json``.
+
+Re-measures every benchmark recorded in the checked-in report and exits
+nonzero if any ``after_s`` regressed by more than the tolerance (25% by
+default — generous enough for container jitter, tight enough to catch an
+accidental return to per-tile Python loops).
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+        [--report PATH] [--tolerance 0.25] [--repeats N]
+
+Wired into pytest as the opt-in ``perf`` marker:
+
+    python -m pytest -m perf benchmarks/perf
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Allow direct `python benchmarks/perf/check_regression.py` invocation:
+# the interpreter puts this script's directory on sys.path, not the repo
+# root that anchors the `benchmarks` package.
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from benchmarks.perf.run_bench import DEFAULT_OUTPUT, run_benchmarks
+
+
+def _speed_scale(recorded: dict, fresh: dict) -> float:
+    """How much slower this run's machine is than the recording's.
+
+    The retained loop references run inside the same measurement, so
+    their slowdown is pure machine/load difference — using it as an
+    anchor keeps the gate from flagging a busy container (or a slower
+    laptop) as a code regression. Scale is clamped at 1.0 so a *faster*
+    machine still has to meet the recorded absolute numbers.
+    """
+    ratios = []
+    for name, entry in recorded.items():
+        baseline = entry.get("before_s")
+        current = fresh.get(name, {}).get("before_s")
+        if baseline and current:
+            ratios.append(current / baseline)
+    if not ratios:
+        return 1.0
+    ratios.sort()
+    return max(1.0, ratios[len(ratios) // 2])
+
+
+def compare(
+    recorded: dict, fresh: dict, tolerance: float
+) -> "list[str]":
+    """Return a list of human-readable regression descriptions."""
+    failures = []
+    scale = _speed_scale(recorded, fresh)
+    for name, entry in sorted(recorded.items()):
+        baseline = entry.get("after_s")
+        if baseline is None:
+            continue
+        current = fresh.get(name, {}).get("after_s")
+        if current is None:
+            failures.append(f"{name}: benchmark disappeared from the harness")
+            continue
+        allowed = baseline * scale * (1.0 + tolerance)
+        if current > allowed:
+            failures.append(
+                f"{name}: {current * 1e6:.1f} us vs recorded "
+                f"{baseline * 1e6:.1f} us (allowed {allowed * 1e6:.1f} us "
+                f"at machine-speed scale {scale:.2f})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"recorded report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default: 0.25)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=10,
+        help="timed repetitions per benchmark (default: 10)",
+    )
+    args = parser.parse_args(argv)
+    if not args.report.exists():
+        print(
+            f"no recorded report at {args.report}; generate one with "
+            "benchmarks/perf/run_bench.py"
+        )
+        return 2
+    recorded = json.loads(args.report.read_text())["benchmarks"]
+    fresh = run_benchmarks(repeats=args.repeats)
+    failures = compare(recorded, fresh, args.tolerance)
+    if failures:
+        print("performance regressions detected:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"all {len(recorded)} benchmarks within +{args.tolerance:.0%} of "
+        f"{args.report}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

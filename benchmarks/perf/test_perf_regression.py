@@ -1,0 +1,21 @@
+"""Opt-in perf gate: fail if the hot paths regressed past BENCH_perf.json.
+
+Deselected by default (see pytest.ini); run with:
+
+    PYTHONPATH=src python -m pytest -m perf benchmarks/perf
+"""
+
+import pytest
+
+from benchmarks.perf import check_regression
+from benchmarks.perf.run_bench import DEFAULT_OUTPUT
+
+pytestmark = pytest.mark.perf
+
+
+def test_no_perf_regression():
+    assert DEFAULT_OUTPUT.exists(), (
+        "BENCH_perf.json missing; regenerate with "
+        "PYTHONPATH=src python benchmarks/perf/run_bench.py"
+    )
+    assert check_regression.main([]) == 0

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.bubbles import lut_reads_per_cycle
 from repro.errors import ConfigurationError
 from repro.units import TILE_ELEMS
@@ -78,6 +80,20 @@ class DecaConfig:
             )
         lq = self.lq(bits)
         return max(1, -(-window // lq))
+
+    def dequant_cycles_for_windows(
+        self, windows: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`dequant_cycles_for_window` over window sizes."""
+        windows = np.asarray(windows, dtype=np.int64)
+        if windows.size and (
+            int(windows.min()) < 0 or int(windows.max()) > self.width
+        ):
+            raise ConfigurationError(
+                f"windows must be in [0, {self.width}]"
+            )
+        lq = self.lq(bits)
+        return np.maximum(1, -(-windows // lq))
 
 
 #: The paper's chosen design.

@@ -13,7 +13,7 @@ pipeline actually does — including across back-to-back tiles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,9 +47,22 @@ class CycleSimResult:
     events: Tuple[VopEvent, ...]
     tile_done_cycles: Tuple[int, ...]
     total_cycles: int
+    #: Per-tile dequant-stage occupancy, precomputed by the simulator so
+    #: per-tile queries need not rescan every event (``None`` only for
+    #: results built by hand without the sums).
+    tile_dequant_cycles: Optional[Tuple[int, ...]] = None
 
     def tile_pipeline_cycles(self, tile_index: int) -> int:
-        """Dequant-stage occupancy of one tile (sum over its vOps)."""
+        """Dequant-stage occupancy of one tile (sum over its vOps).
+
+        O(1) against the precomputed per-tile sums; validating a whole
+        run is linear in tiles instead of tiles x events.
+        """
+        if (
+            self.tile_dequant_cycles is not None
+            and 0 <= tile_index < len(self.tile_dequant_cycles)
+        ):
+            return self.tile_dequant_cycles[tile_index]
         return sum(
             e.dequant_cycles
             for e in self.events
@@ -60,7 +73,10 @@ class CycleSimResult:
         """Fraction of cycles the dequantization stage was occupied."""
         if self.total_cycles == 0:
             return 0.0
-        busy = sum(e.dequant_cycles for e in self.events)
+        if self.tile_dequant_cycles is not None:
+            busy = sum(self.tile_dequant_cycles)
+        else:
+            busy = sum(e.dequant_cycles for e in self.events)
         return min(1.0, busy / self.total_cycles)
 
 
@@ -89,27 +105,36 @@ def simulate_pe_cycles(
     uses_lut = tiles[0].fmt.lut_supported
     events: List[VopEvent] = []
     tile_done: List[int] = []
+    tile_sums: List[int] = []
     cycle = 0
     for tile_index, tile in enumerate(tiles):
         mask = tile.dense_mask().ravel()
         windows, _starts = split_windows(mask, config.width)
         loader_id = tile_index % config.n_loaders
-        for vop_index, window in enumerate(windows):
-            if uses_lut:
-                cycles = config.dequant_cycles_for_window(int(window), bits)
-            else:
-                cycles = 1
-            events.append(
-                VopEvent(
-                    tile_index=tile_index,
-                    vop_index=vop_index,
-                    loader_id=loader_id,
-                    window=int(window),
-                    dequant_start=cycle,
-                    dequant_cycles=cycles,
-                )
+        # All of this tile's vOp start cycles in one cumulative pass: each
+        # window occupies ceil(window / Lq) dequant cycles (min 1), so the
+        # starts are the exclusive prefix sum of the per-window costs.
+        if uses_lut:
+            cycles_per_vop = config.dequant_cycles_for_windows(windows, bits)
+        else:
+            cycles_per_vop = np.ones(len(windows), dtype=np.int64)
+        ends = np.cumsum(cycles_per_vop)
+        starts = cycle + ends - cycles_per_vop
+        events.extend(
+            VopEvent(
+                tile_index=tile_index,
+                vop_index=vop_index,
+                loader_id=loader_id,
+                window=int(window),
+                dequant_start=int(start),
+                dequant_cycles=int(cycles),
             )
-            cycle += cycles
+            for vop_index, (window, start, cycles) in enumerate(
+                zip(windows, starts, cycles_per_vop)
+            )
+        )
+        cycle += int(ends[-1])
+        tile_sums.append(int(ends[-1]))
         tile_done.append(
             cycle + (config.pipeline_stages - 1 if drain_stages else 0)
         )
@@ -118,6 +143,7 @@ def simulate_pe_cycles(
         events=tuple(events),
         tile_done_cycles=tuple(tile_done),
         total_cycles=total,
+        tile_dequant_cycles=tuple(tile_sums),
     )
 
 

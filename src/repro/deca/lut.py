@@ -105,3 +105,11 @@ class LutArray:
             return 1
         lq = self.reads_per_cycle()
         return -(-window // lq)
+
+    def read_cycles_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read_cycles` over an array of window sizes."""
+        windows = np.asarray(windows, dtype=np.int64)
+        if windows.size and int(windows.min()) < 0:
+            raise ConfigurationError("window must be non-negative")
+        lq = self.reads_per_cycle()
+        return np.maximum(1, -(-windows // lq))

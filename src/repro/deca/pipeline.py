@@ -85,33 +85,29 @@ class DecaPipeline:
         different format than the tile carries — real DECA would need an
         OS-mediated reconfiguration (Section 5.1).
         """
-        if self._format_name is None:
-            raise FormatError("the pipeline has not been configured")
-        if tile.format_name != self._format_name:
-            raise FormatError(
-                f"pipeline configured for {self._format_name!r} but the "
-                f"tile is {tile.format_name!r}"
-            )
+        self._check_tile(tile)
         fmt = tile.fmt
         uses_lut = fmt.lut_supported
         mask = tile.dense_mask().ravel()
-        window_sizes, window_starts = split_windows(mask, self.config.width)
-        # Stage 1+2: dequantize each window and expand it to density.
+        window_sizes, _window_starts = split_windows(mask, self.config.width)
+        # Stage 1+2: dequantize every window in one LUT gather, then expand
+        # all of them to density with a single masked scatter. Windows hold
+        # consecutive runs of the code stream, so the per-window crossbar
+        # routing concatenates to exactly "codes land at their mask
+        # positions in order" — bit-identical to expanding window by
+        # window (the retained ``_decompress_tile_windowed`` loop).
+        if uses_lut:
+            values = self.lut.lookup(tile.codes.astype(np.uint16))
+            dequant_cycles = int(
+                np.sum(self.lut.read_cycles_batch(window_sizes))
+            )
+        else:
+            # 16-bit pass-through: the SQQ feeds the expansion stage
+            # directly, one vOp per cycle.
+            values = fmt.decode(tile.codes).astype(np.float32)
+            dequant_cycles = int(len(window_sizes))
         dense = np.zeros(TILE_ELEMS, dtype=np.float32)
-        dequant_cycles = 0
-        width = self.config.width
-        for i, (size, start) in enumerate(zip(window_sizes, window_starts)):
-            codes = tile.codes[start:start + size]
-            if uses_lut:
-                values = self.lut.lookup(codes.astype(np.uint16))
-                dequant_cycles += self.lut.read_cycles(int(size))
-            else:
-                # 16-bit pass-through: the SQQ feeds the expansion stage
-                # directly, one vOp per cycle.
-                values = fmt.decode(codes).astype(np.float32)
-                dequant_cycles += 1
-            window_mask = mask[i * width:(i + 1) * width]
-            dense[i * width:(i + 1) * width] = expand_window(values, window_mask)
+        dense[mask] = values
         # Stage 3: group scaling (skipped when the scheme has no groups).
         if tile.scale_bits is not None:
             scales = decode_shared_scale(tile.scale_bits)
@@ -123,6 +119,59 @@ class DecaPipeline:
         stats = TileDecodeStats(
             vops=vops,
             bubbles=bubbles,
+            dequant_cycles=dequant_cycles,
+            total_cycles=dequant_cycles + (self.config.pipeline_stages - 1),
+            window_sizes=tuple(int(s) for s in window_sizes),
+        )
+        return out, stats
+
+    def _check_tile(self, tile: CompressedTile) -> None:
+        if self._format_name is None:
+            raise FormatError("the pipeline has not been configured")
+        if tile.format_name != self._format_name:
+            raise FormatError(
+                f"pipeline configured for {self._format_name!r} but the "
+                f"tile is {tile.format_name!r}"
+            )
+
+    def _decompress_tile_windowed(
+        self, tile: CompressedTile
+    ) -> Tuple[np.ndarray, TileDecodeStats]:
+        """Per-window reference for :meth:`decompress_tile`.
+
+        Walks the vOp windows one at a time — one LUT read group and one
+        crossbar expansion per window, exactly as the hardware pipeline
+        slots execute. Retained as the golden model for the batched path
+        (the equivalence tests assert bit-identical output and stats) and
+        as the "before" measurement in ``benchmarks/perf``.
+        """
+        self._check_tile(tile)
+        fmt = tile.fmt
+        uses_lut = fmt.lut_supported
+        mask = tile.dense_mask().ravel()
+        window_sizes, window_starts = split_windows(mask, self.config.width)
+        dense = np.zeros(TILE_ELEMS, dtype=np.float32)
+        dequant_cycles = 0
+        width = self.config.width
+        for i, (size, start) in enumerate(zip(window_sizes, window_starts)):
+            codes = tile.codes[start:start + size]
+            if uses_lut:
+                values = self.lut.lookup(codes.astype(np.uint16))
+                dequant_cycles += self.lut.read_cycles(int(size))
+            else:
+                values = fmt.decode(codes).astype(np.float32)
+                dequant_cycles += 1
+            window_mask = mask[i * width:(i + 1) * width]
+            dense[i * width:(i + 1) * width] = expand_window(values, window_mask)
+        if tile.scale_bits is not None:
+            scales = decode_shared_scale(tile.scale_bits)
+            assert fmt.group_size is not None
+            dense = dense * np.repeat(scales, fmt.group_size)
+        out = bf16_round(dense).reshape(TILE_SHAPE)
+        vops = int(len(window_sizes))
+        stats = TileDecodeStats(
+            vops=vops,
+            bubbles=dequant_cycles - vops,
             dequant_cycles=dequant_cycles,
             total_cycles=dequant_cycles + (self.config.pipeline_stages - 1),
             window_sizes=tuple(int(s) for s in window_sizes),

@@ -48,8 +48,16 @@ def run_grid(
     schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
     engines: Sequence[str] = ("software", "deca"),
     deca_config: Optional[DecaConfig] = None,
+    use_cache: bool = True,
 ) -> List[GridRecord]:
-    """Simulate every (system, scheme, engine) combination."""
+    """Simulate every (system, scheme, engine) combination.
+
+    Each cell goes through the memoized tile-stream front door
+    (:mod:`repro.sim.cache`): grids that overlap earlier sweeps — or
+    repeat configurations across ``systems``/``schemes`` axes — cost one
+    lookup per revisited cell. Pass ``use_cache=False`` to force fresh
+    simulations.
+    """
     if systems is None:
         systems = (hbm_system(), ddr_system())
     records: List[GridRecord] = []
@@ -66,7 +74,9 @@ def run_grid(
                     raise ConfigurationError(
                         f"unknown engine {engine!r}; use 'software' or 'deca'"
                     )
-                result = simulate_tile_stream(system, timing)
+                result = simulate_tile_stream(
+                    system, timing, use_cache=use_cache
+                )
                 util = result.utilization
                 records.append(
                     GridRecord(

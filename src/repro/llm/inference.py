@@ -123,6 +123,7 @@ def fc_gemm_seconds(
     avx_variant: AvxVariant = AvxVariant.BASELINE,
     batch: int = 1,
     sample_tiles: int = 400,
+    use_cache: bool = True,
 ) -> float:
     """Simulated time to execute all FC GeMMs for one generated token.
 
@@ -130,6 +131,11 @@ def fc_gemm_seconds(
     critical path; its stream is simulated for ``sample_tiles`` tiles and
     extrapolated to the full per-token tile count. ``batch`` adds the
     activation-staging cost to the core/TMUL chain.
+
+    The simulation goes through the memoized tile-stream front door
+    (:mod:`repro.sim.cache`), so the Table 1/4 harnesses — which revisit
+    the same (model, system, scheme, engine, batch) combinations across
+    rows — pay for each distinct stream once.
     """
     if engine is EngineKind.UNCOMPRESSED:
         timing = uncompressed_kernel_timing(system)
@@ -148,7 +154,9 @@ def fc_gemm_seconds(
         )
     else:
         timing = replace(timing, mtx_cycles=timing.mtx_cycles + act_cycles)
-    result = simulate_tile_stream(system, timing, tiles=sample_tiles)
+    result = simulate_tile_stream(
+        system, timing, tiles=sample_tiles, use_cache=use_cache
+    )
     per_core = max_tiles_per_core(model.fc_tiles, system.cores)
     return result.seconds_for(per_core)
 

@@ -12,7 +12,8 @@ first-order phenomena:
 
 ``simulate_tile_stream`` runs the per-core recurrence (all cores are
 symmetric, so one core with a 1/cores bandwidth share is exact in steady
-state); ``simulate_multicore_event`` is an exact event-driven multi-core
+state) as vectorized max-plus scans, memoized through ``repro.sim.cache``;
+``simulate_multicore_event`` is an exact event-driven multi-core
 cross-check used by the test suite.
 """
 
@@ -20,6 +21,11 @@ from repro.sim.system import (
     SimSystem,
     ddr_system,
     hbm_system,
+)
+from repro.sim.cache import (
+    CacheStats,
+    clear_simulation_cache,
+    simulation_cache_stats,
 )
 from repro.sim.memory import MemoryChannel, SharedMemoryServer
 from repro.sim.noc import MeshNoc, spr_mesh
@@ -31,6 +37,7 @@ from repro.sim.pipeline import (
     SimResult,
     simulate_multicore_event,
     simulate_tile_stream,
+    simulate_tile_stream_reference,
 )
 from repro.sim.stats import UtilizationReport
 from repro.sim.trace import render_gantt, stage_latency_summary
@@ -39,6 +46,9 @@ __all__ = [
     "SimSystem",
     "ddr_system",
     "hbm_system",
+    "CacheStats",
+    "clear_simulation_cache",
+    "simulation_cache_stats",
     "MemoryChannel",
     "SharedMemoryServer",
     "MeshNoc",
@@ -50,6 +60,7 @@ __all__ = [
     "SimResult",
     "simulate_multicore_event",
     "simulate_tile_stream",
+    "simulate_tile_stream_reference",
     "UtilizationReport",
     "render_gantt",
     "stage_latency_summary",

@@ -1,0 +1,175 @@
+"""Memoization for tile-stream simulations.
+
+Every figure and table harness funnels through
+:func:`repro.sim.pipeline.simulate_tile_stream`, and experiment sweeps
+re-invoke it with identical ``(system, timing, tiles)`` inputs dozens of
+times (the same kernel timing appears in a speedup sweep, a utilization
+table, and an ablation). This module provides the transparent LRU front
+door that makes every repeat a dictionary lookup.
+
+Keying rules
+------------
+
+A cache key is built by value, not identity:
+
+* ``SimSystem`` is a frozen dataclass of floats (plus the frozen
+  ``MachineSpec``) and is hashed directly — two equal systems share an
+  entry regardless of which object the caller constructed.
+* ``KernelTiming`` cannot be hashed as-is because ``bytes_per_tile`` /
+  ``dec_cycles`` may be NumPy arrays; every field is frozen with
+  :func:`_freeze` (arrays and sequences become value tuples, enums become
+  their value). The *raw* field value is keyed — a scalar ``300.0`` and a
+  600-element array of 300s are distinct keys even though they broadcast
+  to the same stream.
+* ``tiles`` participates as an int, so the same timing at a different
+  stream length recomputes.
+
+Entries are :class:`repro.sim.pipeline.SimResult` objects; their trace
+arrays are frozen read-only by the simulator, so sharing one result
+object between callers is safe. The cache is bounded LRU
+(``maxsize`` results, ~30 KB each with a 600-tile trace) and
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Hashable, Tuple
+
+import numpy as np
+
+
+def _freeze(value: Any) -> Hashable:
+    """A hashable, value-based stand-in for one field value."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (np.ndarray, list, tuple)):
+        # Normalize to a float64 buffer: a list and an equal array freeze
+        # to the same key, and hashing the raw bytes keeps a cache hit on
+        # a 600-element per-tile timing ~100x cheaper than a value tuple.
+        array = np.ascontiguousarray(value, dtype=float).ravel()
+        return ("array", array.tobytes())
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def timing_key(timing: Any) -> Tuple[Hashable, ...]:
+    """Freeze a ``KernelTiming`` (any frozen dataclass) into a hashable key."""
+    if not is_dataclass(timing):
+        raise TypeError(f"expected a dataclass timing, got {type(timing)!r}")
+    return tuple(
+        (field.name, _freeze(getattr(timing, field.name)))
+        for field in fields(timing)
+    )
+
+
+def simulation_key(
+    system: Any, timing: Any, tiles: int, extra: Hashable = None
+) -> Hashable:
+    """The full cache key for one tile-stream simulation.
+
+    ``extra`` carries ambient inputs that feed the simulation without
+    living on the system/timing objects — the pipeline passes its
+    module-level calibration constants here so transient perturbations
+    (e.g. the sensitivity study patching ``DRAM_EFFICIENCY``) key their
+    own entries instead of aliasing the nominal ones.
+    """
+    return (system, timing_key(timing), int(tiles), extra)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of the process-wide simulation cache."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SimulationCache:
+    """A bounded, thread-safe LRU mapping simulation keys to results."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        # Compute outside the lock: simulations are slow and pure, and a
+        # rare duplicate computation is cheaper than serializing them all.
+        value = compute()
+        with self._lock:
+            if key not in self._entries:
+                self._misses += 1
+                self._entries[key] = value
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+            else:
+                self._hits += 1
+                self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        """A snapshot of the cache's counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+
+#: The process-wide cache behind ``simulate_tile_stream``.
+_GLOBAL_CACHE = SimulationCache(maxsize=512)
+
+
+def cached_tile_stream(
+    system: Any,
+    timing: Any,
+    tiles: int,
+    compute: Callable[[], Any],
+    extra: Hashable = None,
+) -> Any:
+    """Front door used by :func:`repro.sim.pipeline.simulate_tile_stream`."""
+    return _GLOBAL_CACHE.get_or_compute(
+        simulation_key(system, timing, tiles, extra), compute
+    )
+
+
+def clear_simulation_cache() -> None:
+    """Empty the process-wide simulation cache (tests, benchmarks)."""
+    _GLOBAL_CACHE.clear()
+
+
+def simulation_cache_stats() -> CacheStats:
+    """Counters of the process-wide simulation cache."""
+    return _GLOBAL_CACHE.stats()

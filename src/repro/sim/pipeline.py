@@ -27,19 +27,41 @@ Calibrated second-order effects (see DESIGN.md section 5):
   reaches the roofline, Figure 12); on HBM the cap binds and is exactly
   the paper's observed 74% memory utilisation for dense Q8 (Table 3).
   DECA's dedicated loaders/prefetcher at the L2 are not subject to it.
+
+Performance architecture (docs/PERFORMANCE.md):
+
+* The OVERLAPPED engine evaluates the stage recurrences as NumPy max-plus
+  scans in *relative coordinates*: every chained resource recurrence
+  ``free[i] = max(ready[i], free[i-1]) + cost[i]`` becomes
+  ``cumsum(cost)[i] + maximum.accumulate(ready - cumsum_prev)[i]``. The
+  only genuinely sequential dependency — the prefetch feedback
+  ``issue[i] = dec_start[i - prefetch_window]`` — is resolved by a
+  monotone fixed-point iteration that converges in two array passes for
+  every bandwidth-, decompress-, or TMUL-bound regime; a retained
+  per-tile reference loop (``_run_overlapped_reference``) is the exact
+  fallback for the rare window-limited regime and the golden model for
+  the equivalence tests.
+* SERIALIZED and TEPL carry a cycle-by-cycle feedback through the core's
+  program order (lag 1-2 tiles), so exactness requires a per-tile loop;
+  those loops are kept, but tightened to pure-float arithmetic with all
+  service times and latency products precomputed (no per-tile NumPy
+  scalar churn or channel method calls).
+* ``simulate_tile_stream`` memoizes results through
+  :mod:`repro.sim.cache`, so sweeps that revisit identical
+  ``(system, timing, tiles)`` configurations cost one dict lookup.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.engine import EventEngine
-from repro.sim.memory import MemoryChannel, SharedMemoryServer
+from repro.sim import cache as _simcache
+from repro.sim.memory import MemoryChannel
 from repro.sim.stats import UtilizationReport
 from repro.sim.system import SimSystem
 from repro.units import TMUL_CYCLES, flops_per_tile
@@ -50,6 +72,18 @@ DRAM_EFFICIENCY = 0.93
 #: Per-core demand-load bandwidth cap for the software kernel (bytes per
 #: cycle). 4.5 B/cycle at 2.5 GHz is ~11 GB/s per core.
 SW_DEMAND_LOAD_BYTES_PER_CYCLE = 4.5
+
+#: Fixed-point iteration budget for the vectorized OVERLAPPED engine. Every
+#: realistic regime converges in two passes; the window-limited corner
+#: (tiles so small the channel idles between fetches) propagates only one
+#: prefetch window per pass, so after this many passes the engine falls
+#: back to the exact per-tile reference loop instead of iterating on.
+_OVERLAPPED_MAX_ROUNDS = 8
+
+#: Testing/benchmark hook: force every simulation through the retained
+#: per-tile reference loops (and bypass the cache). Used by
+#: ``benchmarks/perf`` to measure the loop-vs-vectorized speedup.
+FORCE_REFERENCE_ENGINE = False
 
 
 class InvocationMode(enum.Enum):
@@ -130,9 +164,12 @@ class KernelTiming:
 def _broadcast(
     value: Union[float, Sequence[float]], tiles: int, name: str
 ) -> np.ndarray:
-    if np.isscalar(value):
+    # np.ndim treats Python numbers, NumPy scalar types, *and* 0-d arrays
+    # uniformly (np.isscalar does not: it is False for 0-d arrays, which
+    # would route them down the sequence path below).
+    if np.ndim(value) == 0:
         return np.full(tiles, float(value))
-    array = np.asarray(value, dtype=float)
+    array = np.asarray(value, dtype=float).ravel()
     if array.size == 0:
         raise ConfigurationError(f"{name} sequence must not be empty")
     if array.size >= tiles:
@@ -217,26 +254,76 @@ def simulate_tile_stream(
     system: SimSystem,
     timing: KernelTiming,
     tiles: int = 600,
+    use_cache: bool = True,
 ) -> SimResult:
     """Simulate one core's compressed-GeMM tile stream.
 
     All cores run identical streams, so one core against its fair
     bandwidth share reproduces machine throughput exactly in steady state
     (validated against :func:`simulate_multicore_event` in the tests).
+
+    Results are memoized on the ``(system, timing, tiles)`` value (see
+    :mod:`repro.sim.cache`): repeated identical invocations across figure
+    and table harnesses return the same :class:`SimResult` object from an
+    LRU cache. Pass ``use_cache=False`` to force a fresh simulation.
+    """
+    if tiles < 8:
+        raise ConfigurationError("need at least 8 tiles for a steady state")
+    if use_cache and not FORCE_REFERENCE_ENGINE:
+        # DRAM_EFFICIENCY is a module global that studies patch
+        # transiently (the sensitivity sweep scales it), and it feeds the
+        # simulation outside the (system, timing) objects — it must
+        # participate in the key so a perturbed run neither reuses
+        # nominal entries nor pollutes them.
+        return _simcache.cached_tile_stream(
+            system,
+            timing,
+            tiles,
+            lambda: _simulate_tile_stream_uncached(system, timing, tiles),
+            extra=DRAM_EFFICIENCY,
+        )
+    return _simulate_tile_stream_uncached(system, timing, tiles)
+
+
+def _simulate_tile_stream_uncached(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles: int,
+) -> SimResult:
+    nbytes = timing.tile_bytes(tiles)
+    dec = timing.tile_dec_cycles(tiles)
+    if np.any(nbytes < 0):
+        raise SimulationError("request size must be non-negative")
+    channel = MemoryChannel(
+        _effective_bytes_per_cycle(system, timing), system.memory_latency
+    )
+    runner = _ENGINES[timing.mode]
+    if FORCE_REFERENCE_ENGINE:
+        runner = _REFERENCE_ENGINES[timing.mode]
+    trace = runner(channel, timing, nbytes, dec)
+    return _build_result(system, timing, channel, nbytes, dec, trace)
+
+
+def simulate_tile_stream_reference(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles: int = 600,
+) -> SimResult:
+    """Run the retained per-tile reference loops (uncached).
+
+    The golden model for the vectorized engines: used by the equivalence
+    tests and by ``benchmarks/perf`` as the "before" measurement.
     """
     if tiles < 8:
         raise ConfigurationError("need at least 8 tiles for a steady state")
     nbytes = timing.tile_bytes(tiles)
     dec = timing.tile_dec_cycles(tiles)
+    if np.any(nbytes < 0):
+        raise SimulationError("request size must be non-negative")
     channel = MemoryChannel(
         _effective_bytes_per_cycle(system, timing), system.memory_latency
     )
-    if timing.mode is InvocationMode.OVERLAPPED:
-        trace = _run_overlapped(channel, timing, nbytes, dec)
-    elif timing.mode is InvocationMode.SERIALIZED:
-        trace = _run_serialized(channel, timing, nbytes, dec)
-    else:
-        trace = _run_tepl(channel, timing, nbytes, dec)
+    trace = _REFERENCE_ENGINES[timing.mode](channel, timing, nbytes, dec)
     return _build_result(system, timing, channel, nbytes, dec, trace)
 
 
@@ -268,6 +355,13 @@ def _build_result(
         matrix=min(1.0, mtx_busy / window),
         decompress=min(1.0, dec_busy / window),
     )
+    # Results may be shared through the simulation cache; freeze the trace
+    # so one consumer cannot mutate another's arrays.
+    for array in (
+        trace.fetch_issue, trace.mem_done, trace.dec_start,
+        trace.dec_done, trace.mtx_start, trace.mtx_done,
+    ):
+        array.setflags(write=False)
     return SimResult(
         system=system,
         tiles=tiles,
@@ -278,41 +372,157 @@ def _build_result(
     )
 
 
+def _shifted(cum: np.ndarray) -> np.ndarray:
+    """Exclusive prefix view of an inclusive cumsum (exact prefix values)."""
+    return np.concatenate(([0.0], cum[:-1]))
+
+
 def _run_overlapped(
     channel: MemoryChannel,
     timing: KernelTiming,
     nbytes: np.ndarray,
     dec: np.ndarray,
 ) -> PipelineTrace:
-    """Double-buffered software pipeline (Figure 2)."""
+    """Double-buffered software pipeline (Figure 2), vectorized.
+
+    Three max-plus recurrences chain the stages:
+
+    * memory channel:  ``free[i] = max(issue[i], free[i-1]) + service[i]``
+    * decompress unit: ``dfree[i] = max(mem_done[i], dfree[i-1]) + cost[i]``
+      (over the subsequence of tiles that need decompression)
+    * TMUL:            ``mfree[i] = max(ready[i], mfree[i-1]) + mtx``
+
+    Each is one cumsum plus one ``np.maximum.accumulate`` in relative
+    coordinates. The prefetch feedback ``issue[i] = dec_start[i - window]``
+    is the only cross-recurrence cycle; it is resolved by iterating the
+    three scans to their (unique, causal) fixed point. Starting from
+    ``issue = 0`` every iterate is a lower bound, so the iteration is
+    monotone and terminates; all bandwidth-, decompress- and TMUL-bound
+    regimes converge in two passes. If the budget is exhausted (possible
+    only in the window-limited corner where the channel idles between
+    fetches), the exact per-tile reference loop finishes the job — the
+    two paths compute bit-identical timestamps.
+    """
     tiles = len(nbytes)
     window = timing.prefetch_window
+    dec_idx = np.flatnonzero(dec > 0.0)
+    all_dec = dec_idx.size == tiles
+    no_dec = dec_idx.size == 0
+    dec_cost = (dec if all_dec else dec[dec_idx]) + timing.core_overhead_cycles
+    dec_cum = np.cumsum(dec_cost)
+    dec_cum_prev = _shifted(dec_cum)
+    exposed = timing.exposed_latency * channel.latency_cycles
+    mem_cum = np.cumsum(nbytes / channel.bytes_per_cycle)
+    mem_cum_prev = _shifted(mem_cum)
+    issue = np.zeros(tiles)
+    mem_done = dec_start = dec_done = None
+    converged = False
+    for round_index in range(_OVERLAPPED_MAX_ROUNDS):
+        if round_index == 0:
+            # issue == 0 everywhere: the channel scan's peak term is
+            # floored at zero, so the FIFO is simply back-to-back busy.
+            mem_done = mem_cum + exposed
+        else:
+            peak = np.maximum.accumulate(
+                np.maximum(issue - mem_cum_prev, 0.0)
+            )
+            mem_done = (peak + mem_cum) + exposed
+        if no_dec:
+            dec_start = mem_done
+            dec_done = mem_done
+        elif all_dec:
+            peak = np.maximum.accumulate(
+                np.maximum(mem_done - dec_cum_prev, 0.0)
+            )
+            dec_start = peak + dec_cum_prev
+            dec_done = peak + dec_cum
+        else:
+            dec_start = mem_done.copy()
+            dec_done = mem_done.copy()
+            peak = np.maximum.accumulate(
+                np.maximum(mem_done[dec_idx] - dec_cum_prev, 0.0)
+            )
+            dec_start[dec_idx] = peak + dec_cum_prev
+            dec_done[dec_idx] = peak + dec_cum
+        new_issue = np.zeros(tiles)
+        if tiles > window:
+            new_issue[window:] = dec_start[:-window]
+        if np.array_equal(new_issue, issue):
+            converged = True
+            break
+        issue = new_issue
+    if not converged:
+        return _run_overlapped_reference(channel, timing, nbytes, dec)
+    mtx_cum_prev = np.arange(tiles) * timing.mtx_cycles
+    mtx_cum = np.arange(1, tiles + 1) * timing.mtx_cycles
+    ready = dec_done + timing.handoff_cycles
+    peak = np.maximum.accumulate(np.maximum(ready - mtx_cum_prev, 0.0))
+    mtx_start = peak + mtx_cum_prev
+    mtx_done = peak + mtx_cum
+    return PipelineTrace(
+        issue, mem_done, dec_start, dec_done, mtx_start, mtx_done,
+    )
+
+
+def _run_overlapped_reference(
+    channel: MemoryChannel,
+    timing: KernelTiming,
+    nbytes: np.ndarray,
+    dec: np.ndarray,
+) -> PipelineTrace:
+    """Per-tile reference for the OVERLAPPED discipline (Figure 2).
+
+    Evaluates the same recurrences as :func:`_run_overlapped`, one tile at
+    a time, in the same relative-coordinate algebra (running cumsums plus
+    running peaks), so the two implementations produce bit-identical
+    timestamps — the equivalence the tests assert exactly.
+    """
+    tiles = len(nbytes)
+    window = timing.prefetch_window
+    bpc = channel.bytes_per_cycle
+    exposed = timing.exposed_latency * channel.latency_cycles
+    overhead = timing.core_overhead_cycles
+    mtx = timing.mtx_cycles
+    handoff = timing.handoff_cycles
     fetch_issue = np.zeros(tiles)
     mem_done_arr = np.zeros(tiles)
     dec_start = np.zeros(tiles)
     dec_done_arr = np.zeros(tiles)
     mtx_start_arr = np.zeros(tiles)
     done = np.zeros(tiles)
-    dec_free = 0.0
-    mtx_free = 0.0
+    mem_cum = mem_peak = 0.0
+    dec_cum = dec_peak = 0.0
+    mtx_peak = 0.0
     for i in range(tiles):
         issue = 0.0 if i < window else dec_start[i - window]
-        mem_done = channel.request(issue, nbytes[i], timing.exposed_latency)
+        mem_cum_prev = mem_cum
+        mem_cum = mem_cum + nbytes[i] / bpc
+        slack = issue - mem_cum_prev
+        if slack > mem_peak:
+            mem_peak = slack
+        mem_done = (mem_peak + mem_cum) + exposed
         if dec[i] > 0.0:
             # The AVX sequence plus its serial loop overhead occupy the core.
-            dec_start[i] = max(mem_done, dec_free)
-            dec_done = dec_start[i] + dec[i] + timing.core_overhead_cycles
-            dec_free = dec_done
+            dec_cum_prev = dec_cum
+            dec_cum = dec_cum + (dec[i] + overhead)
+            slack = mem_done - dec_cum_prev
+            if slack > dec_peak:
+                dec_peak = slack
+            dec_start[i] = dec_peak + dec_cum_prev
+            dec_done = dec_peak + dec_cum
         else:
             dec_start[i] = mem_done
             dec_done = mem_done
-        mtx_start = max(dec_done + timing.handoff_cycles, mtx_free)
-        mtx_free = mtx_start + timing.mtx_cycles
+        mtx_cum_prev = i * mtx
+        mtx_cum = (i + 1) * mtx
+        slack = (dec_done + handoff) - mtx_cum_prev
+        if slack > mtx_peak:
+            mtx_peak = slack
         fetch_issue[i] = issue
         mem_done_arr[i] = mem_done
         dec_done_arr[i] = dec_done
-        mtx_start_arr[i] = mtx_start
-        done[i] = mtx_free
+        mtx_start_arr[i] = mtx_peak + mtx_cum_prev
+        done[i] = mtx_peak + mtx_cum
     return PipelineTrace(
         fetch_issue, mem_done_arr, dec_start, dec_done_arr,
         mtx_start_arr, done,
@@ -331,7 +541,81 @@ def _run_serialized(
     fetch), executes a fence, waits for tile i's decompressed data, and
     runs the TMUL. DECA's two loaders still let fetch/decompress of tile i
     overlap the previous iteration — it is the core that serializes.
+
+    Every store lands ``invoke + fence + mtx`` plus the decompress wait
+    after the previous one, so the memory/decompress chains feed the next
+    tile's invocation with a one-tile lag: exactness requires the per-tile
+    loop. It is kept tight — precomputed service times, plain-float
+    arithmetic, no per-tile channel calls — and is bit-identical to the
+    retained :func:`_run_serialized_reference`.
     """
+    tiles = len(nbytes)
+    service = (nbytes / channel.bytes_per_cycle).tolist()
+    dec_list = dec.tolist()
+    exposed = timing.exposed_latency * channel.latency_cycles
+    invoke = timing.invoke_cycles
+    fence = timing.fence_cycles
+    loader = timing.loader_latency_cycles
+    handoff = timing.handoff_cycles
+    mtx = timing.mtx_cycles
+    done = [0.0] * tiles
+    dec_done = [0.0] * tiles
+    store_time = [0.0] * tiles
+    mem_done_arr = [0.0] * tiles
+    dec_start_arr = [0.0] * tiles
+    mtx_start_arr = [0.0] * tiles
+    mem_free = 0.0
+    dec_free = 0.0
+    # Priming store for tile 0 before the loop begins.
+    now = invoke
+    store_time[0] = now
+    start = now if now > mem_free else mem_free
+    mem_free = start + service[0]
+    mem_done = mem_free + exposed
+    mem_done_arr[0] = mem_done
+    turnaround = now + loader
+    ready = mem_done if mem_done > turnaround else turnaround
+    dec_start = ready if ready > dec_free else dec_free
+    dec_start_arr[0] = dec_start
+    dec_free = dec_start + dec_list[0]
+    dec_done[0] = dec_free
+    for i in range(tiles):
+        # Store metadata for tile i+1 (prompts its loader).
+        now += invoke
+        if i + 1 < tiles:
+            store_time[i + 1] = now
+            start = now if now > mem_free else mem_free
+            mem_free = start + service[i + 1]
+            mem_done = mem_free + exposed
+            mem_done_arr[i + 1] = mem_done
+            turnaround = now + loader
+            ready = mem_done if mem_done > turnaround else turnaround
+            dec_start = ready if ready > dec_free else dec_free
+            dec_start_arr[i + 1] = dec_start
+            dec_free = dec_start + dec_list[i + 1]
+            dec_done[i + 1] = dec_free
+        now += fence
+        # TLoad of tile i waits for DECA plus the data path back.
+        wait = dec_done[i] + handoff
+        if wait > now:
+            now = wait
+        mtx_start_arr[i] = now
+        now += mtx
+        done[i] = now
+    return PipelineTrace(
+        np.asarray(store_time), np.asarray(mem_done_arr),
+        np.asarray(dec_start_arr), np.asarray(dec_done),
+        np.asarray(mtx_start_arr), np.asarray(done),
+    )
+
+
+def _run_serialized_reference(
+    channel: MemoryChannel,
+    timing: KernelTiming,
+    nbytes: np.ndarray,
+    dec: np.ndarray,
+) -> PipelineTrace:
+    """Per-tile reference for the SERIALIZED discipline (channel calls)."""
     tiles = len(nbytes)
     done = np.zeros(tiles)
     dec_done = np.zeros(tiles)
@@ -384,10 +668,78 @@ def _run_tepl(
     """TEPL invocation (Figure 10): out-of-order, two-loader hazard.
 
     TEPL i may issue only when TEPL i - n_loaders has completed (its
-    loader freed). The instruction's completion covers the exposed fetch
-    latency, the DECA pipeline, and the TOut-to-tile-register handoff; the
-    TMUL consumes completions in order.
+    loader freed) — a feedback with lag ``n_loaders`` (two tiles for
+    DECA), so exactness requires the per-tile loop. As with SERIALIZED,
+    the loop is kept tight (precomputed service times, plain floats) and
+    is bit-identical to the retained :func:`_run_tepl_reference`.
     """
+    tiles = len(nbytes)
+    service = (nbytes / channel.bytes_per_cycle).tolist()
+    dec_list = dec.tolist()
+    exposed = timing.exposed_latency * channel.latency_cycles
+    invoke = timing.invoke_cycles
+    loader = timing.loader_latency_cycles
+    handoff = timing.handoff_cycles
+    mtx = timing.mtx_cycles
+    n_loaders = timing.n_loaders
+    window = max(timing.prefetch_window, timing.n_loaders)
+    prefetch_ahead = timing.prefetch_window > timing.n_loaders
+    done = [0.0] * tiles
+    complete = [0.0] * tiles
+    dec_start = [0.0] * tiles
+    fetch_issue_arr = [0.0] * tiles
+    mem_done_arr = [0.0] * tiles
+    dec_done_arr = [0.0] * tiles
+    mtx_start_arr = [0.0] * tiles
+    mem_free = 0.0
+    dec_free = 0.0
+    mtx_free = 0.0
+    for i in range(tiles):
+        hazard = 0.0 if i < n_loaders else complete[i - n_loaders]
+        issue = hazard + invoke
+        if prefetch_ahead and i >= window:
+            # DECA's own prefetcher predicts future tiles and fetches ahead
+            # of the TEPL issue, decoupling the fetch from the hazard.
+            fetch_issue = dec_start[i - window]
+            if issue < fetch_issue:
+                fetch_issue = issue
+        elif prefetch_ahead:
+            fetch_issue = 0.0
+        else:
+            fetch_issue = issue
+        start = fetch_issue if fetch_issue > mem_free else mem_free
+        mem_free = start + service[i]
+        mem_done = mem_free + exposed
+        ready = issue + loader
+        ds = mem_done if mem_done > dec_free else dec_free
+        if ready > ds:
+            ds = ready
+        dec_start[i] = ds
+        dec_done = ds + dec_list[i]
+        dec_free = dec_done
+        comp = dec_done + handoff
+        complete[i] = comp
+        mtx_start = comp if comp > mtx_free else mtx_free
+        mtx_free = mtx_start + mtx
+        fetch_issue_arr[i] = fetch_issue
+        mem_done_arr[i] = mem_done
+        dec_done_arr[i] = dec_done
+        mtx_start_arr[i] = mtx_start
+        done[i] = mtx_free
+    return PipelineTrace(
+        np.asarray(fetch_issue_arr), np.asarray(mem_done_arr),
+        np.asarray(dec_start), np.asarray(dec_done_arr),
+        np.asarray(mtx_start_arr), np.asarray(done),
+    )
+
+
+def _run_tepl_reference(
+    channel: MemoryChannel,
+    timing: KernelTiming,
+    nbytes: np.ndarray,
+    dec: np.ndarray,
+) -> PipelineTrace:
+    """Per-tile reference for the TEPL discipline (channel calls)."""
     tiles = len(nbytes)
     done = np.zeros(tiles)
     complete = np.zeros(tiles)
@@ -403,11 +755,12 @@ def _run_tepl(
     for i in range(tiles):
         hazard = 0.0 if i < timing.n_loaders else complete[i - timing.n_loaders]
         issue = hazard + timing.invoke_cycles
-        if prefetch_ahead:
+        if prefetch_ahead and i >= window:
             # DECA's own prefetcher predicts future tiles and fetches ahead
             # of the TEPL issue, decoupling the fetch from the hazard.
-            fetch_issue = 0.0 if i < window else dec_start[i - window]
-            fetch_issue = min(fetch_issue, issue) if i >= window else 0.0
+            fetch_issue = min(dec_start[i - window], issue)
+        elif prefetch_ahead:
+            fetch_issue = 0.0
         else:
             fetch_issue = issue
         mem_done = channel.request(
@@ -432,6 +785,19 @@ def _run_tepl(
     )
 
 
+_ENGINES = {
+    InvocationMode.OVERLAPPED: _run_overlapped,
+    InvocationMode.SERIALIZED: _run_serialized,
+    InvocationMode.TEPL: _run_tepl,
+}
+
+_REFERENCE_ENGINES = {
+    InvocationMode.OVERLAPPED: _run_overlapped_reference,
+    InvocationMode.SERIALIZED: _run_serialized_reference,
+    InvocationMode.TEPL: _run_tepl_reference,
+}
+
+
 def simulate_multicore_event(
     system: SimSystem,
     timing: KernelTiming,
@@ -444,6 +810,13 @@ def simulate_multicore_event(
     server. Used to validate the fair-share single-core approximation; the
     two backends agree to within a fraction of a percent for symmetric
     streams.
+
+    Fetches are issued round-robin in waves of one tile per core so the
+    shared server sees interleaved traffic like real banked memory would.
+    Each wave is processed as one array step over all cores: the wave's
+    requests are ordered by issue time (stable in core order, matching the
+    event heap it replaces), serviced with a vectorized FIFO scan, and the
+    per-core decompress/TMUL chains advance elementwise.
     """
     if timing.mode is not InvocationMode.OVERLAPPED:
         raise ConfigurationError(
@@ -456,56 +829,37 @@ def simulate_multicore_event(
     eff_bw = system.bytes_per_cycle() * DRAM_EFFICIENCY
     if cap is not None:
         eff_bw = min(eff_bw, cap * n_cores)
-    server = SharedMemoryServer(eff_bw, system.memory_latency)
-    engine = EventEngine()
-    done = np.zeros((n_cores, tiles_per_core))
-
-    class _CoreState:
-        def __init__(self, core_id: int) -> None:
-            self.core_id = core_id
-            self.index = 0
-            self.dec_free = 0.0
-            self.mtx_free = 0.0
-            self.outstanding: List[int] = []
-
-    states = [_CoreState(c) for c in range(n_cores)]
+    server = MemoryChannel(eff_bw, system.memory_latency)
     window = timing.prefetch_window
-
-    # Issue fetches round-robin in waves of one tile per core so the shared
-    # server sees interleaved traffic like real banked memory would.
-    tickets = {}
-    for wave in range(tiles_per_core):
-        for state in states:
-            tickets[(state.core_id, wave)] = None
-
-    # The event model: process tiles wave by wave; each core's issue time
-    # for tile i is its dec_start of tile i-window (0 early on). Because
-    # issue times only depend on earlier waves, we can drain per wave.
+    done = np.zeros((n_cores, tiles_per_core))
     dec_start = np.zeros((n_cores, tiles_per_core))
+    dec_free = np.zeros(n_cores)
+    mtx_free = np.zeros(n_cores)
+    mem_done = np.zeros(n_cores)
+    # Each core's issue time for tile i is its dec_start of tile i-window
+    # (0 early on). Because issue times only depend on earlier waves, the
+    # shared FIFO can be drained wave by wave.
     for i in range(tiles_per_core):
-        for state in states:
-            issue = 0.0 if i < window else dec_start[state.core_id, i - window]
-            tickets[(state.core_id, i)] = server.enqueue(
-                issue, nbytes[i], timing.exposed_latency
-            )
-        completions = server.drain()
-        for state in states:
-            mem_done = completions[tickets[(state.core_id, i)]]
-            if dec[i] > 0.0:
-                dec_start[state.core_id, i] = max(mem_done, state.dec_free)
-                dec_done = (
-                    dec_start[state.core_id, i]
-                    + dec[i]
-                    + timing.core_overhead_cycles
-                )
-                state.dec_free = dec_done
-            else:
-                dec_start[state.core_id, i] = mem_done
-                dec_done = mem_done
-            mtx_start = max(dec_done + timing.handoff_cycles, state.mtx_free)
-            state.mtx_free = mtx_start + timing.mtx_cycles
-            done[state.core_id, i] = state.mtx_free
-    del engine  # the wave formulation needs no callback scheduling
+        if i < window:
+            issue = np.zeros(n_cores)
+        else:
+            issue = dec_start[:, i - window]
+        order = np.argsort(issue, kind="stable")
+        mem_done[order] = server.request_many(
+            issue[order],
+            np.full(n_cores, nbytes[i]),
+            timing.exposed_latency,
+        )
+        if dec[i] > 0.0:
+            np.maximum(mem_done, dec_free, out=dec_start[:, i])
+            dec_done = dec_start[:, i] + (dec[i] + timing.core_overhead_cycles)
+            dec_free = dec_done
+        else:
+            dec_start[:, i] = mem_done
+            dec_done = mem_done.copy()
+        mtx_start = np.maximum(dec_done + timing.handoff_cycles, mtx_free)
+        mtx_free = mtx_start + timing.mtx_cycles
+        done[:, i] = mtx_free
 
     makespan = float(done[:, -1].max())
     half = tiles_per_core // 2

@@ -98,3 +98,23 @@ class TestCycleCounting:
         pipeline.configure("bf8")
         _out, stats = pipeline.decompress_tile(_tile(rng, "bf8", 1.0))
         assert stats.bubbles_per_vop == pytest.approx(3.0)
+
+
+class TestBatchedEquivalence:
+    """The batched decompress path must match the per-window loop exactly."""
+
+    @pytest.mark.parametrize("fmt", ["bf8", "e4m3", "mxfp4", "bf16"])
+    @pytest.mark.parametrize("density", [1.0, 0.5, 0.2, 0.05])
+    def test_output_and_stats_bit_identical(self, rng, fmt, density):
+        tile = _tile(rng, fmt, density)
+        pipeline = DecaPipeline(DecaConfig())
+        pipeline.configure(fmt)
+        batched_out, batched_stats = pipeline.decompress_tile(tile)
+        loop_out, loop_stats = pipeline._decompress_tile_windowed(tile)
+        assert np.array_equal(batched_out, loop_out)
+        assert batched_stats == loop_stats
+
+    def test_windowed_reference_checks_configuration(self, rng):
+        pipeline = DecaPipeline(DecaConfig())
+        with pytest.raises(FormatError):
+            pipeline._decompress_tile_windowed(_tile(rng))
