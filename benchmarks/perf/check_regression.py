@@ -3,7 +3,9 @@
 Re-measures every benchmark recorded in the checked-in report and exits
 nonzero if any ``after_s`` regressed by more than the tolerance (25% by
 default — generous enough for container jitter, tight enough to catch an
-accidental return to per-tile Python loops).
+accidental return to per-tile Python loops). Entries carrying a
+``parallel_speedup_4w`` field (the sweep-executor anchor) additionally
+gate their scaling ratio against runs on the same ``cpu_count``.
 
 Usage:
 
@@ -53,6 +55,44 @@ def _speed_scale(recorded: dict, fresh: dict) -> float:
     return max(1.0, ratios[len(ratios) // 2])
 
 
+def _parallel_scaling_failures(
+    recorded: dict, fresh: dict, tolerance: float
+) -> "list[str]":
+    """Gate the sweep executor's scaling ratio (figure12_sweep_parallel).
+
+    ``parallel_speedup_4w`` is serial-time over 4-worker-time measured
+    in the same run, so machine *speed* cancels out — but the ratio is
+    still bound by the machine's core count, so it is only compared when
+    the fresh run sees the same ``cpu_count`` the report recorded. (The
+    absolute ``after_s`` gate in :func:`compare` skips mismatched
+    ``cpu_count`` entries for the same reason, so a mismatched machine
+    is not gated on this anchor at all — re-record on the machine that
+    runs the gate.) Catches the executor silently degrading to
+    serial-plus-overhead.
+    """
+    failures = []
+    for name, entry in sorted(recorded.items()):
+        ratio = entry.get("parallel_speedup_4w")
+        if ratio is None:
+            continue
+        fresh_entry = fresh.get(name, {})
+        fresh_ratio = fresh_entry.get("parallel_speedup_4w")
+        if fresh_ratio is None:
+            failures.append(
+                f"{name}: parallel scaling measurement disappeared"
+            )
+            continue
+        if fresh_entry.get("cpu_count") != entry.get("cpu_count"):
+            continue
+        if fresh_ratio < ratio * (1.0 - tolerance):
+            failures.append(
+                f"{name}: 4-worker speedup {fresh_ratio:.2f}x vs recorded "
+                f"{ratio:.2f}x (allowed {ratio * (1.0 - tolerance):.2f}x "
+                f"on the same {entry.get('cpu_count'):.0f}-CPU machine)"
+            )
+    return failures
+
+
 def compare(
     recorded: dict, fresh: dict, tolerance: float
 ) -> "list[str]":
@@ -63,9 +103,19 @@ def compare(
         baseline = entry.get("after_s")
         if baseline is None:
             continue
-        current = fresh.get(name, {}).get("after_s")
+        fresh_entry = fresh.get(name, {})
+        current = fresh_entry.get("after_s")
         if current is None:
             failures.append(f"{name}: benchmark disappeared from the harness")
+            continue
+        if (
+            "cpu_count" in entry
+            and fresh_entry.get("cpu_count") != entry.get("cpu_count")
+        ):
+            # Pool-width timings are core-count-bound, not just
+            # machine-speed-bound: a 4-worker wall time recorded on a
+            # multi-core host is unreachable on a 1-CPU container no
+            # matter how fast it is. Only same-shape runs are gated.
             continue
         allowed = baseline * scale * (1.0 + tolerance)
         if current > allowed:
@@ -74,6 +124,7 @@ def compare(
                 f"{baseline * 1e6:.1f} us (allowed {allowed * 1e6:.1f} us "
                 f"at machine-speed scale {scale:.2f})"
             )
+    failures.extend(_parallel_scaling_failures(recorded, fresh, tolerance))
     return failures
 
 

@@ -8,10 +8,20 @@ container when this harness was introduced — the loop references are
 already leaner than the seed loops, so speedups against ``seed_s`` are
 the honest end-to-end improvement.
 
+``figure12_sweep_parallel`` tracks the process-pool sweep executor
+(:mod:`repro.experiments.parallel`): the full (system, scheme, engine)
+grid is timed cold at 1, 2, and 4 workers, and the entry records the
+wall-clock at each width plus ``parallel_speedup_4w`` and the
+``cpu_count`` it was measured on — scaling is hardware-bound, so the
+ratio is only comparable across runs on the same core count.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py [--output PATH]
-        [--repeats N]
+        [--repeats N] [--only NAME ...]
+
+``--only`` re-times just the named benchmarks and merges them into the
+existing report (quick local refreshes after touching one subsystem).
 
 Timing protocol: best-of-``repeats`` wall time per benchmark (min is the
 stablest estimator for sub-millisecond kernels on a shared machine).
@@ -21,15 +31,29 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
+import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Every benchmark name this harness can produce (validates ``--only``).
+KNOWN_BENCHMARKS = (
+    "sim_core_overlapped_600",
+    "sim_core_serialized_600",
+    "sim_core_tepl_600",
+    "sim_core_cached_lookup_x100",
+    "decompress_tile_x32",
+    "multicore_event_300",
+    "figure12_sweep",
+    "figure12_sweep_parallel",
+)
 
 #: One-time measurements of the seed-commit implementation (c229933),
 #: best-of-20 on the reference container. Kept for the before/after
@@ -42,6 +66,15 @@ SEED_BASELINES_S = {
     "figure12_sweep": 2.52e-2,
     "multicore_event_300": 3.45e-2,
 }
+
+#: Tile-stream length for the parallel sweep anchor: long enough that
+#: the 48-cell grid is real work (~70 ms serial on the reference
+#: container), short enough that a best-of-3 at three pool widths stays
+#: under a couple of seconds.
+PARALLEL_SWEEP_TILES = 4000
+
+#: Pool widths recorded by the parallel sweep anchor.
+PARALLEL_SWEEP_JOBS = (1, 2, 4)
 
 
 def best_of(fn: Callable[[], object], repeats: int) -> float:
@@ -94,9 +127,27 @@ def _decompress_fixture():
     return pipeline, matrix.tiles[:32]
 
 
-def run_benchmarks(repeats: int = 20) -> Dict[str, Dict[str, float]]:
-    """Time every benchmark; returns {name: {before_s, after_s, ...}}."""
+def run_benchmarks(
+    repeats: int = 20, only: Optional[Sequence[str]] = None
+) -> Dict[str, Dict[str, float]]:
+    """Time every benchmark; returns {name: {before_s, after_s, ...}}.
+
+    ``only`` restricts the run to the named benchmarks (see
+    ``KNOWN_BENCHMARKS``); unknown names raise ``ValueError``.
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(KNOWN_BENCHMARKS))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)}; choose from "
+                f"{', '.join(KNOWN_BENCHMARKS)}"
+            )
+
+    def want(name: str) -> bool:
+        return only is None or name in only
+
     from repro.experiments import figure12
+    from repro.experiments.grid import run_grid
     from repro.sim import pipeline as sim_pipeline
     from repro.sim.cache import clear_simulation_cache
     from repro.sim.pipeline import (
@@ -123,6 +174,8 @@ def run_benchmarks(repeats: int = 20) -> Dict[str, Dict[str, float]]:
 
     # --- simulator core, all three invocation disciplines -------------
     for name, timing in _sim_cases().items():
+        if not want(name):
+            continue
         after = best_of(
             lambda: simulate_tile_stream(system, timing, 600, use_cache=False),
             repeats,
@@ -134,64 +187,134 @@ def run_benchmarks(repeats: int = 20) -> Dict[str, Dict[str, float]]:
         add(name, after, before)
 
     # --- cached front door ---------------------------------------------
-    timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
-    clear_simulation_cache()
-    simulate_tile_stream(system, timing, 600)
+    if want("sim_core_cached_lookup_x100"):
+        timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
+        clear_simulation_cache()
+        simulate_tile_stream(system, timing, 600)
 
-    def cached_lookup():
-        for _ in range(100):
-            simulate_tile_stream(system, timing, 600)
+        def cached_lookup():
+            for _ in range(100):
+                simulate_tile_stream(system, timing, 600)
 
-    add("sim_core_cached_lookup_x100", best_of(cached_lookup, repeats), None)
+        add(
+            "sim_core_cached_lookup_x100", best_of(cached_lookup, repeats),
+            None,
+        )
 
     # --- PE tile decompress -------------------------------------------
-    pipeline, tiles = _decompress_fixture()
-    add(
-        "decompress_tile_x32",
-        best_of(
-            lambda: [pipeline.decompress_tile(t) for t in tiles],
-            max(repeats // 2, 3),
-        ),
-        best_of(
-            lambda: [pipeline._decompress_tile_windowed(t) for t in tiles],
-            max(repeats // 4, 3),
-        ),
-    )
+    if want("decompress_tile_x32"):
+        pipeline, tiles = _decompress_fixture()
+        add(
+            "decompress_tile_x32",
+            best_of(
+                lambda: [pipeline.decompress_tile(t) for t in tiles],
+                max(repeats // 2, 3),
+            ),
+            best_of(
+                lambda: [pipeline._decompress_tile_windowed(t) for t in tiles],
+                max(repeats // 4, 3),
+            ),
+        )
 
     # --- exact multi-core backend -------------------------------------
-    add(
-        "multicore_event_300",
-        best_of(
-            lambda: simulate_multicore_event(system, timing, tiles_per_core=300),
-            max(repeats // 4, 3),
-        ),
-        None,
-    )
+    if want("multicore_event_300"):
+        timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
+        add(
+            "multicore_event_300",
+            best_of(
+                lambda: simulate_multicore_event(
+                    system, timing, tiles_per_core=300
+                ),
+                max(repeats // 4, 3),
+            ),
+            None,
+        )
 
     # --- one full figure sweep (cold cache each run) -------------------
-    def figure_cold():
-        clear_simulation_cache()
-        return figure12.run()
-
-    after = best_of(figure_cold, max(repeats // 4, 3))
-
-    def figure_reference():
-        clear_simulation_cache()
-        sim_pipeline.FORCE_REFERENCE_ENGINE = True
-        try:
+    if want("figure12_sweep"):
+        def figure_cold():
+            clear_simulation_cache()
             return figure12.run()
-        finally:
-            sim_pipeline.FORCE_REFERENCE_ENGINE = False
 
-    before = best_of(figure_reference, max(repeats // 4, 3))
-    add("figure12_sweep", after, before)
+        after = best_of(figure_cold, max(repeats // 4, 3))
+
+        def figure_reference():
+            clear_simulation_cache()
+            sim_pipeline.FORCE_REFERENCE_ENGINE = True
+            try:
+                return figure12.run()
+            finally:
+                sim_pipeline.FORCE_REFERENCE_ENGINE = False
+
+        before = best_of(figure_reference, max(repeats // 4, 3))
+        add("figure12_sweep", after, before)
+
+    # --- parallel sweep executor: full grid at 1/2/4 workers -----------
+    if want("figure12_sweep_parallel"):
+        if (os.cpu_count() or 1) < max(PARALLEL_SWEEP_JOBS):
+            print(
+                f"warning: {os.cpu_count() or 1} CPU(s) < "
+                f"{max(PARALLEL_SWEEP_JOBS)} workers — the "
+                "figure12_sweep_parallel anchor will record pool overhead, "
+                "not scaling; re-record on a multi-core host for a "
+                "meaningful speedup baseline",
+                file=sys.stderr,
+            )
+
+        def grid_at(jobs: int) -> Callable[[], object]:
+            def body():
+                clear_simulation_cache()
+                return run_grid(tiles=PARALLEL_SWEEP_TILES, jobs=jobs)
+
+            return body
+
+        reps = max(repeats // 4, 3)
+        per_jobs = {
+            jobs: best_of(grid_at(jobs), reps)
+            for jobs in PARALLEL_SWEEP_JOBS
+        }
+        entry: Dict[str, float] = {
+            "after_s": per_jobs[PARALLEL_SWEEP_JOBS[-1]],
+            "parallel_speedup_4w": (
+                per_jobs[1] / per_jobs[PARALLEL_SWEEP_JOBS[-1]]
+            ),
+            "cpu_count": float(os.cpu_count() or 1),
+        }
+        for jobs, seconds in per_jobs.items():
+            entry[f"jobs{jobs}_s"] = seconds
+        results["figure12_sweep_parallel"] = entry
 
     clear_simulation_cache()
+    # Keep the hand-maintained --only name list honest: a full run must
+    # produce exactly KNOWN_BENCHMARKS, a filtered run a subset of it.
+    assert set(results) <= set(KNOWN_BENCHMARKS), sorted(
+        set(results) - set(KNOWN_BENCHMARKS)
+    )
+    if only is None:
+        assert set(results) == set(KNOWN_BENCHMARKS), sorted(
+            set(KNOWN_BENCHMARKS) - set(results)
+        )
     return results
 
 
-def write_report(results: Dict[str, Dict[str, float]], path: pathlib.Path) -> dict:
-    """Assemble and write the JSON report; returns the document."""
+def write_report(
+    results: Dict[str, Dict[str, float]],
+    path: pathlib.Path,
+    merge: bool = False,
+) -> dict:
+    """Assemble and write the JSON report; returns the document.
+
+    With ``merge`` (a ``--only`` partial refresh), fresh entries are
+    layered over the existing report so un-measured benchmarks keep
+    their recorded numbers — only sensible on the same machine the
+    report was recorded on, since ``check_regression`` normalizes all
+    entries by one machine-speed scale. Full runs overwrite, so renamed
+    or removed benchmarks don't linger.
+    """
+    benchmarks = dict(results)
+    if merge and path.exists():
+        previous = json.loads(path.read_text()).get("benchmarks", {})
+        benchmarks = {**previous, **benchmarks}
     document = {
         "schema_version": 1,
         "generated_unix": time.time(),
@@ -201,7 +324,7 @@ def write_report(results: Dict[str, Dict[str, float]], path: pathlib.Path) -> di
             "machine": platform.machine(),
         },
         "protocol": "best-of-N wall time, see benchmarks/perf/run_bench.py",
-        "benchmarks": results,
+        "benchmarks": benchmarks,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
@@ -217,9 +340,17 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=20,
         help="timed repetitions per benchmark (default: 20)",
     )
+    parser.add_argument(
+        "--only", nargs="+", metavar="NAME", default=None,
+        help="re-time only these benchmarks and merge them into the "
+             f"existing report; choose from: {', '.join(KNOWN_BENCHMARKS)}",
+    )
     args = parser.parse_args(argv)
-    results = run_benchmarks(repeats=args.repeats)
-    write_report(results, args.output)
+    try:
+        results = run_benchmarks(repeats=args.repeats, only=args.only)
+    except ValueError as error:
+        parser.error(str(error))
+    write_report(results, args.output, merge=args.only is not None)
     width = max(len(name) for name in results)
     for name, entry in sorted(results.items()):
         after_us = entry["after_s"] * 1e6
@@ -228,6 +359,11 @@ def main(argv=None) -> int:
             line += f"  {entry['speedup_vs_reference_loop']:5.1f}x vs loop"
         if "speedup_vs_seed" in entry:
             line += f"  {entry['speedup_vs_seed']:5.1f}x vs seed"
+        if "parallel_speedup_4w" in entry:
+            line += (
+                f"  {entry['parallel_speedup_4w']:5.2f}x at 4 workers "
+                f"({entry['cpu_count']:.0f} CPUs)"
+            )
         print(line)
     print(f"wrote {args.output}")
     return 0

@@ -57,6 +57,9 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 4. Simulation: measure the actual speedup on the HBM machine.
+    #    simulate_tile_stream memoizes by value (repro.sim.cache), so
+    #    repeating either call — here or in any figure harness — is a
+    #    dictionary lookup, not a re-simulation.
     # ------------------------------------------------------------------
     system = hbm_system()
     sw = simulate_tile_stream(system, software_kernel_timing(system, scheme))
@@ -64,6 +67,11 @@ def main() -> None:
     speedup = sw.steady_interval_cycles / dc.steady_interval_cycles
     print(f"simulated: software {sw.flops(1) / 1e12:.2f} TFLOPS, "
           f"DECA {dc.flops(1) / 1e12:.2f} TFLOPS -> {speedup:.2f}x")
+
+    # Sweeping many configurations? run_grid(jobs=N) fans independent
+    # cells across worker processes and merges their caches on join —
+    # see examples/parallel_sweep.py and `python -m repro --help`
+    # (--jobs on the experiments/simulate/dse subcommands).
 
 
 if __name__ == "__main__":

@@ -4,12 +4,18 @@ Commands:
 
 * ``experiments [NAME ...]`` — regenerate paper tables/figures (default:
   all of them) and print the comparison tables.
-* ``simulate`` — simulate one compressed GeMM kernel and report interval,
+* ``simulate`` — simulate compressed GeMM kernels and report interval,
   TFLOPS, utilisation, and optionally an ASCII Gantt window.
 * ``llm`` — next-token latency for Llama2-70B or OPT-66B.
 * ``dse`` — the (W, L) design-space exploration of Section 9.2.
 * ``area`` — the DECA area model for a given (W, L).
 * ``formats`` — list the registered quantization formats.
+
+Repeated simulations are served from the process-wide LRU cache
+(``repro.sim.cache``), and the sweep-shaped commands (``experiments``,
+``simulate`` with several schemes, ``dse``) accept ``--jobs N`` to fan
+independent configurations out across forked worker processes whose
+caches are merged on join (``--jobs 0`` = one worker per CPU).
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from repro.sim.trace import render_gantt
 _EXPERIMENTS = (
     "table1", "figure3", "figure4", "figure5", "figure6", "figure12",
     "figure13", "figure14", "figure15", "figure16", "figure17",
-    "table3", "table4", "area",
+    "table3", "table4", "area", "batch_sweep", "sensitivity",
 )
 
 
@@ -48,6 +54,8 @@ def _system_for(name: str, cores: int) -> SimSystem:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro import experiments as exp
 
     names = args.names or list(_EXPERIMENTS)
@@ -57,7 +65,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                   f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
             return 2
         module = getattr(exp, name)
-        result = module.run()
+        # Sweep-shaped harnesses accept a worker count; the rest run as-is.
+        kwargs = {}
+        if "jobs" in inspect.signature(module.run).parameters:
+            kwargs["jobs"] = args.jobs
+        result = module.run(**kwargs)
         if isinstance(result, tuple):
             for part in result:
                 print(part.format_table())
@@ -68,32 +80,53 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    system = _system_for(args.memory, args.cores)
-    scheme = parse_scheme(args.scheme)
-    if args.engine == "software":
+def _simulate_report(task) -> str:
+    """Simulate one scheme and render its report block (picklable task)."""
+    system, scheme, engine, width, luts, batch, gantt = task
+    if engine == "software":
         if scheme.name == UNCOMPRESSED.name:
             timing = uncompressed_kernel_timing(system)
         else:
             timing = software_kernel_timing(system, scheme)
     else:
         timing = deca_kernel_timing(
-            system, scheme,
-            config=DecaConfig(width=args.width, lut_count=args.luts),
+            system, scheme, config=DecaConfig(width=width, lut_count=luts),
         )
     result = simulate_tile_stream(system, timing)
-    print(f"{scheme.name} on {system.machine.name} with {args.engine}:")
-    print(f"  interval: {result.steady_interval_cycles:.1f} cycles/tile")
-    print(f"  rate:     {result.tiles_per_second / 1e9:.2f} G tiles/s")
-    print(f"  FLOPS:    {result.flops(args.batch) / 1e12:.2f} TFLOPS "
-          f"(N={args.batch})")
     pct = result.utilization.as_percentages()
-    print(f"  util:     MEM {pct['MEM']}%  TMUL {pct['TMUL']}%  "
-          f"DEC {pct['DEC']}%  (bottleneck: "
-          f"{result.utilization.bottleneck})")
-    if args.gantt:
-        print()
-        print(render_gantt(result, first_tile=40, tiles=args.gantt))
+    lines = [
+        f"{scheme.name} on {system.machine.name} with {engine}:",
+        f"  interval: {result.steady_interval_cycles:.1f} cycles/tile",
+        f"  rate:     {result.tiles_per_second / 1e9:.2f} G tiles/s",
+        f"  FLOPS:    {result.flops(batch) / 1e12:.2f} TFLOPS "
+        f"(N={batch})",
+        f"  util:     MEM {pct['MEM']}%  TMUL {pct['TMUL']}%  "
+        f"DEC {pct['DEC']}%  (bottleneck: "
+        f"{result.utilization.bottleneck})",
+    ]
+    if gantt:
+        lines.append("")
+        lines.append(render_gantt(result, first_tile=40, tiles=gantt))
+    return "\n".join(lines)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import parallel_map
+
+    system = _system_for(args.memory, args.cores)
+    names = [name.strip() for name in args.scheme.split(",") if name.strip()]
+    if not names:
+        print(f"--scheme needs at least one scheme name, got "
+              f"{args.scheme!r}", file=sys.stderr)
+        return 2
+    schemes = [parse_scheme(name) for name in names]
+    tasks = [
+        (system, scheme, args.engine, args.width, args.luts, args.batch,
+         args.gantt)
+        for scheme in schemes
+    ]
+    reports = parallel_map(_simulate_report, tasks, jobs=args.jobs)
+    print("\n\n".join(reports))
     return 0
 
 
@@ -123,8 +156,15 @@ def _cmd_llm(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
+    import functools
+
+    from repro.experiments.parallel import parallel_map
+
     machine = _system_for(args.memory, args.cores).machine
-    result = explore_deca_designs(machine, PAPER_SCHEMES)
+    result = explore_deca_designs(
+        machine, PAPER_SCHEMES,
+        mapper=functools.partial(parallel_map, jobs=args.jobs),
+    )
     for point in result.designs:
         status = "saturates" if point.saturates else (
             f"VEC-bound: {', '.join(point.vec_bound_schemes)}"
@@ -229,13 +269,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_exp = sub.add_parser("experiments", help="regenerate paper results")
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fork N workers for independent configurations and merge "
+                 "their simulation caches on join (default: 1 = serial, "
+                 "0 = one worker per CPU)",
+        )
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="regenerate paper results (simulations are cached; sweeps "
+             "accept --jobs)",
+    )
     p_exp.add_argument("names", nargs="*", metavar="NAME",
                        help=f"one of: {', '.join(_EXPERIMENTS)}")
+    add_jobs(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
-    p_sim = sub.add_parser("simulate", help="simulate one compressed GeMM")
-    p_sim.add_argument("--scheme", default="Q8_20%")
+    p_sim = sub.add_parser(
+        "simulate",
+        help="simulate compressed GeMM kernels (results are memoized; "
+             "comma-separated schemes fan out with --jobs)",
+    )
+    p_sim.add_argument(
+        "--scheme", default="Q8_20%",
+        help="scheme name, or a comma-separated list (e.g. 'Q4,Q8_5%%') "
+             "simulated in one cached sweep (default: %(default)s)",
+    )
     p_sim.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
     p_sim.add_argument("--engine", choices=("software", "deca"),
                        default="deca")
@@ -245,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--luts", type=int, default=8)
     p_sim.add_argument("--gantt", type=int, default=0, metavar="TILES",
                        help="render an ASCII Gantt window of TILES tiles")
+    add_jobs(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_llm = sub.add_parser("llm", help="LLM next-token latency")
@@ -260,9 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_llm.add_argument("--tokens", type=int, default=128)
     p_llm.set_defaults(func=_cmd_llm)
 
-    p_dse = sub.add_parser("dse", help="DECA (W, L) design exploration")
+    p_dse = sub.add_parser(
+        "dse",
+        help="DECA (W, L) design exploration (candidates fan out with "
+             "--jobs)",
+    )
     p_dse.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
     p_dse.add_argument("--cores", type=int, default=56)
+    add_jobs(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
 
     p_area = sub.add_parser("area", help="DECA area model")

@@ -11,7 +11,7 @@ vOp per cycle per PE), and ranks saturating designs by hardware cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bord import Bord
 from repro.core.bubbles import deca_aixv
@@ -113,12 +113,42 @@ def design_cost(width: int, lut_count: int) -> float:
     return lut_bytes + crossbar + registers
 
 
+def _evaluate_design(task) -> DesignPoint:
+    """Classify every scheme on one (W, L) candidate (picklable task)."""
+    deca_machine, width, lut_count, schemes, vec_tolerance = task
+    bord = Bord(deca_machine)
+    bounds: Dict[str, BoundingFactor] = {}
+    for scheme in schemes:
+        aixm, aixv = scheme_deca_signature(scheme, width, lut_count)
+        bound = bord.classify(aixm, aixv)
+        if bound is BoundingFactor.VECTOR:
+            vec_rate = deca_machine.vector_ops_per_second * aixv
+            others = min(
+                deca_machine.memory_bandwidth * aixm,
+                deca_machine.matrix_ops_per_second,
+            )
+            if vec_rate >= (1.0 - vec_tolerance) * others:
+                bound = (
+                    BoundingFactor.MEMORY
+                    if deca_machine.memory_bandwidth * aixm <= others
+                    else BoundingFactor.MATRIX
+                )
+        bounds[scheme.name] = bound
+    return DesignPoint(
+        width=width,
+        lut_count=lut_count,
+        bounds=bounds,
+        cost=design_cost(width, lut_count),
+    )
+
+
 def explore_deca_designs(
     machine: MachineSpec,
     schemes: Sequence[CompressionScheme],
     widths: Sequence[int] = (8, 16, 32, 64),
     lut_counts: Sequence[int] = (4, 8, 16, 32, 64),
     vec_tolerance: float = 0.01,
+    mapper: Optional[Callable[[Callable, list], list]] = None,
 ) -> DseResult:
     """Sweep (W, L) pairs and pick the cheapest saturating design.
 
@@ -128,43 +158,29 @@ def explore_deca_designs(
     than ``vec_tolerance`` — kernels sitting *on* the region boundary (e.g.
     Q8_5%, whose expected bubble rate at {32, 8} is a fraction of a percent)
     have escaped the vector bottleneck for dimensioning purposes.
+
+    ``mapper`` applies :func:`_evaluate_design` over the candidate list
+    (default: the serial builtin ``map``). Candidates are independent,
+    so callers above this layer can inject a parallel executor — the
+    CLI's ``dse --jobs`` passes ``repro.experiments.parallel.parallel_map``
+    — without core depending upward on the experiments package. Any
+    mapper must preserve input order; the result is identical either way.
     """
     if not schemes:
         raise ConfigurationError("the DSE needs at least one scheme")
     deca_machine = deca_machine_view(machine)
-    bord = Bord(deca_machine)
-    designs: List[DesignPoint] = []
-    for width in widths:
-        for lut_count in lut_counts:
-            if lut_count > width:
-                # More big LUTs than output lanes is never useful: Lq >= W
-                # already guarantees zero bubbles at L = W.
-                continue
-            bounds: Dict[str, BoundingFactor] = {}
-            for scheme in schemes:
-                aixm, aixv = scheme_deca_signature(scheme, width, lut_count)
-                bound = bord.classify(aixm, aixv)
-                if bound is BoundingFactor.VECTOR:
-                    vec_rate = deca_machine.vector_ops_per_second * aixv
-                    others = min(
-                        deca_machine.memory_bandwidth * aixm,
-                        deca_machine.matrix_ops_per_second,
-                    )
-                    if vec_rate >= (1.0 - vec_tolerance) * others:
-                        bound = (
-                            BoundingFactor.MEMORY
-                            if deca_machine.memory_bandwidth * aixm <= others
-                            else BoundingFactor.MATRIX
-                        )
-                bounds[scheme.name] = bound
-            designs.append(
-                DesignPoint(
-                    width=width,
-                    lut_count=lut_count,
-                    bounds=bounds,
-                    cost=design_cost(width, lut_count),
-                )
-            )
+    tasks = [
+        (deca_machine, width, lut_count, tuple(schemes), vec_tolerance)
+        for width in widths
+        for lut_count in lut_counts
+        # More big LUTs than output lanes is never useful: Lq >= W
+        # already guarantees zero bubbles at L = W.
+        if lut_count <= width
+    ]
+    if mapper is None:
+        designs: List[DesignPoint] = [_evaluate_design(t) for t in tasks]
+    else:
+        designs = list(mapper(_evaluate_design, tasks))
     saturating = [point for point in designs if point.saturates]
     best = min(saturating, key=lambda p: p.cost) if saturating else None
     return DseResult(designs=tuple(designs), best=best)

@@ -8,6 +8,7 @@ to the paper's reported values (``paper_reference``).
 
 from repro.experiments import (
     batch_sweep,
+    parallel,
     sensitivity,
     validation,
     figure3,
@@ -29,6 +30,7 @@ from repro.experiments.report import Table
 
 __all__ = [
     "batch_sweep",
+    "parallel",
     "sensitivity",
     "validation",
     "figure3",

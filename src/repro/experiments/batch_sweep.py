@@ -8,8 +8,9 @@ how stable the DECA-over-software ratios are.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.report import Table
 from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
 from repro.sim.system import hbm_system
@@ -46,15 +47,27 @@ class BatchSweepResult:
         return (max(maxima) - min(maxima)) / max(maxima)
 
 
-def run(batches: Tuple[int, ...] = (1, 4, 16)) -> BatchSweepResult:
+def _batch_task(task) -> List[SchemeSpeedup]:
+    """One batch size's full scheme sweep (module-level for pickling)."""
+    system, batch = task
+    return sweep_speedups(system, batch_rows=batch)
+
+
+def run(
+    batches: Tuple[int, ...] = (1, 4, 16), jobs: Optional[int] = 1
+) -> BatchSweepResult:
     """Regenerate the Figure 13 analysis at several batch sizes.
 
     The weight-tile stream is batch-independent (weights dominate the
     traffic); FLOPS scale with N but the *ratios* between engines stay
     nearly constant — the paper's "similar results".
+
+    ``jobs > 1`` runs one batch size per worker (the per-batch sweeps
+    are independent); results are bit-identical to the serial run.
     """
     system = hbm_system()
-    speedups: Dict[int, List[SchemeSpeedup]] = {}
-    for batch in batches:
-        speedups[batch] = sweep_speedups(system, batch_rows=batch)
+    per_batch = parallel_map(
+        _batch_task, [(system, batch) for batch in batches], jobs=jobs
+    )
+    speedups: Dict[int, List[SchemeSpeedup]] = dict(zip(batches, per_batch))
     return BatchSweepResult(tuple(batches), speedups)

@@ -37,8 +37,13 @@ class Figure12Result:
         return max(row.deca_over_software for row in self.speedups)
 
 
-def run(batch_rows: int = 1) -> Figure12Result:
-    """Regenerate Figure 12."""
+def run(batch_rows: int = 1, jobs: int = 1) -> Figure12Result:
+    """Regenerate Figure 12.
+
+    ``jobs > 1`` fans the per-scheme cells out across forked workers
+    (see :mod:`repro.experiments.parallel`); results are bit-identical
+    to the serial run.
+    """
     return Figure12Result(
-        sweep_speedups(ddr_system(), batch_rows=batch_rows)
+        sweep_speedups(ddr_system(), batch_rows=batch_rows, jobs=jobs)
     )

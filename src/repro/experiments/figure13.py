@@ -37,8 +37,8 @@ class Figure13Result:
         return max(row.deca_over_software for row in self.speedups)
 
 
-def run(batch_rows: int = 1) -> Figure13Result:
-    """Regenerate Figure 13."""
+def run(batch_rows: int = 1, jobs: int = 1) -> Figure13Result:
+    """Regenerate Figure 13 (``jobs > 1`` fans out across workers)."""
     return Figure13Result(
-        sweep_speedups(hbm_system(), batch_rows=batch_rows)
+        sweep_speedups(hbm_system(), batch_rows=batch_rows, jobs=jobs)
     )

@@ -4,6 +4,13 @@ Library tooling for downstream studies: run the simulator across a
 cartesian grid of configurations and collect flat records suitable for
 spreadsheets or further analysis — the batch counterpart of the
 one-figure experiment harnesses.
+
+The grid is embarrassingly parallel: every cell is an independent
+simulation behind the memoized front door. ``run_grid(jobs=N)`` fans
+the cells out across ``N`` forked workers via
+:mod:`repro.experiments.parallel` and merges the per-worker cache
+entries on join; ``jobs=1`` (the default) is the bit-identical serial
+path.
 """
 
 from __future__ import annotations
@@ -11,12 +18,13 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.schemes import CompressionScheme, PAPER_SCHEMES
 from repro.deca.config import DecaConfig
 from repro.deca.integration import deca_kernel_timing
 from repro.errors import ConfigurationError
+from repro.experiments.parallel import parallel_map
 from repro.kernels.libxsmm import software_kernel_timing
 from repro.sim.pipeline import simulate_tile_stream
 from repro.sim.system import SimSystem, ddr_system, hbm_system
@@ -42,6 +50,35 @@ _FIELDS = (
     "tflops_n1", "mem_util", "tmul_util", "dec_util",
 )
 
+#: One grid cell: everything a worker needs to simulate it.
+_GridCell = Tuple[
+    SimSystem, CompressionScheme, str, Optional[DecaConfig], bool, int
+]
+
+
+def _simulate_cell(cell: _GridCell) -> GridRecord:
+    """Simulate one (system, scheme, engine) cell into a flat record."""
+    system, scheme, engine, deca_config, use_cache, tiles = cell
+    if engine == "software":
+        timing = software_kernel_timing(system, scheme)
+    else:
+        timing = deca_kernel_timing(system, scheme, config=deca_config)
+    result = simulate_tile_stream(
+        system, timing, tiles=tiles, use_cache=use_cache
+    )
+    util = result.utilization
+    return GridRecord(
+        system=system.machine.name,
+        scheme=scheme.name,
+        engine=engine,
+        interval_cycles=result.steady_interval_cycles,
+        tiles_per_second=result.tiles_per_second,
+        tflops_n1=result.flops(1) / 1e12,
+        mem_util=util.memory,
+        tmul_util=util.matrix,
+        dec_util=util.decompress,
+    )
+
 
 def run_grid(
     systems: Optional[Sequence[SimSystem]] = None,
@@ -49,6 +86,8 @@ def run_grid(
     engines: Sequence[str] = ("software", "deca"),
     deca_config: Optional[DecaConfig] = None,
     use_cache: bool = True,
+    tiles: int = 600,
+    jobs: Optional[int] = 1,
 ) -> List[GridRecord]:
     """Simulate every (system, scheme, engine) combination.
 
@@ -57,41 +96,26 @@ def run_grid(
     repeat configurations across ``systems``/``schemes`` axes — cost one
     lookup per revisited cell. Pass ``use_cache=False`` to force fresh
     simulations.
+
+    ``jobs`` selects the worker count: 1 (default) runs serial in
+    process, ``N > 1`` partitions the cells across ``N`` forked workers
+    and merges their caches on join (``None``/0 means one worker per
+    CPU). Records are bit-identical to the serial run either way.
     """
+    for engine in engines:
+        if engine not in ("software", "deca"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; use 'software' or 'deca'"
+            )
     if systems is None:
         systems = (hbm_system(), ddr_system())
-    records: List[GridRecord] = []
-    for system in systems:
-        for scheme in schemes:
-            for engine in engines:
-                if engine == "software":
-                    timing = software_kernel_timing(system, scheme)
-                elif engine == "deca":
-                    timing = deca_kernel_timing(
-                        system, scheme, config=deca_config
-                    )
-                else:
-                    raise ConfigurationError(
-                        f"unknown engine {engine!r}; use 'software' or 'deca'"
-                    )
-                result = simulate_tile_stream(
-                    system, timing, use_cache=use_cache
-                )
-                util = result.utilization
-                records.append(
-                    GridRecord(
-                        system=system.machine.name,
-                        scheme=scheme.name,
-                        engine=engine,
-                        interval_cycles=result.steady_interval_cycles,
-                        tiles_per_second=result.tiles_per_second,
-                        tflops_n1=result.flops(1) / 1e12,
-                        mem_util=util.memory,
-                        tmul_util=util.matrix,
-                        dec_util=util.decompress,
-                    )
-                )
-    return records
+    cells: List[_GridCell] = [
+        (system, scheme, engine, deca_config, use_cache, tiles)
+        for system in systems
+        for scheme in schemes
+        for engine in engines
+    ]
+    return parallel_map(_simulate_cell, cells, jobs=jobs)
 
 
 def to_csv(records: Sequence[GridRecord]) -> str:

@@ -1,0 +1,181 @@
+"""Process-pool execution of embarrassingly parallel experiment sweeps.
+
+The paper's headline tables are cartesian grids of independent
+``(system, scheme, engine)`` cells — ideal fan-out work. This module is
+the one process-pool front door every sweep harness shares
+(:func:`repro.experiments.grid.run_grid`,
+:func:`repro.experiments.speedups.sweep_speedups`, ``batch_sweep``,
+``sensitivity``, and the CLI's ``--jobs`` flags all route through
+:func:`parallel_map`).
+
+Execution model
+---------------
+
+* Tasks are striped round-robin across ``jobs`` partitions (task ``i``
+  lands in partition ``i % jobs``), so heterogeneous cells — a cheap
+  software-kernel cell next to an expensive DECA one — balance without a
+  work queue. Results are re-interleaved, so the returned list is in
+  input order, exactly as a serial ``[fn(x) for x in items]``.
+* Workers are forked (POSIX ``fork`` start method): each child inherits
+  the parent's warm simulation cache for free and runs its partition
+  through the existing memoized front door
+  (:func:`repro.sim.pipeline.simulate_tile_stream`).
+* On join each worker ships back only the cache entries it *added*
+  (inherited keys are snapshotted at partition start) plus its hit/miss
+  deltas; the parent folds them in via
+  :func:`repro.sim.cache.merge_simulation_cache`, keyed by the same
+  ``simulation_key``. Duplicate keys across workers must resolve
+  bit-identically (asserted in debug mode) — the simulator is pure, so
+  anything else is a bug.
+
+Degradation contract
+--------------------
+
+``jobs=1``, a single task, or a platform without ``fork`` (Windows,
+some sandboxes) all run the plain serial loop in-process — no pool, no
+pickling, bit-identical to the pre-parallel code path. Nested calls
+(a task function that itself calls :func:`parallel_map`) also degrade
+to serial inside workers rather than forking grandchildren.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.sim import cache as _simcache
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Set in pool workers (via the pool initializer) so nested parallel_map
+#: calls degrade to serial instead of forking grandchildren — pool
+#: workers are daemonic and cannot spawn children anyway.
+_IN_WORKER = False
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
+    """The worker count actually used for ``tasks`` items.
+
+    ``None`` (or ``0``) means "auto": one worker per available CPU.
+    The result is clamped to the task count, and collapses to 1 when
+    the platform lacks ``fork`` or when already inside a pool worker —
+    the serial degradation contract.
+    """
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if _IN_WORKER or not fork_available():
+        return 1
+    return max(1, min(jobs, tasks))
+
+
+@dataclass(frozen=True)
+class SweepExecution:
+    """What the last :func:`parallel_map` call in this process did."""
+
+    jobs: int
+    tasks: int
+    merged_entries: int
+    duplicate_entries: int
+    worker_hits: int
+    worker_misses: int
+
+
+#: Report of the most recent parallel_map call (diagnostics/tests).
+_LAST_EXECUTION: Optional[SweepExecution] = None
+
+
+def last_sweep_execution() -> Optional[SweepExecution]:
+    """The most recent :func:`parallel_map` execution report, if any."""
+    return _LAST_EXECUTION
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _run_partition(
+    payload: Tuple[Callable[[Any], Any], List[Any]]
+) -> Tuple[List[Any], List[Tuple[Any, Any]], int, int]:
+    """Worker body: run one partition, report new cache entries + deltas."""
+    fn, part = payload
+    baseline_keys = _simcache.simulation_cache_keys()
+    before = _simcache.simulation_cache_stats()
+    results = [fn(item) for item in part]
+    after = _simcache.simulation_cache_stats()
+    new_entries = [
+        (key, value)
+        for key, value in _simcache.export_simulation_cache()
+        if key not in baseline_keys
+    ]
+    return (
+        results,
+        new_entries,
+        after.hits - before.hits,
+        after.misses - before.misses,
+    )
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: Optional[int] = 1,
+) -> List[_R]:
+    """``[fn(x) for x in items]``, optionally fanned out across processes.
+
+    ``fn`` must be a module-level callable (pickled by reference) and
+    pure with respect to the simulation cache — the standard shape of
+    every sweep cell in this package. With ``jobs=1`` (the default)
+    this *is* the serial comprehension; with more, partitions run in
+    forked workers and their cache entries are merged on join (see the
+    module docstring for the full contract).
+    """
+    global _LAST_EXECUTION
+    items = list(items)
+    n_jobs = resolve_jobs(jobs, len(items))
+    if n_jobs <= 1:
+        results = [fn(item) for item in items]
+        _LAST_EXECUTION = SweepExecution(
+            jobs=1, tasks=len(items), merged_entries=0,
+            duplicate_entries=0, worker_hits=0, worker_misses=0,
+        )
+        return results
+    partitions = [items[offset::n_jobs] for offset in range(n_jobs)]
+    context = multiprocessing.get_context("fork")
+    with context.Pool(n_jobs, initializer=_mark_worker) as pool:
+        payloads = pool.map(
+            _run_partition, [(fn, part) for part in partitions]
+        )
+    results: List[Any] = [None] * len(items)
+    merged = duplicates = hits = misses = 0
+    for offset, (part_results, entries, d_hits, d_misses) in enumerate(
+        payloads
+    ):
+        results[offset::n_jobs] = part_results
+        stats = _simcache.merge_simulation_cache(
+            entries, hits=d_hits, misses=d_misses
+        )
+        merged += stats.inserted
+        duplicates += stats.duplicates
+        hits += d_hits
+        misses += d_misses
+    _LAST_EXECUTION = SweepExecution(
+        jobs=n_jobs, tasks=len(items), merged_entries=merged,
+        duplicate_entries=duplicates, worker_hits=hits,
+        worker_misses=misses,
+    )
+    return results

@@ -11,15 +11,13 @@ are not knife-edge artifacts of the calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.schemes import parse_scheme
 from repro.deca.integration import deca_kernel_timing
+from repro.experiments.parallel import parallel_map
 from repro.experiments.report import Table
-from repro.kernels.libxsmm import (
-    software_kernel_timing,
-    uncompressed_kernel_timing,
-)
+from repro.kernels.libxsmm import software_kernel_timing
 from repro.sim import pipeline
 from repro.sim.pipeline import simulate_tile_stream
 from repro.sim.system import hbm_system
@@ -89,32 +87,42 @@ def _headline(system, demand_cap_scale: float, loader_scale: float) -> float:
     return max(ratios)
 
 
-def run() -> SensitivityResult:
-    """Perturb each calibration constant by ±20%."""
+def _perturbation_task(task: Tuple[str, float]) -> SensitivityRow:
+    """Evaluate one (constant, scale) perturbation.
+
+    Module-level so the parallel executor can pickle it. Each task is
+    self-contained: the DRAM-efficiency patch happens *inside* the task
+    (and is restored before returning), so a forked worker perturbs its
+    own copy of the module constant without racing its siblings — and
+    the cache key's ``extra`` slot keeps perturbed entries distinct.
+    """
+    constant, scale = task
     system = hbm_system()
-    rows: List[SensitivityRow] = []
-    # DRAM efficiency: module-level constant; patch it transiently.
-    nominal_eff = pipeline.DRAM_EFFICIENCY
-    for scale in _PERTURBATIONS:
+    if constant == "DRAM efficiency":
+        nominal_eff = pipeline.DRAM_EFFICIENCY
         pipeline.DRAM_EFFICIENCY = min(1.0, nominal_eff * scale)
         try:
-            rows.append(
-                SensitivityRow(
-                    "DRAM efficiency", scale, _headline(system, 1.0, 1.0)
-                )
-            )
+            headline = _headline(system, 1.0, 1.0)
         finally:
             pipeline.DRAM_EFFICIENCY = nominal_eff
-    for scale in _PERTURBATIONS:
-        rows.append(
-            SensitivityRow(
-                "SW demand-load cap", scale, _headline(system, scale, 1.0)
-            )
+    elif constant == "SW demand-load cap":
+        headline = _headline(system, scale, 1.0)
+    else:
+        headline = _headline(system, 1.0, scale)
+    return SensitivityRow(constant, scale, headline)
+
+
+def run(jobs: Optional[int] = 1) -> SensitivityResult:
+    """Perturb each calibration constant by ±20%.
+
+    ``jobs > 1`` evaluates the nine perturbations across forked workers
+    (bit-identical to the serial run).
+    """
+    tasks: List[Tuple[str, float]] = [
+        (constant, scale)
+        for constant in (
+            "DRAM efficiency", "SW demand-load cap", "loader fill latency"
         )
-    for scale in _PERTURBATIONS:
-        rows.append(
-            SensitivityRow(
-                "loader fill latency", scale, _headline(system, 1.0, scale)
-            )
-        )
-    return SensitivityResult(rows)
+        for scale in _PERTURBATIONS
+    ]
+    return SensitivityResult(parallel_map(_perturbation_task, tasks, jobs=jobs))

@@ -10,6 +10,7 @@ from repro.core.schemes import CompressionScheme, PAPER_SCHEMES, UNCOMPRESSED
 from repro.deca.config import DecaConfig
 from repro.deca.integration import DecaIntegration, deca_kernel_timing
 from repro.kernels.avx import AvxVariant
+from repro.experiments.parallel import parallel_map
 from repro.kernels.libxsmm import (
     software_kernel_timing,
     uncompressed_kernel_timing,
@@ -81,6 +82,21 @@ def scheme_speedup(
     )
 
 
+def _scheme_speedup_task(task) -> SchemeSpeedup:
+    """Module-level cell body so the parallel executor can pickle it."""
+    (system, scheme, baseline, batch_rows, deca_config, integration,
+     tiles) = task
+    return scheme_speedup(
+        system,
+        scheme,
+        baseline,
+        batch_rows=batch_rows,
+        deca_config=deca_config,
+        integration=integration,
+        tiles=tiles,
+    )
+
+
 def sweep_speedups(
     system: SimSystem,
     schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
@@ -88,18 +104,20 @@ def sweep_speedups(
     deca_config: Optional[DecaConfig] = None,
     integration: Optional[DecaIntegration] = None,
     tiles: int = 600,
+    jobs: Optional[int] = 1,
 ) -> List[SchemeSpeedup]:
-    """Speedups for a list of schemes (Figures 12/13's x axis)."""
+    """Speedups for a list of schemes (Figures 12/13's x axis).
+
+    The shared baseline is simulated once up front and embedded in each
+    task (workers also inherit its cache entry through the fork, so it
+    is never re-simulated); the per-scheme cells then fan out across
+    ``jobs`` workers via :mod:`repro.experiments.parallel`. ``jobs=1``
+    is the bit-identical serial path.
+    """
     baseline = baseline_result(system, tiles=tiles)
-    return [
-        scheme_speedup(
-            system,
-            scheme,
-            baseline,
-            batch_rows=batch_rows,
-            deca_config=deca_config,
-            integration=integration,
-            tiles=tiles,
-        )
+    tasks = [
+        (system, scheme, baseline, batch_rows, deca_config, integration,
+         tiles)
         for scheme in schemes
     ]
+    return parallel_map(_scheme_speedup_task, tasks, jobs=jobs)

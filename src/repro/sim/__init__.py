@@ -23,8 +23,11 @@ from repro.sim.system import (
     hbm_system,
 )
 from repro.sim.cache import (
+    CacheMergeStats,
     CacheStats,
     clear_simulation_cache,
+    export_simulation_cache,
+    merge_simulation_cache,
     simulation_cache_stats,
 )
 from repro.sim.memory import MemoryChannel, SharedMemoryServer
@@ -46,8 +49,11 @@ __all__ = [
     "SimSystem",
     "ddr_system",
     "hbm_system",
+    "CacheMergeStats",
     "CacheStats",
     "clear_simulation_cache",
+    "export_simulation_cache",
+    "merge_simulation_cache",
     "simulation_cache_stats",
     "MemoryChannel",
     "SharedMemoryServer",

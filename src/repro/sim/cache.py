@@ -29,6 +29,20 @@ arrays are frozen read-only by the simulator, so sharing one result
 object between callers is safe. The cache is bounded LRU
 (``maxsize`` results, ~30 KB each with a 600-tile trace) and
 thread-safe.
+
+Merging
+-------
+
+The parallel sweep executor (:mod:`repro.experiments.parallel`) forks
+worker processes, each of which populates its own copy of the
+process-wide cache. On join the workers' *new* entries (and their
+hit/miss deltas) are folded back into the parent via
+:func:`merge_simulation_cache`, keyed by the very same
+:func:`simulation_key`. Two workers may legitimately compute the same
+key (e.g. both partitions contain the shared baseline configuration);
+because simulations are pure, the duplicates must be bit-identical —
+:func:`results_bit_equal` asserts exactly that in debug mode before the
+duplicate is dropped.
 """
 
 from __future__ import annotations
@@ -37,7 +51,7 @@ import enum
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any, Callable, Hashable, Tuple
+from typing import Any, Callable, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -79,6 +93,56 @@ def simulation_key(
     own entries instead of aliasing the nominal ones.
     """
     return (system, timing_key(timing), int(tiles), extra)
+
+
+def _refreeze_arrays(value: Any) -> None:
+    """Re-apply the read-only freeze to every array inside a cached value.
+
+    Cached ``SimResult`` trace arrays are frozen by the simulator, but
+    NumPy pickling drops the writeable flag — so entries arriving from a
+    forked worker would be silently mutable where the serial path's are
+    not. Restore the invariant before the entry becomes shared.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif is_dataclass(value) and not isinstance(value, type):
+        for field in fields(value):
+            _refreeze_arrays(getattr(value, field.name))
+
+
+def results_bit_equal(a: Any, b: Any) -> bool:
+    """Structural bit-equality of two cached values.
+
+    Recurses through dataclasses, compares NumPy arrays on their raw
+    buffers (so ``-0.0`` vs ``0.0`` or differing NaN payloads count as
+    different), and falls back to ``==`` for plain scalars. Used to
+    verify that duplicate keys produced by independent workers carry
+    identical results — the pure-function contract of the simulator.
+    """
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and a.tobytes() == b.tobytes()
+        )
+    if is_dataclass(a) and is_dataclass(b) and type(a) is type(b):
+        return all(
+            results_bit_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in fields(a)
+        )
+    return bool(a == b)
+
+
+@dataclass(frozen=True)
+class CacheMergeStats:
+    """Outcome of folding one batch of worker entries into a cache."""
+
+    inserted: int
+    duplicates: int
 
 
 @dataclass(frozen=True)
@@ -130,6 +194,51 @@ class SimulationCache:
                 self._entries.move_to_end(key)
             return self._entries[key]
 
+    def snapshot(self) -> "list[Tuple[Hashable, Any]]":
+        """The current ``(key, value)`` entries, oldest first."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def keys(self) -> "set[Hashable]":
+        """The current key set (a copy)."""
+        with self._lock:
+            return set(self._entries)
+
+    def merge_entries(
+        self,
+        entries: "Sequence[Tuple[Hashable, Any]]",
+        hits: int = 0,
+        misses: int = 0,
+    ) -> CacheMergeStats:
+        """Fold another cache's entries (and counter deltas) into this one.
+
+        Keys already present are kept (both sides computed the same pure
+        simulation; in debug mode the duplicate is asserted bit-identical
+        via :func:`results_bit_equal` before being dropped). ``hits`` /
+        ``misses`` accumulate a worker's lookup counters so the merged
+        stats reflect the whole sweep's cache traffic.
+        """
+        inserted = 0
+        duplicates = 0
+        with self._lock:
+            for key, value in entries:
+                if key in self._entries:
+                    duplicates += 1
+                    assert results_bit_equal(self._entries[key], value), (
+                        "duplicate simulation key resolved to different "
+                        f"results during cache merge: {key!r}"
+                    )
+                    self._entries.move_to_end(key)
+                else:
+                    inserted += 1
+                    _refreeze_arrays(value)
+                    self._entries[key] = value
+                    while len(self._entries) > self.maxsize:
+                        self._entries.popitem(last=False)
+            self._hits += hits
+            self._misses += misses
+        return CacheMergeStats(inserted=inserted, duplicates=duplicates)
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
@@ -173,3 +282,29 @@ def clear_simulation_cache() -> None:
 def simulation_cache_stats() -> CacheStats:
     """Counters of the process-wide simulation cache."""
     return _GLOBAL_CACHE.stats()
+
+
+def export_simulation_cache() -> List[Tuple[Hashable, Any]]:
+    """The process-wide cache's ``(key, value)`` entries, oldest first."""
+    return _GLOBAL_CACHE.snapshot()
+
+
+def simulation_cache_keys() -> "set[Hashable]":
+    """The process-wide cache's current key set (a copy)."""
+    return _GLOBAL_CACHE.keys()
+
+
+def merge_simulation_cache(
+    entries: Sequence[Tuple[Hashable, Any]],
+    hits: int = 0,
+    misses: int = 0,
+) -> CacheMergeStats:
+    """Fold worker-produced entries into the process-wide cache.
+
+    Used by :mod:`repro.experiments.parallel` when joining a process
+    pool: each worker ships back the entries it computed (plus its
+    hit/miss deltas), and the parent merges them so follow-up sweeps in
+    the parent hit warm results. Duplicate keys are asserted
+    bit-identical in debug mode.
+    """
+    return _GLOBAL_CACHE.merge_entries(entries, hits=hits, misses=misses)

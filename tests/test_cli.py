@@ -36,6 +36,22 @@ class TestSimulate:
             "simulate", "--scheme", "Q16", "--engine", "software",
         ]) == 0
 
+    def test_scheme_list_fans_out(self, capsys):
+        assert main(["simulate", "--scheme", "Q4,Q8_5%", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Q4 on" in out and "Q8_5% on" in out
+
+    def test_empty_scheme_list_rejected(self, capsys):
+        assert main(["simulate", "--scheme", ","]) == 2
+        assert "at least one scheme" in capsys.readouterr().err
+
+    def test_scheme_list_matches_individual_runs(self, capsys):
+        assert main(["simulate", "--scheme", "Q4"]) == 0
+        solo = capsys.readouterr().out
+        assert main(["simulate", "--scheme", "Q4,Q8_20%", "--jobs", "2"]) == 0
+        combined = capsys.readouterr().out
+        assert solo.strip() in combined
+
 
 class TestLlm:
     def test_llama_deca(self, capsys):
@@ -77,6 +93,14 @@ class TestExperiments:
         assert main(["experiments", "table3", "figure17"]) == 0
         out = capsys.readouterr().out
         assert "Table 3" in out and "Figure 17" in out
+
+    def test_jobs_flag(self, capsys):
+        assert main(["experiments", "figure12", "--jobs", "2"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_sweep_harnesses_listed(self, capsys):
+        assert main(["experiments", "sensitivity", "--jobs", "2"]) == 0
+        assert "Sensitivity" in capsys.readouterr().out
 
 
 class TestParser:

@@ -1,0 +1,221 @@
+"""Tests for the process-pool sweep executor and cache merging.
+
+The contract under test (see ``repro/experiments/parallel.py``): for any
+``jobs``, a parallel sweep returns results *bit-identical* to the serial
+run, in the same order, and folds every worker's new cache entries back
+into the parent keyed by the same ``simulation_key``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.experiments import figure12, sensitivity
+from repro.experiments.grid import run_grid, to_csv
+from repro.experiments.parallel import (
+    fork_available,
+    last_sweep_execution,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.experiments.speedups import sweep_speedups
+from repro.errors import ConfigurationError
+from repro.sim.cache import (
+    clear_simulation_cache,
+    export_simulation_cache,
+    merge_simulation_cache,
+    results_bit_equal,
+    simulation_cache_stats,
+)
+from repro.sim.pipeline import KernelTiming, simulate_tile_stream
+from repro.sim.system import hbm_system
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel executor needs the fork start method"
+)
+
+_SCHEMES = (parse_scheme("Q4"), parse_scheme("Q8_5%"))
+
+
+def _small_grid(jobs):
+    return run_grid(systems=(hbm_system(),), schemes=_SCHEMES, jobs=jobs)
+
+
+def _simulate_item(task):
+    """Module-level task body so pool workers can unpickle it."""
+    system, bytes_per_tile = task
+    timing = KernelTiming(bytes_per_tile=bytes_per_tile, dec_cycles=20.0)
+    return simulate_tile_stream(system, timing).steady_interval_cycles
+
+
+class TestParallelSerialEquivalence:
+    def test_run_grid_records_bit_identical(self):
+        clear_simulation_cache()
+        serial = _small_grid(jobs=1)
+        clear_simulation_cache()
+        parallel = _small_grid(jobs=4)
+        # GridRecord is a float dataclass: == is exact, not approximate.
+        assert serial == parallel
+
+    def test_to_csv_round_trips_parallel_output(self, tmp_path):
+        clear_simulation_cache()
+        serial_csv = to_csv(_small_grid(jobs=1))
+        clear_simulation_cache()
+        parallel_csv = to_csv(_small_grid(jobs=2))
+        assert serial_csv == parallel_csv
+        lines = parallel_csv.strip().splitlines()
+        assert lines[0].startswith("system,scheme,engine")
+        assert len(lines) == 1 * len(_SCHEMES) * 2 + 1
+
+    def test_sweep_speedups_bit_identical(self, hbm):
+        clear_simulation_cache()
+        serial = sweep_speedups(hbm, schemes=_SCHEMES)
+        clear_simulation_cache()
+        parallel = sweep_speedups(hbm, schemes=_SCHEMES, jobs=2)
+        assert serial == parallel
+
+    def test_dse_parallel_mapper_matches_serial(self):
+        import functools
+
+        from repro.core.dse import explore_deca_designs
+
+        machine = hbm_system().machine
+        serial = explore_deca_designs(machine, _SCHEMES)
+        parallel = explore_deca_designs(
+            machine, _SCHEMES,
+            mapper=functools.partial(parallel_map, jobs=2),
+        )
+        assert serial == parallel
+        assert parallel.best is not None
+
+    def test_figure12_jobs_matches_serial(self):
+        clear_simulation_cache()
+        serial = figure12.run()
+        clear_simulation_cache()
+        parallel = figure12.run(jobs=2)
+        assert serial == parallel
+
+    def test_sensitivity_jobs_matches_serial(self):
+        clear_simulation_cache()
+        serial = sensitivity.run()
+        clear_simulation_cache()
+        parallel = sensitivity.run(jobs=2)
+        assert serial == parallel
+
+
+class TestCacheMerge:
+    def test_worker_entries_merged_and_stats_sum(self):
+        clear_simulation_cache()
+        records = _small_grid(jobs=2)
+        execution = last_sweep_execution()
+        stats = simulation_cache_stats()
+        # Every cell is a distinct configuration: each is one worker miss,
+        # every computed entry lands in the parent on join, and the merged
+        # counters are exactly the sum of the workers' deltas.
+        assert execution.jobs == 2
+        assert execution.tasks == len(records) == 4
+        assert execution.merged_entries == 4
+        assert execution.duplicate_entries == 0
+        assert execution.worker_hits + execution.worker_misses == 4
+        assert stats.hits == execution.worker_hits
+        assert stats.misses == execution.worker_misses == 4
+        assert stats.size == 4
+
+    def test_merged_entries_keep_traces_read_only(self):
+        # NumPy pickling drops the writeable flag, so worker-produced
+        # results must be re-frozen on merge or a consumer could mutate
+        # a shared cached trace that the serial path protects.
+        clear_simulation_cache()
+        _small_grid(jobs=2)
+        for _, result in export_simulation_cache():
+            assert not result.trace.mtx_done.flags.writeable
+            assert not result.trace.fetch_issue.flags.writeable
+
+    def test_parent_sweep_hits_merged_entries(self):
+        clear_simulation_cache()
+        _small_grid(jobs=2)
+        before = simulation_cache_stats()
+        _small_grid(jobs=1)  # serial rerun in the parent process
+        after = simulation_cache_stats()
+        assert after.hits - before.hits == 4
+        assert after.misses == before.misses
+
+    def test_duplicate_keys_across_workers_merge_once(self, hbm):
+        clear_simulation_cache()
+        # Two identical tasks land in different partitions at jobs=2 and
+        # compute the same simulation key; the merge must keep one entry.
+        tasks = [(hbm, 300.0), (hbm, 300.0)]
+        intervals = parallel_map(_simulate_item, tasks, jobs=2)
+        assert intervals[0] == intervals[1]
+        execution = last_sweep_execution()
+        assert execution.merged_entries == 1
+        assert execution.duplicate_entries == 1
+        assert simulation_cache_stats().size == 1
+
+    def test_conflicting_duplicate_asserts_bit_equality(self, hbm):
+        clear_simulation_cache()
+        timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
+        result = simulate_tile_stream(hbm, timing)
+        key = export_simulation_cache()[0][0]
+        forged = type(result)(
+            system=result.system,
+            tiles=result.tiles,
+            makespan_cycles=result.makespan_cycles + 1.0,
+            steady_interval_cycles=result.steady_interval_cycles,
+            utilization=result.utilization,
+            trace=result.trace,
+        )
+        with pytest.raises(AssertionError):
+            merge_simulation_cache([(key, forged)])
+
+    def test_results_bit_equal(self, hbm):
+        timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
+        a = simulate_tile_stream(hbm, timing, use_cache=False)
+        b = simulate_tile_stream(hbm, timing, use_cache=False)
+        assert results_bit_equal(a, b)
+        assert not results_bit_equal(a, None)
+        assert results_bit_equal(np.arange(4.0), np.arange(4.0))
+        assert not results_bit_equal(np.arange(4.0), np.arange(4))  # dtype
+
+
+class TestDegradation:
+    def test_jobs_one_is_plain_serial(self):
+        items = list(range(5))
+        assert parallel_map(abs, items, jobs=1) == items
+        assert last_sweep_execution().jobs == 1
+
+    def test_order_preserved_under_striping(self, hbm):
+        tasks = [(hbm, float(b)) for b in (100, 200, 300, 400, 500)]
+        serial = parallel_map(_simulate_item, tasks, jobs=1)
+        clear_simulation_cache()
+        parallel = parallel_map(_simulate_item, tasks, jobs=3)
+        assert serial == parallel
+
+    def test_resolve_jobs_semantics(self):
+        assert resolve_jobs(1, 100) == 1
+        assert resolve_jobs(8, 3) == 3  # clamped to task count
+        assert resolve_jobs(None, 100) >= 1  # auto
+        assert resolve_jobs(0, 100) >= 1  # auto
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2, 10)
+
+    def test_serial_fallback_without_fork(self, monkeypatch, hbm):
+        monkeypatch.setattr(
+            "repro.experiments.parallel.fork_available", lambda: False
+        )
+        clear_simulation_cache()
+        records = _small_grid(jobs=4)
+        assert last_sweep_execution().jobs == 1
+        clear_simulation_cache()
+        assert records == _small_grid(jobs=1)
+
+    def test_nested_calls_degrade_to_serial(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel._IN_WORKER", True)
+        assert resolve_jobs(4, 10) == 1
+
+    def test_unknown_engine_rejected_before_fanout(self):
+        with pytest.raises(ConfigurationError):
+            run_grid(
+                systems=(hbm_system(),), schemes=_SCHEMES,
+                engines=("software", "fpga"), jobs=4,
+            )
