@@ -5,7 +5,9 @@ nonzero if any ``after_s`` regressed by more than the tolerance (25% by
 default — generous enough for container jitter, tight enough to catch an
 accidental return to per-tile Python loops). Entries carrying a
 ``parallel_speedup_4w`` field (the sweep-executor anchor) additionally
-gate their scaling ratio against runs on the same ``cpu_count``.
+gate their scaling ratio against runs on the same ``cpu_count``, and
+entries carrying a ``disk_hit_rate`` field (the disk-cache anchor) gate
+the warm run's hit rate against a machine-independent 90% floor.
 
 Usage:
 
@@ -85,10 +87,48 @@ def _parallel_scaling_failures(
         if fresh_entry.get("cpu_count") != entry.get("cpu_count"):
             continue
         if fresh_ratio < ratio * (1.0 - tolerance):
+            cpu_count = entry.get("cpu_count")
+            machine = (
+                f"the same {cpu_count:.0f}-CPU machine"
+                if cpu_count is not None
+                else "a machine of unrecorded core count"
+            )
             failures.append(
                 f"{name}: 4-worker speedup {fresh_ratio:.2f}x vs recorded "
                 f"{ratio:.2f}x (allowed {ratio * (1.0 - tolerance):.2f}x "
-                f"on the same {entry.get('cpu_count'):.0f}-CPU machine)"
+                f"on {machine})"
+            )
+    return failures
+
+
+#: Minimum warm-run disk hit rate for the dse_warm_cache anchor. A warm
+#: replay of an unchanged grid should be served ~entirely from disk;
+#: anything below this means the key digest or entry format drifted.
+MIN_DISK_HIT_RATE = 0.9
+
+
+def _warm_cache_failures(recorded: dict, fresh: dict) -> "list[str]":
+    """Gate the disk-cache anchor's hit rate (dse_warm_cache).
+
+    Unlike the wall-clock gates, the hit rate is machine-independent:
+    a warm directory written and read by the same code must serve at
+    least :data:`MIN_DISK_HIT_RATE` of the repeated sweep's lookups, or
+    the content-addressed store has silently stopped recognizing its
+    own entries (digest instability, schema churn, serialization
+    breakage).
+    """
+    failures = []
+    for name, entry in sorted(recorded.items()):
+        if "disk_hit_rate" not in entry:
+            continue
+        fresh_entry = fresh.get(name, {})
+        rate = fresh_entry.get("disk_hit_rate")
+        if rate is None:
+            failures.append(f"{name}: disk hit rate measurement disappeared")
+        elif rate < MIN_DISK_HIT_RATE:
+            failures.append(
+                f"{name}: warm-disk hit rate {rate:.0%} below the "
+                f"{MIN_DISK_HIT_RATE:.0%} floor"
             )
     return failures
 
@@ -125,6 +165,7 @@ def compare(
                 f"at machine-speed scale {scale:.2f})"
             )
     failures.extend(_parallel_scaling_failures(recorded, fresh, tolerance))
+    failures.extend(_warm_cache_failures(recorded, fresh))
     return failures
 
 

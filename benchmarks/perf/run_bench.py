@@ -15,6 +15,14 @@ wall-clock at each width plus ``parallel_speedup_4w`` and the
 ``cpu_count`` it was measured on — scaling is hardware-bound, so the
 ratio is only comparable across runs on the same core count.
 
+``dse_warm_cache`` tracks the disk-backed cache tier
+(:mod:`repro.sim.diskcache`): the full 48-cell grid is timed cold (empty
+cache directory, every cell simulated and spilled) and warm (in-memory
+cache cleared, every cell replayed from disk — the restart scenario).
+The entry records both times, the ``warm_speedup`` ratio, and the warm
+run's ``disk_hit_rate``, which the regression gate requires to stay at
+least 0.9.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py [--output PATH]
@@ -53,6 +61,7 @@ KNOWN_BENCHMARKS = (
     "multicore_event_300",
     "figure12_sweep",
     "figure12_sweep_parallel",
+    "dse_warm_cache",
 )
 
 #: One-time measurements of the seed-commit implementation (c229933),
@@ -249,6 +258,70 @@ def run_benchmarks(
         before = best_of(figure_reference, max(repeats // 4, 3))
         add("figure12_sweep", after, before)
 
+    # --- disk-backed cache: full grid cold vs warm-disk ----------------
+    if want("dse_warm_cache"):
+        import shutil
+        import tempfile
+
+        from repro.sim.cache import (
+            configure_simulation_cache_dir,
+            simulation_cache_stats,
+        )
+
+        cache_root = tempfile.mkdtemp(prefix="repro-bench-simcache-")
+        warm_hit_rates = []
+        cold_records = []
+        warm_records = []
+
+        def grid_cold():
+            # Fresh directory every repetition: the cold time includes
+            # simulating all 48 cells *and* spilling them to disk.
+            shutil.rmtree(cache_root, ignore_errors=True)
+            configure_simulation_cache_dir(cache_root)
+            clear_simulation_cache()
+            cold_records[:] = run_grid()
+            return cold_records
+
+        def grid_warm():
+            # The restart scenario: memory tier empty, disk tier warm.
+            clear_simulation_cache()
+            before = simulation_cache_stats()
+            warm_records[:] = run_grid()
+            after = simulation_cache_stats()
+            lookups = (
+                (after.hits - before.hits)
+                + (after.disk_hits - before.disk_hits)
+                + (after.misses - before.misses)
+            )
+            warm_hit_rates.append(
+                (after.disk_hits - before.disk_hits) / lookups
+                if lookups else 0.0
+            )
+            return warm_records
+
+        try:
+            reps = max(repeats // 4, 3)
+            cold = best_of(grid_cold, reps)
+            warm = best_of(grid_warm, reps)
+            # The paper's figures ride on these records: a warm replay
+            # that isn't bit-identical to the cold run is a cache bug,
+            # not a perf data point.
+            assert cold_records == warm_records, (
+                "warm-disk grid records diverged from the cold run"
+            )
+            results["dse_warm_cache"] = {
+                "after_s": warm,
+                "cold_s": cold,
+                "warm_speedup": cold / warm,
+                # The worst repetition: an intermittent digest or
+                # serialization instability must not hide behind one
+                # clean final rep.
+                "disk_hit_rate": min(warm_hit_rates),
+            }
+        finally:
+            configure_simulation_cache_dir(None)
+            shutil.rmtree(cache_root, ignore_errors=True)
+
     # --- parallel sweep executor: full grid at 1/2/4 workers -----------
     if want("figure12_sweep_parallel"):
         if (os.cpu_count() or 1) < max(PARALLEL_SWEEP_JOBS):
@@ -363,6 +436,11 @@ def main(argv=None) -> int:
             line += (
                 f"  {entry['parallel_speedup_4w']:5.2f}x at 4 workers "
                 f"({entry['cpu_count']:.0f} CPUs)"
+            )
+        if "warm_speedup" in entry:
+            line += (
+                f"  {entry['warm_speedup']:5.1f}x warm vs cold "
+                f"({entry['disk_hit_rate']:.0%} disk hits)"
             )
         print(line)
     print(f"wrote {args.output}")

@@ -1,11 +1,16 @@
 """Parallel grid sweep: fan a (system, scheme, engine) grid out across
-worker processes, merge the per-worker simulation caches on join, and
-export the records as CSV.
+worker processes, merge the per-worker simulation caches on join, spill
+the results to a restart-surviving disk cache, and export the records
+as CSV.
 
 Run with: python examples/parallel_sweep.py [--jobs N] [--csv PATH]
+    [--cache-dir PATH]
 
 ``--jobs 0`` (the default here) uses one worker per CPU; results are
 bit-identical to a serial run — the pool only changes wall-clock time.
+With ``--cache-dir`` the sweep also writes every simulated cell to a
+content-addressed on-disk store; re-running this example with the same
+directory replays the grid from disk instead of simulating it.
 """
 
 import argparse
@@ -14,7 +19,11 @@ import time
 from repro.core.schemes import PAPER_SCHEMES
 from repro.experiments.grid import run_grid, save_csv, to_csv
 from repro.experiments.parallel import last_sweep_execution
-from repro.sim import clear_simulation_cache, simulation_cache_stats
+from repro.sim import (
+    clear_simulation_cache,
+    configure_simulation_cache_dir,
+    simulation_cache_stats,
+)
 from repro.sim.system import ddr_system, hbm_system
 
 
@@ -24,6 +33,9 @@ def main() -> None:
                         help="worker processes (0 = one per CPU, 1 = serial)")
     parser.add_argument("--csv", default=None, metavar="PATH",
                         help="also write the records to this CSV file")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="spill results to a disk cache that "
+                             "survives restarts (re-run me to see it)")
     args = parser.parse_args()
 
     systems = (hbm_system(), ddr_system())
@@ -62,6 +74,30 @@ def main() -> None:
     run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=1)
     print(f"warm rerun from merged cache: "
           f"{(time.perf_counter() - start) * 1e3:7.1f} ms")
+
+    # With --cache-dir, the same replay works across *restarts*. The
+    # disk tier is attached only now, after the timed serial/parallel
+    # comparison above, so those numbers measure pool scaling, not disk
+    # replay: first a cold run computes every cell and spills it, then
+    # dropping the in-memory tier (as a new process would) replays the
+    # whole grid from disk.
+    if args.cache_dir:
+        configure_simulation_cache_dir(args.cache_dir)
+        clear_simulation_cache()
+        start = time.perf_counter()
+        run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=args.jobs)
+        print(f"spill into {args.cache_dir}: "
+              f"{(time.perf_counter() - start) * 1e3:7.1f} ms")
+        clear_simulation_cache()
+        start = time.perf_counter()
+        replayed = run_grid(
+            systems=systems, schemes=PAPER_SCHEMES, jobs=args.jobs
+        )
+        stats = simulation_cache_stats()
+        assert replayed == records, "disk replay must be bit-identical"
+        print(f"warm replay from {args.cache_dir}: "
+              f"{(time.perf_counter() - start) * 1e3:7.1f} ms "
+              f"({stats.disk_hits} disk hits, {stats.misses} misses)")
 
     # ------------------------------------------------------------------
     # 4. Export.

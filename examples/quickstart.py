@@ -69,9 +69,12 @@ def main() -> None:
           f"DECA {dc.flops(1) / 1e12:.2f} TFLOPS -> {speedup:.2f}x")
 
     # Sweeping many configurations? run_grid(jobs=N) fans independent
-    # cells across worker processes and merges their caches on join —
-    # see examples/parallel_sweep.py and `python -m repro --help`
-    # (--jobs on the experiments/simulate/dse subcommands).
+    # cells across a persistent pool of worker processes and merges
+    # their caches on join — see examples/parallel_sweep.py and
+    # `python -m repro --help` (--jobs on the experiments/simulate/dse
+    # subcommands). Add --cache-dir PATH (or set REPRO_CACHE_DIR) and
+    # results also spill to a disk cache that survives restarts: the
+    # next invocation replays them instead of re-simulating.
 
 
 if __name__ == "__main__":

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail if compiled Python artifacts are tracked in git.
+
+PR 2 accidentally committed ``__pycache__/`` directories; this guard
+keeps them out for good. It is wired into tier-1 through
+``tests/test_repo_hygiene.py`` and can run standalone::
+
+    python scripts/check_no_pyc.py
+
+Exit status: 0 when the index is clean (or when there is no git
+checkout to inspect — e.g. a source tarball — in which case the check
+is vacuously satisfied and says so), 1 when compiled artifacts are
+tracked.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: File suffixes that are always build products.
+COMPILED_SUFFIXES = (".pyc", ".pyo", ".pyd")
+
+
+def tracked_files(repo_root: pathlib.Path = REPO_ROOT) -> Optional[List[str]]:
+    """Paths tracked by git, or ``None`` when git can't answer."""
+    try:
+        completed = subprocess.run(
+            ["git", "ls-files"],
+            cwd=repo_root, capture_output=True, text=True, timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.splitlines()
+
+
+def compiled_artifacts(paths: List[str]) -> List[str]:
+    """The subset of ``paths`` that are compiled-Python build products."""
+    return sorted(
+        path
+        for path in paths
+        if path.endswith(COMPILED_SUFFIXES)
+        or "__pycache__" in path.split("/")
+    )
+
+
+def main() -> int:
+    paths = tracked_files()
+    if paths is None:
+        print("check_no_pyc: not a git checkout (or git missing); skipping")
+        return 0
+    offenders = compiled_artifacts(paths)
+    if offenders:
+        print(
+            f"check_no_pyc: {len(offenders)} compiled artifact(s) tracked "
+            "in git — remove with `git rm -r --cached <path>`:"
+        )
+        for path in offenders:
+            print(f"  {path}")
+        return 1
+    print(f"check_no_pyc: clean ({len(paths)} tracked files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,14 +14,23 @@ Commands:
 Repeated simulations are served from the process-wide LRU cache
 (``repro.sim.cache``), and the sweep-shaped commands (``experiments``,
 ``simulate`` with several schemes, ``dse``) accept ``--jobs N`` to fan
-independent configurations out across forked worker processes whose
-caches are merged on join (``--jobs 0`` = one worker per CPU).
+independent configurations out across a persistent pool of forked
+worker processes whose caches are merged on join (``--jobs 0`` = one
+worker per CPU; the pool is reused by every sweep in the invocation).
+The same commands accept ``--cache-dir PATH`` (or the
+``REPRO_CACHE_DIR`` environment variable) to spill simulation results
+to a disk-backed cache that survives process restarts: a re-run of the
+same sweep against a warm directory replays from disk instead of
+simulating. An unusable directory degrades to memory-only with a
+warning.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.core.dse import explore_deca_designs
@@ -53,11 +62,43 @@ def _system_for(name: str, cores: int) -> SimSystem:
     return ddr_system(cores)
 
 
+def _configure_cache(args: argparse.Namespace) -> None:
+    """Attach the disk cache tier named by ``--cache-dir``/env, if any.
+
+    Runs before any sweep (and before the worker pool forks, so workers
+    inherit the configuration). An unusable directory prints a note and
+    leaves the run memory-only rather than failing it.
+    """
+    from repro.sim.cache import configure_simulation_cache_dir
+
+    path = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    )
+    if not path:
+        # Unset means memory-only — including for programmatic callers
+        # invoking main() repeatedly in one process after an earlier
+        # invocation attached a tier.
+        configure_simulation_cache_dir(None)
+        return
+    with warnings.catch_warnings():
+        # open_disk_cache warns for library callers; the CLI prints its
+        # own single-line note instead.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        disk = configure_simulation_cache_dir(path)
+    if disk is None:
+        print(
+            f"warning: cache dir {path!r} is not usable; running with "
+            "the in-memory cache only",
+            file=sys.stderr,
+        )
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     import inspect
 
     from repro import experiments as exp
 
+    _configure_cache(args)
     names = args.names or list(_EXPERIMENTS)
     for name in names:
         if name not in _EXPERIMENTS:
@@ -113,6 +154,7 @@ def _simulate_report(task) -> str:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import parallel_map
 
+    _configure_cache(args)
     system = _system_for(args.memory, args.cores)
     names = [name.strip() for name in args.scheme.split(",") if name.strip()]
     if not names:
@@ -160,6 +202,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
     from repro.experiments.parallel import parallel_map
 
+    _configure_cache(args)
     machine = _system_for(args.memory, args.cores).machine
     result = explore_deca_designs(
         machine, PAPER_SCHEMES,
@@ -274,7 +317,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1, metavar="N",
             help="fork N workers for independent configurations and merge "
                  "their simulation caches on join (default: 1 = serial, "
-                 "0 = one worker per CPU)",
+                 "0 = one worker per CPU); the pool persists across "
+                 "sweeps within one invocation",
+        )
+
+    def add_cache_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="spill simulation results to a disk cache at PATH "
+                 "(created if missing) and replay them on later runs; "
+                 "defaults to $REPRO_CACHE_DIR, unset = memory-only",
         )
 
     p_exp = sub.add_parser(
@@ -285,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("names", nargs="*", metavar="NAME",
                        help=f"one of: {', '.join(_EXPERIMENTS)}")
     add_jobs(p_exp)
+    add_cache_dir(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_sim = sub.add_parser(
@@ -307,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", type=int, default=0, metavar="TILES",
                        help="render an ASCII Gantt window of TILES tiles")
     add_jobs(p_sim)
+    add_cache_dir(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_llm = sub.add_parser("llm", help="LLM next-token latency")
@@ -330,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument("--memory", choices=("hbm", "ddr"), default="hbm")
     p_dse.add_argument("--cores", type=int, default=56)
     add_jobs(p_dse)
+    add_cache_dir(p_dse)
     p_dse.set_defaults(func=_cmd_dse)
 
     p_area = sub.add_parser("area", help="DECA area model")

@@ -16,17 +16,36 @@ Execution model
   software-kernel cell next to an expensive DECA one — balance without a
   work queue. Results are re-interleaved, so the returned list is in
   input order, exactly as a serial ``[fn(x) for x in items]``.
-* Workers are forked (POSIX ``fork`` start method): each child inherits
-  the parent's warm simulation cache for free and runs its partition
-  through the existing memoized front door
-  (:func:`repro.sim.pipeline.simulate_tile_stream`).
+* Workers are forked (POSIX ``fork`` start method) into a **persistent
+  pool** that lives for the whole invocation: the first ``jobs > 1``
+  sweep pays the ~45 ms spin-up, every later sweep reuses the same
+  worker processes (the pool is rebuilt only when a sweep needs a
+  *wider* one — a narrower sweep idles the surplus workers — and torn
+  down atexit, or explicitly via :func:`shutdown_worker_pool`).
+  Each worker inherits the parent's warm simulation cache at pool
+  creation and runs its partitions through the existing memoized front
+  door (:func:`repro.sim.pipeline.simulate_tile_stream`).
+* Because workers outlive individual sweeps, every partition payload
+  carries the parent's cache *clear generation* and its cache-dir
+  configuration: a worker whose generation lags (the parent called
+  ``clear_simulation_cache`` since the fork) drops its own copy before
+  running, and a worker whose disk tier differs re-attaches. Clearing
+  therefore behaves exactly as with fork-per-sweep; *warmth* can be
+  slightly lower — entries merged into the parent after the fork are
+  not pushed back out, so a worker may recompute a cell a freshly
+  forked pool would have inherited (results are unaffected: the
+  simulator is pure; and with a disk tier the worker finds such
+  entries on disk anyway).
 * On join each worker ships back only the cache entries it *added*
-  (inherited keys are snapshotted at partition start) plus its hit/miss
-  deltas; the parent folds them in via
+  (inherited keys are snapshotted at partition start) plus its
+  hit/miss/disk-hit deltas; the parent folds them in via
   :func:`repro.sim.cache.merge_simulation_cache`, keyed by the same
   ``simulation_key``. Duplicate keys across workers must resolve
   bit-identically (asserted in debug mode) — the simulator is pure, so
-  anything else is a bug.
+  anything else is a bug. With a disk tier configured
+  (:mod:`repro.sim.diskcache`), workers spill their computed entries to
+  the shared cache directory as they go, and the parent's merge skips
+  re-writing them (content-addressed store).
 
 Degradation contract
 --------------------
@@ -40,7 +59,9 @@ to serial inside workers rather than forking grandchildren.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import multiprocessing.pool
 import os
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
@@ -92,6 +113,8 @@ class SweepExecution:
     duplicate_entries: int
     worker_hits: int
     worker_misses: int
+    worker_disk_hits: int = 0
+    pool_reused: bool = False
 
 
 #: Report of the most recent parallel_map call (diagnostics/tests).
@@ -108,11 +131,77 @@ def _mark_worker() -> None:
     _IN_WORKER = True
 
 
+#: The persistent pool and the worker count it was built with. A pool is
+#: created lazily by the first fanned-out sweep, reused by every later
+#: sweep in the invocation, rebuilt when the requested width changes,
+#: and torn down atexit (or via :func:`shutdown_worker_pool`).
+_POOL: Optional[multiprocessing.pool.Pool] = None
+_POOL_JOBS = 0
+_ATEXIT_REGISTERED = False
+
+
+def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
+    """The persistent worker pool, grown to at least ``n_jobs`` workers.
+
+    A wider-than-needed pool is reused as-is (surplus workers idle
+    through the sweep): ``n_jobs`` is clamped to the task count, so a
+    small sweep following a large one must not tear down — and
+    re-fork — the pool the large sweeps amortize.
+    """
+    global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED
+    if _POOL is not None and _POOL_JOBS < n_jobs:
+        shutdown_worker_pool()
+    if _POOL is None:
+        context = multiprocessing.get_context("fork")
+        _POOL = context.Pool(n_jobs, initializer=_mark_worker)
+        _POOL_JOBS = n_jobs
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_worker_pool)
+            _ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the persistent worker pool, if one is alive.
+
+    Safe to call at any time (idempotent); the next fanned-out sweep
+    simply forks a fresh pool. Registered atexit so an invocation never
+    leaks worker processes.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.close()
+        _POOL.join()
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+def worker_pool_size() -> int:
+    """Width of the live persistent pool (0 when none is alive)."""
+    return _POOL_JOBS if _POOL is not None else 0
+
+
+def worker_pool_pids() -> Tuple[int, ...]:
+    """PIDs of the live persistent pool's workers (diagnostics/tests)."""
+    if _POOL is None:
+        return ()
+    return tuple(sorted(worker.pid for worker in _POOL._pool))
+
+
 def _run_partition(
-    payload: Tuple[Callable[[Any], Any], List[Any]]
-) -> Tuple[List[Any], List[Tuple[Any, Any]], int, int]:
-    """Worker body: run one partition, report new cache entries + deltas."""
-    fn, part = payload
+    payload: Tuple[Callable[[Any], Any], List[Any], int, Optional[str]]
+) -> Tuple[List[Any], List[Tuple[Any, Any]], int, int, int]:
+    """Worker body: run one partition, report new cache entries + deltas.
+
+    ``generation`` and ``cache_dir`` carry the parent's cache state:
+    persistent workers outlive sweeps, so before running they drop their
+    in-memory cache if the parent cleared since the fork, and attach the
+    parent's disk tier if it changed (both no-ops in the common case).
+    """
+    fn, part, generation, cache_dir = payload
+    _simcache.sync_simulation_cache_generation(generation)
+    if _simcache.simulation_cache_dir() != cache_dir:
+        _simcache.configure_simulation_cache_dir(cache_dir)
     baseline_keys = _simcache.simulation_cache_keys()
     before = _simcache.simulation_cache_stats()
     results = [fn(item) for item in part]
@@ -127,6 +216,7 @@ def _run_partition(
         new_entries,
         after.hits - before.hits,
         after.misses - before.misses,
+        after.disk_hits - before.disk_hits,
     )
 
 
@@ -155,27 +245,32 @@ def parallel_map(
         )
         return results
     partitions = [items[offset::n_jobs] for offset in range(n_jobs)]
-    context = multiprocessing.get_context("fork")
-    with context.Pool(n_jobs, initializer=_mark_worker) as pool:
-        payloads = pool.map(
-            _run_partition, [(fn, part) for part in partitions]
-        )
+    reused = worker_pool_size() >= n_jobs
+    pool = _get_pool(n_jobs)
+    generation = _simcache.simulation_cache_generation()
+    cache_dir = _simcache.simulation_cache_dir()
+    payloads = pool.map(
+        _run_partition,
+        [(fn, part, generation, cache_dir) for part in partitions],
+    )
     results: List[Any] = [None] * len(items)
-    merged = duplicates = hits = misses = 0
-    for offset, (part_results, entries, d_hits, d_misses) in enumerate(
-        payloads
-    ):
+    merged = duplicates = hits = misses = disk_hits = 0
+    for offset, (
+        part_results, entries, d_hits, d_misses, d_disk_hits
+    ) in enumerate(payloads):
         results[offset::n_jobs] = part_results
         stats = _simcache.merge_simulation_cache(
-            entries, hits=d_hits, misses=d_misses
+            entries, hits=d_hits, misses=d_misses, disk_hits=d_disk_hits
         )
         merged += stats.inserted
         duplicates += stats.duplicates
         hits += d_hits
         misses += d_misses
+        disk_hits += d_disk_hits
     _LAST_EXECUTION = SweepExecution(
         jobs=n_jobs, tasks=len(items), merged_entries=merged,
         duplicate_entries=duplicates, worker_hits=hits,
-        worker_misses=misses,
+        worker_misses=misses, worker_disk_hits=disk_hits,
+        pool_reused=reused,
     )
     return results

@@ -26,10 +26,13 @@ from repro.sim.cache import (
     CacheMergeStats,
     CacheStats,
     clear_simulation_cache,
+    configure_simulation_cache_dir,
     export_simulation_cache,
     merge_simulation_cache,
+    simulation_cache_dir,
     simulation_cache_stats,
 )
+from repro.sim.diskcache import DiskCache, DiskCacheStats, open_disk_cache
 from repro.sim.memory import MemoryChannel, SharedMemoryServer
 from repro.sim.noc import MeshNoc, spr_mesh
 from repro.sim.engine import EventEngine
@@ -52,9 +55,14 @@ __all__ = [
     "CacheMergeStats",
     "CacheStats",
     "clear_simulation_cache",
+    "configure_simulation_cache_dir",
     "export_simulation_cache",
     "merge_simulation_cache",
+    "simulation_cache_dir",
     "simulation_cache_stats",
+    "DiskCache",
+    "DiskCacheStats",
+    "open_disk_cache",
     "MemoryChannel",
     "SharedMemoryServer",
     "MeshNoc",

@@ -30,14 +30,28 @@ object between callers is safe. The cache is bounded LRU
 (``maxsize`` results, ~30 KB each with a 600-tile trace) and
 thread-safe.
 
+Two tiers
+---------
+
+The LRU is the first tier; an optional second, disk-backed tier
+(:mod:`repro.sim.diskcache`) survives process restarts. With a cache
+directory configured (:func:`configure_simulation_cache_dir`, or the
+CLI's ``--cache-dir`` / ``REPRO_CACHE_DIR``), ``get_or_compute`` walks
+memory → disk → compute: a disk hit is promoted into the LRU (and
+counted in ``CacheStats.disk_hits``), and a computed miss is spilled to
+disk on the way out. The disk tier is transparent — entries loaded from
+it are re-frozen and bit-identical to freshly computed ones — and
+unbounded; only the in-memory tier evicts.
+
 Merging
 -------
 
-The parallel sweep executor (:mod:`repro.experiments.parallel`) forks
-worker processes, each of which populates its own copy of the
-process-wide cache. On join the workers' *new* entries (and their
-hit/miss deltas) are folded back into the parent via
-:func:`merge_simulation_cache`, keyed by the very same
+The parallel sweep executor (:mod:`repro.experiments.parallel`) keeps a
+persistent pool of forked worker processes, each of which populates its
+own copy of the process-wide cache (kept in sync with the parent's
+clear generation and disk configuration). On join the workers' *new*
+entries (and their hit/miss/disk-hit deltas) are folded back into the
+parent via :func:`merge_simulation_cache`, keyed by the very same
 :func:`simulation_key`. Two workers may legitimately compute the same
 key (e.g. both partitions contain the shared baseline configuration);
 because simulations are pure, the duplicates must be bit-identical —
@@ -51,9 +65,11 @@ import enum
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any, Callable, Hashable, List, Sequence, Tuple
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.sim.diskcache import DiskCache, open_disk_cache
 
 
 def _freeze(value: Any) -> Hashable:
@@ -147,24 +163,33 @@ class CacheMergeStats:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of the process-wide simulation cache."""
+    """Hit/miss counters of the process-wide simulation cache.
+
+    ``hits`` counts in-memory LRU hits; ``disk_hits`` counts lookups
+    served from the disk tier (zero when no cache directory is
+    configured); ``misses`` counts genuinely computed simulations.
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: int
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from either cache tier."""
+        served = self.hits + self.disk_hits
+        total = served + self.misses
+        return served / total if total else 0.0
 
 
 class SimulationCache:
     """A bounded, thread-safe LRU mapping simulation keys to results."""
 
-    def __init__(self, maxsize: int = 512) -> None:
+    def __init__(
+        self, maxsize: int = 512, disk: Optional[DiskCache] = None
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
@@ -172,27 +197,91 @@ class SimulationCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+        self._disk = disk
+        # Bumped on clear(); lets long-lived worker processes detect that
+        # the parent reset its cache and drop their own copies in sync
+        # (see repro.experiments.parallel).
+        self._generation = 0
+
+    @property
+    def disk(self) -> Optional[DiskCache]:
+        """The disk tier, if one is configured."""
+        return self._disk
+
+    def set_disk(self, disk: Optional[DiskCache]) -> None:
+        """Attach (or detach, with ``None``) the disk tier."""
+        with self._lock:
+            self._disk = disk
+
+    def generation(self) -> int:
+        """The clear-generation counter (monotonic per process)."""
+        with self._lock:
+            return self._generation
+
+    def sync_generation(self, generation: int) -> None:
+        """Adopt another process's clear generation.
+
+        If it differs from ours, the in-memory entries and counters are
+        dropped — the owning process cleared since we last synced, so
+        our inherited entries are exactly the ones it discarded. The
+        disk tier is untouched (clearing never reaches disk).
+        """
+        with self._lock:
+            if self._generation != generation:
+                self._entries.clear()
+                self._hits = 0
+                self._misses = 0
+                self._disk_hits = 0
+                self._generation = generation
+
+    def _evict_over_capacity(self) -> None:
+        # Caller holds the lock.
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on a miss."""
+        """The value for ``key``: memory, else disk, else computed."""
         with self._lock:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
                 return self._entries[key]
-        # Compute outside the lock: simulations are slow and pure, and a
-        # rare duplicate computation is cheaper than serializing them all.
+            disk = self._disk
+        # Disk probe and compute both run outside the lock: simulations
+        # are slow and pure, and a rare duplicate computation is cheaper
+        # than serializing them all.
+        if disk is not None:
+            value = disk.load(key)
+            if value is not None:
+                # Pickling drops NumPy's read-only flag; restore the
+                # shared-result invariant before the entry is visible.
+                _refreeze_arrays(value)
+                with self._lock:
+                    if key not in self._entries:
+                        self._disk_hits += 1
+                        self._entries[key] = value
+                        self._evict_over_capacity()
+                    else:
+                        self._hits += 1
+                        self._entries.move_to_end(key)
+                    return self._entries[key]
         value = compute()
         with self._lock:
             if key not in self._entries:
                 self._misses += 1
                 self._entries[key] = value
-                while len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
+                self._evict_over_capacity()
+                computed = True
             else:
                 self._hits += 1
                 self._entries.move_to_end(key)
-            return self._entries[key]
+                computed = False
+            result = self._entries[key]
+            disk = self._disk
+        if computed and disk is not None:
+            disk.store(key, result)
+        return result
 
     def snapshot(self) -> "list[Tuple[Hashable, Any]]":
         """The current ``(key, value)`` entries, oldest first."""
@@ -209,17 +298,22 @@ class SimulationCache:
         entries: "Sequence[Tuple[Hashable, Any]]",
         hits: int = 0,
         misses: int = 0,
+        disk_hits: int = 0,
     ) -> CacheMergeStats:
         """Fold another cache's entries (and counter deltas) into this one.
 
         Keys already present are kept (both sides computed the same pure
         simulation; in debug mode the duplicate is asserted bit-identical
         via :func:`results_bit_equal` before being dropped). ``hits`` /
-        ``misses`` accumulate a worker's lookup counters so the merged
-        stats reflect the whole sweep's cache traffic.
+        ``misses`` / ``disk_hits`` accumulate a worker's lookup counters
+        so the merged stats reflect the whole sweep's cache traffic.
+        Freshly inserted entries are also spilled to the disk tier (a
+        no-op for entries the worker already wrote — the store is
+        content-addressed and skips existing files).
         """
         inserted = 0
         duplicates = 0
+        new_entries: List[Tuple[Hashable, Any]] = []
         with self._lock:
             for key, value in entries:
                 if key in self._entries:
@@ -233,18 +327,31 @@ class SimulationCache:
                     inserted += 1
                     _refreeze_arrays(value)
                     self._entries[key] = value
-                    while len(self._entries) > self.maxsize:
-                        self._entries.popitem(last=False)
+                    new_entries.append((key, value))
+                    self._evict_over_capacity()
             self._hits += hits
             self._misses += misses
+            self._disk_hits += disk_hits
+            disk = self._disk
+        if disk is not None:
+            for key, value in new_entries:
+                disk.store(key, value)
         return CacheMergeStats(inserted=inserted, duplicates=duplicates)
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every in-memory entry and reset the counters.
+
+        The disk tier (if any) is deliberately untouched: clearing
+        resets this process's view, not the persistent store. The clear
+        generation is bumped so cooperating worker processes drop their
+        inherited copies too.
+        """
         with self._lock:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._disk_hits = 0
+            self._generation += 1
 
     def stats(self) -> CacheStats:
         """A snapshot of the cache's counters."""
@@ -254,6 +361,7 @@ class SimulationCache:
                 misses=self._misses,
                 size=len(self._entries),
                 maxsize=self.maxsize,
+                disk_hits=self._disk_hits,
             )
 
 
@@ -298,13 +406,56 @@ def merge_simulation_cache(
     entries: Sequence[Tuple[Hashable, Any]],
     hits: int = 0,
     misses: int = 0,
+    disk_hits: int = 0,
 ) -> CacheMergeStats:
     """Fold worker-produced entries into the process-wide cache.
 
     Used by :mod:`repro.experiments.parallel` when joining a process
     pool: each worker ships back the entries it computed (plus its
-    hit/miss deltas), and the parent merges them so follow-up sweeps in
-    the parent hit warm results. Duplicate keys are asserted
-    bit-identical in debug mode.
+    hit/miss/disk-hit deltas), and the parent merges them so follow-up
+    sweeps in the parent hit warm results. Duplicate keys are asserted
+    bit-identical in debug mode; inserted entries are spilled to the
+    disk tier when one is configured.
     """
-    return _GLOBAL_CACHE.merge_entries(entries, hits=hits, misses=misses)
+    return _GLOBAL_CACHE.merge_entries(
+        entries, hits=hits, misses=misses, disk_hits=disk_hits
+    )
+
+
+def configure_simulation_cache_dir(
+    path: "Optional[str]",
+) -> Optional[DiskCache]:
+    """Attach a disk tier at ``path`` to the process-wide cache.
+
+    ``None`` detaches the disk tier (memory-only, the default). An
+    unusable directory warns (``RuntimeWarning``) and leaves the cache
+    memory-only — a degraded run, never a failed one. Returns the
+    attached :class:`DiskCache`, or ``None``.
+    """
+    if path is None:
+        _GLOBAL_CACHE.set_disk(None)
+        return None
+    disk = open_disk_cache(path)
+    _GLOBAL_CACHE.set_disk(disk)
+    return disk
+
+
+def simulation_cache_disk() -> Optional[DiskCache]:
+    """The process-wide cache's disk tier, if configured."""
+    return _GLOBAL_CACHE.disk
+
+
+def simulation_cache_dir() -> Optional[str]:
+    """The configured cache directory as a string, or ``None``."""
+    disk = _GLOBAL_CACHE.disk
+    return str(disk.root) if disk is not None else None
+
+
+def simulation_cache_generation() -> int:
+    """The process-wide cache's clear-generation counter."""
+    return _GLOBAL_CACHE.generation()
+
+
+def sync_simulation_cache_generation(generation: int) -> None:
+    """Adopt a parent process's clear generation (worker-side hook)."""
+    _GLOBAL_CACHE.sync_generation(generation)

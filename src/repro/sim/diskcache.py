@@ -1,0 +1,364 @@
+"""Disk-backed spill store for the simulation cache.
+
+The in-memory LRU in :mod:`repro.sim.cache` dies with the process, so
+every CLI invocation starts cold and a thousand-configuration DSE sweep
+re-pays every simulation after a restart. This module is the second
+tier: a content-addressed, versioned, on-disk store of ``SimResult``
+entries keyed by the very same :func:`repro.sim.cache.simulation_key`.
+
+Layout and entry format
+-----------------------
+
+A cache directory is sharded two levels deep::
+
+    <root>/
+      v1-<fingerprint>/          one schema generation (see below)
+        ab/                      first two hex chars of the key digest
+          ab3f...e1.pkl          one pickled entry
+          .ab3f...e1.<pid>.tmp   in-flight write (never read)
+
+Each ``.pkl`` file is a pickle of ``{"format", "fingerprint", "key",
+"value"}``. The key is stored alongside the value and compared on load,
+so a (vanishingly unlikely) digest collision — or a corrupted file that
+still unpickles — degrades to a miss, never a wrong result.
+
+Keys are hashed with :func:`key_digest`: a canonical, process-stable
+serialization of the nested key tuple (dataclasses by qualified name
+and field values, floats by ``float.hex()``, arrays by dtype + shape +
+raw buffer) fed through SHA-256. Unlike ``hash()``, the digest is
+stable across interpreter runs (no ``PYTHONHASHSEED`` dependence), so
+two processes — or two runs a week apart — address the same entry file.
+
+Versioning contract
+-------------------
+
+The schema directory name embeds :data:`ENTRY_FORMAT_VERSION` plus a
+fingerprint of the dataclass shapes an entry transitively contains
+(``SimResult``, ``PipelineTrace``, ``UtilizationReport``, ``SimSystem``,
+``MachineSpec``). Changing any of those fields — or bumping the format
+version — changes the directory name, so stale entries from an older
+code generation are simply never looked at; they are invalidated by
+construction rather than by deserialization failure.
+
+Concurrency
+-----------
+
+Writers are safe against each other and against readers: an entry is
+written to a unique temporary file in its final directory and published
+with :func:`os.replace` (atomic on POSIX), so a reader only ever sees
+absent or complete files. Two processes racing on the same key both
+write the same bytes and the second rename wins harmlessly — entries
+are content-addressed and simulations are pure. Truncated or otherwise
+corrupted files (e.g. a copy of a crashed run's directory) are treated
+as misses and cleaned up best-effort.
+
+Trust boundary
+--------------
+
+Entries are pickled Python objects, and unpickling executes code by
+design — the corruption handling above protects against *accidents*,
+not adversaries. Point the cache directory only at paths you trust as
+much as the code itself (a directory under your home, a project-local
+path): a world-writable location shared with untrusted users would let
+them plant a pickle that runs arbitrary code in your next sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+import warnings
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+#: Bump when the on-disk entry layout itself changes (the pickle payload
+#: shape, the digest algorithm, the shard scheme). Field-level changes to
+#: the cached dataclasses are caught by the schema fingerprint instead.
+ENTRY_FORMAT_VERSION = 1
+
+#: Pickle protocol for entries. Protocol 4 is the newest one supported by
+#: every Python this package targets; pinning it keeps an entry written
+#: by a newer interpreter readable by an older one.
+_PICKLE_PROTOCOL = 4
+
+
+def _update_hash(hasher: "hashlib._Hash", value: Any) -> None:
+    """Feed one key component into ``hasher``, canonically.
+
+    Every branch writes a distinct tag byte plus a length-prefixed or
+    fixed-width payload, so structurally different keys can never
+    serialize to the same byte stream (``("ab", "c")`` vs ``("a", "bc")``).
+    """
+    if value is None:
+        hasher.update(b"N")
+    elif isinstance(value, bool):
+        hasher.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        data = str(value).encode()
+        hasher.update(b"I%d:" % len(data) + data)
+    elif isinstance(value, float):
+        # float.hex() is exact and round-trippable, and spells nan/inf
+        # deterministically (-0.0 and 0.0 also differ, as wanted).
+        data = value.hex().encode()
+        hasher.update(b"F%d:" % len(data) + data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        hasher.update(b"S%d:" % len(data) + data)
+    elif isinstance(value, bytes):
+        hasher.update(b"Y%d:" % len(value) + value)
+    elif isinstance(value, enum.Enum):
+        hasher.update(b"E")
+        _update_hash(hasher, type(value).__qualname__)
+        _update_hash(hasher, value.value)
+    elif is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        hasher.update(b"D")
+        _update_hash(hasher, f"{cls.__module__}.{cls.__qualname__}")
+        for field in fields(value):
+            _update_hash(hasher, field.name)
+            _update_hash(hasher, getattr(value, field.name))
+    elif isinstance(value, (tuple, list)):
+        hasher.update(b"T%d:" % len(value))
+        for item in value:
+            _update_hash(hasher, item)
+    elif isinstance(value, np.ndarray):
+        hasher.update(b"A")
+        _update_hash(hasher, value.dtype.str)
+        _update_hash(hasher, list(value.shape))
+        hasher.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, np.generic):
+        _update_hash(hasher, value.item())
+    else:
+        raise TypeError(
+            f"cannot canonically serialize {type(value)!r} for a disk "
+            "cache digest"
+        )
+
+
+def key_digest(key: Hashable) -> str:
+    """SHA-256 hex digest of a simulation key, stable across processes."""
+    hasher = hashlib.sha256()
+    _update_hash(hasher, key)
+    return hasher.hexdigest()
+
+
+_SCHEMA_FINGERPRINT: Optional[str] = None
+
+
+def schema_fingerprint() -> str:
+    """A short fingerprint of the dataclass shapes a cached entry holds.
+
+    Hashes every field name and annotation of ``SimResult`` and the
+    types it transitively embeds. Adding, removing, renaming, or
+    re-typing a field changes the fingerprint — and with it the schema
+    directory name — so old entries are invalidated wholesale without
+    ever being read. (Imports are local to dodge the import cycle:
+    ``pipeline`` imports ``cache`` which imports this module.)
+    """
+    global _SCHEMA_FINGERPRINT
+    if _SCHEMA_FINGERPRINT is None:
+        from repro.core.machine import MachineSpec
+        from repro.sim.pipeline import PipelineTrace, SimResult
+        from repro.sim.stats import UtilizationReport
+        from repro.sim.system import SimSystem
+
+        parts = []
+        for cls in (
+            SimResult, PipelineTrace, UtilizationReport, SimSystem,
+            MachineSpec,
+        ):
+            shape = ",".join(
+                f"{field.name}:{field.type}" for field in fields(cls)
+            )
+            parts.append(f"{cls.__qualname__}({shape})")
+        blob = ";".join(parts).encode("utf-8")
+        _SCHEMA_FINGERPRINT = hashlib.sha256(blob).hexdigest()[:12]
+    return _SCHEMA_FINGERPRINT
+
+
+@dataclass(frozen=True)
+class DiskCacheStats:
+    """Counters of one :class:`DiskCache` instance (this process only)."""
+
+    hits: int
+    misses: int
+    errors: int
+    stores: int
+    skipped_stores: int
+
+
+class DiskCache:
+    """One directory of content-addressed simulation entries.
+
+    Raises ``OSError`` if the directory cannot be created or written
+    (callers wanting the warn-and-degrade behavior use
+    :func:`open_disk_cache`).
+    """
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+        self._dir = (
+            self.root / f"v{ENTRY_FORMAT_VERSION}-{schema_fingerprint()}"
+        )
+        self._dir.mkdir(parents=True, exist_ok=True)
+        # Probe writability up front so an unwritable mount degrades at
+        # configuration time, not in the middle of a sweep.
+        probe_fd, probe_path = tempfile.mkstemp(
+            prefix=".probe.", suffix=".tmp", dir=self._dir
+        )
+        os.close(probe_fd)
+        os.unlink(probe_path)
+        # Counter lock only: file operations themselves are safe via
+        # atomic rename, but SimulationCache calls load()/store()
+        # outside its own lock, so the diagnostics need their own.
+        self._counter_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._errors = 0
+        self._stores = 0
+        self._skipped_stores = 0
+
+    def _count(self, counter: str) -> None:
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    @property
+    def schema_dir(self) -> Path:
+        """The versioned directory current-generation entries live in."""
+        return self._dir
+
+    def entry_path(self, key: Hashable) -> Path:
+        """Where ``key``'s entry lives (whether or not it exists yet)."""
+        digest = key_digest(key)
+        return self._dir / digest[:2] / f"{digest}.pkl"
+
+    def load(self, key: Hashable) -> Optional[Any]:
+        """The stored value for ``key``, or ``None``.
+
+        Any failure mode — missing file, truncated pickle, foreign
+        payload, key mismatch after a digest collision — is a miss;
+        corrupt files are additionally removed best-effort so the next
+        writer replaces them.
+        """
+        try:
+            path = self.entry_path(key)
+        except TypeError:
+            # A hashable key component the canonical serializer doesn't
+            # know (possible through the public `extra` slot): such keys
+            # live memory-only rather than failing the lookup.
+            self._count("_misses")
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != ENTRY_FORMAT_VERSION
+                or payload.get("fingerprint") != schema_fingerprint()
+            ):
+                raise ValueError("unrecognized entry payload")
+            if payload["key"] != key:
+                raise ValueError("entry key does not match its digest")
+            value = payload["value"]
+        except FileNotFoundError:
+            self._count("_misses")
+            return None
+        except Exception:
+            # A torn copy, a truncated write from a crashed run, or a
+            # hand-edited file: recompute rather than crash the sweep.
+            self._count("_errors")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self._count("_hits")
+        return value
+
+    def store(self, key: Hashable, value: Any) -> bool:
+        """Persist ``value`` under ``key``; returns whether bytes moved.
+
+        Entries are immutable (pure-function results), so an existing
+        file is left alone. The write lands in a unique temp file next
+        to its final path and is published with an atomic rename, so
+        concurrent writers and readers never observe partial entries.
+        """
+        try:
+            path = self.entry_path(key)
+        except TypeError:
+            # Same contract as load(): a key the canonical serializer
+            # can't digest stays memory-only.
+            self._count("_errors")
+            return False
+        if path.exists():
+            self._count("_skipped_stores")
+            return False
+        payload = {
+            "format": ENTRY_FORMAT_VERSION,
+            "fingerprint": schema_fingerprint(),
+            "key": key,
+            "value": value,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=f".{path.stem}.{os.getpid()}.", suffix=".tmp",
+                dir=path.parent,
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=_PICKLE_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A full disk or an unpicklable stowaway must not kill the
+            # sweep; the entry simply stays memory-only.
+            self._count("_errors")
+            return False
+        self._count("_stores")
+        return True
+
+    def entry_count(self) -> int:
+        """Number of complete entries in the current schema generation."""
+        return sum(1 for _ in self._dir.glob("*/*.pkl"))
+
+    def stats(self) -> DiskCacheStats:
+        """A snapshot of this instance's counters."""
+        return DiskCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            errors=self._errors,
+            stores=self._stores,
+            skipped_stores=self._skipped_stores,
+        )
+
+
+def open_disk_cache(root: "Path | str") -> Optional[DiskCache]:
+    """Open (creating if needed) a disk cache, degrading to ``None``.
+
+    An unusable directory — unwritable, a file in the way, a read-only
+    mount — emits a ``RuntimeWarning`` and returns ``None`` so callers
+    fall back to memory-only caching instead of failing the run.
+    """
+    try:
+        return DiskCache(root)
+    except OSError as error:
+        warnings.warn(
+            f"simulation cache directory {str(root)!r} is not usable "
+            f"({error}); continuing with the in-memory cache only",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None

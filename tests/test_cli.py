@@ -3,6 +3,13 @@
 import pytest
 
 from repro.cli import main
+from repro.sim.cache import (
+    clear_simulation_cache,
+    configure_simulation_cache_dir,
+    simulation_cache_dir,
+    simulation_cache_disk,
+    simulation_cache_stats,
+)
 
 
 class TestFormats:
@@ -101,6 +108,102 @@ class TestExperiments:
     def test_sweep_harnesses_listed(self, capsys):
         assert main(["experiments", "sensitivity", "--jobs", "2"]) == 0
         assert "Sensitivity" in capsys.readouterr().out
+
+
+class TestCacheDir:
+    """The --cache-dir flag and REPRO_CACHE_DIR env fallback."""
+
+    @pytest.fixture(autouse=True)
+    def _memory_only(self, monkeypatch):
+        """Isolate each test from ambient cache/env configuration."""
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        clear_simulation_cache()
+        yield
+        configure_simulation_cache_dir(None)
+        clear_simulation_cache()
+
+    def test_simulate_replays_from_warm_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "simcache")
+        assert main([
+            "simulate", "--scheme", "Q4", "--cache-dir", cache_dir,
+        ]) == 0
+        cold_out = capsys.readouterr().out
+        disk = simulation_cache_disk()
+        assert disk is not None and disk.entry_count() >= 1
+        # "Restart": drop the memory tier, keep the directory.
+        clear_simulation_cache()
+        assert main([
+            "simulate", "--scheme", "Q4", "--cache-dir", cache_dir,
+        ]) == 0
+        assert capsys.readouterr().out == cold_out
+        stats = simulation_cache_stats()
+        assert stats.disk_hits >= 1
+        assert stats.misses == 0
+
+    def test_experiments_accepts_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "simcache")
+        assert main([
+            "experiments", "figure17", "--cache-dir", cache_dir,
+        ]) == 0
+        assert "Figure 17" in capsys.readouterr().out
+        assert simulation_cache_dir() == cache_dir
+        assert simulation_cache_disk().entry_count() >= 1
+
+    def test_dse_accepts_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "simcache")
+        assert main(["dse", "--cache-dir", cache_dir]) == 0
+        assert "best:" in capsys.readouterr().out
+        assert simulation_cache_dir() == cache_dir
+
+    def test_env_var_fallback(self, tmp_path, capsys, monkeypatch):
+        cache_dir = str(tmp_path / "env-simcache")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        assert main(["simulate", "--scheme", "Q4"]) == 0
+        assert simulation_cache_dir() == cache_dir
+        assert simulation_cache_disk().entry_count() >= 1
+
+    def test_flag_overrides_env_var(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        flag_dir = str(tmp_path / "from-flag")
+        assert main([
+            "simulate", "--scheme", "Q4", "--cache-dir", flag_dir,
+        ]) == 0
+        assert simulation_cache_dir() == flag_dir
+
+    def test_unset_flag_detaches_previous_tier(self, tmp_path, capsys):
+        # Programmatic back-to-back invocations: an invocation without
+        # --cache-dir must be memory-only even after one that had it.
+        assert main([
+            "simulate", "--scheme", "Q4",
+            "--cache-dir", str(tmp_path / "simcache"),
+        ]) == 0
+        assert simulation_cache_dir() is not None
+        assert main(["simulate", "--scheme", "Q4"]) == 0
+        assert simulation_cache_dir() is None
+
+    def test_unusable_dir_warns_and_runs_memory_only(self, tmp_path, capsys):
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        assert main([
+            "simulate", "--scheme", "Q4", "--cache-dir", str(blocker),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cycles/tile" in captured.out  # the run still happened
+        assert "in-memory cache only" in captured.err
+        assert simulation_cache_dir() is None
+
+    def test_serial_run_spawns_no_worker_pool(self, tmp_path, capsys):
+        from repro.experiments.parallel import (
+            shutdown_worker_pool,
+            worker_pool_size,
+        )
+
+        shutdown_worker_pool()
+        assert main([
+            "simulate", "--scheme", "Q4,Q8_5%", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "simcache"),
+        ]) == 0
+        assert worker_pool_size() == 0
 
 
 class TestParser:

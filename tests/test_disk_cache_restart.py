@@ -1,0 +1,160 @@
+"""End-to-end warm-restart tests for the disk cache and worker pool.
+
+The disk tier's whole point is surviving process restarts, so these
+tests actually restart: a small ``run_grid`` sweep runs in a fresh
+subprocess twice against the same cache directory, and the second run
+must replay bit-identical records almost entirely from disk. The
+persistent-pool tests assert the other half of ISSUE 3's tentpole: two
+sweeps inside one invocation reuse the same forked workers.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.parallel import (
+    fork_available,
+    last_sweep_execution,
+    parallel_map,
+    shutdown_worker_pool,
+    worker_pool_pids,
+    worker_pool_size,
+)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Driver executed in a fresh interpreter per "CLI invocation". Prints
+#: one JSON document: the grid records with floats spelled as exact hex
+#: (so the parent can assert bit-equality across processes) plus the
+#: run's cache counters.
+_DRIVER = """
+import json, sys
+from repro.core.schemes import parse_scheme
+from repro.experiments.grid import run_grid
+from repro.sim.cache import (
+    configure_simulation_cache_dir, simulation_cache_stats,
+)
+from repro.sim.system import hbm_system
+
+configure_simulation_cache_dir(sys.argv[1])
+records = run_grid(
+    systems=(hbm_system(),),
+    schemes=tuple(parse_scheme(name) for name in sys.argv[2].split(",")),
+    tiles=64,
+)
+stats = simulation_cache_stats()
+print(json.dumps({
+    "records": [
+        [
+            record.system, record.scheme, record.engine,
+            record.interval_cycles.hex(), record.tiles_per_second.hex(),
+            record.tflops_n1.hex(), record.mem_util.hex(),
+            record.tmul_util.hex(), record.dec_util.hex(),
+        ]
+        for record in records
+    ],
+    "hits": stats.hits,
+    "disk_hits": stats.disk_hits,
+    "misses": stats.misses,
+}))
+"""
+
+
+def _run_sweep_process(cache_dir, schemes="Q4,Q8_5%"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _DRIVER, str(cache_dir), schemes],
+        capture_output=True, text=True, env=env, cwd=_REPO_ROOT,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+@pytest.mark.slow
+class TestWarmRestart:
+    def test_restarted_sweep_replays_bit_identical_from_disk(self, tmp_path):
+        cold = _run_sweep_process(tmp_path)
+        warm = _run_sweep_process(tmp_path)
+        # Bit-identical records: every float was serialized as exact hex.
+        assert warm["records"] == cold["records"]
+        # The cold process computed everything; the restarted process
+        # must serve >= 90% of its lookups from the disk tier.
+        assert cold["disk_hits"] == 0
+        assert cold["misses"] > 0
+        lookups = warm["hits"] + warm["disk_hits"] + warm["misses"]
+        assert lookups > 0
+        assert warm["disk_hits"] / lookups >= 0.9
+
+    def test_unrelated_sweep_does_not_hit_stale_entries(self, tmp_path):
+        _run_sweep_process(tmp_path, schemes="Q4")
+        other = _run_sweep_process(tmp_path, schemes="Q8_20%")
+        # Different configurations share no keys: all fresh misses
+        # (aside from the shared baseline-free grid there is no overlap).
+        assert other["disk_hits"] == 0
+        assert other["misses"] > 0
+
+
+def _worker_pid(_):
+    """Module-level task body so pool workers can unpickle it."""
+    return os.getpid()
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="persistent pool needs the fork start method"
+)
+class TestPersistentPool:
+    def test_consecutive_sweeps_reuse_worker_pids(self):
+        shutdown_worker_pool()
+        first = set(parallel_map(_worker_pid, range(8), jobs=2))
+        pool_pids = worker_pool_pids()
+        assert len(pool_pids) == 2
+        assert first <= set(pool_pids)
+        second = set(parallel_map(_worker_pid, range(8), jobs=2))
+        assert worker_pool_pids() == pool_pids
+        assert second <= set(pool_pids)
+        assert last_sweep_execution().pool_reused
+        shutdown_worker_pool()
+
+    def test_pool_rebuilt_when_grown(self):
+        shutdown_worker_pool()
+        parallel_map(_worker_pid, range(8), jobs=2)
+        narrow = worker_pool_pids()
+        parallel_map(_worker_pid, range(9), jobs=3)
+        wide = worker_pool_pids()
+        assert worker_pool_size() == 3
+        assert len(wide) == 3
+        assert not set(narrow) & set(wide)
+        assert not last_sweep_execution().pool_reused
+        shutdown_worker_pool()
+
+    def test_smaller_sweep_reuses_wider_pool(self):
+        # A 2-task sweep after a 3-wide one clamps to 2 partitions but
+        # must not tear down the wider pool (surplus workers just idle).
+        shutdown_worker_pool()
+        parallel_map(_worker_pid, range(9), jobs=3)
+        wide = worker_pool_pids()
+        small = set(parallel_map(_worker_pid, range(2), jobs=3))
+        assert worker_pool_pids() == wide
+        assert worker_pool_size() == 3
+        assert last_sweep_execution().pool_reused
+        assert small <= set(wide)
+        shutdown_worker_pool()
+
+    def test_serial_sweep_spawns_no_pool(self):
+        shutdown_worker_pool()
+        parallel_map(_worker_pid, range(4), jobs=1)
+        assert worker_pool_size() == 0
+        assert worker_pool_pids() == ()
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_worker_pool()
+        shutdown_worker_pool()
+        assert worker_pool_size() == 0

@@ -143,14 +143,34 @@ class TestCacheMerge:
     def test_duplicate_keys_across_workers_merge_once(self, hbm):
         clear_simulation_cache()
         # Two identical tasks land in different partitions at jobs=2 and
-        # compute the same simulation key; the merge must keep one entry.
+        # compute the same simulation key; however the persistent pool
+        # schedules the partitions (two workers, or one fast worker
+        # draining both), the parent must end up with exactly one entry.
         tasks = [(hbm, 300.0), (hbm, 300.0)]
         intervals = parallel_map(_simulate_item, tasks, jobs=2)
         assert intervals[0] == intervals[1]
         execution = last_sweep_execution()
         assert execution.merged_entries == 1
-        assert execution.duplicate_entries == 1
+        assert execution.worker_hits + execution.worker_misses == 2
+        # Both-partitions-on-one-worker shows up as a worker cache hit;
+        # one-partition-each shows up as a duplicate dropped on merge.
+        assert execution.duplicate_entries + execution.worker_hits == 1
         assert simulation_cache_stats().size == 1
+
+    def test_duplicate_key_dropped_on_merge(self, hbm):
+        # The duplicate-drop path itself, deterministically: merging the
+        # same key twice keeps one entry and counts one duplicate.
+        clear_simulation_cache()
+        timing = KernelTiming(bytes_per_tile=300.0, dec_cycles=20.0)
+        result = simulate_tile_stream(hbm, timing)
+        key, value = export_simulation_cache()[0]
+        stats = merge_simulation_cache([(key, value)])
+        assert (stats.inserted, stats.duplicates) == (0, 1)
+        clear_simulation_cache()
+        stats = merge_simulation_cache([(key, value), (key, value)])
+        assert (stats.inserted, stats.duplicates) == (1, 1)
+        assert simulation_cache_stats().size == 1
+        assert result is not None
 
     def test_conflicting_duplicate_asserts_bit_equality(self, hbm):
         clear_simulation_cache()
@@ -176,6 +196,34 @@ class TestCacheMerge:
         assert not results_bit_equal(a, None)
         assert results_bit_equal(np.arange(4.0), np.arange(4.0))
         assert not results_bit_equal(np.arange(4.0), np.arange(4))  # dtype
+
+
+class TestDiskTierIntegration:
+    def test_worker_disk_hits_flow_into_merged_stats(self, tmp_path):
+        from repro.sim.cache import configure_simulation_cache_dir
+
+        configure_simulation_cache_dir(str(tmp_path))
+        try:
+            clear_simulation_cache()
+            cold = _small_grid(jobs=2)
+            assert last_sweep_execution().worker_disk_hits == 0
+            # Restart scenario inside one process: memory dropped (the
+            # generation bump propagates to the persistent workers),
+            # disk kept — the whole sweep replays from the disk tier.
+            clear_simulation_cache()
+            warm = _small_grid(jobs=2)
+            execution = last_sweep_execution()
+            stats = simulation_cache_stats()
+            assert warm == cold
+            assert execution.worker_misses == 0
+            assert execution.worker_disk_hits == 4
+            assert execution.merged_entries == 4
+            assert stats.disk_hits == 4
+            assert stats.misses == 0
+            assert stats.hit_rate == 1.0
+        finally:
+            configure_simulation_cache_dir(None)
+            clear_simulation_cache()
 
 
 class TestDegradation:

@@ -1,0 +1,41 @@
+"""Tier-1 hygiene gates: no compiled artifacts tracked in git.
+
+Runs :mod:`scripts.check_no_pyc` as part of the regular suite so a
+``git add -A`` that sweeps in ``__pycache__/`` fails fast (it happened
+once — PR 2).
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "scripts"))
+
+import check_no_pyc  # noqa: E402
+
+
+def test_no_compiled_artifacts_tracked():
+    paths = check_no_pyc.tracked_files()
+    if paths is None:
+        pytest.skip("not a git checkout (or git unavailable)")
+    offenders = check_no_pyc.compiled_artifacts(paths)
+    assert offenders == [], (
+        "compiled Python artifacts are tracked in git; remove them with "
+        "`git rm -r --cached <path>` (see scripts/check_no_pyc.py)"
+    )
+
+
+def test_gitignore_covers_compiled_artifacts():
+    gitignore = (_REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__/" in gitignore
+    assert "*.py[cod]" in gitignore or "*.pyc" in gitignore
+
+
+def test_detector_flags_offenders():
+    flagged = check_no_pyc.compiled_artifacts(
+        ["src/a.pyc", "pkg/__pycache__/b.cpython-311.pyc", "src/ok.py",
+         "docs/__pycache__x/readme.md"]
+    )
+    assert flagged == ["pkg/__pycache__/b.cpython-311.pyc", "src/a.pyc"]
