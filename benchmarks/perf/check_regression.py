@@ -5,9 +5,13 @@ nonzero if any ``after_s`` regressed by more than the tolerance (25% by
 default — generous enough for container jitter, tight enough to catch an
 accidental return to per-tile Python loops). Entries carrying a
 ``parallel_speedup_4w`` field (the sweep-executor anchor) additionally
-gate their scaling ratio against runs on the same ``cpu_count``, and
-entries carrying a ``disk_hit_rate`` field (the disk-cache anchor) gate
-the warm run's hit rate against a machine-independent 90% floor.
+gate their scaling ratio against runs on the same ``cpu_count``, entries
+carrying a ``disk_hit_rate`` field (the disk-cache anchor) gate the warm
+run's hit rate against a machine-independent 90% floor, and entries
+carrying a ``first_result_fraction`` field (the streaming-engine anchor)
+gate time-to-first-result: the fraction must stay below 1.0 — the
+streamed path emits its first result before the last cell computes —
+and within tolerance of the recorded ratio.
 
 Usage:
 
@@ -133,6 +137,50 @@ def _warm_cache_failures(recorded: dict, fresh: dict) -> "list[str]":
     return failures
 
 
+#: Hard ceiling for the streamed first-result fraction: at or above 1.0
+#: the "stream" waits for the whole sweep, i.e. the incremental join has
+#: silently degraded to a barrier.
+MAX_FIRST_RESULT_FRACTION = 1.0
+
+
+def _streaming_failures(
+    recorded: dict, fresh: dict, tolerance: float
+) -> "list[str]":
+    """Gate time-to-first-result (figure12_time_to_first_result).
+
+    ``first_result_fraction`` is first-cell time over full-sweep time
+    measured in the same run, so machine speed cancels out. Two checks:
+    the machine-independent ceiling (< 1.0 — streaming must beat the
+    barrier by construction) and drift against the recorded ratio
+    (catches the first cell silently doing a growing share of the
+    sweep's work).
+    """
+    failures = []
+    for name, entry in sorted(recorded.items()):
+        ratio = entry.get("first_result_fraction")
+        if ratio is None:
+            continue
+        fresh_ratio = fresh.get(name, {}).get("first_result_fraction")
+        if fresh_ratio is None:
+            failures.append(
+                f"{name}: time-to-first-result measurement disappeared"
+            )
+            continue
+        if fresh_ratio >= MAX_FIRST_RESULT_FRACTION:
+            failures.append(
+                f"{name}: first result arrived at {fresh_ratio:.0%} of the "
+                "full sweep — the streamed path no longer emits before "
+                "the sweep finishes"
+            )
+        elif fresh_ratio > ratio * (1.0 + tolerance):
+            failures.append(
+                f"{name}: first-result fraction {fresh_ratio:.2f} vs "
+                f"recorded {ratio:.2f} (allowed "
+                f"{ratio * (1.0 + tolerance):.2f})"
+            )
+    return failures
+
+
 def compare(
     recorded: dict, fresh: dict, tolerance: float
 ) -> "list[str]":
@@ -166,6 +214,7 @@ def compare(
             )
     failures.extend(_parallel_scaling_failures(recorded, fresh, tolerance))
     failures.extend(_warm_cache_failures(recorded, fresh))
+    failures.extend(_streaming_failures(recorded, fresh, tolerance))
     return failures
 
 

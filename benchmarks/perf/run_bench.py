@@ -23,6 +23,15 @@ The entry records both times, the ``warm_speedup`` ratio, and the warm
 run's ``disk_hit_rate``, which the regression gate requires to stay at
 least 0.9.
 
+``figure12_time_to_first_result`` tracks the streaming sweep engine
+(:mod:`repro.experiments.sweepspec`): the Figure 12 spec is streamed
+cold and the time until the *first* cell result yields (``after_s``) is
+compared against the buffered full-sweep time (``full_s``). The derived
+``first_result_fraction`` is machine-speed independent and gated by
+``check_regression.py``: it must stay below 1.0 (the streamed path
+demonstrably emits its first result before the last cell computes) and
+within tolerance of the recorded value.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py [--output PATH]
@@ -61,6 +70,7 @@ KNOWN_BENCHMARKS = (
     "multicore_event_300",
     "figure12_sweep",
     "figure12_sweep_parallel",
+    "figure12_time_to_first_result",
     "dse_warm_cache",
 )
 
@@ -258,6 +268,34 @@ def run_benchmarks(
         before = best_of(figure_reference, max(repeats // 4, 3))
         add("figure12_sweep", after, before)
 
+    # --- streaming engine: time to first result vs full sweep ----------
+    if want("figure12_time_to_first_result"):
+        spec_cells = figure12.sweep_spec().cell_count
+
+        def first_result():
+            # Cold cache each run: the honest time-to-first-result
+            # includes the spec build (which simulates the shared
+            # baseline) plus the first cell — everything a consumer
+            # waits for before the first row lands.
+            clear_simulation_cache()
+            stream = figure12.sweep_spec().stream(jobs=1)
+            next(stream)
+            stream.close()
+
+        def full_sweep():
+            clear_simulation_cache()
+            return figure12.run()
+
+        reps = max(repeats // 4, 3)
+        ttfr = best_of(first_result, reps)
+        full = best_of(full_sweep, reps)
+        results["figure12_time_to_first_result"] = {
+            "after_s": ttfr,
+            "full_s": full,
+            "first_result_fraction": ttfr / full,
+            "cells": float(spec_cells),
+        }
+
     # --- disk-backed cache: full grid cold vs warm-disk ----------------
     if want("dse_warm_cache"):
         import shutil
@@ -441,6 +479,11 @@ def main(argv=None) -> int:
             line += (
                 f"  {entry['warm_speedup']:5.1f}x warm vs cold "
                 f"({entry['disk_hit_rate']:.0%} disk hits)"
+            )
+        if "first_result_fraction" in entry:
+            line += (
+                f"  first result at {entry['first_result_fraction']:.0%} "
+                f"of the {entry['full_s'] * 1e6:.0f} us full sweep"
             )
         print(line)
     print(f"wrote {args.output}")

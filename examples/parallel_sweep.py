@@ -1,7 +1,7 @@
-"""Parallel grid sweep: fan a (system, scheme, engine) grid out across
-worker processes, merge the per-worker simulation caches on join, spill
-the results to a restart-surviving disk cache, and export the records
-as CSV.
+"""Parallel grid sweep: declare a (system, scheme, engine) grid as a
+``SweepSpec``, stream it across worker processes with incremental
+cache merging, spill the results to a restart-surviving disk cache,
+and export the records as CSV.
 
 Run with: python examples/parallel_sweep.py [--jobs N] [--csv PATH]
     [--cache-dir PATH]
@@ -10,14 +10,16 @@ Run with: python examples/parallel_sweep.py [--jobs N] [--csv PATH]
 bit-identical to a serial run — the pool only changes wall-clock time.
 With ``--cache-dir`` the sweep also writes every simulated cell to a
 content-addressed on-disk store; re-running this example with the same
-directory replays the grid from disk instead of simulating it.
+directory replays the grid from disk instead of simulating it. (For
+the streaming consumer side — first result early, per-cell emission,
+early exit — see examples/streaming_sweep.py.)
 """
 
 import argparse
 import time
 
 from repro.core.schemes import PAPER_SCHEMES
-from repro.experiments.grid import run_grid, save_csv, to_csv
+from repro.experiments.grid import grid_spec, save_csv, to_csv
 from repro.experiments.parallel import last_sweep_execution
 from repro.sim import (
     clear_simulation_cache,
@@ -38,23 +40,27 @@ def main() -> None:
                              "survives restarts (re-run me to see it)")
     args = parser.parse_args()
 
-    systems = (hbm_system(), ddr_system())
+    # One declarative spec; every run below executes the same grid.
+    spec = grid_spec(
+        systems=(hbm_system(), ddr_system()), schemes=PAPER_SCHEMES
+    )
+    print(f"spec: {spec.cell_count} cells ({spec.describe_axes()})")
 
     # ------------------------------------------------------------------
     # 1. Serial reference: the same grid on one core.
     # ------------------------------------------------------------------
     clear_simulation_cache()
     start = time.perf_counter()
-    serial = run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=1)
+    serial = spec.run(jobs=1)
     serial_s = time.perf_counter() - start
     print(f"serial:   {len(serial)} cells in {serial_s * 1e3:7.1f} ms")
 
     # ------------------------------------------------------------------
-    # 2. Parallel run: same cells, striped across forked workers.
+    # 2. Parallel run: same cells, streamed across forked workers.
     # ------------------------------------------------------------------
     clear_simulation_cache()
     start = time.perf_counter()
-    records = run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=args.jobs)
+    records = spec.run(jobs=args.jobs)
     parallel_s = time.perf_counter() - start
     execution = last_sweep_execution()
     print(f"parallel: {len(records)} cells in {parallel_s * 1e3:7.1f} ms "
@@ -71,7 +77,7 @@ def main() -> None:
 
     # A repeat sweep in this (parent) process is now all cache hits.
     start = time.perf_counter()
-    run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=1)
+    spec.run(jobs=1)
     print(f"warm rerun from merged cache: "
           f"{(time.perf_counter() - start) * 1e3:7.1f} ms")
 
@@ -85,14 +91,12 @@ def main() -> None:
         configure_simulation_cache_dir(args.cache_dir)
         clear_simulation_cache()
         start = time.perf_counter()
-        run_grid(systems=systems, schemes=PAPER_SCHEMES, jobs=args.jobs)
+        spec.run(jobs=args.jobs)
         print(f"spill into {args.cache_dir}: "
               f"{(time.perf_counter() - start) * 1e3:7.1f} ms")
         clear_simulation_cache()
         start = time.perf_counter()
-        replayed = run_grid(
-            systems=systems, schemes=PAPER_SCHEMES, jobs=args.jobs
-        )
+        replayed = spec.run(jobs=args.jobs)
         stats = simulation_cache_stats()
         assert replayed == records, "disk replay must be bit-identical"
         print(f"warm replay from {args.cache_dir}: "

@@ -3,26 +3,34 @@
 Commands:
 
 * ``experiments [NAME ...]`` — regenerate paper tables/figures (default:
-  all of them) and print the comparison tables.
+  all of them) and print the comparison tables. ``--list`` enumerates
+  the registered sweep scenarios; any registered name runs through the
+  declarative sweep engine, with ``--out results.jsonl`` /
+  ``--out results.csv`` emitting per-cell rows *incrementally* as
+  workers finish (``--stream`` additionally prints each row to stdout,
+  ``--progress`` reports per-cell completion on stderr).
 * ``simulate`` — simulate compressed GeMM kernels and report interval,
   TFLOPS, utilisation, and optionally an ASCII Gantt window.
 * ``llm`` — next-token latency for Llama2-70B or OPT-66B.
 * ``dse`` — the (W, L) design-space exploration of Section 9.2.
 * ``area`` — the DECA area model for a given (W, L).
 * ``formats`` — list the registered quantization formats.
+* ``cache prune`` — trim a disk cache directory to a byte budget
+  and/or maximum entry age (LRU by last use).
 
 Repeated simulations are served from the process-wide LRU cache
 (``repro.sim.cache``), and the sweep-shaped commands (``experiments``,
 ``simulate`` with several schemes, ``dse``) accept ``--jobs N`` to fan
 independent configurations out across a persistent pool of forked
-worker processes whose caches are merged on join (``--jobs 0`` = one
-worker per CPU; the pool is reused by every sweep in the invocation).
-The same commands accept ``--cache-dir PATH`` (or the
-``REPRO_CACHE_DIR`` environment variable) to spill simulation results
-to a disk-backed cache that survives process restarts: a re-run of the
-same sweep against a warm directory replays from disk instead of
-simulating. An unusable directory degrades to memory-only with a
-warning.
+worker processes whose caches are merged incrementally as cells finish
+(``--jobs 0`` = one worker per CPU; the pool is reused by every sweep
+in the invocation). The same commands accept ``--cache-dir PATH`` (or
+the ``REPRO_CACHE_DIR`` environment variable) to spill simulation
+results to a disk-backed cache that survives process restarts: a
+re-run of the same sweep against a warm directory replays from disk
+instead of simulating. An unusable directory degrades to memory-only
+with a warning, and ``REPRO_CACHE_MAX_BYTES`` bounds the directory
+(pruned least-recently-used-first at attach time).
 """
 
 from __future__ import annotations
@@ -33,8 +41,8 @@ import sys
 import warnings
 from typing import List, Optional
 
-from repro.core.dse import explore_deca_designs
 from repro.core.schemes import PAPER_SCHEMES, UNCOMPRESSED, parse_scheme
+from repro.errors import ConfigurationError
 from repro.deca.area import deca_area
 from repro.deca.config import DecaConfig
 from repro.deca.integration import deca_kernel_timing
@@ -62,14 +70,38 @@ def _system_for(name: str, cores: int) -> SimSystem:
     return ddr_system(cores)
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``"256M"``)."""
+    text = text.strip()
+    multiplier = 1
+    suffixes = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    if text and text[-1].lower() in suffixes:
+        multiplier = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"cannot parse byte size {text!r}; use an integer with an "
+            "optional K/M/G suffix (e.g. 512M)"
+        )
+    if value < 0:
+        raise ConfigurationError(f"byte size must be >= 0, got {value}")
+    return value * multiplier
+
+
 def _configure_cache(args: argparse.Namespace) -> None:
     """Attach the disk cache tier named by ``--cache-dir``/env, if any.
 
     Runs before any sweep (and before the worker pool forks, so workers
     inherit the configuration). An unusable directory prints a note and
-    leaves the run memory-only rather than failing it.
+    leaves the run memory-only rather than failing it. With
+    ``REPRO_CACHE_MAX_BYTES`` set, the directory is pruned to that
+    budget (least-recently-used entries first) at attach time, so the
+    disk tier stays bounded across invocations.
     """
     from repro.sim.cache import configure_simulation_cache_dir
+    from repro.sim.diskcache import prune_cache_dir
 
     path = getattr(args, "cache_dir", None) or os.environ.get(
         "REPRO_CACHE_DIR"
@@ -80,6 +112,15 @@ def _configure_cache(args: argparse.Namespace) -> None:
         # invocation attached a tier.
         configure_simulation_cache_dir(None)
         return
+    budget = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if budget:
+        report = prune_cache_dir(path, max_bytes=_parse_size(budget))
+        if report.removed_entries or report.removed_tmp_files:
+            print(
+                f"cache budget REPRO_CACHE_MAX_BYTES={budget}: "
+                f"{report.describe()}",
+                file=sys.stderr,
+            )
     with warnings.catch_warnings():
         # open_disk_cache warns for library callers; the CLI prints its
         # own single-line note instead.
@@ -93,31 +134,97 @@ def _configure_cache(args: argparse.Namespace) -> None:
         )
 
 
+def _print_scenarios() -> None:
+    """The ``experiments --list`` table: every registered sweep."""
+    from repro.experiments import sweepspec
+
+    scenarios = sweepspec.iter_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    print("registered sweep scenarios (run with `repro experiments NAME`; "
+          "stream rows with --out/--stream):")
+    for scenario in sorted(scenarios, key=lambda s: s.name):
+        print(f"  {scenario.name:<{width}}  {scenario.summary}")
+
+
+def _run_scenario(name: str, args: argparse.Namespace, emitter) -> None:
+    """Run one registered scenario through the streaming sweep engine."""
+    from repro.experiments import sweepspec
+
+    scenario = sweepspec.get_scenario(name)
+    spec = scenario.build()
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int) -> None:
+            print(f"[{name}] {done}/{total} cells", file=sys.stderr,
+                  flush=True)
+
+    on_cell = None
+    if args.stream:
+        def on_cell(cell) -> None:
+            for row in spec.rows_for(cell):
+                print(sweepspec.jsonl_line(row), flush=True)
+
+    output = sweepspec.stream_to_emitter(
+        spec, emitter, jobs=args.jobs, progress=progress, on_cell=on_cell,
+    )
+    print(spec.render(output))
+    print()
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     import inspect
 
     from repro import experiments as exp
+    from repro.experiments import sweepspec
 
-    _configure_cache(args)
+    if args.list:
+        _print_scenarios()
+        return 0
     names = args.names or list(_EXPERIMENTS)
-    for name in names:
-        if name not in _EXPERIMENTS:
-            print(f"unknown experiment {name!r}; choose from "
-                  f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
-            return 2
-        module = getattr(exp, name)
-        # Sweep-shaped harnesses accept a worker count; the rest run as-is.
-        kwargs = {}
-        if "jobs" in inspect.signature(module.run).parameters:
-            kwargs["jobs"] = args.jobs
-        result = module.run(**kwargs)
-        if isinstance(result, tuple):
-            for part in result:
-                print(part.format_table())
+    # Validate every name before touching anything — in particular
+    # before --out truncates an existing results file on a typo.
+    unknown = [
+        name for name in names
+        if name not in _EXPERIMENTS and sweepspec.find_scenario(name) is None
+    ]
+    if unknown:
+        known = sorted(set(_EXPERIMENTS) | set(sweepspec.scenario_names()))
+        print(f"unknown experiment {unknown[0]!r}; choose from "
+              f"{', '.join(known)}", file=sys.stderr)
+        return 2
+    _configure_cache(args)
+    streaming = args.stream or args.out or args.progress
+    # One emitter across every streamed scenario in the invocation
+    # (prefer .jsonl when mixing scenarios — CSV keeps one header).
+    emitter = sweepspec.open_emitter(args.out) if args.out else None
+    try:
+        for name in names:
+            scenario = sweepspec.find_scenario(name)
+            if scenario is not None and (streaming or name not in _EXPERIMENTS):
+                # The declarative path: stream cells, emit rows as they
+                # land, then print the reduced table.
+                _run_scenario(name, args, emitter)
+                continue
+            if streaming and scenario is None:
+                print(f"note: {name!r} is not a registered sweep scenario; "
+                      "running buffered (no per-cell rows)", file=sys.stderr)
+            module = getattr(exp, name)
+            # Sweep-shaped harnesses accept a worker count; the rest run
+            # as-is.
+            kwargs = {}
+            if "jobs" in inspect.signature(module.run).parameters:
+                kwargs["jobs"] = args.jobs
+            result = module.run(**kwargs)
+            if isinstance(result, tuple):
+                for part in result:
+                    print(part.format_table())
+                    print()
+            else:
+                print(result.format_table())
                 print()
-        else:
-            print(result.format_table())
-            print()
+    finally:
+        if emitter is not None:
+            emitter.close()
     return 0
 
 
@@ -198,24 +305,38 @@ def _cmd_llm(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    import functools
-
-    from repro.experiments.parallel import parallel_map
+    from repro.experiments.dse import dse_spec
 
     _configure_cache(args)
     machine = _system_for(args.memory, args.cores).machine
-    result = explore_deca_designs(
-        machine, PAPER_SCHEMES,
-        mapper=functools.partial(parallel_map, jobs=args.jobs),
+    spec = dse_spec(machine, PAPER_SCHEMES)
+    print(spec.render(spec.run(jobs=args.jobs)))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.diskcache import prune_cache_dir
+
+    path = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        print("cache prune needs --cache-dir (or REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    max_bytes = None
+    raw_bytes = (
+        args.max_bytes
+        if args.max_bytes is not None
+        else os.environ.get("REPRO_CACHE_MAX_BYTES")
     )
-    for point in result.designs:
-        status = "saturates" if point.saturates else (
-            f"VEC-bound: {', '.join(point.vec_bound_schemes)}"
-        )
-        print(f"W={point.width:3d} L={point.lut_count:3d} "
-              f"cost={point.cost:8.0f}  {status}")
-    if result.best is not None:
-        print(f"best: W={result.best.width}, L={result.best.lut_count}")
+    if raw_bytes is not None:
+        max_bytes = _parse_size(str(raw_bytes))
+    max_age = args.max_age
+    if max_bytes is None and max_age is None:
+        print("cache prune needs --max-bytes and/or --max-age (or "
+              "REPRO_CACHE_MAX_BYTES)", file=sys.stderr)
+        return 2
+    report = prune_cache_dir(path, max_bytes=max_bytes, max_age_s=max_age)
+    print(f"{path}: {report.describe()}")
     return 0
 
 
@@ -332,10 +453,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser(
         "experiments",
         help="regenerate paper results (simulations are cached; sweeps "
-             "accept --jobs)",
+             "accept --jobs and stream with --out/--stream)",
     )
     p_exp.add_argument("names", nargs="*", metavar="NAME",
-                       help=f"one of: {', '.join(_EXPERIMENTS)}")
+                       help=f"one of: {', '.join(_EXPERIMENTS)} — or any "
+                            "registered sweep scenario (see --list)")
+    p_exp.add_argument(
+        "--list", action="store_true",
+        help="list the registered sweep scenarios and exit",
+    )
+    p_exp.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write per-cell result rows to PATH incrementally as cells "
+             "finish (.csv = CSV, anything else = JSONL); sweeps only",
+    )
+    p_exp.add_argument(
+        "--stream", action="store_true",
+        help="print each cell's result rows (JSONL) to stdout as they "
+             "complete, ahead of the final table",
+    )
+    p_exp.add_argument(
+        "--progress", action="store_true",
+        help="report per-cell completion progress on stderr",
+    )
     add_jobs(p_exp)
     add_cache_dir(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
@@ -396,6 +536,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fmt = sub.add_parser("formats", help="list quantization formats")
     p_fmt.set_defaults(func=_cmd_formats)
 
+    p_cache = sub.add_parser(
+        "cache", help="manage the on-disk simulation cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_prune = cache_sub.add_parser(
+        "prune",
+        help="trim a cache directory to a byte budget / maximum age "
+             "(least-recently-used entries evicted first)",
+    )
+    p_prune.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache directory to prune (default: $REPRO_CACHE_DIR)",
+    )
+    p_prune.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="byte budget, with optional K/M/G suffix (default: "
+             "$REPRO_CACHE_MAX_BYTES)",
+    )
+    p_prune.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="evict entries not used for more than SECONDS",
+    )
+    p_prune.set_defaults(func=_cmd_cache)
+
     p_val = sub.add_parser(
         "validate", help="check every headline claim of the paper"
     )
@@ -408,10 +572,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Configuration mistakes (an unknown scheme, a negative ``--jobs``, a
+    malformed byte size) surface as a one-line error and exit status 2
+    — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -113,7 +113,25 @@ def design_cost(width: int, lut_count: int) -> float:
     return lut_bytes + crossbar + registers
 
 
-def _evaluate_design(task) -> DesignPoint:
+def candidate_designs(
+    widths: Sequence[int] = (8, 16, 32, 64),
+    lut_counts: Sequence[int] = (4, 8, 16, 32, 64),
+) -> List[Tuple[int, int]]:
+    """The ordered (W, L) candidate list the exploration sweeps.
+
+    More big LUTs than output lanes is never useful: ``Lq >= W``
+    already guarantees zero bubbles at ``L = W``, so those candidates
+    are pruned up front.
+    """
+    return [
+        (width, lut_count)
+        for width in widths
+        for lut_count in lut_counts
+        if lut_count <= width
+    ]
+
+
+def evaluate_design(task) -> DesignPoint:
     """Classify every scheme on one (W, L) candidate (picklable task)."""
     deca_machine, width, lut_count, schemes, vec_tolerance = task
     bord = Bord(deca_machine)
@@ -142,6 +160,22 @@ def _evaluate_design(task) -> DesignPoint:
     )
 
 
+#: Backward-compatible alias (cells already pickled by reference, tests).
+_evaluate_design = evaluate_design
+
+
+def assemble_dse_result(designs: Sequence[DesignPoint]) -> DseResult:
+    """Fold ordered design points into a :class:`DseResult`.
+
+    The selection criterion of Section 9.2: among saturating designs
+    (no scheme left VEC-bound), the cheapest wins.
+    """
+    designs = tuple(designs)
+    saturating = [point for point in designs if point.saturates]
+    best = min(saturating, key=lambda p: p.cost) if saturating else None
+    return DseResult(designs=designs, best=best)
+
+
 def explore_deca_designs(
     machine: MachineSpec,
     schemes: Sequence[CompressionScheme],
@@ -159,28 +193,25 @@ def explore_deca_designs(
     Q8_5%, whose expected bubble rate at {32, 8} is a fraction of a percent)
     have escaped the vector bottleneck for dimensioning purposes.
 
-    ``mapper`` applies :func:`_evaluate_design` over the candidate list
+    ``mapper`` applies :func:`evaluate_design` over the candidate list
     (default: the serial builtin ``map``). Candidates are independent,
     so callers above this layer can inject a parallel executor — the
-    CLI's ``dse --jobs`` passes ``repro.experiments.parallel.parallel_map``
-    — without core depending upward on the experiments package. Any
-    mapper must preserve input order; the result is identical either way.
+    CLI's ``dse --jobs`` routes through the declarative sweep spec in
+    :mod:`repro.experiments.dse`, which reuses this module's
+    :func:`candidate_designs` / :func:`evaluate_design` /
+    :func:`assemble_dse_result` pieces — without core depending upward
+    on the experiments package. Any mapper must preserve input order;
+    the result is identical either way.
     """
     if not schemes:
         raise ConfigurationError("the DSE needs at least one scheme")
     deca_machine = deca_machine_view(machine)
     tasks = [
         (deca_machine, width, lut_count, tuple(schemes), vec_tolerance)
-        for width in widths
-        for lut_count in lut_counts
-        # More big LUTs than output lanes is never useful: Lq >= W
-        # already guarantees zero bubbles at L = W.
-        if lut_count <= width
+        for width, lut_count in candidate_designs(widths, lut_counts)
     ]
     if mapper is None:
-        designs: List[DesignPoint] = [_evaluate_design(t) for t in tasks]
+        designs: List[DesignPoint] = [evaluate_design(t) for t in tasks]
     else:
-        designs = list(mapper(_evaluate_design, tasks))
-    saturating = [point for point in designs if point.saturates]
-    best = min(saturating, key=lambda p: p.cost) if saturating else None
-    return DseResult(designs=tuple(designs), best=best)
+        designs = list(mapper(evaluate_design, tasks))
+    return assemble_dse_result(designs)

@@ -4,12 +4,25 @@ Every module exposes a ``run(...)`` function returning a structured result
 with a ``format_table()`` method; the benchmark suite under
 ``benchmarks/`` invokes these and prints the regenerated rows/series next
 to the paper's reported values (``paper_reference``).
+
+Sweep-shaped harnesses additionally declare themselves as
+:class:`repro.experiments.sweepspec.SweepSpec` scenarios (named axes →
+cell grid, a picklable per-cell task, a reducer) and register in the
+scenario registry — ``repro experiments --list`` enumerates them, and
+any registered name can be run, streamed, and emitted incrementally
+through the shared engine. Importing this package imports every
+registering module, so the registry is complete after
+``import repro.experiments``.
 """
 
 from repro.experiments import (
     batch_sweep,
+    dse,
+    grid,
     parallel,
     sensitivity,
+    speedups,
+    sweepspec,
     validation,
     figure3,
     figure4,
@@ -30,8 +43,12 @@ from repro.experiments.report import Table
 
 __all__ = [
     "batch_sweep",
+    "dse",
+    "grid",
     "parallel",
     "sensitivity",
+    "speedups",
+    "sweepspec",
     "validation",
     "figure3",
     "figure4",

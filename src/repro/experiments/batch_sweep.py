@@ -8,11 +8,15 @@ how stable the DECA-over-software ratios are.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.parallel import parallel_map
 from repro.experiments.report import Table
 from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
+from repro.experiments.sweepspec import (
+    CellResult,
+    SweepSpec,
+    register_scenario,
+)
 from repro.sim.system import hbm_system
 
 
@@ -53,6 +57,42 @@ def _batch_task(task) -> List[SchemeSpeedup]:
     return sweep_speedups(system, batch_rows=batch)
 
 
+def _batch_rows(cell: CellResult) -> List[Dict[str, Any]]:
+    """One emission row per (batch, scheme) pair."""
+    batch = cell.coords["batch"]
+    return [
+        {
+            "batch": batch,
+            "scheme": speedup.scheme.name,
+            "software": speedup.software,
+            "deca": speedup.deca,
+            "optimal": speedup.optimal,
+            "deca_over_software": speedup.deca_over_software,
+        }
+        for speedup in cell.value
+    ]
+
+
+def sweep_spec(batches: Tuple[int, ...] = (1, 4, 16)) -> SweepSpec:
+    """The batch-size sweep as a declarative spec (one cell per batch)."""
+    system = hbm_system()
+    batches = tuple(batches)
+
+    def reduce(per_batch: List[List[SchemeSpeedup]]) -> BatchSweepResult:
+        return BatchSweepResult(batches, dict(zip(batches, per_batch)))
+
+    return SweepSpec(
+        name="batch_sweep",
+        title="Figure 13 comparison repeated at several batch sizes",
+        axes={"batch": batches},
+        task=_batch_task,
+        make_cell=lambda coords: (system, coords["batch"]),
+        reduce=reduce,
+        rows=_batch_rows,
+        format_result=lambda result: result.format_table(),
+    )
+
+
 def run(
     batches: Tuple[int, ...] = (1, 4, 16), jobs: Optional[int] = 1
 ) -> BatchSweepResult:
@@ -63,11 +103,14 @@ def run(
     nearly constant — the paper's "similar results".
 
     ``jobs > 1`` runs one batch size per worker (the per-batch sweeps
-    are independent); results are bit-identical to the serial run.
+    are independent, and a worker's nested sweep degrades to serial
+    inside it); results are bit-identical to the serial run.
     """
-    system = hbm_system()
-    per_batch = parallel_map(
-        _batch_task, [(system, batch) for batch in batches], jobs=jobs
-    )
-    speedups: Dict[int, List[SchemeSpeedup]] = dict(zip(batches, per_batch))
-    return BatchSweepResult(tuple(batches), speedups)
+    return sweep_spec(batches).run(jobs=jobs)
+
+
+register_scenario(
+    "batch_sweep",
+    "Figure 13 speedup stability across batch sizes (HBM)",
+    sweep_spec,
+)

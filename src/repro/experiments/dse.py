@@ -1,0 +1,124 @@
+"""The (W, L) design-space exploration as a registered sweep scenario.
+
+:func:`repro.core.dse.explore_deca_designs` deliberately lives below
+the experiments layer and cannot import the sweep engine; it exposes
+its candidate enumeration, per-candidate evaluator, and result
+assembly as plain functions instead. This module is the upward
+adapter: it declares the same exploration as a
+:class:`repro.experiments.sweepspec.SweepSpec` — ``width`` × ``lut``
+axes pruned by the ``L <= W`` rule, :func:`repro.core.dse.evaluate_design`
+as the cell task, :func:`repro.core.dse.assemble_dse_result` as the
+reducer — so the DSE streams, parallelizes, and emits through exactly
+the machinery every other sweep uses. Outputs are bit-identical to the
+core function (same cells, same order, same assembly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.dse import (
+    DseResult,
+    assemble_dse_result,
+    deca_machine_view,
+    evaluate_design,
+)
+from repro.core.machine import MachineSpec
+from repro.core.schemes import CompressionScheme, PAPER_SCHEMES
+from repro.errors import ConfigurationError
+from repro.experiments.sweepspec import (
+    CellResult,
+    SweepSpec,
+    register_scenario,
+)
+from repro.sim.system import hbm_system
+
+
+def _dse_rows(cell: CellResult) -> Tuple[Dict[str, Any], ...]:
+    """One emission row per evaluated design point."""
+    point = cell.value
+    return ({
+        "width": point.width,
+        "lut_count": point.lut_count,
+        "cost": point.cost,
+        "saturates": point.saturates,
+        "vec_bound_schemes": ",".join(point.vec_bound_schemes),
+    },)
+
+
+def _format_dse(result: DseResult) -> str:
+    """The CLI's classic DSE listing (one line per candidate + best)."""
+    lines = []
+    for point in result.designs:
+        status = "saturates" if point.saturates else (
+            f"VEC-bound: {', '.join(point.vec_bound_schemes)}"
+        )
+        lines.append(
+            f"W={point.width:3d} L={point.lut_count:3d} "
+            f"cost={point.cost:8.0f}  {status}"
+        )
+    if result.best is not None:
+        lines.append(f"best: W={result.best.width}, L={result.best.lut_count}")
+    return "\n".join(lines)
+
+
+def dse_spec(
+    machine: Optional[MachineSpec] = None,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    widths: Sequence[int] = (8, 16, 32, 64),
+    lut_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    vec_tolerance: float = 0.01,
+) -> SweepSpec:
+    """The (W, L) exploration as a declarative sweep spec."""
+    if not schemes:
+        raise ConfigurationError("the DSE needs at least one scheme")
+    if machine is None:
+        machine = hbm_system().machine
+    deca_machine = deca_machine_view(machine)
+    scheme_tuple = tuple(schemes)
+
+    def make_cell(coords: Dict[str, Any]):
+        return (
+            deca_machine, coords["width"], coords["lut_count"],
+            scheme_tuple, vec_tolerance,
+        )
+
+    return SweepSpec(
+        name="dse",
+        title="DECA (W, L) design-space exploration",
+        axes={"width": tuple(widths), "lut_count": tuple(lut_counts)},
+        # More big LUTs than output lanes is never useful: Lq >= W
+        # already guarantees zero bubbles at L = W.
+        keep=lambda coords: coords["lut_count"] <= coords["width"],
+        task=evaluate_design,
+        make_cell=make_cell,
+        reduce=assemble_dse_result,
+        rows=_dse_rows,
+        format_result=_format_dse,
+    )
+
+
+def run_dse(
+    machine: Optional[MachineSpec] = None,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    widths: Sequence[int] = (8, 16, 32, 64),
+    lut_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    vec_tolerance: float = 0.01,
+    jobs: Optional[int] = 1,
+) -> DseResult:
+    """Run the exploration through the sweep engine (the CLI's path).
+
+    Bit-identical to ``explore_deca_designs(machine, schemes, ...)``;
+    ``jobs > 1`` streams the candidates across forked workers.
+    """
+    return dse_spec(
+        machine, schemes=schemes, widths=widths, lut_counts=lut_counts,
+        vec_tolerance=vec_tolerance,
+    ).run(jobs=jobs)
+
+
+register_scenario(
+    "dse",
+    "DECA (W, L) design-space exploration on the HBM machine",
+    dse_spec,
+)

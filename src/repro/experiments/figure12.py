@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.experiments.report import Table
-from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
+from repro.experiments.speedups import (
+    SchemeSpeedup,
+    speedup_spec,
+)
+from repro.experiments.sweepspec import SweepSpec, register_scenario
 from repro.sim.system import ddr_system
 
 
@@ -37,13 +41,30 @@ class Figure12Result:
         return max(row.deca_over_software for row in self.speedups)
 
 
+def sweep_spec(batch_rows: int = 1) -> SweepSpec:
+    """Figure 12's per-scheme sweep as a declarative spec (DDR)."""
+    return speedup_spec(
+        ddr_system(),
+        batch_rows=batch_rows,
+        name="figure12",
+        title="Figure 12 (DDR, N=1): speedup vs uncompressed BF16",
+        reduce=Figure12Result,
+        format_result=lambda result: result.format_table(),
+    )
+
+
 def run(batch_rows: int = 1, jobs: int = 1) -> Figure12Result:
     """Regenerate Figure 12.
 
-    ``jobs > 1`` fans the per-scheme cells out across forked workers
+    ``jobs > 1`` streams the per-scheme cells across forked workers
     (see :mod:`repro.experiments.parallel`); results are bit-identical
     to the serial run.
     """
-    return Figure12Result(
-        sweep_speedups(ddr_system(), batch_rows=batch_rows, jobs=jobs)
-    )
+    return sweep_spec(batch_rows=batch_rows).run(jobs=jobs)
+
+
+register_scenario(
+    "figure12",
+    "compressed-GeMM speedups on the DDR machine (N=1)",
+    sweep_spec,
+)

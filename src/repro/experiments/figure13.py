@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.experiments.report import Table
-from repro.experiments.speedups import SchemeSpeedup, sweep_speedups
+from repro.experiments.speedups import (
+    SchemeSpeedup,
+    speedup_spec,
+)
+from repro.experiments.sweepspec import SweepSpec, register_scenario
 from repro.sim.system import hbm_system
 
 
@@ -37,8 +41,25 @@ class Figure13Result:
         return max(row.deca_over_software for row in self.speedups)
 
 
-def run(batch_rows: int = 1, jobs: int = 1) -> Figure13Result:
-    """Regenerate Figure 13 (``jobs > 1`` fans out across workers)."""
-    return Figure13Result(
-        sweep_speedups(hbm_system(), batch_rows=batch_rows, jobs=jobs)
+def sweep_spec(batch_rows: int = 1) -> SweepSpec:
+    """Figure 13's per-scheme sweep as a declarative spec (HBM)."""
+    return speedup_spec(
+        hbm_system(),
+        batch_rows=batch_rows,
+        name="figure13",
+        title="Figure 13 (HBM, N=1): speedup vs uncompressed BF16",
+        reduce=Figure13Result,
+        format_result=lambda result: result.format_table(),
     )
+
+
+def run(batch_rows: int = 1, jobs: int = 1) -> Figure13Result:
+    """Regenerate Figure 13 (``jobs > 1`` streams across workers)."""
+    return sweep_spec(batch_rows=batch_rows).run(jobs=jobs)
+
+
+register_scenario(
+    "figure13",
+    "compressed-GeMM speedups on the HBM machine (N=1)",
+    sweep_spec,
+)

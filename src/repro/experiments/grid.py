@@ -5,12 +5,12 @@ cartesian grid of configurations and collect flat records suitable for
 spreadsheets or further analysis — the batch counterpart of the
 one-figure experiment harnesses.
 
-The grid is embarrassingly parallel: every cell is an independent
-simulation behind the memoized front door. ``run_grid(jobs=N)`` fans
-the cells out across ``N`` forked workers via
-:mod:`repro.experiments.parallel` and merges the per-worker cache
-entries on join; ``jobs=1`` (the default) is the bit-identical serial
-path.
+The grid is declared as a :class:`repro.experiments.sweepspec.SweepSpec`
+(:func:`grid_spec`) with three named axes — ``system``, ``scheme``,
+``engine`` — and is registered as the ``grid`` scenario. ``run_grid``
+is the buffered entry point over that spec; ``grid_spec(...).stream()``
+yields the same records incrementally as workers finish. ``jobs=1``
+(the default) is the bit-identical serial path.
 """
 
 from __future__ import annotations
@@ -18,14 +18,14 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import CompressionScheme, PAPER_SCHEMES
 from repro.deca.config import DecaConfig
 from repro.deca.integration import deca_kernel_timing
 from repro.errors import ConfigurationError
-from repro.experiments.parallel import parallel_map
 from repro.kernels.libxsmm import software_kernel_timing
+from repro.experiments.sweepspec import SweepSpec, register_scenario
 from repro.sim.pipeline import simulate_tile_stream
 from repro.sim.system import SimSystem, ddr_system, hbm_system
 
@@ -80,6 +80,50 @@ def _simulate_cell(cell: _GridCell) -> GridRecord:
     )
 
 
+def _grid_rows(cell) -> "Tuple[Dict[str, object], ...]":
+    """Emission rows for one grid cell: the flat record itself."""
+    record = cell.value
+    return ({f: getattr(record, f) for f in _FIELDS},)
+
+
+def grid_spec(
+    systems: Optional[Sequence[SimSystem]] = None,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    engines: Sequence[str] = ("software", "deca"),
+    deca_config: Optional[DecaConfig] = None,
+    use_cache: bool = True,
+    tiles: int = 600,
+) -> SweepSpec:
+    """The (system, scheme, engine) grid as a declarative sweep spec."""
+    for engine in engines:
+        if engine not in ("software", "deca"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; use 'software' or 'deca'"
+            )
+    if systems is None:
+        systems = (hbm_system(), ddr_system())
+
+    def make_cell(coords: Dict[str, object]) -> _GridCell:
+        return (
+            coords["system"], coords["scheme"], coords["engine"],
+            deca_config, use_cache, tiles,
+        )
+
+    return SweepSpec(
+        name="grid",
+        title="(system, scheme, engine) simulation grid",
+        axes={
+            "system": tuple(systems),
+            "scheme": tuple(schemes),
+            "engine": tuple(engines),
+        },
+        task=_simulate_cell,
+        make_cell=make_cell,
+        rows=_grid_rows,
+        format_result=to_csv,
+    )
+
+
 def run_grid(
     systems: Optional[Sequence[SimSystem]] = None,
     schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
@@ -91,31 +135,23 @@ def run_grid(
 ) -> List[GridRecord]:
     """Simulate every (system, scheme, engine) combination.
 
-    Each cell goes through the memoized tile-stream front door
+    The buffered front door over :func:`grid_spec`. Each cell goes
+    through the memoized tile-stream front door
     (:mod:`repro.sim.cache`): grids that overlap earlier sweeps — or
     repeat configurations across ``systems``/``schemes`` axes — cost one
     lookup per revisited cell. Pass ``use_cache=False`` to force fresh
     simulations.
 
     ``jobs`` selects the worker count: 1 (default) runs serial in
-    process, ``N > 1`` partitions the cells across ``N`` forked workers
-    and merges their caches on join (``None``/0 means one worker per
-    CPU). Records are bit-identical to the serial run either way.
+    process, ``N > 1`` streams the cells across ``N`` forked workers
+    and merges their cache deltas as each cell lands (``None``/0 means
+    one worker per CPU). Records are bit-identical to the serial run
+    either way.
     """
-    for engine in engines:
-        if engine not in ("software", "deca"):
-            raise ConfigurationError(
-                f"unknown engine {engine!r}; use 'software' or 'deca'"
-            )
-    if systems is None:
-        systems = (hbm_system(), ddr_system())
-    cells: List[_GridCell] = [
-        (system, scheme, engine, deca_config, use_cache, tiles)
-        for system in systems
-        for scheme in schemes
-        for engine in engines
-    ]
-    return parallel_map(_simulate_cell, cells, jobs=jobs)
+    return grid_spec(
+        systems=systems, schemes=schemes, engines=engines,
+        deca_config=deca_config, use_cache=use_cache, tiles=tiles,
+    ).run(jobs=jobs)
 
 
 def to_csv(records: Sequence[GridRecord]) -> str:
@@ -136,3 +172,10 @@ def save_csv(records: Sequence[GridRecord], path) -> None:
     """Write grid records to a CSV file."""
     with open(path, "w", encoding="utf-8", newline="") as handle:
         handle.write(to_csv(records))
+
+
+register_scenario(
+    "grid",
+    "full (system, scheme, engine) simulation grid as flat CSV records",
+    grid_spec,
+)

@@ -2,20 +2,25 @@
 
 The paper's headline tables are cartesian grids of independent
 ``(system, scheme, engine)`` cells — ideal fan-out work. This module is
-the one process-pool front door every sweep harness shares
-(:func:`repro.experiments.grid.run_grid`,
-:func:`repro.experiments.speedups.sweep_speedups`, ``batch_sweep``,
-``sensitivity``, and the CLI's ``--jobs`` flags all route through
-:func:`parallel_map`).
+the one execution front door every sweep shares: the declarative specs
+in :mod:`repro.experiments.sweepspec` (and through them ``run_grid``,
+``sweep_speedups``, ``figure12``/``figure13``, ``batch_sweep``,
+``sensitivity``, and the CLI's ``--jobs`` flags) all route through
+:func:`stream_map` / :func:`parallel_map`.
 
 Execution model
 ---------------
 
-* Tasks are striped round-robin across ``jobs`` partitions (task ``i``
-  lands in partition ``i % jobs``), so heterogeneous cells — a cheap
-  software-kernel cell next to an expensive DECA one — balance without a
-  work queue. Results are re-interleaved, so the returned list is in
-  input order, exactly as a serial ``[fn(x) for x in items]``.
+* Cells are dispatched **individually** to a pool of forked workers and
+  their results stream back as each finishes (an ``imap_unordered``-style
+  flow built on ``apply_async`` with a bounded in-flight window, so a
+  consumer that stops early also stops *dispatch*). A worker returns a
+  ``(cell_index, result, cache_delta)`` chunk the moment its cell is
+  done; the parent merges the cache delta immediately and re-sorts
+  results by index on the fly, so :func:`stream_map` yields
+  ``(0, r0), (1, r1), …`` in input order even when workers complete out
+  of order — and the first result is available long before the last
+  cell computes.
 * Workers are forked (POSIX ``fork`` start method) into a **persistent
   pool** that lives for the whole invocation: the first ``jobs > 1``
   sweep pays the ~45 ms spin-up, every later sweep reuses the same
@@ -23,9 +28,9 @@ Execution model
   *wider* one — a narrower sweep idles the surplus workers — and torn
   down atexit, or explicitly via :func:`shutdown_worker_pool`).
   Each worker inherits the parent's warm simulation cache at pool
-  creation and runs its partitions through the existing memoized front
+  creation and runs its cells through the existing memoized front
   door (:func:`repro.sim.pipeline.simulate_tile_stream`).
-* Because workers outlive individual sweeps, every partition payload
+* Because workers outlive individual sweeps, every cell payload
   carries the parent's cache *clear generation* and its cache-dir
   configuration: a worker whose generation lags (the parent called
   ``clear_simulation_cache`` since the fork) drops its own copy before
@@ -36,25 +41,40 @@ Execution model
   forked pool would have inherited (results are unaffected: the
   simulator is pure; and with a disk tier the worker finds such
   entries on disk anyway).
-* On join each worker ships back only the cache entries it *added*
-  (inherited keys are snapshotted at partition start) plus its
-  hit/miss/disk-hit deltas; the parent folds them in via
+* Each finished cell ships back only the cache entries that cell
+  *added* in its worker (inherited and earlier-cell keys are
+  snapshotted at cell start) plus its hit/miss/disk-hit deltas; the
+  parent folds them in via
   :func:`repro.sim.cache.merge_simulation_cache`, keyed by the same
-  ``simulation_key``. Duplicate keys across workers must resolve
+  ``simulation_key`` — incrementally, as the chunks arrive, not at a
+  barrier join. Duplicate keys across workers must resolve
   bit-identically (asserted in debug mode) — the simulator is pure, so
   anything else is a bug. With a disk tier configured
   (:mod:`repro.sim.diskcache`), workers spill their computed entries to
   the shared cache directory as they go, and the parent's merge skips
   re-writing them (content-addressed store).
 
+Cancellation contract
+---------------------
+
+Closing a :func:`stream_map` generator early (``break`` in a consumer
+loop, ``.close()``) stops dispatching new cells immediately; the
+bounded handful already in flight finish in their workers, their cache
+deltas are merged so the cache stays consistent, and the persistent
+pool remains usable for the next sweep. :func:`last_sweep_execution`
+records the early exit (``cancelled=True`` with ``completed`` < tasks).
+
 Degradation contract
 --------------------
 
 ``jobs=1``, a single task, or a platform without ``fork`` (Windows,
-some sandboxes) all run the plain serial loop in-process — no pool, no
-pickling, bit-identical to the pre-parallel code path. Nested calls
-(a task function that itself calls :func:`parallel_map`) also degrade
-to serial inside workers rather than forking grandchildren.
+some sandboxes) all stream the plain serial loop in-process — no pool,
+no pickling, bit-identical to the pre-parallel code path (and the
+serial path *still* yields each result as it is computed, so
+incremental emission works without workers). Nested calls (a task
+function that itself calls :func:`stream_map` / :func:`parallel_map`)
+also degrade to serial inside workers rather than forking
+grandchildren.
 """
 
 from __future__ import annotations
@@ -63,8 +83,18 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 import os
+import queue
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 from repro.sim import cache as _simcache
@@ -76,6 +106,12 @@ _R = TypeVar("_R")
 #: calls degrade to serial instead of forking grandchildren — pool
 #: workers are daemonic and cannot spawn children anyway.
 _IN_WORKER = False
+
+#: The one validation message for a negative worker count, shared by
+#: every layer that resolves ``jobs`` (library sweeps, specs, the CLI).
+NEGATIVE_JOBS_ERROR = (
+    "jobs must be >= 0 (0 or None = one worker per CPU), got {jobs}"
+)
 
 
 def fork_available() -> bool:
@@ -90,14 +126,16 @@ def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
     """The worker count actually used for ``tasks`` items.
 
     ``None`` (or ``0``) means "auto": one worker per available CPU.
-    The result is clamped to the task count, and collapses to 1 when
-    the platform lacks ``fork`` or when already inside a pool worker —
-    the serial degradation contract.
+    Negative values raise :class:`ConfigurationError` with the shared
+    :data:`NEGATIVE_JOBS_ERROR` message. The result is clamped to the
+    task count, and collapses to 1 when the platform lacks ``fork`` or
+    when already inside a pool worker — the serial degradation
+    contract.
     """
     if jobs is None or jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs < 0:
-        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+        raise ConfigurationError(NEGATIVE_JOBS_ERROR.format(jobs=jobs))
     if _IN_WORKER or not fork_available():
         return 1
     return max(1, min(jobs, tasks))
@@ -105,7 +143,7 @@ def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
 
 @dataclass(frozen=True)
 class SweepExecution:
-    """What the last :func:`parallel_map` call in this process did."""
+    """What the last :func:`stream_map` call in this process did."""
 
     jobs: int
     tasks: int
@@ -115,14 +153,19 @@ class SweepExecution:
     worker_misses: int
     worker_disk_hits: int = 0
     pool_reused: bool = False
+    #: Cells that actually completed (equals ``tasks`` unless the
+    #: consumer closed the stream early).
+    completed: int = 0
+    #: Whether the stream was closed before every cell ran.
+    cancelled: bool = False
 
 
-#: Report of the most recent parallel_map call (diagnostics/tests).
+#: Report of the most recent stream_map call (diagnostics/tests).
 _LAST_EXECUTION: Optional[SweepExecution] = None
 
 
 def last_sweep_execution() -> Optional[SweepExecution]:
-    """The most recent :func:`parallel_map` execution report, if any."""
+    """The most recent :func:`stream_map` execution report, if any."""
     return _LAST_EXECUTION
 
 
@@ -188,23 +231,26 @@ def worker_pool_pids() -> Tuple[int, ...]:
     return tuple(sorted(worker.pid for worker in _POOL._pool))
 
 
-def _run_partition(
-    payload: Tuple[Callable[[Any], Any], List[Any], int, Optional[str]]
-) -> Tuple[List[Any], List[Tuple[Any, Any]], int, int, int]:
-    """Worker body: run one partition, report new cache entries + deltas.
+def _run_cell(
+    payload: Tuple[Callable[[Any], Any], int, Any, int, Optional[str]]
+) -> Tuple[int, Any, List[Tuple[Any, Any]], int, int, int]:
+    """Worker body: run one cell, report its new cache entries + deltas.
 
     ``generation`` and ``cache_dir`` carry the parent's cache state:
     persistent workers outlive sweeps, so before running they drop their
     in-memory cache if the parent cleared since the fork, and attach the
     parent's disk tier if it changed (both no-ops in the common case).
+    The returned chunk is the streaming-join unit: the cell's index, its
+    result, the cache entries this cell *added* in this worker, and the
+    hit/miss/disk-hit deltas it incurred.
     """
-    fn, part, generation, cache_dir = payload
+    fn, index, item, generation, cache_dir = payload
     _simcache.sync_simulation_cache_generation(generation)
     if _simcache.simulation_cache_dir() != cache_dir:
         _simcache.configure_simulation_cache_dir(cache_dir)
     baseline_keys = _simcache.simulation_cache_keys()
     before = _simcache.simulation_cache_stats()
-    results = [fn(item) for item in part]
+    result = fn(item)
     after = _simcache.simulation_cache_stats()
     new_entries = [
         (key, value)
@@ -212,12 +258,178 @@ def _run_partition(
         if key not in baseline_keys
     ]
     return (
-        results,
+        index,
+        result,
         new_entries,
         after.hits - before.hits,
         after.misses - before.misses,
         after.disk_hits - before.disk_hits,
     )
+
+
+def _serial_stream(
+    fn: Callable[[_T], _R],
+    items: List[_T],
+    progress: Optional[Callable[[int, int], None]],
+) -> Iterator[Tuple[int, _R]]:
+    """The in-process streaming loop (``jobs=1`` / no-fork / nested)."""
+    global _LAST_EXECUTION
+    completed = 0
+    failed = False
+    try:
+        for index, item in enumerate(items):
+            try:
+                result = fn(item)
+            except Exception:
+                failed = True
+                raise
+            completed += 1
+            if progress is not None:
+                progress(completed, len(items))
+            yield index, result
+    finally:
+        # `cancelled` means the *consumer* stopped early (close/break),
+        # never that a task blew up — failures re-raise instead.
+        _LAST_EXECUTION = SweepExecution(
+            jobs=1, tasks=len(items), merged_entries=0,
+            duplicate_entries=0, worker_hits=0, worker_misses=0,
+            completed=completed,
+            cancelled=not failed and completed < len(items),
+        )
+
+
+def _parallel_stream(
+    fn: Callable[[_T], _R],
+    items: List[_T],
+    n_jobs: int,
+    progress: Optional[Callable[[int, int], None]],
+) -> Iterator[Tuple[int, _R]]:
+    """The fanned-out streaming loop: dispatch cells, join as they land.
+
+    Dispatch is windowed (a couple of cells per worker in flight) so an
+    early ``close()`` leaves at most a handful of cells running; those
+    are drained — and their cache deltas merged — before the generator
+    returns, leaving the persistent pool quiescent for the next sweep.
+    """
+    global _LAST_EXECUTION
+    reused = worker_pool_size() >= n_jobs
+    pool = _get_pool(n_jobs)
+    generation = _simcache.simulation_cache_generation()
+    cache_dir = _simcache.simulation_cache_dir()
+    done: "queue.Queue[Any]" = queue.Queue()
+    total = len(items)
+    window = min(total, 2 * n_jobs)
+    submitted = 0
+    in_flight = 0
+    completed = 0
+    merged = duplicates = hits = misses = disk_hits = 0
+    pending: dict = {}
+    next_yield = 0
+    failure: Optional[BaseException] = None
+
+    def submit_next() -> None:
+        nonlocal submitted, in_flight
+        if submitted < total:
+            payload = (fn, submitted, items[submitted], generation, cache_dir)
+            pool.apply_async(
+                _run_cell, (payload,),
+                callback=done.put, error_callback=done.put,
+            )
+            submitted += 1
+            in_flight += 1
+
+    def absorb(chunk: Any) -> Optional[Tuple[int, Any]]:
+        """Merge one finished cell's cache delta; return (index, result)."""
+        nonlocal completed, merged, duplicates, hits, misses, disk_hits
+        index, result, entries, d_hits, d_misses, d_disk = chunk
+        stats = _simcache.merge_simulation_cache(
+            entries, hits=d_hits, misses=d_misses, disk_hits=d_disk
+        )
+        merged += stats.inserted
+        duplicates += stats.duplicates
+        hits += d_hits
+        misses += d_misses
+        disk_hits += d_disk
+        completed += 1
+        return index, result
+
+    try:
+        for _ in range(window):
+            submit_next()
+        while completed < total and failure is None:
+            outcome = done.get()
+            in_flight -= 1
+            if isinstance(outcome, BaseException):
+                failure = outcome
+                break
+            try:
+                index, result = absorb(outcome)
+            except Exception as error:  # e.g. a merge bit-equality assert
+                failure = error
+                raise
+            submit_next()
+            if progress is not None:
+                progress(completed, total)
+            pending[index] = result
+            while next_yield in pending:
+                yield next_yield, pending.pop(next_yield)
+                next_yield += 1
+    finally:
+        # Early close, normal completion, or worker failure all end
+        # here: stop dispatching, drain the in-flight cells so the
+        # persistent pool is idle, and keep their cache deltas (the
+        # simulator is pure — a completed cell's entries are valid
+        # whether or not anyone consumed its result).
+        while in_flight:
+            outcome = done.get()
+            in_flight -= 1
+            if isinstance(outcome, BaseException):
+                if failure is None:
+                    failure = outcome
+                continue
+            try:
+                absorb(outcome)
+            except Exception as error:  # e.g. a merge bit-equality assert
+                if failure is None:
+                    failure = error
+        _LAST_EXECUTION = SweepExecution(
+            jobs=n_jobs, tasks=total, merged_entries=merged,
+            duplicate_entries=duplicates, worker_hits=hits,
+            worker_misses=misses, worker_disk_hits=disk_hits,
+            pool_reused=reused, completed=completed,
+            cancelled=failure is None and completed < total,
+        )
+    if failure is not None:
+        raise failure
+
+
+def stream_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: Optional[int] = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> Iterator[Tuple[int, _R]]:
+    """Yield ``(index, fn(item))`` pairs in index order, streaming.
+
+    The streaming counterpart of :func:`parallel_map`: results are
+    yielded as soon as they (and every lower-indexed cell) are
+    available, so a consumer sees the first cell long before the sweep
+    finishes. ``fn`` must be a module-level callable (pickled by
+    reference) and pure with respect to the simulation cache — the
+    standard shape of every sweep cell in this package.
+
+    ``progress`` (if given) is called as ``progress(completed, total)``
+    after each cell finishes — in *completion* order, which is not
+    necessarily index order.
+
+    Closing the generator early stops dispatch immediately; see the
+    module docstring's cancellation contract.
+    """
+    items = list(items)
+    n_jobs = resolve_jobs(jobs, len(items))
+    if n_jobs <= 1:
+        return _serial_stream(fn, items, progress)
+    return _parallel_stream(fn, items, n_jobs, progress)
 
 
 def parallel_map(
@@ -227,50 +439,10 @@ def parallel_map(
 ) -> List[_R]:
     """``[fn(x) for x in items]``, optionally fanned out across processes.
 
-    ``fn`` must be a module-level callable (pickled by reference) and
-    pure with respect to the simulation cache — the standard shape of
-    every sweep cell in this package. With ``jobs=1`` (the default)
-    this *is* the serial comprehension; with more, partitions run in
-    forked workers and their cache entries are merged on join (see the
-    module docstring for the full contract).
+    The buffered wrapper over :func:`stream_map`: drains the stream and
+    returns the full result list in input order. With ``jobs=1`` (the
+    default) this is the serial comprehension; with more, cells run in
+    forked workers and their cache entries are merged as each cell
+    lands (see the module docstring for the full contract).
     """
-    global _LAST_EXECUTION
-    items = list(items)
-    n_jobs = resolve_jobs(jobs, len(items))
-    if n_jobs <= 1:
-        results = [fn(item) for item in items]
-        _LAST_EXECUTION = SweepExecution(
-            jobs=1, tasks=len(items), merged_entries=0,
-            duplicate_entries=0, worker_hits=0, worker_misses=0,
-        )
-        return results
-    partitions = [items[offset::n_jobs] for offset in range(n_jobs)]
-    reused = worker_pool_size() >= n_jobs
-    pool = _get_pool(n_jobs)
-    generation = _simcache.simulation_cache_generation()
-    cache_dir = _simcache.simulation_cache_dir()
-    payloads = pool.map(
-        _run_partition,
-        [(fn, part, generation, cache_dir) for part in partitions],
-    )
-    results: List[Any] = [None] * len(items)
-    merged = duplicates = hits = misses = disk_hits = 0
-    for offset, (
-        part_results, entries, d_hits, d_misses, d_disk_hits
-    ) in enumerate(payloads):
-        results[offset::n_jobs] = part_results
-        stats = _simcache.merge_simulation_cache(
-            entries, hits=d_hits, misses=d_misses, disk_hits=d_disk_hits
-        )
-        merged += stats.inserted
-        duplicates += stats.duplicates
-        hits += d_hits
-        misses += d_misses
-        disk_hits += d_disk_hits
-    _LAST_EXECUTION = SweepExecution(
-        jobs=n_jobs, tasks=len(items), merged_entries=merged,
-        duplicate_entries=duplicates, worker_hits=hits,
-        worker_misses=misses, worker_disk_hits=disk_hits,
-        pool_reused=reused,
-    )
-    return results
+    return [result for _, result in stream_map(fn, items, jobs=jobs)]

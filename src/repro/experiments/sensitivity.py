@@ -15,14 +15,18 @@ from typing import List, Optional, Tuple
 
 from repro.core.schemes import parse_scheme
 from repro.deca.integration import deca_kernel_timing
-from repro.experiments.parallel import parallel_map
 from repro.experiments.report import Table
+from repro.experiments.sweepspec import SweepSpec, register_scenario
 from repro.kernels.libxsmm import software_kernel_timing
 from repro.sim import pipeline
 from repro.sim.pipeline import simulate_tile_stream
 from repro.sim.system import hbm_system
 
 _PERTURBATIONS: Tuple[float, ...] = (0.8, 1.0, 1.2)
+
+_CONSTANTS: Tuple[str, ...] = (
+    "DRAM efficiency", "SW demand-load cap", "loader fill latency"
+)
 
 
 @dataclass(frozen=True)
@@ -112,17 +116,30 @@ def _perturbation_task(task: Tuple[str, float]) -> SensitivityRow:
     return SensitivityRow(constant, scale, headline)
 
 
+def sweep_spec() -> SweepSpec:
+    """The nine (constant, scale) perturbations as a declarative spec."""
+    return SweepSpec(
+        name="sensitivity",
+        title="calibration-constant sensitivity of the Figure 13 headline",
+        axes={"constant": _CONSTANTS, "scale": _PERTURBATIONS},
+        task=_perturbation_task,
+        make_cell=lambda coords: (coords["constant"], coords["scale"]),
+        reduce=SensitivityResult,
+        format_result=lambda result: result.format_table(),
+    )
+
+
 def run(jobs: Optional[int] = 1) -> SensitivityResult:
     """Perturb each calibration constant by ±20%.
 
-    ``jobs > 1`` evaluates the nine perturbations across forked workers
+    ``jobs > 1`` streams the nine perturbations across forked workers
     (bit-identical to the serial run).
     """
-    tasks: List[Tuple[str, float]] = [
-        (constant, scale)
-        for constant in (
-            "DRAM efficiency", "SW demand-load cap", "loader fill latency"
-        )
-        for scale in _PERTURBATIONS
-    ]
-    return SensitivityResult(parallel_map(_perturbation_task, tasks, jobs=jobs))
+    return sweep_spec().run(jobs=jobs)
+
+
+register_scenario(
+    "sensitivity",
+    "±20% calibration-constant perturbations vs the headline speedup",
+    sweep_spec,
+)

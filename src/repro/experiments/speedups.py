@@ -1,22 +1,33 @@
-"""Shared compressed-GeMM speedup harness for Figures 12, 13 and 15."""
+"""Shared compressed-GeMM speedup harness for Figures 12, 13 and 15.
+
+The per-scheme sweep is declared once as a
+:class:`repro.experiments.sweepspec.SweepSpec` (:func:`speedup_spec`)
+with a single ``scheme`` axis; ``sweep_speedups`` is its buffered entry
+point, and the figure modules re-parameterize the same spec with their
+own system, name, and reducer.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.roofline import Roofline
 from repro.core.schemes import CompressionScheme, PAPER_SCHEMES, UNCOMPRESSED
 from repro.deca.config import DecaConfig
 from repro.deca.integration import DecaIntegration, deca_kernel_timing
 from repro.kernels.avx import AvxVariant
-from repro.experiments.parallel import parallel_map
+from repro.experiments.sweepspec import (
+    CellResult,
+    SweepSpec,
+    register_scenario,
+)
 from repro.kernels.libxsmm import (
     software_kernel_timing,
     uncompressed_kernel_timing,
 )
 from repro.sim.pipeline import SimResult, simulate_tile_stream
-from repro.sim.system import SimSystem
+from repro.sim.system import SimSystem, hbm_system
 
 
 @dataclass(frozen=True)
@@ -97,6 +108,58 @@ def _scheme_speedup_task(task) -> SchemeSpeedup:
     )
 
 
+def speedup_rows(cell: CellResult) -> Tuple[Dict[str, Any], ...]:
+    """Emission rows for one speedup cell: flat per-scheme ratios."""
+    speedup = cell.value
+    return ({
+        "scheme": speedup.scheme.name,
+        "software": speedup.software,
+        "deca": speedup.deca,
+        "optimal": speedup.optimal,
+        "deca_over_software": speedup.deca_over_software,
+    },)
+
+
+def speedup_spec(
+    system: SimSystem,
+    schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
+    batch_rows: int = 1,
+    deca_config: Optional[DecaConfig] = None,
+    integration: Optional[DecaIntegration] = None,
+    tiles: int = 600,
+    name: str = "speedups",
+    title: str = "per-scheme speedups vs uncompressed BF16",
+    reduce: Optional[Callable[[List[SchemeSpeedup]], Any]] = None,
+    format_result: Optional[Callable[[Any], str]] = None,
+) -> SweepSpec:
+    """The per-scheme speedup sweep as a declarative spec.
+
+    The shared baseline is simulated once, at spec build time, and
+    embedded in every cell payload (workers also inherit its cache
+    entry through the fork, so it is never re-simulated). The figure
+    modules re-parameterize ``name``/``reduce``/``format_result`` to
+    wrap the same cells in their own result types.
+    """
+    baseline = baseline_result(system, tiles=tiles)
+
+    def make_cell(coords: Dict[str, Any]):
+        return (
+            system, coords["scheme"], baseline, batch_rows, deca_config,
+            integration, tiles,
+        )
+
+    return SweepSpec(
+        name=name,
+        title=title,
+        axes={"scheme": tuple(schemes)},
+        task=_scheme_speedup_task,
+        make_cell=make_cell,
+        reduce=reduce,
+        rows=speedup_rows,
+        format_result=format_result,
+    )
+
+
 def sweep_speedups(
     system: SimSystem,
     schemes: Sequence[CompressionScheme] = PAPER_SCHEMES,
@@ -108,16 +171,37 @@ def sweep_speedups(
 ) -> List[SchemeSpeedup]:
     """Speedups for a list of schemes (Figures 12/13's x axis).
 
-    The shared baseline is simulated once up front and embedded in each
-    task (workers also inherit its cache entry through the fork, so it
-    is never re-simulated); the per-scheme cells then fan out across
-    ``jobs`` workers via :mod:`repro.experiments.parallel`. ``jobs=1``
-    is the bit-identical serial path.
+    The buffered front door over :func:`speedup_spec`: the per-scheme
+    cells stream across ``jobs`` workers (cache deltas merged as each
+    lands); ``jobs=1`` is the bit-identical serial path.
     """
-    baseline = baseline_result(system, tiles=tiles)
-    tasks = [
-        (system, scheme, baseline, batch_rows, deca_config, integration,
-         tiles)
-        for scheme in schemes
-    ]
-    return parallel_map(_scheme_speedup_task, tasks, jobs=jobs)
+    return speedup_spec(
+        system, schemes=schemes, batch_rows=batch_rows,
+        deca_config=deca_config, integration=integration, tiles=tiles,
+    ).run(jobs=jobs)
+
+
+def _speedup_table(speedups: List[SchemeSpeedup]) -> str:
+    """Plain table for the standalone ``speedups`` scenario."""
+    from repro.experiments.report import Table
+
+    table = Table(
+        "Speedups vs uncompressed BF16 (HBM, N=1)",
+        ["scheme", "software", "DECA", "optimal", "DECA/SW"],
+    )
+    for row in speedups:
+        table.add_row(
+            row.scheme.name,
+            round(row.software, 2),
+            round(row.deca, 2),
+            round(row.optimal, 2),
+            round(row.deca_over_software, 2),
+        )
+    return table.render()
+
+
+register_scenario(
+    "speedups",
+    "per-scheme software/DECA/optimal speedups on the HBM machine",
+    lambda: speedup_spec(hbm_system(), format_result=_speedup_table),
+)

@@ -52,6 +52,22 @@ are content-addressed and simulations are pure. Truncated or otherwise
 corrupted files (e.g. a copy of a crashed run's directory) are treated
 as misses and cleaned up best-effort.
 
+Garbage collection
+------------------
+
+The store is no longer append-only: :func:`prune_cache_dir` trims a
+cache directory to a byte budget and/or a maximum entry age, evicting
+least-recently-*used* entries first. "Used" is tracked through the
+entry file's mtime — :meth:`DiskCache.load` touches the file on every
+hit (best-effort), so a warm entry that keeps serving sweeps outlives
+a colder, older one even if it was written first. Stale in-flight
+``.tmp`` files (crashed writers) and entries from *older schema
+generations* (whose directory name no longer matches the running code)
+are reclaimed as part of any prune. The CLI front doors are
+``repro cache prune`` and the ``REPRO_CACHE_MAX_BYTES`` environment
+variable, which bounds the directory at attach time on every cached
+invocation.
+
 Trust boundary
 --------------
 
@@ -71,6 +87,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 import warnings
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
@@ -279,6 +296,14 @@ class DiskCache:
             except OSError:
                 pass
             return None
+        try:
+            # LRU bookkeeping for prune_cache_dir: a hit refreshes the
+            # entry's mtime so recently *used* entries outlive recently
+            # *written* ones under a byte budget. Best-effort — a
+            # read-only directory still serves hits, it just ages.
+            os.utime(path, None)
+        except OSError:
+            pass
         self._count("_hits")
         return value
 
@@ -343,6 +368,135 @@ class DiskCache:
             stores=self._stores,
             skipped_stores=self._skipped_stores,
         )
+
+
+#: In-flight writes live seconds; a ``.tmp`` file older than this is a
+#: crashed writer's leftover and safe to reclaim.
+STALE_TMP_AGE_S = 3600.0
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :func:`prune_cache_dir` pass scanned and removed."""
+
+    scanned_entries: int
+    scanned_bytes: int
+    removed_entries: int
+    removed_bytes: int
+    removed_tmp_files: int
+    kept_entries: int
+    kept_bytes: int
+
+    def describe(self) -> str:
+        """One human-readable summary line."""
+        return (
+            f"pruned {self.removed_entries} of {self.scanned_entries} "
+            f"entries ({self.removed_bytes} of {self.scanned_bytes} bytes)"
+            f"{f' + {self.removed_tmp_files} stale tmp file(s)' if self.removed_tmp_files else ''}; "
+            f"{self.kept_entries} entries / {self.kept_bytes} bytes kept"
+        )
+
+
+def _remove_empty_dirs(root: Path) -> None:
+    """Best-effort removal of shard/schema dirs a prune emptied out."""
+    for directory in sorted(
+        (d for d in root.rglob("*") if d.is_dir()),
+        key=lambda d: len(d.parts),
+        reverse=True,
+    ):
+        try:
+            directory.rmdir()  # fails (harmlessly) unless empty
+        except OSError:
+            pass
+
+
+def prune_cache_dir(
+    root: "Path | str",
+    max_bytes: Optional[int] = None,
+    max_age_s: Optional[float] = None,
+    now: Optional[float] = None,
+) -> PruneReport:
+    """Trim a cache directory to a byte budget and/or a maximum age.
+
+    Eviction is LRU by mtime (loads refresh mtime, so "least recently
+    used", not "least recently written"): entries older than
+    ``max_age_s`` go first unconditionally, then the oldest remaining
+    entries are removed until the directory fits ``max_bytes``. All
+    schema generations under ``root`` are considered — entries from an
+    older code generation are unreachable anyway and age out naturally
+    (their mtimes stop refreshing). Stale in-flight ``.tmp`` files are
+    always reclaimed. Every removal is best-effort: a file that
+    vanishes mid-prune (a concurrent prune, a cleanup) is skipped, and
+    a nonexistent ``root`` yields an all-zero report.
+
+    Returns a :class:`PruneReport`; the directory itself is never
+    deleted, so a pruned cache keeps accepting new entries.
+    """
+    if max_bytes is not None and max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    if max_age_s is not None and max_age_s < 0:
+        raise ValueError(f"max_age_s must be >= 0, got {max_age_s}")
+    root = Path(root)
+    if now is None:
+        now = time.time()
+    removed_tmp = 0
+    entries = []  # (mtime, size, path)
+    if root.is_dir():
+        for path in root.rglob("*"):
+            try:
+                if not path.is_file():
+                    continue
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.name.endswith(".tmp"):
+                if now - stat.st_mtime > STALE_TMP_AGE_S:
+                    try:
+                        path.unlink()
+                        removed_tmp += 1
+                    except OSError:
+                        pass
+                continue
+            if path.suffix == ".pkl":
+                entries.append((stat.st_mtime, stat.st_size, path))
+    entries.sort(key=lambda item: item[0])  # oldest (least recent) first
+    scanned = len(entries)
+    scanned_bytes = sum(size for _, size, _ in entries)
+    victims = []
+    survivors = []
+    for mtime, size, path in entries:
+        if max_age_s is not None and now - mtime > max_age_s:
+            victims.append((size, path))
+        else:
+            survivors.append((size, path))
+    if max_bytes is not None:
+        kept_bytes = sum(size for size, _ in survivors)
+        index = 0  # survivors are still oldest-first
+        while kept_bytes > max_bytes and index < len(survivors):
+            size, path = survivors[index]
+            victims.append((size, path))
+            kept_bytes -= size
+            index += 1
+        survivors = survivors[index:]
+    removed = removed_bytes = 0
+    for size, path in victims:
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        removed_bytes += size
+    if removed or removed_tmp:
+        _remove_empty_dirs(root)
+    return PruneReport(
+        scanned_entries=scanned,
+        scanned_bytes=scanned_bytes,
+        removed_entries=removed,
+        removed_bytes=removed_bytes,
+        removed_tmp_files=removed_tmp,
+        kept_entries=scanned - removed,
+        kept_bytes=scanned_bytes - removed_bytes,
+    )
 
 
 def open_disk_cache(root: "Path | str") -> Optional[DiskCache]:

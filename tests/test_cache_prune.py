@@ -1,0 +1,136 @@
+"""Tests for disk-cache garbage collection (``prune_cache_dir``).
+
+The disk tier used to be append-only; these tests pin the eviction
+contract: LRU by *use* (loads refresh mtime), age and byte budgets,
+stale-tmp reclamation, and the CLI/env front doors.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.diskcache import (
+    DiskCache,
+    PruneReport,
+    STALE_TMP_AGE_S,
+    prune_cache_dir,
+)
+
+
+def _age(path, seconds):
+    """Backdate a file's mtime by ``seconds``."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+def _make_entries(root, count, payload_size=100):
+    """Store ``count`` distinct entries; returns their file paths."""
+    cache = DiskCache(root)
+    paths = []
+    for i in range(count):
+        key = ("prune-test", i)
+        assert cache.store(key, "x" * payload_size)
+        paths.append(cache.entry_path(key))
+    return cache, paths
+
+
+class TestPruneCacheDir:
+    def test_missing_root_yields_zero_report(self, tmp_path):
+        report = prune_cache_dir(tmp_path / "never-created", max_bytes=0)
+        assert report == PruneReport(0, 0, 0, 0, 0, 0, 0)
+
+    def test_max_bytes_zero_empties_the_store(self, tmp_path):
+        _make_entries(tmp_path, 3)
+        report = prune_cache_dir(tmp_path, max_bytes=0)
+        assert report.scanned_entries == 3
+        assert report.removed_entries == 3
+        assert report.kept_entries == 0
+        assert report.kept_bytes == 0
+        assert not list(tmp_path.rglob("*.pkl"))
+        # The directory itself survives and keeps accepting entries.
+        cache = DiskCache(tmp_path)
+        assert cache.store(("fresh",), "value")
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        _, paths = _make_entries(tmp_path, 3)
+        _age(paths[0], 300)
+        _age(paths[1], 200)
+        _age(paths[2], 100)
+        total = sum(p.stat().st_size for p in paths)
+        budget = total - 1  # forces out exactly the oldest entry
+        report = prune_cache_dir(tmp_path, max_bytes=budget)
+        assert report.removed_entries == 1
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+        assert report.kept_bytes <= budget
+
+    def test_max_age_evicts_unconditionally(self, tmp_path):
+        _, paths = _make_entries(tmp_path, 3)
+        _age(paths[0], 9000)
+        _age(paths[1], 9000)
+        report = prune_cache_dir(tmp_path, max_age_s=3600)
+        assert report.removed_entries == 2
+        assert paths[2].exists()
+
+    def test_load_refreshes_mtime_so_hot_entries_survive(self, tmp_path):
+        cache, paths = _make_entries(tmp_path, 2)
+        _age(paths[0], 500)
+        _age(paths[1], 100)
+        # Entry 0 is older on disk — but a hit marks it recently used.
+        assert cache.load(("prune-test", 0)) is not None
+        total = sum(p.stat().st_size for p in paths)
+        report = prune_cache_dir(tmp_path, max_bytes=total - 1)
+        assert report.removed_entries == 1
+        assert paths[0].exists()      # hot entry survived
+        assert not paths[1].exists()  # cold one was evicted
+
+    def test_stale_tmp_files_reclaimed(self, tmp_path):
+        cache, _ = _make_entries(tmp_path, 1)
+        shard = cache.schema_dir / "ab"
+        shard.mkdir(exist_ok=True)
+        stale = shard / ".deadbeef.123.tmp"
+        stale.write_bytes(b"partial")
+        _age(stale, STALE_TMP_AGE_S + 10)
+        fresh = shard / ".cafef00d.456.tmp"
+        fresh.write_bytes(b"in flight")
+        report = prune_cache_dir(tmp_path)
+        assert report.removed_tmp_files == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's file is left alone
+        assert report.removed_entries == 0  # no budget given, no eviction
+
+    def test_emptied_shard_dirs_are_cleaned(self, tmp_path):
+        cache, paths = _make_entries(tmp_path, 1)
+        shard_dir = paths[0].parent
+        prune_cache_dir(tmp_path, max_bytes=0)
+        assert not shard_dir.exists()
+        assert tmp_path.exists()
+
+    def test_negative_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_cache_dir(tmp_path, max_bytes=-1)
+        with pytest.raises(ValueError):
+            prune_cache_dir(tmp_path, max_age_s=-0.5)
+
+    def test_report_describe_is_one_line(self, tmp_path):
+        _make_entries(tmp_path, 2)
+        report = prune_cache_dir(tmp_path, max_bytes=0)
+        text = report.describe()
+        assert "\n" not in text
+        assert "2 of 2" in text
+
+    def test_old_schema_generations_age_out(self, tmp_path):
+        # A directory from an older code generation is unreachable by
+        # the running code; its entries stop being touched and fall to
+        # the age budget like any cold entry.
+        _make_entries(tmp_path, 1)
+        legacy = tmp_path / "v0-deadbeef0000" / "aa"
+        legacy.mkdir(parents=True)
+        old_entry = legacy / "aa00.pkl"
+        old_entry.write_bytes(b"legacy pickle")
+        _age(old_entry, 9000)
+        report = prune_cache_dir(tmp_path, max_age_s=3600)
+        assert not old_entry.exists()
+        assert not legacy.exists()
+        assert report.removed_entries == 1

@@ -109,6 +109,84 @@ class TestExperiments:
         assert main(["experiments", "sensitivity", "--jobs", "2"]) == 0
         assert "Sensitivity" in capsys.readouterr().out
 
+    def test_negative_jobs_is_a_clean_error(self, capsys):
+        assert main(["experiments", "figure12", "--jobs", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert "jobs must be >= 0" in err
+
+
+class TestScenarioRegistry:
+    """``experiments --list`` and the declarative streaming path."""
+
+    def test_list_enumerates_registered_scenarios(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("grid", "speedups", "figure12", "figure13",
+                     "batch_sweep", "sensitivity", "dse"):
+            assert name in out
+
+    def test_registry_only_name_runs_through_the_engine(self, capsys):
+        # "dse" has no module in _EXPERIMENTS; only the registry knows it.
+        assert main(["experiments", "dse"]) == 0
+        assert "best: W=32, L=8" in capsys.readouterr().out
+
+    def test_out_writes_one_row_per_cell(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.jsonl"
+        assert main([
+            "experiments", "figure12", "--out", str(out_path),
+        ]) == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 12  # one per scheme
+        import json
+        first = json.loads(lines[0])
+        assert set(first) == {
+            "scheme", "software", "deca", "optimal", "deca_over_software"
+        }
+        # The reduced table still prints after the stream.
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_out_csv_gets_a_header(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.csv"
+        assert main(["experiments", "sensitivity", "--out", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert lines[0].startswith("constant,scale")
+        assert len(lines) == 10  # header + 9 perturbations
+
+    def test_stream_prints_rows_then_table(self, capsys):
+        assert main(["experiments", "figure13", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert out.index('{"scheme"') < out.index("Figure 13")
+
+    def test_progress_reports_each_cell(self, capsys):
+        assert main(["experiments", "figure12", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[figure12] 1/12 cells" in err
+        assert "[figure12] 12/12 cells" in err
+
+    def test_streaming_flags_on_non_sweep_note_and_run(self, capsys):
+        assert main(["experiments", "figure17", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 17" in captured.out
+        assert "not a registered sweep scenario" in captured.err
+
+    def test_typo_with_out_does_not_truncate_existing_file(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "rows.jsonl"
+        out_path.write_text('{"precious": "data"}\n')
+        assert main([
+            "experiments", "figrue12", "--out", str(out_path),
+        ]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+        assert out_path.read_text() == '{"precious": "data"}\n'
+
+    def test_mixed_scenarios_in_one_csv_fail_cleanly(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.csv"
+        assert main([
+            "experiments", "sensitivity", "figure12", "--out", str(out_path),
+        ]) == 2
+        assert "jsonl" in capsys.readouterr().err
+
 
 class TestCacheDir:
     """The --cache-dir flag and REPRO_CACHE_DIR env fallback."""
@@ -204,6 +282,84 @@ class TestCacheDir:
             "--cache-dir", str(tmp_path / "simcache"),
         ]) == 0
         assert worker_pool_size() == 0
+
+
+class TestCachePrune:
+    """The ``cache prune`` subcommand and the env byte budget."""
+
+    @pytest.fixture(autouse=True)
+    def _memory_only(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        clear_simulation_cache()
+        yield
+        configure_simulation_cache_dir(None)
+        clear_simulation_cache()
+
+    def _warm_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "simcache")
+        assert main([
+            "simulate", "--scheme", "Q4,Q8_5%", "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        configure_simulation_cache_dir(None)
+        return cache_dir
+
+    def test_prune_to_zero_empties_the_dir(self, tmp_path, capsys):
+        import pathlib
+
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        assert len(list(pathlib.Path(cache_dir).rglob("*.pkl"))) == 2
+        assert main([
+            "cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0",
+        ]) == 0
+        assert "pruned 2 of 2 entries" in capsys.readouterr().out
+        assert list(pathlib.Path(cache_dir).rglob("*.pkl")) == []
+
+    def test_prune_accepts_size_suffix(self, tmp_path, capsys):
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        assert main([
+            "cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "1G",
+        ]) == 0
+        assert "pruned 0 of 2 entries" in capsys.readouterr().out
+
+    def test_prune_needs_a_directory_and_a_limit(self, capsys):
+        assert main(["cache", "prune", "--max-bytes", "0"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+        assert main(["cache", "prune", "--cache-dir", "/tmp/x"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_rejects_malformed_size(self, tmp_path, capsys):
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-bytes", "lots",
+        ]) == 2
+        assert "byte size" in capsys.readouterr().err
+
+    def test_env_budget_prunes_at_attach_time(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import pathlib
+
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        clear_simulation_cache()
+        # The next cached invocation prunes the stale entries up front,
+        # then runs (and re-spills) normally.
+        assert main([
+            "simulate", "--scheme", "Q4", "--cache-dir", cache_dir,
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cache budget REPRO_CACHE_MAX_BYTES=0" in captured.err
+        assert "cycles/tile" in captured.out
+        assert len(list(pathlib.Path(cache_dir).rglob("*.pkl"))) == 1
+
+    def test_env_fallback_for_prune_dir(self, tmp_path, capsys, monkeypatch):
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert main(["cache", "prune"]) == 0
+        assert "pruned 2 of 2 entries" in capsys.readouterr().out
 
 
 class TestParser:

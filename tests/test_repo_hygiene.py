@@ -39,3 +39,16 @@ def test_detector_flags_offenders():
          "docs/__pycache__x/readme.md"]
     )
     assert flagged == ["pkg/__pycache__/b.cpython-311.pyc", "src/a.pyc"]
+
+
+def test_detector_flags_egg_info():
+    flagged = check_no_pyc.compiled_artifacts(
+        ["src/repro.egg-info/PKG-INFO", "src/repro.egg-info/SOURCES.txt",
+         "nested/thing.egg-info/top_level.txt", "src/egg-info.py",
+         "docs/egg-info/readme.md", "src/ok.py"]
+    )
+    assert flagged == [
+        "nested/thing.egg-info/top_level.txt",
+        "src/repro.egg-info/PKG-INFO",
+        "src/repro.egg-info/SOURCES.txt",
+    ]

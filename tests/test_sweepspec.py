@@ -1,0 +1,413 @@
+"""Tests for the declarative sweep engine and the streaming executor.
+
+The contracts under test (see ``repro/experiments/sweepspec.py`` and
+``repro/experiments/parallel.py``):
+
+* a spec's cell grid is the ordered cartesian product of its axes, and
+  ``run(jobs=N)`` is bit-identical to the hand-rolled serial loop;
+* ``stream()`` yields results index-sorted even when workers complete
+  out of order, and the first result is available before the sweep
+  finishes (incremental JSONL emission);
+* closing a stream mid-sweep stops dispatch — unsubmitted cells never
+  run — and leaves the persistent pool usable;
+* the scenario registry enumerates every ported sweep.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.schemes import parse_scheme
+from repro.errors import ConfigurationError
+from repro.experiments import sweepspec as sw
+from repro.experiments.parallel import (
+    NEGATIVE_JOBS_ERROR,
+    fork_available,
+    last_sweep_execution,
+    parallel_map,
+    resolve_jobs,
+    stream_map,
+)
+from repro.sim.cache import clear_simulation_cache
+
+_SCHEMES = (parse_scheme("Q4"), parse_scheme("Q8_5%"))
+
+
+# ---------------------------------------------------------------------
+# Module-level task bodies (pool workers pickle them by reference).
+# ---------------------------------------------------------------------
+
+
+def _double(item):
+    return item * 2
+
+
+def _sleep_then_mark(task):
+    """Sleep, then drop a marker file; returns the item's index."""
+    marker_dir, index, delay = task
+    time.sleep(delay)
+    with open(os.path.join(marker_dir, f"cell-{index}"), "w") as handle:
+        handle.write(str(index))
+    return index
+
+
+def _mark_then_sleep(task):
+    """Drop a marker file first (records dispatch), then sleep."""
+    marker_dir, index, delay = task
+    with open(os.path.join(marker_dir, f"cell-{index}"), "w") as handle:
+        handle.write(str(index))
+    time.sleep(delay)
+    return index
+
+
+def _explode_on_three(item):
+    if item == 3:
+        raise ValueError("cell 3 is cursed")
+    return item
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="streaming executor needs fork"
+)
+
+
+# ---------------------------------------------------------------------
+# SweepSpec basics
+# ---------------------------------------------------------------------
+
+
+class TestSweepSpec:
+    def _spec(self, values=(1, 2, 3), **overrides):
+        kwargs = dict(
+            name="toy",
+            axes={"x": tuple(values)},
+            task=_double,
+            make_cell=lambda coords: coords["x"],
+        )
+        kwargs.update(overrides)
+        return sw.SweepSpec(**kwargs)
+
+    def test_grid_is_ordered_axis_product(self):
+        spec = sw.SweepSpec(
+            name="grid2d",
+            axes={"a": (1, 2), "b": ("x", "y", "z")},
+            task=_double,
+        )
+        assert spec.cell_count == 6
+        assert spec.coords()[:4] == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 1, "b": "z"},
+            {"a": 2, "b": "x"},
+        ]
+        assert spec.describe_axes() == "a×2 · b×3"
+
+    def test_keep_prunes_cells(self):
+        spec = sw.SweepSpec(
+            name="pruned",
+            axes={"a": (1, 2, 3), "b": (1, 2, 3)},
+            keep=lambda c: c["b"] <= c["a"],
+            task=_double,
+        )
+        assert spec.cell_count == 6
+        assert all(c["b"] <= c["a"] for c in spec.coords())
+
+    def test_run_reduces_ordered_results(self):
+        spec = self._spec(reduce=sum)
+        assert spec.run() == 12
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sw.SweepSpec(name="bad", axes={"x": ()}, task=_double)
+        with pytest.raises(ConfigurationError):
+            sw.SweepSpec(name="bad", axes={}, task=_double)
+
+    def test_stream_yields_cellresults_in_order(self):
+        cells = list(self._spec().stream())
+        assert [c.index for c in cells] == [0, 1, 2]
+        assert [c.value for c in cells] == [2, 4, 6]
+        assert cells[1].coords == {"x": 2}
+
+    def test_progress_callback_sees_every_cell(self):
+        calls = []
+        self._spec().run(progress=lambda done, total: calls.append((done, total)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_default_rows_merge_coords_and_fields(self):
+        cell = sw.CellResult(index=0, coords={"x": 1}, value=41)
+        (row,) = sw._default_rows(cell)
+        assert row == {"x": 1, "value": 41}
+
+
+# ---------------------------------------------------------------------
+# The scenario registry
+# ---------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_seven_sweeps_registered(self):
+        import repro.experiments  # noqa: F401 — triggers registration
+
+        names = set(sw.scenario_names())
+        assert {
+            "grid", "speedups", "figure12", "figure13", "batch_sweep",
+            "sensitivity", "dse",
+        } <= names
+
+    def test_lookup_and_unknown(self):
+        import repro.experiments  # noqa: F401
+
+        assert sw.get_scenario("grid").name == "grid"
+        assert sw.find_scenario("not-a-sweep") is None
+        with pytest.raises(ConfigurationError):
+            sw.get_scenario("not-a-sweep")
+
+    def test_listing_builds_nothing(self):
+        # Scenario summaries must be available without running builders.
+        for scenario in sw.iter_scenarios():
+            assert scenario.summary
+
+    def test_dse_scenario_matches_core_exploration(self):
+        from repro.core.dse import explore_deca_designs
+        from repro.experiments.dse import dse_spec
+        from repro.sim.system import hbm_system
+
+        machine = hbm_system().machine
+        via_spec = dse_spec(machine, _SCHEMES).run()
+        via_core = explore_deca_designs(machine, _SCHEMES)
+        assert via_spec == via_core
+        assert via_spec.best is not None
+
+
+# ---------------------------------------------------------------------
+# Streaming executor: ordering, cancellation, errors
+# ---------------------------------------------------------------------
+
+
+@needs_fork
+class TestStreamingExecutor:
+    def test_out_of_order_completion_yields_index_sorted(self, tmp_path):
+        # Cell 0 sleeps while cells 1..3 finish instantly on the other
+        # worker: completion order is out of order, yield order is not.
+        marker_dir = str(tmp_path)
+        tasks = [(marker_dir, 0, 0.3)] + [
+            (marker_dir, i, 0.0) for i in (1, 2, 3)
+        ]
+        yielded = []
+        for index, value in stream_map(_sleep_then_mark, tasks, jobs=2):
+            if not yielded:
+                # By the time index 0 finally lands, the later cells
+                # must already have completed — proof the join really
+                # saw out-of-order chunks and re-sorted them.
+                done = {p.name for p in tmp_path.iterdir()}
+                assert {"cell-1", "cell-2", "cell-3"} <= done
+            yielded.append((index, value))
+        assert yielded == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        execution = last_sweep_execution()
+        assert execution.jobs == 2
+        assert execution.completed == 4
+        assert not execution.cancelled
+
+    def test_mid_stream_break_cancels_outstanding_dispatch(self, tmp_path):
+        marker_dir = str(tmp_path)
+        total = 24
+        tasks = [(marker_dir, i, 0.02) for i in range(total)]
+        consumed = []
+        for index, value in stream_map(_mark_then_sleep, tasks, jobs=2):
+            consumed.append(index)
+            if len(consumed) == 2:
+                break  # closes the generator
+        assert consumed == [0, 1]
+        execution = last_sweep_execution()
+        assert execution.cancelled
+        assert execution.completed < total
+        # Only the in-flight window (2 * jobs) beyond the consumed cells
+        # was ever dispatched; the rest of the grid never ran.
+        dispatched = len(list(tmp_path.iterdir()))
+        assert dispatched < total / 2
+        assert dispatched <= execution.completed + 4
+        # The persistent pool survived the early close and still works.
+        assert parallel_map(_double, [1, 2, 3], jobs=2) == [2, 4, 6]
+
+    def test_worker_exception_propagates_and_pool_survives(self):
+        with pytest.raises(ValueError, match="cursed"):
+            list(stream_map(_explode_on_three, list(range(8)), jobs=2))
+        assert parallel_map(_double, [5], jobs=1) == [10]
+
+    def test_serial_stream_is_lazy(self):
+        # jobs=1 must stream too: the first result arrives before later
+        # cells run (the time-to-first-result property on one core).
+        stream = stream_map(_double, [1, 2, 3], jobs=1)
+        assert next(stream) == (0, 2)
+        stream.close()
+        execution = last_sweep_execution()
+        assert execution.jobs == 1
+        assert execution.completed == 1
+        assert execution.cancelled
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="cursed"):
+            list(stream_map(_explode_on_three, [1, 3], jobs=1))
+
+    def test_task_failure_is_not_reported_as_cancellation(self):
+        # A blown-up task ends the sweep early, but that is a failure,
+        # not a consumer cancel — the execution report must not lie.
+        with pytest.raises(ValueError):
+            list(stream_map(_explode_on_three, [1, 3, 5], jobs=1))
+        assert not last_sweep_execution().cancelled
+        if fork_available():
+            with pytest.raises(ValueError):
+                list(stream_map(_explode_on_three, list(range(8)), jobs=2))
+            assert not last_sweep_execution().cancelled
+
+
+class TestResolveJobs:
+    def test_zero_and_none_resolve_to_cpu_count(self):
+        expected = min(os.cpu_count() or 1, 100)
+        if fork_available():
+            assert resolve_jobs(0, 100) == expected
+            assert resolve_jobs(None, 100) == expected
+        else:
+            assert resolve_jobs(0, 100) == 1
+
+    def test_negative_jobs_share_one_error_message(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_jobs(-2, 10)
+        assert str(excinfo.value) == NEGATIVE_JOBS_ERROR.format(jobs=-2)
+        with pytest.raises(ConfigurationError) as excinfo:
+            list(stream_map(_double, [1], jobs=-7))
+        assert str(excinfo.value) == NEGATIVE_JOBS_ERROR.format(jobs=-7)
+
+
+# ---------------------------------------------------------------------
+# Incremental emission
+# ---------------------------------------------------------------------
+
+
+class TestEmission:
+    def _spec(self):
+        return sw.SweepSpec(
+            name="emit",
+            axes={"x": (1, 2, 3, 4)},
+            task=_double,
+            make_cell=lambda coords: coords["x"],
+        )
+
+    def test_jsonl_lines_appear_before_sweep_finishes(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        lines_seen_mid_sweep = []
+        with sw.open_emitter(path) as emitter:
+            def on_cell(cell):
+                lines_seen_mid_sweep.append(
+                    len(path.read_text().splitlines())
+                )
+
+            output = sw.stream_to_emitter(
+                self._spec(), emitter, jobs=1, on_cell=on_cell
+            )
+        # After the FIRST cell (3 cells still outstanding) the file
+        # already held that cell's row — emission is incremental.
+        assert lines_seen_mid_sweep == [1, 2, 3, 4]
+        assert output == [2, 4, 6, 8]
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == [
+            {"x": 1, "value": 2}, {"x": 2, "value": 4},
+            {"x": 3, "value": 6}, {"x": 4, "value": 8},
+        ]
+
+    def test_csv_emitter_writes_header_once_and_flushes(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        with sw.open_emitter(path) as emitter:
+            assert isinstance(emitter, sw.CsvEmitter)
+            sw.stream_to_emitter(self._spec(), emitter, jobs=1)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,value"
+        assert lines[1:] == ["1,2", "2,4", "3,6", "4,8"]
+
+    def test_csv_rejects_mixed_row_schemas_cleanly(self, tmp_path):
+        # CSV carries one schema per file; a second scenario's rows must
+        # raise the catchable ConfigurationError, not a csv ValueError.
+        with sw.open_emitter(tmp_path / "rows.csv") as emitter:
+            emitter.emit({"a": 1, "b": 2})
+            with pytest.raises(ConfigurationError, match="jsonl"):
+                emitter.emit({"c": 3})
+
+    def test_jsonl_line_is_the_shared_serialization(self):
+        line = sw.jsonl_line({"scheme": parse_scheme("Q4"), "x": 1.5})
+        assert json.loads(line) == {"scheme": "Q4", "x": 1.5}
+
+    def test_suffix_selects_format(self, tmp_path):
+        assert isinstance(
+            sw.open_emitter(tmp_path / "a.jsonl"), sw.JsonlEmitter
+        )
+        assert isinstance(sw.open_emitter(tmp_path / "a.CSV"), sw.CsvEmitter)
+
+    def test_row_values_coerced_to_scalars(self, tmp_path):
+        # Schemes/systems carry a .name; everything else strs.
+        assert sw._json_scalar(parse_scheme("Q4")) == "Q4"
+        assert sw._json_scalar(3.5) == 3.5
+        assert sw._json_scalar(None) is None
+        assert sw._json_scalar((1, 2)) == "(1, 2)"
+
+
+# ---------------------------------------------------------------------
+# Ported entry points: the spec path is the old path, bit for bit
+# ---------------------------------------------------------------------
+
+
+class TestPortedSweeps:
+    def test_grid_spec_enumerates_like_the_old_loop(self):
+        from repro.experiments.grid import grid_spec
+        from repro.sim.system import hbm_system
+
+        spec = grid_spec(systems=(hbm_system(),), schemes=_SCHEMES)
+        assert spec.cell_count == 1 * 2 * 2
+        coords = spec.coords()
+        # system-major, then scheme, then engine — the historical order.
+        assert [c["engine"] for c in coords[:2]] == ["software", "deca"]
+        assert coords[0]["scheme"].name == "Q4"
+        assert coords[2]["scheme"].name == "Q8_5%"
+
+    def test_grid_stream_matches_buffered_run(self):
+        from repro.experiments.grid import grid_spec, run_grid
+        from repro.sim.system import hbm_system
+
+        clear_simulation_cache()
+        records = run_grid(systems=(hbm_system(),), schemes=_SCHEMES)
+        clear_simulation_cache()
+        streamed = [
+            cell.value
+            for cell in grid_spec(
+                systems=(hbm_system(),), schemes=_SCHEMES
+            ).stream(jobs=1)
+        ]
+        assert streamed == records
+
+    def test_speedup_rows_flatten_scheme_names(self):
+        from repro.experiments.figure12 import sweep_spec
+
+        spec = sweep_spec()
+        cells = list(spec.stream(jobs=1))
+        (row,) = spec.rows_for(cells[0])
+        assert set(row) == {
+            "scheme", "software", "deca", "optimal", "deca_over_software"
+        }
+        assert isinstance(row["scheme"], str)
+
+    def test_sensitivity_spec_matches_run(self):
+        from repro.experiments import sensitivity
+
+        clear_simulation_cache()
+        via_run = sensitivity.run()
+        clear_simulation_cache()
+        via_spec = sensitivity.sweep_spec().run(jobs=1)
+        assert via_spec == via_run
+
+    def test_batch_sweep_rows_expand_per_scheme(self):
+        from repro.experiments import batch_sweep
+
+        spec = batch_sweep.sweep_spec(batches=(1,))
+        cells = list(spec.stream(jobs=1))
+        rows = list(spec.rows_for(cells[0]))
+        assert len(rows) == len(cells[0].value)
+        assert all(row["batch"] == 1 for row in rows)
