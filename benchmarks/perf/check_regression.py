@@ -11,7 +11,11 @@ run's hit rate against a machine-independent 90% floor, and entries
 carrying a ``first_result_fraction`` field (the streaming-engine anchor)
 gate time-to-first-result: the fraction must stay below 1.0 — the
 streamed path emits its first result before the last cell computes —
-and within tolerance of the recorded ratio.
+and within tolerance of the recorded ratio. ``RATIO_FLOORS`` adds two
+more machine-independent gates: the window-blocked multi-core engine
+must stay >=5x over its retained per-wave reference loop, and the
+warm-start broadcast must keep persistent workers >=90% memory-hot on
+the second composite-scenario run.
 
 Usage:
 
@@ -137,6 +141,44 @@ def _warm_cache_failures(recorded: dict, fresh: dict) -> "list[str]":
     return failures
 
 
+#: Machine-independent ratio floors, keyed by benchmark name:
+#: ``(field, floor, what it proves)``. Unlike the wall-clock gates these
+#: compare two measurements from the *same* run, so machine speed
+#: cancels out and the floor is absolute.
+RATIO_FLOORS = {
+    # The window-blocked multi-core engine must stay >=5x over the
+    # retained (bit-identical) per-wave reference loop at 300 tiles.
+    "multicore_event_blocked_300": (
+        "speedup_vs_reference_loop", 5.0,
+        "the blocked event engine has degraded toward the per-wave loop",
+    ),
+    # On the second composite run over one persistent pool, the
+    # warm-start broadcast must let workers serve >=90% of lookups
+    # from their in-memory cache.
+    "warm_worker_hit_rate": (
+        "worker_memory_hit_rate", 0.9,
+        "the warm-start broadcast no longer reaches persistent workers",
+    ),
+}
+
+
+def _ratio_floor_failures(recorded: dict, fresh: dict) -> "list[str]":
+    """Gate the machine-independent ratio floors (see RATIO_FLOORS)."""
+    failures = []
+    for name, (field, floor, meaning) in sorted(RATIO_FLOORS.items()):
+        if name not in recorded:
+            continue
+        value = fresh.get(name, {}).get(field)
+        if value is None:
+            failures.append(f"{name}: {field} measurement disappeared")
+        elif value < floor:
+            failures.append(
+                f"{name}: {field} {value:.2f} below the {floor:.2f} "
+                f"floor — {meaning}"
+            )
+    return failures
+
+
 #: Hard ceiling for the streamed first-result fraction: at or above 1.0
 #: the "stream" waits for the whole sweep, i.e. the incremental join has
 #: silently degraded to a barrier.
@@ -215,6 +257,7 @@ def compare(
     failures.extend(_parallel_scaling_failures(recorded, fresh, tolerance))
     failures.extend(_warm_cache_failures(recorded, fresh))
     failures.extend(_streaming_failures(recorded, fresh, tolerance))
+    failures.extend(_ratio_floor_failures(recorded, fresh))
     return failures
 
 

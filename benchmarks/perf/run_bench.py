@@ -32,13 +32,32 @@ compared against the buffered full-sweep time (``full_s``). The derived
 demonstrably emits its first result before the last cell computes) and
 within tolerance of the recorded value.
 
+``multicore_event_blocked_300`` tracks the window-blocked multi-core
+event engine: the blocked path vs the retained per-wave reference loop
+(``simulate_multicore_event_reference``) on the same 300-tile stream at
+a deep-prefetch window of 48. The two are bit-identical; the
+``speedup_vs_reference_loop`` ratio is gated against a ≥5x floor.
+``multicore_event_64c2000`` records the large-grid anchor (64 cores ×
+2000 tiles per core) the per-wave loop made impractical to sweep.
+
+``warm_worker_hit_rate`` tracks the warm-start cache broadcast
+(:mod:`repro.experiments.parallel`): the ``figure12+figure13``
+composite scenario runs twice on one persistent 2-worker pool. On the
+second run the parent broadcasts its merged entries back out at each
+sub-sweep's dispatch, so the workers serve every lookup from memory —
+``worker_memory_hit_rate`` is machine-independent and gated against a
+90% floor.
+
 Usage:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py [--output PATH]
-        [--repeats N] [--only NAME ...]
+        [--repeats N] [--only NAME ...] [--smoke]
 
 ``--only`` re-times just the named benchmarks and merges them into the
 existing report (quick local refreshes after touching one subsystem).
+``--smoke`` runs every benchmark body once at reduced sizes and writes
+*nothing* — a tier-1-safe liveness check (see tests/test_perf_smoke.py)
+so anchor code cannot silently rot between opt-in perf runs.
 
 Timing protocol: best-of-``repeats`` wall time per benchmark (min is the
 stablest estimator for sub-millisecond kernels on a shared machine).
@@ -68,10 +87,13 @@ KNOWN_BENCHMARKS = (
     "sim_core_cached_lookup_x100",
     "decompress_tile_x32",
     "multicore_event_300",
+    "multicore_event_blocked_300",
+    "multicore_event_64c2000",
     "figure12_sweep",
     "figure12_sweep_parallel",
     "figure12_time_to_first_result",
     "dse_warm_cache",
+    "warm_worker_hit_rate",
 )
 
 #: One-time measurements of the seed-commit implementation (c229933),
@@ -147,12 +169,18 @@ def _decompress_fixture():
 
 
 def run_benchmarks(
-    repeats: int = 20, only: Optional[Sequence[str]] = None
+    repeats: int = 20,
+    only: Optional[Sequence[str]] = None,
+    smoke: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Time every benchmark; returns {name: {before_s, after_s, ...}}.
 
     ``only`` restricts the run to the named benchmarks (see
     ``KNOWN_BENCHMARKS``); unknown names raise ``ValueError``.
+    ``smoke`` shrinks every workload (fewer tiles/cores/repetitions) so
+    the whole harness exercises in a couple of seconds — the numbers
+    are meaningless for regression gating but prove every anchor still
+    runs end to end.
     """
     if only is not None:
         unknown = sorted(set(only) - set(KNOWN_BENCHMARKS))
@@ -172,10 +200,17 @@ def run_benchmarks(
     from repro.sim.pipeline import (
         KernelTiming,
         simulate_multicore_event,
+        simulate_multicore_event_reference,
         simulate_tile_stream,
         simulate_tile_stream_reference,
     )
     from repro.sim.system import hbm_system
+
+    if smoke:
+        repeats = 1
+
+    def reps_for(n: int) -> int:
+        return 1 if smoke else max(n, 1)
 
     system = hbm_system()
     results: Dict[str, Dict[str, float]] = {}
@@ -244,10 +279,55 @@ def run_benchmarks(
                 lambda: simulate_multicore_event(
                     system, timing, tiles_per_core=300
                 ),
-                max(repeats // 4, 3),
+                reps_for(max(repeats // 4, 3)),
             ),
             None,
         )
+
+    # --- window-blocked event engine vs retained per-wave loop ---------
+    if want("multicore_event_blocked_300"):
+        # A deep-prefetch window (DECA's own prefetcher runs well ahead
+        # of the stream; the TEPL case above uses 24): the blocked
+        # engine's win scales with the waves per block, the per-wave
+        # loop's cost does not change.
+        timing = KernelTiming(
+            bytes_per_tile=300.0, dec_cycles=20.0, prefetch_window=48
+        )
+        tiles = 64 if smoke else 300
+        reps = reps_for(max(repeats // 2, 5))
+        after = best_of(
+            lambda: simulate_multicore_event(system, timing, tiles),
+            reps,
+        )
+        before = best_of(
+            lambda: simulate_multicore_event_reference(
+                system, timing, tiles
+            ),
+            reps,
+        )
+        add("multicore_event_blocked_300", after, before)
+
+    # --- large-grid multi-core anchor (64 cores x 2000 tiles) ----------
+    if want("multicore_event_64c2000"):
+        cores, tiles = (8, 120) if smoke else (64, 2000)
+        timing = KernelTiming(
+            bytes_per_tile=300.0, dec_cycles=20.0, prefetch_window=48
+        )
+        after = best_of(
+            lambda: simulate_multicore_event(
+                system, timing, tiles, cores=cores
+            ),
+            reps_for(max(repeats // 6, 2)),
+        )
+        before = best_of(
+            lambda: simulate_multicore_event_reference(
+                system, timing, tiles, cores=cores
+            ),
+            reps_for(2),
+        )
+        add("multicore_event_64c2000", after, before)
+        results["multicore_event_64c2000"]["cores"] = float(cores)
+        results["multicore_event_64c2000"]["tiles_per_core"] = float(tiles)
 
     # --- one full figure sweep (cold cache each run) -------------------
     if want("figure12_sweep"):
@@ -338,7 +418,7 @@ def run_benchmarks(
             return warm_records
 
         try:
-            reps = max(repeats // 4, 3)
+            reps = reps_for(max(repeats // 4, 3))
             cold = best_of(grid_cold, reps)
             warm = best_of(grid_warm, reps)
             # The paper's figures ride on these records: a warm replay
@@ -360,12 +440,78 @@ def run_benchmarks(
             configure_simulation_cache_dir(None)
             shutil.rmtree(cache_root, ignore_errors=True)
 
+    # --- warm-start broadcast: composite scenario twice on one pool ----
+    if want("warm_worker_hit_rate"):
+        from repro.experiments.composite import figure12_figure13_sweep
+        from repro.experiments.parallel import shutdown_worker_pool
+        from repro.sim.cache import simulation_cache_stats
+
+        def composite_round():
+            sweep = figure12_figure13_sweep()
+            sweep.run(jobs=2)
+            return sweep.executions
+
+        def round_hit_rate(executions, stats_before) -> float:
+            hits = sum(ex.worker_hits for _, ex in executions)
+            misses = sum(ex.worker_misses for _, ex in executions)
+            disk = sum(ex.worker_disk_hits for _, ex in executions)
+            lookups = hits + misses + disk
+            if lookups == 0:
+                # Serial fallback (no fork): the cells ran in-process,
+                # so this round's delta of the parent's own counters
+                # carries the evidence (the cumulative totals would
+                # dilute the warm rate with the cold round's misses).
+                stats = simulation_cache_stats()
+                hits = stats.hits - stats_before.hits
+                lookups = (
+                    hits
+                    + (stats.misses - stats_before.misses)
+                    + (stats.disk_hits - stats_before.disk_hits)
+                )
+                return hits / lookups if lookups else 0.0
+            return hits / lookups
+
+        # Cold: fresh pool, empty cache — the composite computes all
+        # cells in the workers and merges them into the parent.
+        shutdown_worker_pool()
+        clear_simulation_cache()
+        start = time.perf_counter()
+        composite_round()
+        cold_s = time.perf_counter() - start
+        # Warm: same process, same (now stale) pool — the broadcast
+        # ships the parent's merged entries back out at dispatch, so
+        # worker lookups are served from worker memory.
+        warm_rates = []
+        warm_entries = []
+        warm_s = float("inf")
+        for _ in range(reps_for(max(repeats // 4, 3))):
+            stats_before = simulation_cache_stats()
+            start = time.perf_counter()
+            executions = composite_round()
+            warm_s = min(warm_s, time.perf_counter() - start)
+            warm_rates.append(round_hit_rate(executions, stats_before))
+            warm_entries.append(
+                sum(ex.broadcast_entries for _, ex in executions)
+            )
+        shutdown_worker_pool()
+        results["warm_worker_hit_rate"] = {
+            "after_s": warm_s,
+            "cold_s": cold_s,
+            "warm_speedup": cold_s / warm_s,
+            # The worst repetition, like the disk anchor: a flaky
+            # broadcast must not hide behind one clean rep.
+            "worker_memory_hit_rate": min(warm_rates),
+            "broadcast_entries": float(min(warm_entries)),
+        }
+
     # --- parallel sweep executor: full grid at 1/2/4 workers -----------
     if want("figure12_sweep_parallel"):
-        if (os.cpu_count() or 1) < max(PARALLEL_SWEEP_JOBS):
+        sweep_tiles = 600 if smoke else PARALLEL_SWEEP_TILES
+        sweep_jobs = (1, 2) if smoke else PARALLEL_SWEEP_JOBS
+        if not smoke and (os.cpu_count() or 1) < max(sweep_jobs):
             print(
                 f"warning: {os.cpu_count() or 1} CPU(s) < "
-                f"{max(PARALLEL_SWEEP_JOBS)} workers — the "
+                f"{max(sweep_jobs)} workers — the "
                 "figure12_sweep_parallel anchor will record pool overhead, "
                 "not scaling; re-record on a multi-core host for a "
                 "meaningful speedup baseline",
@@ -375,19 +521,19 @@ def run_benchmarks(
         def grid_at(jobs: int) -> Callable[[], object]:
             def body():
                 clear_simulation_cache()
-                return run_grid(tiles=PARALLEL_SWEEP_TILES, jobs=jobs)
+                return run_grid(tiles=sweep_tiles, jobs=jobs)
 
             return body
 
-        reps = max(repeats // 4, 3)
+        reps = reps_for(max(repeats // 4, 3))
         per_jobs = {
             jobs: best_of(grid_at(jobs), reps)
-            for jobs in PARALLEL_SWEEP_JOBS
+            for jobs in sweep_jobs
         }
         entry: Dict[str, float] = {
-            "after_s": per_jobs[PARALLEL_SWEEP_JOBS[-1]],
+            "after_s": per_jobs[sweep_jobs[-1]],
             "parallel_speedup_4w": (
-                per_jobs[1] / per_jobs[PARALLEL_SWEEP_JOBS[-1]]
+                per_jobs[1] / per_jobs[sweep_jobs[-1]]
             ),
             "cpu_count": float(os.cpu_count() or 1),
         }
@@ -456,12 +602,20 @@ def main(argv=None) -> int:
         help="re-time only these benchmarks and merge them into the "
              f"existing report; choose from: {', '.join(KNOWN_BENCHMARKS)}",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run every benchmark once at reduced sizes and write "
+             "nothing — a fast liveness check of the anchor code",
+    )
     args = parser.parse_args(argv)
     try:
-        results = run_benchmarks(repeats=args.repeats, only=args.only)
+        results = run_benchmarks(
+            repeats=args.repeats, only=args.only, smoke=args.smoke
+        )
     except ValueError as error:
         parser.error(str(error))
-    write_report(results, args.output, merge=args.only is not None)
+    if not args.smoke:
+        write_report(results, args.output, merge=args.only is not None)
     width = max(len(name) for name in results)
     for name, entry in sorted(results.items()):
         after_us = entry["after_s"] * 1e6
@@ -475,10 +629,16 @@ def main(argv=None) -> int:
                 f"  {entry['parallel_speedup_4w']:5.2f}x at 4 workers "
                 f"({entry['cpu_count']:.0f} CPUs)"
             )
-        if "warm_speedup" in entry:
+        if "disk_hit_rate" in entry:
             line += (
                 f"  {entry['warm_speedup']:5.1f}x warm vs cold "
                 f"({entry['disk_hit_rate']:.0%} disk hits)"
+            )
+        if "worker_memory_hit_rate" in entry:
+            line += (
+                f"  {entry['warm_speedup']:5.1f}x warm vs cold "
+                f"({entry['worker_memory_hit_rate']:.0%} worker memory "
+                "hits)"
             )
         if "first_result_fraction" in entry:
             line += (
@@ -486,7 +646,10 @@ def main(argv=None) -> int:
                 f"of the {entry['full_s'] * 1e6:.0f} us full sweep"
             )
         print(line)
-    print(f"wrote {args.output}")
+    if args.smoke:
+        print(f"smoke run ok ({len(results)} benchmarks); nothing written")
+    else:
+        print(f"wrote {args.output}")
     return 0
 
 

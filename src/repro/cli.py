@@ -24,8 +24,13 @@ Repeated simulations are served from the process-wide LRU cache
 independent configurations out across a persistent pool of forked
 worker processes whose caches are merged incrementally as cells finish
 (``--jobs 0`` = one worker per CPU; the pool is reused by every sweep
-in the invocation). The same commands accept ``--cache-dir PATH`` (or
-the ``REPRO_CACHE_DIR`` environment variable) to spill simulation
+in the invocation). When a later sweep reuses the pool, the parent
+broadcasts its warm in-memory entries back out to the workers first
+(bounded by ``REPRO_WARM_BROADCAST_BYTES``, default 8 MiB, ``0``
+disables), so back-to-back sweeps — e.g. the registered
+``figure12+figure13`` composite scenario — hit memory in the workers
+instead of recomputing. The same commands accept ``--cache-dir PATH``
+(or the ``REPRO_CACHE_DIR`` environment variable) to spill simulation
 results to a disk-backed cache that survives process restarts: a
 re-run of the same sweep against a warm directory replays from disk
 instead of simulating. An unusable directory degrades to memory-only
@@ -439,7 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
             help="fork N workers for independent configurations and merge "
                  "their simulation caches on join (default: 1 = serial, "
                  "0 = one worker per CPU); the pool persists across "
-                 "sweeps within one invocation",
+                 "sweeps within one invocation, and later sweeps "
+                 "broadcast the parent's warm cache entries back to it "
+                 "(bounded by REPRO_WARM_BROADCAST_BYTES, 0 disables)",
         )
 
     def add_cache_dir(p: argparse.ArgumentParser) -> None:

@@ -17,6 +17,7 @@ registering module, so the registry is complete after
 
 from repro.experiments import (
     batch_sweep,
+    composite,
     dse,
     grid,
     parallel,
@@ -43,6 +44,7 @@ from repro.experiments.report import Table
 
 __all__ = [
     "batch_sweep",
+    "composite",
     "dse",
     "grid",
     "parallel",

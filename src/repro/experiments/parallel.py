@@ -54,6 +54,38 @@ Execution model
   the shared cache directory as they go, and the parent's merge skips
   re-writing them (content-addressed store).
 
+Warm-start broadcast (the reverse cache path)
+---------------------------------------------
+
+Worker→parent merging alone leaves persistent workers *stale*: entries
+merged into the parent after the pool forked (another worker's results,
+an earlier sweep in the same invocation) are invisible to them, so a
+later sweep revisiting those configurations recomputes — or re-reads
+from disk — results the parent already holds in memory. At dispatch
+time on a **reused** pool, :func:`stream_map` therefore broadcasts the
+parent's relevant in-memory entries out to every worker before the
+first cell is submitted:
+
+* relevance is a ``simulation_key`` prefix (``warm_prefix``, typically
+  the sweep's ``SimSystem``) — ``None`` ships the MRU entries across
+  the board;
+* the selection is bounded by a byte budget
+  (:data:`WARM_BROADCAST_DEFAULT_BYTES`, overridable per call via
+  ``warm_budget`` or globally via ``REPRO_WARM_BROADCAST_BYTES``;
+  ``0`` disables the broadcast entirely);
+* delivery uses one task per pool worker synchronized on a barrier
+  (forked before the pool, so workers inherit it), guaranteeing every
+  worker merges the payload exactly once; a broken/timed-out barrier
+  degrades to best-effort merges — results are never affected, only
+  warmth;
+* a freshly forked pool skips the broadcast: those workers inherited
+  the parent's whole cache through ``fork`` already.
+
+The broadcast only moves *cache entries*; results are bit-identical
+with it on or off — only ``CacheStats`` hit counters (and wall-clock)
+change. ``SweepExecution`` records what was shipped
+(``broadcast_entries`` / ``broadcast_bytes`` / ``broadcast_workers``).
+
 Cancellation contract
 ---------------------
 
@@ -83,7 +115,9 @@ import atexit
 import multiprocessing
 import multiprocessing.pool
 import os
+import pickle
 import queue
+import threading
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -101,6 +135,17 @@ from repro.sim import cache as _simcache
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Default byte budget for the warm-start broadcast payload (pickled
+#: entries shipped to each persistent worker at sweep dispatch).
+WARM_BROADCAST_DEFAULT_BYTES = 8 * 1024 * 1024
+
+#: Environment override for the broadcast budget ("0" disables).
+WARM_BROADCAST_ENV = "REPRO_WARM_BROADCAST_BYTES"
+
+#: How long a worker waits at the broadcast barrier before degrading to
+#: a best-effort merge (seconds).
+_BROADCAST_BARRIER_TIMEOUT_S = 30.0
 
 #: Set in pool workers (via the pool initializer) so nested parallel_map
 #: calls degrade to serial instead of forking grandchildren — pool
@@ -158,6 +203,12 @@ class SweepExecution:
     completed: int = 0
     #: Whether the stream was closed before every cell ran.
     cancelled: bool = False
+    #: Warm-start broadcast: entries shipped to each worker at dispatch,
+    #: their total pickled payload size, and how many workers confirmed
+    #: the merge (0 0 0 when the broadcast was skipped or disabled).
+    broadcast_entries: int = 0
+    broadcast_bytes: int = 0
+    broadcast_workers: int = 0
 
 
 #: Report of the most recent stream_map call (diagnostics/tests).
@@ -182,6 +233,11 @@ _POOL: Optional[multiprocessing.pool.Pool] = None
 _POOL_JOBS = 0
 _ATEXIT_REGISTERED = False
 
+#: Barrier synchronizing the warm-start broadcast: created *before* the
+#: pool forks (workers inherit it — multiprocessing primitives cannot be
+#: pickled into task payloads), parties == pool width.
+_POOL_BARRIER = None
+
 
 def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
     """The persistent worker pool, grown to at least ``n_jobs`` workers.
@@ -191,11 +247,14 @@ def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
     small sweep following a large one must not tear down — and
     re-fork — the pool the large sweeps amortize.
     """
-    global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED
+    global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED, _POOL_BARRIER
     if _POOL is not None and _POOL_JOBS < n_jobs:
         shutdown_worker_pool()
     if _POOL is None:
         context = multiprocessing.get_context("fork")
+        # The broadcast barrier must exist before the fork so workers
+        # see the same object through inherited memory.
+        _POOL_BARRIER = context.Barrier(n_jobs)
         _POOL = context.Pool(n_jobs, initializer=_mark_worker)
         _POOL_JOBS = n_jobs
         if not _ATEXIT_REGISTERED:
@@ -211,12 +270,13 @@ def shutdown_worker_pool() -> None:
     simply forks a fresh pool. Registered atexit so an invocation never
     leaks worker processes.
     """
-    global _POOL, _POOL_JOBS
+    global _POOL, _POOL_JOBS, _POOL_BARRIER
     if _POOL is not None:
         _POOL.close()
         _POOL.join()
         _POOL = None
         _POOL_JOBS = 0
+        _POOL_BARRIER = None
 
 
 def worker_pool_size() -> int:
@@ -267,6 +327,79 @@ def _run_cell(
     )
 
 
+def _warm_broadcast_budget(warm_budget: Optional[int]) -> int:
+    """Resolve the broadcast byte budget (call arg > env > default)."""
+    if warm_budget is not None:
+        return max(0, int(warm_budget))
+    raw = os.environ.get(WARM_BROADCAST_ENV)
+    if raw is not None:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            return WARM_BROADCAST_DEFAULT_BYTES
+    return WARM_BROADCAST_DEFAULT_BYTES
+
+
+def _absorb_warm_entries(payload: bytes) -> int:
+    """Worker body of the warm-start broadcast: merge parent entries.
+
+    One such task is submitted per pool worker; the inherited barrier
+    holds each worker until all of them have picked one up, so no
+    worker can drain two (and none is skipped). After the rendezvous,
+    each worker syncs its cache generation/disk tier to the parent's
+    and merges the shipped entries into its in-memory cache. A broken
+    or timed-out barrier degrades to a best-effort merge — the merge is
+    idempotent and affects only cache warmth, never results.
+
+    ``payload`` is the parent's pre-pickled ``(generation, cache_dir,
+    entries)`` blob: pickling once and shipping bytes keeps dispatch
+    cost independent of the pool width (re-pickling bytes per worker
+    is a memcpy, re-pickling the entries would not be).
+    """
+    generation, cache_dir, entries = pickle.loads(payload)
+    barrier = _POOL_BARRIER
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=_BROADCAST_BARRIER_TIMEOUT_S)
+        except threading.BrokenBarrierError:  # pragma: no cover - degraded
+            pass
+    _simcache.sync_simulation_cache_generation(generation)
+    if _simcache.simulation_cache_dir() != cache_dir:
+        _simcache.configure_simulation_cache_dir(cache_dir)
+    stats = _simcache.merge_simulation_cache(entries)
+    return stats.inserted + stats.duplicates
+
+
+def _broadcast_warm_entries(
+    pool: multiprocessing.pool.Pool,
+    generation: int,
+    cache_dir: Optional[str],
+    entries: List[Tuple[Any, Any]],
+) -> int:
+    """Ship ``entries`` to every worker of ``pool``; workers reached.
+
+    Blocks until each worker has merged the payload (one barrier
+    round-trip), so the cells dispatched right after find warm caches.
+    Failures degrade silently to a colder sweep — never a failed one.
+    """
+    width = _POOL_JOBS
+    payload = pickle.dumps(
+        (generation, cache_dir, entries), pickle.HIGHEST_PROTOCOL
+    )
+    pending = [
+        pool.apply_async(_absorb_warm_entries, (payload,))
+        for _ in range(width)
+    ]
+    reached = 0
+    for handle in pending:
+        try:
+            handle.get(timeout=2 * _BROADCAST_BARRIER_TIMEOUT_S)
+            reached += 1
+        except Exception:  # pragma: no cover - degraded broadcast
+            pass
+    return reached
+
+
 def _serial_stream(
     fn: Callable[[_T], _R],
     items: List[_T],
@@ -303,6 +436,8 @@ def _parallel_stream(
     items: List[_T],
     n_jobs: int,
     progress: Optional[Callable[[int, int], None]],
+    warm_prefix: Optional[Tuple[Any, ...]] = None,
+    warm_budget: Optional[int] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """The fanned-out streaming loop: dispatch cells, join as they land.
 
@@ -310,12 +445,30 @@ def _parallel_stream(
     early ``close()`` leaves at most a handful of cells running; those
     are drained — and their cache deltas merged — before the generator
     returns, leaving the persistent pool quiescent for the next sweep.
+
+    On a *reused* pool, the parent first broadcasts its relevant warm
+    cache entries to every worker (see the module docstring's
+    warm-start broadcast contract); a freshly forked pool inherited
+    them already.
     """
     global _LAST_EXECUTION
     reused = worker_pool_size() >= n_jobs
     pool = _get_pool(n_jobs)
     generation = _simcache.simulation_cache_generation()
     cache_dir = _simcache.simulation_cache_dir()
+    broadcast_entries = broadcast_bytes = broadcast_workers = 0
+    if reused:
+        budget = _warm_broadcast_budget(warm_budget)
+        if budget > 0:
+            entries, total = _simcache.select_simulation_cache_entries(
+                prefix=warm_prefix, max_bytes=budget
+            )
+            if entries:
+                broadcast_workers = _broadcast_warm_entries(
+                    pool, generation, cache_dir, entries
+                )
+                broadcast_entries = len(entries)
+                broadcast_bytes = total
     done: "queue.Queue[Any]" = queue.Queue()
     total = len(items)
     window = min(total, 2 * n_jobs)
@@ -398,6 +551,9 @@ def _parallel_stream(
             worker_misses=misses, worker_disk_hits=disk_hits,
             pool_reused=reused, completed=completed,
             cancelled=failure is None and completed < total,
+            broadcast_entries=broadcast_entries,
+            broadcast_bytes=broadcast_bytes,
+            broadcast_workers=broadcast_workers,
         )
     if failure is not None:
         raise failure
@@ -408,6 +564,8 @@ def stream_map(
     items: Sequence[_T],
     jobs: Optional[int] = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    warm_prefix: Optional[Tuple[Any, ...]] = None,
+    warm_budget: Optional[int] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """Yield ``(index, fn(item))`` pairs in index order, streaming.
 
@@ -422,6 +580,12 @@ def stream_map(
     after each cell finishes — in *completion* order, which is not
     necessarily index order.
 
+    ``warm_prefix`` / ``warm_budget`` tune the warm-start broadcast to
+    persistent workers (see the module docstring): a ``simulation_key``
+    prefix selecting which parent entries are relevant, and a byte
+    budget capping the payload (``None`` = ``REPRO_WARM_BROADCAST_BYTES``
+    or the 8 MiB default; ``0`` disables).
+
     Closing the generator early stops dispatch immediately; see the
     module docstring's cancellation contract.
     """
@@ -429,13 +593,18 @@ def stream_map(
     n_jobs = resolve_jobs(jobs, len(items))
     if n_jobs <= 1:
         return _serial_stream(fn, items, progress)
-    return _parallel_stream(fn, items, n_jobs, progress)
+    return _parallel_stream(
+        fn, items, n_jobs, progress,
+        warm_prefix=warm_prefix, warm_budget=warm_budget,
+    )
 
 
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
     jobs: Optional[int] = 1,
+    warm_prefix: Optional[Tuple[Any, ...]] = None,
+    warm_budget: Optional[int] = None,
 ) -> List[_R]:
     """``[fn(x) for x in items]``, optionally fanned out across processes.
 
@@ -443,6 +612,13 @@ def parallel_map(
     returns the full result list in input order. With ``jobs=1`` (the
     default) this is the serial comprehension; with more, cells run in
     forked workers and their cache entries are merged as each cell
-    lands (see the module docstring for the full contract).
+    lands (see the module docstring for the full contract, including
+    the warm-start broadcast ``warm_prefix``/``warm_budget`` tuning).
     """
-    return [result for _, result in stream_map(fn, items, jobs=jobs)]
+    return [
+        result
+        for _, result in stream_map(
+            fn, items, jobs=jobs,
+            warm_prefix=warm_prefix, warm_budget=warm_budget,
+        )
+    ]

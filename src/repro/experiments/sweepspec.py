@@ -144,6 +144,11 @@ class SweepSpec:
     reduce: Optional[Callable[[List[Any]], Any]] = None
     rows: Optional[Callable[[CellResult], Iterable[Dict[str, Any]]]] = None
     format_result: Optional[Callable[[Any], str]] = None
+    #: ``simulation_key`` prefix naming which parent cache entries are
+    #: relevant to this sweep (e.g. ``(system,)``) — drives the
+    #: warm-start broadcast to persistent workers; ``None`` ships the
+    #: most-recently-used entries regardless of key.
+    warm_prefix: Optional[Tuple[Any, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.axes:
@@ -217,7 +222,8 @@ class SweepSpec:
         """
         coords = self.coords()
         for index, value in stream_map(
-            self.task, self.cells(coords), jobs=jobs, progress=progress
+            self.task, self.cells(coords), jobs=jobs, progress=progress,
+            warm_prefix=self.warm_prefix,
         ):
             yield CellResult(index=index, coords=coords[index], value=value)
 
@@ -251,6 +257,161 @@ class SweepSpec:
         if hasattr(output, "format_table"):
             return output.format_table()
         return str(output)
+
+
+# ---------------------------------------------------------------------
+# Composite sweeps
+# ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompositeResult:
+    """The reduced output of a :class:`CompositeSweep`: named sections."""
+
+    sections: Tuple[Tuple[str, Any], ...]
+
+    def section(self, name: str) -> Any:
+        """The reduced output of the sub-sweep registered as ``name``."""
+        for section_name, value in self.sections:
+            if section_name == name:
+                return value
+        raise ConfigurationError(
+            f"composite result has no section {name!r}; sections: "
+            f"{', '.join(name for name, _ in self.sections)}"
+        )
+
+
+class CompositeSweep:
+    """Several :class:`SweepSpec` runs chained into one streamed sweep.
+
+    The sub-specs execute back-to-back in declaration order through one
+    invocation: they share the persistent worker pool, the simulation
+    cache (worker deltas merged after each cell, warm entries broadcast
+    back out at each sub-sweep's dispatch — each with its own
+    ``warm_prefix``), and the output stream. Cells are re-indexed
+    globally and their coordinates gain a ``"spec"`` axis naming the
+    sub-sweep, so emitted rows from different sections stay
+    distinguishable in one JSONL/CSV file.
+
+    Duck-types the :class:`SweepSpec` surface the CLI and
+    :func:`stream_to_emitter` use (``stream`` / ``rows_for`` /
+    ``reduced`` / ``run`` / ``render`` / ``cell_count``), reducing to a
+    :class:`CompositeResult` of per-spec sections.
+
+    After a run, :attr:`executions` holds one ``(spec_name,
+    SweepExecution)`` pair per sub-sweep — the cache-traffic evidence
+    (worker hits vs misses, broadcast sizes) the warm-worker benchmark
+    anchors read.
+    """
+
+    def __init__(
+        self, name: str, specs: Sequence[SweepSpec], title: str = ""
+    ) -> None:
+        if not specs:
+            raise ConfigurationError(
+                f"composite sweep {name!r} needs at least one spec"
+            )
+        self.name = name
+        self.title = title or name
+        self.specs = tuple(specs)
+        #: ``(spec_name, SweepExecution)`` per sub-sweep of the last run.
+        self.executions: List[Tuple[str, Any]] = []
+
+    @property
+    def cell_count(self) -> int:
+        """Total cells across every sub-sweep."""
+        return sum(spec.cell_count for spec in self.specs)
+
+    def describe_axes(self) -> str:
+        """Per-section grid shapes, ``figure12[scheme×8] + …``."""
+        return " + ".join(
+            f"{spec.name}[{spec.describe_axes()}]" for spec in self.specs
+        )
+
+    def stream(
+        self,
+        jobs: Optional[int] = 1,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[CellResult]:
+        """Yield every sub-sweep's cells in order, globally re-indexed."""
+        from repro.experiments.parallel import last_sweep_execution
+
+        self.executions = []
+        offset = 0
+        total = self.cell_count
+        for spec in self.specs:
+            base = offset
+            sub_progress = None
+            if progress is not None:
+                def sub_progress(done: int, _sub_total: int, _base=base):
+                    progress(_base + done, total)
+            for cell in spec.stream(jobs=jobs, progress=sub_progress):
+                yield CellResult(
+                    index=base + cell.index,
+                    coords={"spec": spec.name, **cell.coords},
+                    value=cell.value,
+                )
+            offset = base + spec.cell_count
+            self.executions.append((spec.name, last_sweep_execution()))
+
+    def _owner(self, index: int) -> Tuple[Optional[SweepSpec], int]:
+        """The sub-spec owning a global cell index, and its index base.
+
+        Sub-sweeps occupy contiguous global index ranges in declaration
+        order, so ownership is derivable — no per-cell state is kept.
+        """
+        base = 0
+        for spec in self.specs:
+            count = spec.cell_count
+            if index < base + count:
+                return spec, base
+            base += count
+        return None, 0
+
+    def rows_for(self, cell: CellResult) -> Iterable[Dict[str, Any]]:
+        """The owning sub-spec's rows, each tagged with its section."""
+        spec, base = self._owner(cell.index)
+        if spec is None:
+            return _default_rows(cell)
+        inner = CellResult(
+            index=cell.index - base,
+            coords={
+                name: value
+                for name, value in cell.coords.items() if name != "spec"
+            },
+            value=cell.value,
+        )
+        return tuple(
+            {"spec": spec.name, **row} for row in spec.rows_for(inner)
+        )
+
+    def reduced(self, results: List[Any]) -> CompositeResult:
+        """Split the ordered results per sub-sweep and reduce each."""
+        sections = []
+        offset = 0
+        for spec in self.specs:
+            count = spec.cell_count
+            sections.append(
+                (spec.name, spec.reduced(results[offset:offset + count]))
+            )
+            offset += count
+        return CompositeResult(sections=tuple(sections))
+
+    def run(
+        self,
+        jobs: Optional[int] = 1,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CompositeResult:
+        """Drain the chained stream and reduce every section."""
+        results = [cell.value for cell in self.stream(jobs, progress)]
+        return self.reduced(results)
+
+    def render(self, output: CompositeResult) -> str:
+        """Every section's rendering, joined with blank lines."""
+        parts = []
+        for spec, (_name, value) in zip(self.specs, output.sections):
+            parts.append(spec.render(value))
+        return "\n\n".join(parts)
 
 
 # ---------------------------------------------------------------------

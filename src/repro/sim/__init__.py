@@ -33,7 +33,7 @@ from repro.sim.cache import (
     simulation_cache_stats,
 )
 from repro.sim.diskcache import DiskCache, DiskCacheStats, open_disk_cache
-from repro.sim.memory import MemoryChannel, SharedMemoryServer
+from repro.sim.memory import MemoryChannel, SharedMemoryServer, WaveBlockScan
 from repro.sim.noc import MeshNoc, spr_mesh
 from repro.sim.engine import EventEngine
 from repro.sim.pipeline import (
@@ -42,6 +42,7 @@ from repro.sim.pipeline import (
     PipelineTrace,
     SimResult,
     simulate_multicore_event,
+    simulate_multicore_event_reference,
     simulate_tile_stream,
     simulate_tile_stream_reference,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "open_disk_cache",
     "MemoryChannel",
     "SharedMemoryServer",
+    "WaveBlockScan",
     "MeshNoc",
     "spr_mesh",
     "EventEngine",
@@ -73,6 +75,7 @@ __all__ = [
     "PipelineTrace",
     "SimResult",
     "simulate_multicore_event",
+    "simulate_multicore_event_reference",
     "simulate_tile_stream",
     "simulate_tile_stream_reference",
     "UtilizationReport",

@@ -798,6 +798,283 @@ _REFERENCE_ENGINES = {
 }
 
 
+def _multicore_setup(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles_per_core: int,
+    cores: Optional[int],
+):
+    """Validated shared inputs of the two multi-core engines.
+
+    Returns ``(n_cores, nbytes, dec, server)``. Both engines must build
+    their chain coordinates from these *identical* arrays — every float
+    op downstream is then the same in both, which is what makes them
+    bit-identical.
+    """
+    if timing.mode is not InvocationMode.OVERLAPPED:
+        raise ConfigurationError(
+            "the event backend models the OVERLAPPED discipline only"
+        )
+    if tiles_per_core < 2:
+        raise ConfigurationError(
+            "need at least 2 waves per core to measure a steady interval"
+        )
+    n_cores = cores if cores is not None else system.cores
+    if n_cores < 1:
+        raise ConfigurationError("cores must be >= 1")
+    nbytes = timing.tile_bytes(tiles_per_core)
+    dec = timing.tile_dec_cycles(tiles_per_core)
+    if np.any(nbytes < 0):
+        raise SimulationError("request size must be non-negative")
+    cap = timing.demand_load_cap
+    eff_bw = system.bytes_per_cycle() * DRAM_EFFICIENCY
+    if cap is not None:
+        eff_bw = min(eff_bw, cap * n_cores)
+    server = MemoryChannel(eff_bw, system.memory_latency)
+    return n_cores, nbytes, dec, server
+
+
+def _multicore_chain_coords(timing: KernelTiming, dec: np.ndarray):
+    """Global relative coordinates of the decompress and TMUL chains.
+
+    ``dcum``/``dcum_prev`` are the cumsum of per-wave decompress costs
+    over the *dec-active* subsequence (waves with ``dec > 0``; zero-dec
+    waves pass memory data straight through). ``dec_pos[w]`` maps a wave
+    to its position in that subsequence (-1 when inactive). The TMUL
+    coordinates are exact multiples of ``mtx_cycles``, with the handoff
+    pre-folded into ``hm`` (``handoff - w * mtx``) so the TMUL slack is
+    one add. Both engines share these arrays, so the chain recurrences
+
+        ``chain_done[w] = peak[w] + cum[w]``,
+        ``peak[w] = max(peak[w-1], ready[w] - cum_prev[w])``
+
+    evaluate the same floats whether advanced one wave at a time or as a
+    ``maximum.accumulate`` over a whole block (``max`` is exact).
+    """
+    tiles = len(dec)
+    dec_idx = np.flatnonzero(dec > 0.0)
+    dec_cost = dec[dec_idx] + timing.core_overhead_cycles
+    dcum = np.cumsum(dec_cost)
+    dcum_prev = np.concatenate(([0.0], dcum[:-1]))
+    dec_pos = np.full(tiles, -1)
+    dec_pos[dec_idx] = np.arange(dec_idx.size)
+    mtx_prev = np.arange(tiles) * timing.mtx_cycles
+    hm = timing.handoff_cycles - mtx_prev
+    mtx_cum = np.arange(1, tiles + 1) * timing.mtx_cycles
+    return dec_pos, dcum, dcum_prev, hm, mtx_cum
+
+
+def _multicore_blocked_matrices(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles_per_core: int,
+    cores: Optional[int],
+    full: bool = False,
+):
+    """The window-blocked engine: per-wave matrices in one pass per block.
+
+    Wave ``w``'s issue times are wave ``w - prefetch_window``'s
+    ``dec_start`` — a fixed lag — so every wave in a block of at most
+    ``window`` waves depends only on *previous* blocks. Each block is
+    serviced as one ``(waves, cores)`` drain through the channel's
+    :class:`~repro.sim.memory.WaveBlockScan` (requests ordered by issue
+    time within each wave, waves in order — the same FIFO sequence the
+    per-wave loop produces), and the per-core decompress/TMUL chains
+    advance as a ``maximum.accumulate`` max-plus scan over the block's
+    wave axis instead of elementwise per wave. Python-level work drops
+    from O(tiles) to O(tiles / window) round-trips.
+
+    All matrices are wave-major ``(tiles, cores)``. With ``full=False``
+    only ``dec_start`` (the issue feedback) and ``done`` are recorded;
+    ``full=True`` additionally fills ``mem_done`` and ``dec_done`` for
+    the equivalence tests. Timestamps are bit-identical to
+    :func:`_multicore_reference_matrices` either way.
+    """
+    n_cores, nbytes, dec, server = _multicore_setup(
+        system, timing, tiles_per_core, cores
+    )
+    dec_pos, dcum, dcum_prev, hm, mtx_cum = _multicore_chain_coords(
+        timing, dec
+    )
+    window = timing.prefetch_window
+    block = min(window, tiles_per_core)
+    scan = server.wave_scan(nbytes, n_cores, timing.exposed_latency)
+    shape = (tiles_per_core, n_cores)
+    mem = np.zeros(shape) if full else None
+    dec_done = np.zeros(shape) if full else None
+    dec_start = np.zeros(shape)
+    done = np.zeros(shape)
+    dpeak = np.zeros(n_cores)
+    mpeak = np.zeros(n_cores)
+    all_dec = int(dcum.size) == tiles_per_core
+    no_dec = dcum.size == 0
+    if dcum.size:
+        # Per-wave chain coordinates (inactive waves index -1 and wrap;
+        # those rows are never read — the chain skips them).
+        dcum_prev_col = dcum_prev[dec_pos][:, None]
+        dcum_col = dcum[dec_pos][:, None]
+    else:
+        dcum_prev_col = dcum_col = None
+    hm_col = hm[:, None]
+    mtx_cum_col = mtx_cum[:, None]
+    for lo in range(0, tiles_per_core, block):
+        hi = min(lo + block, tiles_per_core)
+        if lo < window:
+            # Only the first block (block <= window): every wave in it
+            # issues at 0 — the fetch engine primes its whole window.
+            issue_block = np.zeros((hi - lo, n_cores))
+        else:
+            issue_block = dec_start[lo - window:hi - window]
+        # Order each wave's requests by issue time (stable in core
+        # order, matching the event heap the scan replaces). Symmetric
+        # streams are already sorted; skip the permutation machinery
+        # then — stable argsort of a sorted row is the identity, so the
+        # fast path is bit-identical, just cheaper.
+        if (issue_block[:, :-1] <= issue_block[:, 1:]).all():
+            mem_block = scan.drain(issue_block)
+        else:
+            order = np.argsort(issue_block, axis=1, kind="stable")
+            served = scan.drain(
+                np.take_along_axis(issue_block, order, axis=1)
+            )
+            mem_block = np.empty_like(served)
+            np.put_along_axis(mem_block, order, served, axis=1)
+        if full:
+            mem[lo:hi] = mem_block
+        # Decompress chain over the block's dec-active waves.
+        if all_dec:
+            slack = mem_block - dcum_prev_col[lo:hi]
+            np.maximum(slack[0], dpeak, out=slack[0])
+            np.maximum.accumulate(slack, axis=0, out=slack)
+            dpeak = slack[-1]
+            np.add(slack, dcum_prev_col[lo:hi], out=dec_start[lo:hi])
+            dd_block = slack + dcum_col[lo:hi]
+        elif no_dec:
+            dec_start[lo:hi] = mem_block
+            dd_block = mem_block
+        else:
+            active = np.flatnonzero(dec_pos[lo:hi] >= 0)
+            dec_start[lo:hi] = mem_block
+            if active.size == 0:
+                dd_block = mem_block
+            else:
+                dd_block = mem_block.copy()
+                slack = mem_block[active] - dcum_prev_col[lo:hi][active]
+                np.maximum(slack[0], dpeak, out=slack[0])
+                np.maximum.accumulate(slack, axis=0, out=slack)
+                dpeak = slack[-1]
+                dec_start[lo:hi][active] = slack + dcum_prev_col[lo:hi][active]
+                dd_block[active] = slack + dcum_col[lo:hi][active]
+        if full:
+            dec_done[lo:hi] = dd_block
+        # TMUL chain over the block: slack = (dd + handoff) - w*mtx,
+        # pre-folded into one add via hm = handoff - w*mtx.
+        np.add(dd_block, hm_col[lo:hi], out=dd_block)
+        np.maximum(dd_block[0], mpeak, out=dd_block[0])
+        np.maximum.accumulate(dd_block, axis=0, out=dd_block)
+        mpeak = dd_block[-1]
+        np.add(dd_block, mtx_cum_col[lo:hi], out=done[lo:hi])
+    return n_cores, nbytes, dec, mem, dec_start, dec_done, done
+
+
+def _multicore_reference_matrices(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles_per_core: int,
+    cores: Optional[int],
+    full: bool = False,
+):
+    """The retained per-wave loop: one Python round-trip per wave.
+
+    Evaluates the same recurrences as :func:`_multicore_blocked_matrices`
+    one wave at a time, in the same global relative-coordinate algebra
+    (shared precomputed cumsums, running peaks carried through exact
+    ``max`` ops), so the two engines produce bit-identical timestamps —
+    the golden model for the equivalence tests and the "before"
+    measurement in ``benchmarks/perf``.
+    """
+    n_cores, nbytes, dec, server = _multicore_setup(
+        system, timing, tiles_per_core, cores
+    )
+    dec_pos, dcum, dcum_prev, hm, mtx_cum = _multicore_chain_coords(
+        timing, dec
+    )
+    window = timing.prefetch_window
+    scan = server.wave_scan(nbytes, n_cores, timing.exposed_latency)
+    shape = (tiles_per_core, n_cores)
+    mem = np.zeros(shape) if full else None
+    dec_done = np.zeros(shape) if full else None
+    dec_start = np.zeros(shape)
+    done = np.zeros(shape)
+    dpeak = np.zeros(n_cores)
+    mpeak = np.zeros(n_cores)
+    zeros = np.zeros(n_cores)
+    mem_done = np.empty(n_cores)
+    for i in range(tiles_per_core):
+        issue = zeros if i < window else dec_start[i - window]
+        order = np.argsort(issue, kind="stable")
+        mem_done[order] = scan.drain(issue[order][np.newaxis, :])[0]
+        if full:
+            mem[i] = mem_done
+        j = dec_pos[i]
+        if j >= 0:
+            np.maximum(dpeak, mem_done - dcum_prev[j], out=dpeak)
+            np.add(dpeak, dcum_prev[j], out=dec_start[i])
+            dd = dpeak + dcum[j]
+        else:
+            dec_start[i] = mem_done
+            dd = mem_done.copy()
+        if full:
+            dec_done[i] = dd
+        np.maximum(mpeak, dd + hm[i], out=mpeak)
+        np.add(mpeak, mtx_cum[i], out=done[i])
+    return n_cores, nbytes, dec, mem, dec_start, dec_done, done
+
+
+def _multicore_result(
+    system: SimSystem,
+    timing: KernelTiming,
+    n_cores: int,
+    nbytes: np.ndarray,
+    dec: np.ndarray,
+    done: np.ndarray,
+) -> SimResult:
+    tiles_per_core = done.shape[0]
+    makespan = float(done[-1].max())
+    half = min(tiles_per_core // 2, tiles_per_core - 2)
+    steady = float(
+        (done[-1].max() - done[half].max()) / (tiles_per_core - 1 - half)
+    )
+    window_cycles = makespan - float(done[half].max())
+    if n_cores == system.machine.cores:
+        per_core_system = system
+    else:
+        per_core_system = replace(
+            system, machine=system.machine.with_cores(n_cores)
+        )
+    if window_cycles <= 0.0:
+        # Degenerate zero-work window (every wave finishing at the same
+        # instant): report idle resources rather than dividing by zero.
+        report = UtilizationReport(memory=0.0, matrix=0.0, decompress=0.0)
+    else:
+        raw_total_bpc = system.bytes_per_cycle()
+        mem_busy = float(np.sum(nbytes[half + 1:])) * n_cores / raw_total_bpc
+        mtx_busy = timing.mtx_cycles * (tiles_per_core - 1 - half)
+        dec_busy = float(np.sum(dec[half + 1:]))
+        report = UtilizationReport(
+            memory=min(1.0, mem_busy / window_cycles),
+            matrix=min(1.0, mtx_busy / window_cycles),
+            decompress=min(1.0, dec_busy / window_cycles),
+        )
+    return SimResult(
+        system=per_core_system,
+        tiles=tiles_per_core,
+        makespan_cycles=makespan,
+        steady_interval_cycles=steady,
+        utilization=report,
+    )
+
+
 def simulate_multicore_event(
     system: SimSystem,
     timing: KernelTiming,
@@ -813,74 +1090,33 @@ def simulate_multicore_event(
 
     Fetches are issued round-robin in waves of one tile per core so the
     shared server sees interleaved traffic like real banked memory would.
-    Each wave is processed as one array step over all cores: the wave's
-    requests are ordered by issue time (stable in core order, matching the
-    event heap it replaces), serviced with a vectorized FIFO scan, and the
-    per-core decompress/TMUL chains advance elementwise.
+    Waves are processed in *blocks* of up to ``prefetch_window`` waves:
+    a wave's issue times lag ``dec_start`` by exactly the window, so a
+    whole block's ``(waves × cores)`` requests are known up front, are
+    drained through one vectorized FIFO scan, and the per-core
+    decompress/TMUL chains advance as a max-plus scan over the block
+    (see :func:`_multicore_blocked_matrices`). The retained per-wave
+    loop, :func:`simulate_multicore_event_reference`, computes
+    bit-identical timestamps and is the golden model in the tests.
     """
-    if timing.mode is not InvocationMode.OVERLAPPED:
-        raise ConfigurationError(
-            "the event backend models the OVERLAPPED discipline only"
+    if FORCE_REFERENCE_ENGINE:
+        return simulate_multicore_event_reference(
+            system, timing, tiles_per_core, cores
         )
-    n_cores = cores if cores is not None else system.cores
-    nbytes = timing.tile_bytes(tiles_per_core)
-    dec = timing.tile_dec_cycles(tiles_per_core)
-    cap = timing.demand_load_cap
-    eff_bw = system.bytes_per_cycle() * DRAM_EFFICIENCY
-    if cap is not None:
-        eff_bw = min(eff_bw, cap * n_cores)
-    server = MemoryChannel(eff_bw, system.memory_latency)
-    window = timing.prefetch_window
-    done = np.zeros((n_cores, tiles_per_core))
-    dec_start = np.zeros((n_cores, tiles_per_core))
-    dec_free = np.zeros(n_cores)
-    mtx_free = np.zeros(n_cores)
-    mem_done = np.zeros(n_cores)
-    # Each core's issue time for tile i is its dec_start of tile i-window
-    # (0 early on). Because issue times only depend on earlier waves, the
-    # shared FIFO can be drained wave by wave.
-    for i in range(tiles_per_core):
-        if i < window:
-            issue = np.zeros(n_cores)
-        else:
-            issue = dec_start[:, i - window]
-        order = np.argsort(issue, kind="stable")
-        mem_done[order] = server.request_many(
-            issue[order],
-            np.full(n_cores, nbytes[i]),
-            timing.exposed_latency,
-        )
-        if dec[i] > 0.0:
-            np.maximum(mem_done, dec_free, out=dec_start[:, i])
-            dec_done = dec_start[:, i] + (dec[i] + timing.core_overhead_cycles)
-            dec_free = dec_done
-        else:
-            dec_start[:, i] = mem_done
-            dec_done = mem_done.copy()
-        mtx_start = np.maximum(dec_done + timing.handoff_cycles, mtx_free)
-        mtx_free = mtx_start + timing.mtx_cycles
-        done[:, i] = mtx_free
+    n_cores, nbytes, dec, _, _, _, done = _multicore_blocked_matrices(
+        system, timing, tiles_per_core, cores
+    )
+    return _multicore_result(system, timing, n_cores, nbytes, dec, done)
 
-    makespan = float(done[:, -1].max())
-    half = tiles_per_core // 2
-    steady = float(
-        (done[:, -1].max() - done[:, half].max()) / (tiles_per_core - 1 - half)
+
+def simulate_multicore_event_reference(
+    system: SimSystem,
+    timing: KernelTiming,
+    tiles_per_core: int = 200,
+    cores: Optional[int] = None,
+) -> SimResult:
+    """Run the retained per-wave multi-core loop (the golden model)."""
+    n_cores, nbytes, dec, _, _, _, done = _multicore_reference_matrices(
+        system, timing, tiles_per_core, cores
     )
-    window_cycles = makespan - float(done[:, half].max())
-    raw_total_bpc = system.bytes_per_cycle()
-    mem_busy = float(np.sum(nbytes[half + 1:])) * n_cores / raw_total_bpc
-    mtx_busy = timing.mtx_cycles * (tiles_per_core - 1 - half)
-    dec_busy = float(np.sum(dec[half + 1:]))
-    per_core_system = replace(system, machine=system.machine.with_cores(n_cores))
-    report = UtilizationReport(
-        memory=min(1.0, mem_busy / window_cycles),
-        matrix=min(1.0, mtx_busy / window_cycles),
-        decompress=min(1.0, dec_busy / window_cycles),
-    )
-    return SimResult(
-        system=per_core_system,
-        tiles=tiles_per_core,
-        makespan_cycles=makespan,
-        steady_interval_cycles=steady,
-        utilization=report,
-    )
+    return _multicore_result(system, timing, n_cores, nbytes, dec, done)

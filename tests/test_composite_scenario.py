@@ -1,0 +1,128 @@
+"""Tests for composite sweeps and the figure12+figure13 scenario.
+
+A :class:`repro.experiments.sweepspec.CompositeSweep` chains several
+specs into one streamed run sharing the pool and the caches; its
+sections must be bit-identical to the standalone runs, its rows must
+stay distinguishable per section, and the registered
+``figure12+figure13`` scenario must run through the CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments import composite, figure12, figure13
+from repro.experiments.sweepspec import (
+    CompositeSweep,
+    find_scenario,
+    scenario_names,
+)
+from repro.sim.cache import clear_simulation_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_simulation_cache()
+    yield
+    clear_simulation_cache()
+
+
+class TestCompositeSweep:
+    def test_sections_match_standalone_runs(self):
+        result = composite.run()
+        assert result.section("figure12") == figure12.run()
+        assert result.section("figure13") == figure13.run()
+
+    def test_unknown_section_raises(self):
+        result = composite.run()
+        with pytest.raises(ConfigurationError):
+            result.section("figure99")
+
+    def test_stream_reindexes_and_tags_cells(self):
+        sweep = composite.figure12_figure13_sweep()
+        cells = list(sweep.stream())
+        assert [cell.index for cell in cells] == list(range(sweep.cell_count))
+        specs = [cell.coords["spec"] for cell in cells]
+        half = len(cells) // 2
+        assert set(specs[:half]) == {"figure12"}
+        assert set(specs[half:]) == {"figure13"}
+
+    def test_rows_carry_the_section_name(self):
+        sweep = composite.figure12_figure13_sweep()
+        cells = list(sweep.stream())
+        first_rows = list(sweep.rows_for(cells[0]))
+        last_rows = list(sweep.rows_for(cells[-1]))
+        assert first_rows[0]["spec"] == "figure12"
+        assert last_rows[0]["spec"] == "figure13"
+        assert "scheme" in first_rows[0]
+
+    def test_progress_spans_the_whole_composite(self):
+        sweep = composite.figure12_figure13_sweep()
+        seen = []
+        sweep.run(progress=lambda done, total: seen.append((done, total)))
+        total = sweep.cell_count
+        assert all(t == total for _, t in seen)
+        assert seen[-1] == (total, total)
+        assert len(seen) == total
+
+    def test_executions_recorded_per_section(self):
+        sweep = composite.figure12_figure13_sweep()
+        sweep.run()
+        names = [name for name, _ in sweep.executions]
+        assert names == ["figure12", "figure13"]
+        for _, execution in sweep.executions:
+            assert execution is not None
+            assert execution.completed == execution.tasks
+
+    def test_render_contains_both_tables(self):
+        sweep = composite.figure12_figure13_sweep()
+        text = sweep.render(sweep.run())
+        assert "Figure 12" in text
+        assert "Figure 13" in text
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeSweep("empty", ())
+
+    def test_describe_axes_names_sections(self):
+        sweep = composite.figure12_figure13_sweep()
+        description = sweep.describe_axes()
+        assert "figure12[" in description and "figure13[" in description
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert "figure12+figure13" in scenario_names()
+        scenario = find_scenario("figure12+figure13")
+        assert scenario is not None
+        built = scenario.build()
+        assert built.cell_count == (
+            figure12.sweep_spec().cell_count + figure13.sweep_spec().cell_count
+        )
+
+
+class TestCli:
+    def test_runs_by_name(self, capsys):
+        assert main(["experiments", "figure12+figure13"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out and "Figure 13" in out
+
+    def test_listed(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "figure12+figure13" in capsys.readouterr().out
+
+    def test_out_rows_tag_sections(self, tmp_path, capsys):
+        out_path = tmp_path / "composite.jsonl"
+        assert main([
+            "experiments", "figure12+figure13", "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        rows = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines() if line
+        ]
+        sweep = composite.figure12_figure13_sweep()
+        assert len(rows) == sweep.cell_count
+        assert {row["spec"] for row in rows} == {"figure12", "figure13"}

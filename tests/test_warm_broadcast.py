@@ -1,0 +1,228 @@
+"""Tests for the parent→worker warm-start cache broadcast.
+
+The contract (see ``repro/experiments/parallel.py``): on a *reused*
+persistent pool, sweep dispatch ships the parent's relevant in-memory
+cache entries to every worker, bounded by a byte budget. The broadcast
+never changes results — only cache warmth (``CacheStats`` hit counters)
+and the ``SweepExecution`` broadcast fields.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import (
+    fork_available,
+    last_sweep_execution,
+    parallel_map,
+    shutdown_worker_pool,
+    stream_map,
+    worker_pool_size,
+)
+from repro.sim.cache import (
+    clear_simulation_cache,
+    select_simulation_cache_entries,
+    simulation_cache_stats,
+)
+from repro.sim.pipeline import KernelTiming, simulate_tile_stream
+from repro.sim.system import ddr_system, hbm_system
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="parallel executor needs the fork start method"
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_simulation_cache()
+    yield
+    clear_simulation_cache()
+
+
+def _simulate_item(task):
+    """Module-level task body so pool workers can unpickle it."""
+    system, bytes_per_tile = task
+    timing = KernelTiming(bytes_per_tile=bytes_per_tile, dec_cycles=20.0)
+    return simulate_tile_stream(system, timing).steady_interval_cycles
+
+
+def _touch(task):
+    """A cache-free warm-up task (spins the pool without simulating)."""
+    return task
+
+
+def _parent_only_entries(system, sizes):
+    """Simulate in the parent so the pool's workers have never seen it."""
+    for size in sizes:
+        timing = KernelTiming(bytes_per_tile=float(size), dec_cycles=20.0)
+        simulate_tile_stream(system, timing)
+
+
+class TestBroadcastWarmth:
+    def test_reused_pool_receives_parent_entries(self, hbm):
+        shutdown_worker_pool()
+        # Spin the pool on cache-free work: the workers fork with an
+        # empty simulation cache.
+        parallel_map(_touch, [1, 2, 3, 4], jobs=2)
+        assert worker_pool_size() == 2
+        # Entries computed in the parent after the fork: without the
+        # broadcast, the persistent workers could not know them.
+        sizes = (100.0, 200.0, 300.0, 400.0)
+        _parent_only_entries(hbm, sizes)
+        tasks = [(hbm, size) for size in sizes]
+        results = parallel_map(_simulate_item, tasks, jobs=2)
+        execution = last_sweep_execution()
+        assert execution.pool_reused
+        assert execution.broadcast_entries >= len(sizes)
+        assert execution.broadcast_bytes > 0
+        assert execution.broadcast_workers == 2
+        # Every worker lookup was served from the broadcast entries.
+        assert execution.worker_hits == len(sizes)
+        assert execution.worker_misses == 0
+        # And the results are the parent's own, bit-for-bit.
+        serial = [_simulate_item(task) for task in tasks]
+        assert results == serial
+
+    def test_disabled_broadcast_recomputes_but_matches(self, hbm):
+        shutdown_worker_pool()
+        parallel_map(_touch, [1, 2, 3, 4], jobs=2)
+        sizes = (150.0, 250.0, 350.0)
+        _parent_only_entries(hbm, sizes)
+        tasks = [(hbm, size) for size in sizes]
+        results = parallel_map(
+            _simulate_item, tasks, jobs=2, warm_budget=0
+        )
+        execution = last_sweep_execution()
+        assert execution.broadcast_entries == 0
+        assert execution.broadcast_workers == 0
+        # The workers had to compute (or disk-read) every cell...
+        assert execution.worker_hits == 0
+        assert execution.worker_misses == len(sizes)
+        # ...but the results are identical: the broadcast is warmth
+        # only, never semantics.
+        assert results == [_simulate_item(task) for task in tasks]
+
+    def test_fresh_pool_skips_broadcast(self, hbm):
+        shutdown_worker_pool()
+        _parent_only_entries(hbm, (111.0, 222.0))
+        tasks = [(hbm, 111.0), (hbm, 222.0)]
+        results = parallel_map(_simulate_item, tasks, jobs=2)
+        execution = last_sweep_execution()
+        # Freshly forked workers inherited the parent cache through
+        # fork — no broadcast needed, and the entries still hit.
+        assert not execution.pool_reused
+        assert execution.broadcast_entries == 0
+        assert execution.worker_hits == len(tasks)
+        assert results == [_simulate_item(task) for task in tasks]
+
+    def test_env_budget_disables(self, hbm, monkeypatch):
+        shutdown_worker_pool()
+        parallel_map(_touch, [1, 2], jobs=2)
+        _parent_only_entries(hbm, (131.0,))
+        monkeypatch.setenv("REPRO_WARM_BROADCAST_BYTES", "0")
+        parallel_map(_simulate_item, [(hbm, 131.0)], jobs=2)
+        assert last_sweep_execution().broadcast_entries == 0
+
+
+class TestByteBudget:
+    def test_budget_caps_payload(self, hbm):
+        shutdown_worker_pool()
+        parallel_map(_touch, [1, 2, 3, 4], jobs=2)
+        sizes = tuple(float(s) for s in range(100, 1000, 100))
+        _parent_only_entries(hbm, sizes)
+        # One full entry pickles to ~30 KB: a 64 KB budget fits only a
+        # couple of the nine parent entries.
+        budget = 64 * 1024
+        selected, total = select_simulation_cache_entries(max_bytes=budget)
+        assert 0 < len(selected) < len(sizes)
+        assert total <= budget
+        tasks = [(hbm, size) for size in sizes]
+        results = parallel_map(
+            _simulate_item, tasks, jobs=2, warm_budget=budget
+        )
+        execution = last_sweep_execution()
+        assert execution.broadcast_bytes <= budget
+        assert 0 < execution.broadcast_entries < len(sizes)
+        # Partial warmth: the shipped entries hit, the rest recompute —
+        # and the results are identical either way.
+        assert execution.worker_hits == execution.broadcast_entries
+        assert execution.worker_misses == len(sizes) - execution.worker_hits
+        assert results == [_simulate_item(task) for task in tasks]
+
+    def test_only_hit_counters_change(self, hbm):
+        # Same sweep with and without the broadcast: results and cache
+        # contents agree; only the hit/miss split differs.
+        shutdown_worker_pool()
+        parallel_map(_touch, [1, 2], jobs=2)
+        _parent_only_entries(hbm, (175.0, 275.0))
+        tasks = [(hbm, 175.0), (hbm, 275.0)]
+        with_broadcast = parallel_map(_simulate_item, tasks, jobs=2)
+        stats_with = simulation_cache_stats()
+        clear_simulation_cache()
+        shutdown_worker_pool()
+        parallel_map(_touch, [1, 2], jobs=2)
+        _parent_only_entries(hbm, (175.0, 275.0))
+        without_broadcast = parallel_map(
+            _simulate_item, tasks, jobs=2, warm_budget=0
+        )
+        stats_without = simulation_cache_stats()
+        assert with_broadcast == without_broadcast
+        assert stats_with.size == stats_without.size
+        assert stats_with.hits != stats_without.hits  # warmth differs
+
+
+class TestSelection:
+    def test_prefix_filters_by_system(self, hbm, ddr):
+        _parent_only_entries(hbm, (100.0, 200.0))
+        _parent_only_entries(ddr, (100.0,))
+        everything, _ = select_simulation_cache_entries()
+        assert len(everything) == 3
+        hbm_only, _ = select_simulation_cache_entries(prefix=(hbm,))
+        assert len(hbm_only) == 2
+        assert all(key[0] == hbm for key, _ in hbm_only)
+        ddr_only, _ = select_simulation_cache_entries(prefix=(ddr,))
+        assert len(ddr_only) == 1
+
+    def test_oversized_entry_is_skipped_not_a_stop(self, hbm):
+        # One entry that exceeds the remaining budget must not starve
+        # the smaller entries behind it in MRU order.
+        import pickle
+
+        _parent_only_entries(hbm, (100.0, 200.0, 300.0))
+        everything, _ = select_simulation_cache_entries()
+        sizes = [
+            len(pickle.dumps(entry, pickle.HIGHEST_PROTOCOL))
+            for entry in everything
+        ]
+        # Budget admits all but the first (largest slot goes first in
+        # MRU order): skipping it should still select the rest.
+        budget = sum(sizes) - 1
+        selected, total = select_simulation_cache_entries(max_bytes=budget)
+        assert len(selected) == len(everything) - 1
+        assert total <= budget
+
+    def test_mru_first_order(self, hbm):
+        _parent_only_entries(hbm, (100.0, 200.0, 300.0))
+        selected, _ = select_simulation_cache_entries()
+        # Most recently used first: the 300-byte entry leads.
+        timings = [dict(key[1])["bytes_per_tile"] for key, _ in selected]
+        assert timings == [300.0, 200.0, 100.0]
+
+    def test_spec_stream_passes_warm_prefix(self, hbm):
+        # The speedup spec declares its system as the warm prefix; the
+        # stream must hand it to the executor (observable through the
+        # broadcast only shipping that system's entries).
+        from repro.experiments.speedups import speedup_spec
+
+        spec = speedup_spec(hbm)
+        assert spec.warm_prefix == (hbm,)
+
+
+class TestStreamMapPlumbing:
+    def test_serial_path_reports_no_broadcast(self, hbm):
+        results = list(
+            stream_map(_simulate_item, [(hbm, 120.0)], jobs=1)
+        )
+        assert len(results) == 1
+        execution = last_sweep_execution()
+        assert execution.broadcast_entries == 0
+        assert execution.broadcast_bytes == 0
