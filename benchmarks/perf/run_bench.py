@@ -40,6 +40,22 @@ a deep-prefetch window of 48. The two are bit-identical; the
 ``multicore_event_64c2000`` records the large-grid anchor (64 cores ×
 2000 tiles per core) the per-wave loop made impractical to sweep.
 
+``grid_batched_48`` tracks the cross-cell batched engine
+(:func:`repro.sim.pipeline.simulate_tile_stream_batch`): a 48-cell
+all-OVERLAPPED software-kernel grid (4 systems × 12 paper schemes) at a
+short 64-tile stream, where per-cell dispatch overhead dominates the
+scan itself, timed as 48 individual ``simulate_tile_stream`` calls vs
+one stacked batch (both uncached, bit-identical results). The
+``batched_speedup`` ratio is gated against a floor; it decays toward
+1x as the tile count grows and the runs become work-bound — see
+docs/PERFORMANCE.md.
+
+``figure12_batched`` tracks the sweep-level batching route
+(:mod:`repro.experiments.sweepspec`): the Figure 12 spec run cold with
+``batch=True`` vs ``batch=False`` at the paper's full 600-tile streams
+— the conservative end-to-end number on a real workload, gated only
+against a no-regression floor.
+
 ``warm_worker_hit_rate`` tracks the warm-start cache broadcast
 (:mod:`repro.experiments.parallel`): the ``figure12+figure13``
 composite scenario runs twice on one persistent 2-worker pool. On the
@@ -92,6 +108,8 @@ KNOWN_BENCHMARKS = (
     "figure12_sweep",
     "figure12_sweep_parallel",
     "figure12_time_to_first_result",
+    "figure12_batched",
+    "grid_batched_48",
     "dse_warm_cache",
     "warm_worker_hit_rate",
 )
@@ -356,15 +374,18 @@ def run_benchmarks(
             # Cold cache each run: the honest time-to-first-result
             # includes the spec build (which simulates the shared
             # baseline) plus the first cell — everything a consumer
-            # waits for before the first row lands.
+            # waits for before the first row lands. batch=False pins
+            # the per-cell streaming path this anchor has always
+            # measured (the batched route seeds the whole stack before
+            # the first yield; figure12_batched tracks that trade).
             clear_simulation_cache()
-            stream = figure12.sweep_spec().stream(jobs=1)
+            stream = figure12.sweep_spec().stream(jobs=1, batch=False)
             next(stream)
             stream.close()
 
         def full_sweep():
             clear_simulation_cache()
-            return figure12.run()
+            return figure12.sweep_spec().run(jobs=1, batch=False)
 
         reps = max(repeats // 4, 3)
         ttfr = best_of(first_result, reps)
@@ -374,6 +395,68 @@ def run_benchmarks(
             "full_s": full,
             "first_result_fraction": ttfr / full,
             "cells": float(spec_cells),
+        }
+
+    # --- cross-cell batched stack vs the per-cell scan -----------------
+    if want("grid_batched_48"):
+        from repro.core.schemes import PAPER_SCHEMES
+        from repro.kernels.libxsmm import software_kernel_timing
+        from repro.sim.pipeline import simulate_tile_stream_batch
+        from repro.sim.system import ddr_system
+
+        batch_tiles = 32 if smoke else 64
+        batch_systems = (
+            hbm_system(), ddr_system(),
+            hbm_system(cores=28), ddr_system(cores=28),
+        )
+        batch_cells = [
+            (sys_, software_kernel_timing(sys_, scheme), batch_tiles)
+            for sys_ in batch_systems
+            for scheme in PAPER_SCHEMES
+        ]
+
+        def batch_per_cell():
+            return [
+                simulate_tile_stream(s, t, n, use_cache=False)
+                for s, t, n in batch_cells
+            ]
+
+        def batch_stacked():
+            return simulate_tile_stream_batch(batch_cells, use_cache=False)
+
+        reps = reps_for(max(repeats // 2, 5))
+        after = best_of(batch_stacked, reps)
+        before = best_of(batch_per_cell, reps)
+        # Bit-identity is the contract (tests pin the full traces); a
+        # makespan check here keeps the anchor itself honest.
+        assert [r.makespan_cycles for r in batch_stacked()] == [
+            r.makespan_cycles for r in batch_per_cell()
+        ], "batched grid diverged from the per-cell scan"
+        results["grid_batched_48"] = {
+            "after_s": after,
+            "per_cell_s": before,
+            "batched_speedup": before / after,
+            "cells": float(len(batch_cells)),
+            "tiles": float(batch_tiles),
+        }
+
+    # --- sweep-level batching on the real Figure 12 workload -----------
+    if want("figure12_batched"):
+        def figure_batched():
+            clear_simulation_cache()
+            return figure12.sweep_spec().run(jobs=1, batch=True)
+
+        def figure_per_cell():
+            clear_simulation_cache()
+            return figure12.sweep_spec().run(jobs=1, batch=False)
+
+        reps = reps_for(max(repeats // 4, 3))
+        after = best_of(figure_batched, reps)
+        before = best_of(figure_per_cell, reps)
+        results["figure12_batched"] = {
+            "after_s": after,
+            "per_cell_s": before,
+            "batched_speedup": before / after,
         }
 
     # --- disk-backed cache: full grid cold vs warm-disk ----------------
@@ -394,17 +477,20 @@ def run_benchmarks(
         def grid_cold():
             # Fresh directory every repetition: the cold time includes
             # simulating all 48 cells *and* spilling them to disk.
+            # batch=False pins the per-cell path this anchor has always
+            # measured: it tracks the disk tier, and the batched route's
+            # extra membership probes would dilute the hit-rate gate.
             shutil.rmtree(cache_root, ignore_errors=True)
             configure_simulation_cache_dir(cache_root)
             clear_simulation_cache()
-            cold_records[:] = run_grid()
+            cold_records[:] = run_grid(batch=False)
             return cold_records
 
         def grid_warm():
             # The restart scenario: memory tier empty, disk tier warm.
             clear_simulation_cache()
             before = simulation_cache_stats()
-            warm_records[:] = run_grid()
+            warm_records[:] = run_grid(batch=False)
             after = simulation_cache_stats()
             lookups = (
                 (after.hits - before.hits)
@@ -629,6 +715,8 @@ def main(argv=None) -> int:
                 f"  {entry['parallel_speedup_4w']:5.2f}x at 4 workers "
                 f"({entry['cpu_count']:.0f} CPUs)"
             )
+        if "batched_speedup" in entry:
+            line += f"  {entry['batched_speedup']:5.2f}x batched vs per-cell"
         if "disk_hit_rate" in entry:
             line += (
                 f"  {entry['warm_speedup']:5.1f}x warm vs cold "

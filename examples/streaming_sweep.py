@@ -17,6 +17,16 @@ example demonstrates the three things that buys you:
    flushed as its cell lands (`tail -f` the file mid-sweep);
 3. **early exit** — breaking out of the stream cancels every cell that
    has not been dispatched yet.
+
+A note on batching: batchable specs (the grid is one) default to
+*cross-cell batched* execution — shape-compatible cells are simulated
+as one stacked NumPy pass that seeds the cache, and the per-cell tasks
+then stream warm hits. Records, ordering, and emitted rows are
+bit-identical either way; what changes is the latency profile (the
+stack computes before the first yield, trading time-to-first-result
+for total wall time). The latency demos below pass ``batch=False`` to
+show the per-cell profile; drop it — or set ``REPRO_NO_BATCH=1`` /
+use the CLI's ``--no-batch`` for the reverse — to compare.
 """
 
 import argparse
@@ -64,7 +74,7 @@ def main() -> None:
     start = time.perf_counter()
     first_at = None
     records = []
-    for cell in spec.stream(jobs=args.jobs):
+    for cell in spec.stream(jobs=args.jobs, batch=False):
         if first_at is None:
             first_at = time.perf_counter() - start
         records.append(cell.value)
@@ -85,7 +95,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     clear_simulation_cache()
     consumed = 0
-    for cell in spec.stream(jobs=args.jobs):
+    for cell in spec.stream(jobs=args.jobs, batch=False):
         consumed += 1
         if consumed == 4:
             break  # closing the stream cancels outstanding dispatch

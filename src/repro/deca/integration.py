@@ -15,6 +15,7 @@ parameters; ``deca_kernel_timing`` performs that mapping.
 
 from __future__ import annotations
 
+import functools as _functools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -102,9 +103,50 @@ def deca_kernel_timing(
     ``dec_cycles``/``bytes_per_tile`` default to the scheme's expected
     values; pass per-tile sequences (e.g. from
     :func:`repro.deca.timing.exact_dec_cycles`) for exact-workload runs.
+
+    Default-argument calls are memoized: every input is a frozen
+    value-hashable dataclass and the decompression-rate model behind
+    ``deca_dec_cycles`` dominates construction, so repeated requests for
+    the same configuration (a sweep's cells, the batched executor's
+    seeding pass and the tasks behind it) share one ``KernelTiming``.
     """
     config = config if config is not None else DecaConfig()
     integration = integration if integration is not None else FULL_INTEGRATION
+    if dec_cycles is None and bytes_per_tile is None:
+        try:
+            return _default_deca_kernel_timing(
+                system, scheme, config, integration
+            )
+        except TypeError:
+            # An unhashable axis value (e.g. a subclass carrying arrays)
+            # simply skips the memo.
+            pass
+    return _build_deca_kernel_timing(
+        system, scheme, config, integration, dec_cycles, bytes_per_tile
+    )
+
+
+@_functools.lru_cache(maxsize=256)
+def _default_deca_kernel_timing(
+    system: SimSystem,
+    scheme: CompressionScheme,
+    config: DecaConfig,
+    integration: DecaIntegration,
+) -> KernelTiming:
+    """The memoized default-argument construction (frozen, shareable)."""
+    return _build_deca_kernel_timing(
+        system, scheme, config, integration, None, None
+    )
+
+
+def _build_deca_kernel_timing(
+    system: SimSystem,
+    scheme: CompressionScheme,
+    config: DecaConfig,
+    integration: DecaIntegration,
+    dec_cycles: Optional[Union[float, Sequence[float]]],
+    bytes_per_tile: Optional[Union[float, Sequence[float]]],
+) -> KernelTiming:
     if dec_cycles is None:
         dec_cycles = deca_dec_cycles(config, scheme)
     if bytes_per_tile is None:

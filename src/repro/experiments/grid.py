@@ -25,7 +25,11 @@ from repro.deca.config import DecaConfig
 from repro.deca.integration import deca_kernel_timing
 from repro.errors import ConfigurationError
 from repro.kernels.libxsmm import software_kernel_timing
-from repro.experiments.sweepspec import SweepSpec, register_scenario
+from repro.experiments.sweepspec import (
+    SweepSpec,
+    batchable,
+    register_scenario,
+)
 from repro.sim.pipeline import simulate_tile_stream
 from repro.sim.system import SimSystem, ddr_system, hbm_system
 
@@ -80,6 +84,24 @@ def _simulate_cell(cell: _GridCell) -> GridRecord:
     )
 
 
+def _grid_cell_sims(cell: _GridCell):
+    """The cached simulations one grid cell will request, for batching.
+
+    Mirrors :func:`_simulate_cell`'s timing construction exactly — the
+    batched stack must land in the cache under the very key the task
+    will look up. Uncached cells return no simulations (there is no
+    cache entry to seed) and compute inside their task as before.
+    """
+    system, scheme, engine, deca_config, use_cache, tiles = cell
+    if not use_cache:
+        return ()
+    if engine == "software":
+        timing = software_kernel_timing(system, scheme)
+    else:
+        timing = deca_kernel_timing(system, scheme, config=deca_config)
+    return ((system, timing, tiles),)
+
+
 def _grid_rows(cell) -> "Tuple[Dict[str, object], ...]":
     """Emission rows for one grid cell: the flat record itself."""
     record = cell.value
@@ -121,6 +143,7 @@ def grid_spec(
         make_cell=make_cell,
         rows=_grid_rows,
         format_result=to_csv,
+        batchable=batchable(_grid_cell_sims),
     )
 
 
@@ -132,6 +155,7 @@ def run_grid(
     use_cache: bool = True,
     tiles: int = 600,
     jobs: Optional[int] = 1,
+    batch: Optional[bool] = None,
 ) -> List[GridRecord]:
     """Simulate every (system, scheme, engine) combination.
 
@@ -145,13 +169,14 @@ def run_grid(
     ``jobs`` selects the worker count: 1 (default) runs serial in
     process, ``N > 1`` streams the cells across ``N`` forked workers
     and merges their cache deltas as each cell lands (``None``/0 means
-    one worker per CPU). Records are bit-identical to the serial run
-    either way.
+    one worker per CPU). ``batch`` overrides the cross-cell batching
+    default (see :func:`repro.experiments.sweepspec.batching_enabled`).
+    Records are bit-identical to the serial run either way.
     """
     return grid_spec(
         systems=systems, schemes=schemes, engines=engines,
         deca_config=deca_config, use_cache=use_cache, tiles=tiles,
-    ).run(jobs=jobs)
+    ).run(jobs=jobs, batch=batch)
 
 
 def to_csv(records: Sequence[GridRecord]) -> str:

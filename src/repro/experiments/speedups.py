@@ -20,6 +20,7 @@ from repro.kernels.avx import AvxVariant
 from repro.experiments.sweepspec import (
     CellResult,
     SweepSpec,
+    batchable,
     register_scenario,
 )
 from repro.kernels.libxsmm import (
@@ -108,6 +109,29 @@ def _scheme_speedup_task(task) -> SchemeSpeedup:
     )
 
 
+def _speedup_cell_sims(task):
+    """The cached simulations one speedup cell will request, for batching.
+
+    Each cell simulates the software kernel and the DECA kernel for its
+    scheme (the baseline is simulated once at spec build time and rides
+    along inside the cell payload, so it never re-enters the cache from
+    here). The timing construction mirrors :func:`scheme_speedup`
+    exactly so the batched stack lands under the keys the task looks up.
+    """
+    (system, scheme, _baseline, _batch_rows, deca_config, integration,
+     tiles) = task
+    return (
+        (system, software_kernel_timing(system, scheme), tiles),
+        (
+            system,
+            deca_kernel_timing(
+                system, scheme, config=deca_config, integration=integration
+            ),
+            tiles,
+        ),
+    )
+
+
 def speedup_rows(cell: CellResult) -> Tuple[Dict[str, Any], ...]:
     """Emission rows for one speedup cell: flat per-scheme ratios."""
     speedup = cell.value
@@ -160,6 +184,7 @@ def speedup_spec(
         # Every cell simulates on this system: the warm-start broadcast
         # ships only the parent entries keyed by it.
         warm_prefix=(system,),
+        batchable=batchable(_speedup_cell_sims),
     )
 
 
@@ -171,17 +196,19 @@ def sweep_speedups(
     integration: Optional[DecaIntegration] = None,
     tiles: int = 600,
     jobs: Optional[int] = 1,
+    batch: Optional[bool] = None,
 ) -> List[SchemeSpeedup]:
     """Speedups for a list of schemes (Figures 12/13's x axis).
 
     The buffered front door over :func:`speedup_spec`: the per-scheme
     cells stream across ``jobs`` workers (cache deltas merged as each
-    lands); ``jobs=1`` is the bit-identical serial path.
+    lands); ``jobs=1`` is the bit-identical serial path. ``batch``
+    overrides the cross-cell batching default.
     """
     return speedup_spec(
         system, schemes=schemes, batch_rows=batch_rows,
         deca_config=deca_config, integration=integration, tiles=tiles,
-    ).run(jobs=jobs)
+    ).run(jobs=jobs, batch=batch)
 
 
 def _speedup_table(speedups: List[SchemeSpeedup]) -> str:

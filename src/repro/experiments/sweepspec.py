@@ -52,6 +52,7 @@ import csv
 import dataclasses
 import itertools
 import json
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
@@ -97,6 +98,81 @@ class CellResult:
     def coord_labels(self) -> Dict[str, Any]:
         """The coordinates as row-friendly scalars (names over reprs)."""
         return {name: _json_scalar(value) for name, value in self.coords.items()}
+
+
+# ---------------------------------------------------------------------
+# Cross-cell batching
+# ---------------------------------------------------------------------
+
+_BATCHING_ENABLED = True
+
+
+def set_batching_enabled(enabled: bool) -> bool:
+    """Flip the process-wide batching default; returns the previous value."""
+    global _BATCHING_ENABLED
+    previous = _BATCHING_ENABLED
+    _BATCHING_ENABLED = bool(enabled)
+    return previous
+
+
+def batching_enabled(override: Optional[bool] = None) -> bool:
+    """Whether batched sweep execution is active.
+
+    Precedence: an explicit ``override`` (a ``batch=`` argument) wins;
+    else the ``REPRO_NO_BATCH`` environment escape (any value other
+    than empty or ``"0"`` disables batching, mirroring the
+    ``FORCE_REFERENCE_ENGINE``-style escapes); else the process-wide
+    flag set by :func:`set_batching_enabled`.
+    """
+    if override is not None:
+        return bool(override)
+    env = os.environ.get("REPRO_NO_BATCH", "")
+    if env and env != "0":
+        return False
+    return _BATCHING_ENABLED
+
+
+@dataclass(frozen=True)
+class BatchRule:
+    """How a spec's cells map onto batchable tile-stream simulations.
+
+    ``sims(payload)`` returns the ``(system, timing, tiles)`` triples
+    the cell's task will request through the cached simulation front
+    door. The batched executor collects the triples across cells,
+    stacks shape-compatible ones through
+    :func:`repro.sim.pipeline.simulate_tile_stream_batch` (which fans
+    the results into the cache under each cell's own key), and then
+    runs the tasks unchanged — every task's own lookup is a warm hit,
+    so results are bit-identical to the unbatched sweep. A cell whose
+    simulations cannot be pre-seeded (e.g. one that bypasses the
+    cache) returns ``()`` and simply computes inside its task.
+    """
+
+    sims: Callable[[Any], Tuple[Tuple[Any, Any, int], ...]]
+
+
+def batchable(
+    sims: Callable[[Any], Tuple[Tuple[Any, Any, int], ...]]
+) -> BatchRule:
+    """Annotate a spec with its cell → simulations mapping."""
+    return BatchRule(sims=sims)
+
+
+def _run_batched_group(payload):
+    """Pool task for one cell chunk: seed the stack, then run the cells.
+
+    Runs inside a forked worker (or in-parent under the serial
+    degradation contract): the chunk's simulations are stacked into the
+    worker's cache first, then the per-cell tasks run against that warm
+    cache. The worker's cache delta ships back to the parent exactly
+    like any other pool task's.
+    """
+    task, sims, chunk = payload
+    if sims:
+        from repro.sim.pipeline import simulate_tile_stream_batch
+
+        simulate_tile_stream_batch(sims, resolve_cached=False)
+    return [task(cell) for cell in chunk]
 
 
 def _default_rows(cell: CellResult) -> Iterable[Dict[str, Any]]:
@@ -149,6 +225,9 @@ class SweepSpec:
     #: warm-start broadcast to persistent workers; ``None`` ships the
     #: most-recently-used entries regardless of key.
     warm_prefix: Optional[Tuple[Any, ...]] = None
+    #: Cell → simulations mapping (see :func:`batchable`); ``None``
+    #: means the spec always runs per cell.
+    batchable: Optional[BatchRule] = None
 
     def __post_init__(self) -> None:
         if not self.axes:
@@ -210,6 +289,7 @@ class SweepSpec:
         self,
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
+        batch: Optional[bool] = None,
     ) -> Iterator[CellResult]:
         """Yield one :class:`CellResult` per cell, in index order.
 
@@ -219,21 +299,111 @@ class SweepSpec:
         from the serial loop. Closing the iterator early cancels
         outstanding dispatch (see the executor's cancellation
         contract).
+
+        Specs carrying a :func:`batchable` annotation route through the
+        cross-cell batched executor when batching is active (``batch``
+        overrides :func:`batching_enabled`): compatible cells' stacks
+        are simulated in bulk and the per-cell tasks then run against
+        the warm cache — results, ordering, and emission are
+        bit-identical to the per-cell path.
         """
         coords = self.coords()
+        cells = self.cells(coords)
+        if (
+            self.batchable is not None
+            and len(cells) > 1
+            and batching_enabled(batch)
+        ):
+            sims_per_cell = [
+                tuple(self.batchable.sims(cell)) for cell in cells
+            ]
+            if any(sims_per_cell):
+                yield from self._stream_batched(
+                    coords, cells, sims_per_cell, jobs, progress
+                )
+                return
         for index, value in stream_map(
-            self.task, self.cells(coords), jobs=jobs, progress=progress,
+            self.task, cells, jobs=jobs, progress=progress,
             warm_prefix=self.warm_prefix,
         ):
             yield CellResult(index=index, coords=coords[index], value=value)
+
+    def _stream_batched(
+        self,
+        coords: List[Dict[str, Any]],
+        cells: List[Any],
+        sims_per_cell: List[Tuple[Tuple[Any, Any, int], ...]],
+        jobs: Optional[int],
+        progress: Optional[ProgressCallback],
+    ) -> Iterator[CellResult]:
+        """The batched executor behind :meth:`stream`.
+
+        Serial (resolved ``jobs <= 1``): one in-parent stack over every
+        cell's simulations seeds the cache, then the plain serial
+        stream runs — per-cell streaming order and emission unchanged.
+        Parallel: the grid splits into one contiguous chunk per worker,
+        each dispatched as a single :func:`_run_batched_group` pool
+        task (stack, then cells); chunk results are split back into
+        per-cell :class:`CellResult`s in index order.
+        """
+        from repro.experiments.parallel import resolve_jobs
+
+        total = len(cells)
+        n_jobs = resolve_jobs(jobs, total)
+        if n_jobs <= 1:
+            from repro.sim.pipeline import simulate_tile_stream_batch
+
+            flat = [sim for sims in sims_per_cell for sim in sims]
+            if flat:
+                simulate_tile_stream_batch(flat, resolve_cached=False)
+            for index, value in stream_map(
+                self.task, cells, jobs=1, progress=progress,
+                warm_prefix=self.warm_prefix,
+            ):
+                yield CellResult(
+                    index=index, coords=coords[index], value=value
+                )
+            return
+        payloads = []
+        starts = []
+        step, remainder = divmod(total, n_jobs)
+        start = 0
+        for chunk_index in range(n_jobs):
+            size = step + (1 if chunk_index < remainder else 0)
+            chunk = cells[start:start + size]
+            sims = [
+                sim
+                for per_cell in sims_per_cell[start:start + size]
+                for sim in per_cell
+            ]
+            payloads.append((self.task, sims, chunk))
+            starts.append(start)
+            start += size
+        completed = 0
+        for chunk_index, values in stream_map(
+            _run_batched_group, payloads, jobs=n_jobs,
+            warm_prefix=self.warm_prefix,
+        ):
+            base = starts[chunk_index]
+            for offset, value in enumerate(values):
+                index = base + offset
+                yield CellResult(
+                    index=index, coords=coords[index], value=value
+                )
+            completed += len(values)
+            if progress is not None:
+                progress(completed, total)
 
     def run(
         self,
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
+        batch: Optional[bool] = None,
     ) -> Any:
         """Drain the stream and reduce — the buffered entry-point path."""
-        results = [cell.value for cell in self.stream(jobs, progress)]
+        results = [
+            cell.value for cell in self.stream(jobs, progress, batch=batch)
+        ]
         return self.reduced(results)
 
     def reduced(self, results: List[Any]) -> Any:
@@ -332,6 +502,7 @@ class CompositeSweep:
         self,
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
+        batch: Optional[bool] = None,
     ) -> Iterator[CellResult]:
         """Yield every sub-sweep's cells in order, globally re-indexed."""
         from repro.experiments.parallel import last_sweep_execution
@@ -345,7 +516,9 @@ class CompositeSweep:
             if progress is not None:
                 def sub_progress(done: int, _sub_total: int, _base=base):
                     progress(_base + done, total)
-            for cell in spec.stream(jobs=jobs, progress=sub_progress):
+            for cell in spec.stream(
+                jobs=jobs, progress=sub_progress, batch=batch
+            ):
                 yield CellResult(
                     index=base + cell.index,
                     coords={"spec": spec.name, **cell.coords},
@@ -401,9 +574,12 @@ class CompositeSweep:
         self,
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
+        batch: Optional[bool] = None,
     ) -> CompositeResult:
         """Drain the chained stream and reduce every section."""
-        results = [cell.value for cell in self.stream(jobs, progress)]
+        results = [
+            cell.value for cell in self.stream(jobs, progress, batch=batch)
+        ]
         return self.reduced(results)
 
     def render(self, output: CompositeResult) -> str:
@@ -565,6 +741,7 @@ def stream_to_emitter(
     jobs: Optional[int] = 1,
     progress: Optional[ProgressCallback] = None,
     on_cell: Optional[Callable[[CellResult], None]] = None,
+    batch: Optional[bool] = None,
 ) -> Any:
     """Stream a spec, emitting rows per cell, and return the reduced output.
 
@@ -574,7 +751,7 @@ def stream_to_emitter(
     still running.
     """
     results: List[Any] = []
-    for cell in spec.stream(jobs=jobs, progress=progress):
+    for cell in spec.stream(jobs=jobs, progress=progress, batch=batch):
         results.append(cell.value)
         if emitter is not None:
             for row in spec.rows_for(cell):

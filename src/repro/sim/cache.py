@@ -64,6 +64,7 @@ from __future__ import annotations
 import enum
 import pickle
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
@@ -88,14 +89,36 @@ def _freeze(value: Any) -> Hashable:
     return value
 
 
+# timing_key is hot (every cache lookup freezes every timing field); a
+# weak memo keyed on the timing object itself makes repeat lookups of
+# the same frozen timing a single hash. Timings carrying NumPy arrays
+# are unhashable and bypass the memo — they pay the full freeze, which
+# hashes the array buffer anyway.
+_TIMING_KEY_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def timing_key(timing: Any) -> Tuple[Hashable, ...]:
     """Freeze a ``KernelTiming`` (any frozen dataclass) into a hashable key."""
     if not is_dataclass(timing):
         raise TypeError(f"expected a dataclass timing, got {type(timing)!r}")
-    return tuple(
+    try:
+        cached = _TIMING_KEY_MEMO.get(timing)
+        memoizable = True
+    except TypeError:
+        cached = None
+        memoizable = False
+    if cached is not None:
+        return cached
+    key = tuple(
         (field.name, _freeze(getattr(timing, field.name)))
         for field in fields(timing)
     )
+    if memoizable:
+        try:
+            _TIMING_KEY_MEMO[timing] = key
+        except TypeError:
+            pass
+    return key
 
 
 def simulation_key(
@@ -284,6 +307,53 @@ class SimulationCache:
             disk.store(key, result)
         return result
 
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is resident in memory or present on disk.
+
+        A pure membership probe: no counters move, no disk payload is
+        read, and nothing is promoted into the LRU — so probing a cell
+        and then looking it up through :meth:`get_or_compute` counts
+        exactly one hit, the same as an unprobed lookup. The batched
+        simulation entry uses this to exclude already-cached cells from
+        a stack without perturbing hit-rate accounting.
+        """
+        with self._lock:
+            if key in self._entries:
+                return True
+            disk = self._disk
+        return disk is not None and disk.contains(key)
+
+    def insert_results(
+        self, items: Sequence[Tuple[Hashable, Any]]
+    ) -> List[Any]:
+        """Fan a batch of freshly computed results in under one lock.
+
+        Equivalent to calling ``get_or_compute(key, lambda: value)`` per
+        pair — each fresh key counts one miss and is spilled to the disk
+        tier; a key that landed in memory since the caller probed it
+        counts one hit and the resident value wins (simulations are
+        pure, so the two are bit-identical). Returns the cached value
+        per pair, in order — callers must use these, not their inputs.
+        """
+        out: List[Any] = []
+        spill: List[Tuple[Hashable, Any]] = []
+        with self._lock:
+            for key, value in items:
+                if key in self._entries:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                else:
+                    self._misses += 1
+                    self._entries[key] = value
+                    self._evict_over_capacity()
+                    spill.append((key, value))
+                out.append(self._entries.get(key, value))
+            disk = self._disk
+        if disk is not None:
+            for key, value in spill:
+                disk.store(key, value)
+        return out
+
     def snapshot(self) -> "list[Tuple[Hashable, Any]]":
         """The current ``(key, value)`` entries, oldest first."""
         with self._lock:
@@ -419,6 +489,37 @@ def cached_tile_stream(
     return _GLOBAL_CACHE.get_or_compute(
         simulation_key(system, timing, tiles, extra), compute
     )
+
+
+def cached_simulation(key: Hashable, compute: Callable[[], Any]) -> Any:
+    """Keyed variant of :func:`cached_tile_stream`.
+
+    The batched engine builds each cell's :func:`simulation_key` once to
+    decide stack membership; this front door reuses that key for the
+    fan-in instead of freezing the timing a second time. Identical
+    lookup/miss/spill behaviour to :func:`cached_tile_stream`.
+    """
+    return _GLOBAL_CACHE.get_or_compute(key, compute)
+
+
+def insert_simulation_results(
+    items: Sequence[Tuple[Hashable, Any]]
+) -> List[Any]:
+    """Bulk fan-in into the process-wide cache (one lock acquisition).
+
+    See :meth:`SimulationCache.insert_results`.
+    """
+    return _GLOBAL_CACHE.insert_results(items)
+
+
+def simulation_cache_contains(key: Hashable) -> bool:
+    """Whether the process-wide cache already holds ``key`` (either tier).
+
+    See :meth:`SimulationCache.contains` — a counter-neutral probe used
+    by :func:`repro.sim.pipeline.simulate_tile_stream_batch` to keep
+    cached cells out of the stacked engine pass.
+    """
+    return _GLOBAL_CACHE.contains(key)
 
 
 def clear_simulation_cache() -> None:

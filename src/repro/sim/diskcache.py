@@ -256,6 +256,21 @@ class DiskCache:
         digest = key_digest(key)
         return self._dir / digest[:2] / f"{digest}.pkl"
 
+    def contains(self, key: Hashable) -> bool:
+        """Whether an entry file for ``key`` exists (no load, no counters).
+
+        A pure stat-level probe used to exclude already-persisted cells
+        from a batched stack. A ``True`` from a corrupt file is harmless:
+        the excluded cell simply takes the normal per-cell lookup path,
+        which detects the corruption and recomputes.
+        """
+        try:
+            return self.entry_path(key).is_file()
+        except TypeError:
+            # Same contract as load(): a key the canonical serializer
+            # can't digest lives memory-only.
+            return False
+
     def load(self, key: Hashable) -> Optional[Any]:
         """The stored value for ``key``, or ``None``.
 

@@ -38,7 +38,12 @@ _SCHEMES = (parse_scheme("Q4"), parse_scheme("Q8_5%"))
 
 
 def _small_grid(jobs):
-    return run_grid(systems=(hbm_system(),), schemes=_SCHEMES, jobs=jobs)
+    # batch=False: these tests pin the *per-cell* pool dispatch and its
+    # cache-merge accounting (task counts, worker hit/miss deltas); the
+    # batched routing has its own suite in test_sweep_batched.py.
+    return run_grid(
+        systems=(hbm_system(),), schemes=_SCHEMES, jobs=jobs, batch=False
+    )
 
 
 def _simulate_item(task):

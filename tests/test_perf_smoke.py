@@ -42,6 +42,34 @@ def test_smoke_runs_every_anchor(tmp_path, monkeypatch):
     assert 0.0 <= rate <= 1.0
     assert results["dse_warm_cache"]["disk_hit_rate"] >= 0.0
     assert results["figure12_time_to_first_result"]["first_result_fraction"] > 0
+    # The batching anchors measured both sides and derived their ratio.
+    for name in ("grid_batched_48", "figure12_batched"):
+        entry = results[name]
+        assert entry["per_cell_s"] > 0.0, name
+        assert entry["batched_speedup"] > 0.0, name
+    assert results["grid_batched_48"]["cells"] == 48.0
     # Smoke mode must not have rewritten the recorded report.
     after = DEFAULT_OUTPUT.read_bytes() if DEFAULT_OUTPUT.exists() else None
     assert before == after
+
+
+def test_no_batch_env_escape(monkeypatch):
+    """REPRO_NO_BATCH must route sweeps per-cell with identical records."""
+    from repro.experiments.grid import run_grid
+    from repro.experiments.sweepspec import batching_enabled
+    from repro.sim.cache import simulation_cache_stats
+
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    assert batching_enabled() is False
+    clear_simulation_cache()
+    escaped = run_grid(tiles=48)
+    # The per-cell path never pre-seeds, so every lookup is a cold miss.
+    stats = simulation_cache_stats()
+    assert (stats.hits, stats.misses) == (0, 48)
+    monkeypatch.delenv("REPRO_NO_BATCH")
+    assert batching_enabled() is True
+    clear_simulation_cache()
+    batched = run_grid(tiles=48)
+    assert simulation_cache_stats().hits == 48
+    assert escaped == batched
+    clear_simulation_cache()
