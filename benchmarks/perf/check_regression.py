@@ -15,10 +15,11 @@ and within tolerance of the recorded ratio. ``RATIO_FLOORS`` adds
 machine-independent gates: the window-blocked multi-core engine must
 stay >=5x over its retained per-wave reference loop, the warm-start
 broadcast must keep persistent workers >=90% memory-hot on the second
-composite-scenario run, and the cross-cell batched engine must hold its
+composite-scenario run, the cross-cell batched engine must hold its
 floors on both batching anchors (>=2.2x on the dispatch-bound 48-cell
 short-stream grid, no outright regression on the work-bound Figure 12
-workload). On a single-CPU machine the parallel scaling gate is skipped
+workload), and the serve daemon must coalesce >=90% of duplicate
+concurrent requests onto a single underlying sweep. On a single-CPU machine the parallel scaling gate is skipped
 with a printed reason rather than silently passed.
 
 Usage:
@@ -190,6 +191,13 @@ RATIO_FLOORS = {
     "figure12_batched": (
         "batched_speedup", 0.85,
         "sweep-level batching now slows real workloads down",
+    ),
+    # N identical concurrent requests to the serve daemon must cost one
+    # underlying sweep: every duplicate either coalesces onto the
+    # running compute or is served off the warmed cache.
+    "serve_coalesced_8x": (
+        "coalesced_hit_rate", 0.9,
+        "identical concurrent requests no longer coalesce onto one sweep",
     ),
 }
 

@@ -12,7 +12,10 @@ check pins the contract:
 * every benchmark name is one the harness can produce
   (``run_bench.KNOWN_BENCHMARKS``) and every known anchor is recorded;
 * every entry has a finite, positive ``after_s``;
-* every numeric field in every entry is finite and non-negative.
+* anchors whose regression gate reads more fields than ``after_s``
+  (``ANCHOR_REQUIRED_FIELDS``) carry all of them;
+* every numeric field in every entry is finite and non-negative, and
+  coalescing rates stay within [0, 1].
 
 It is wired into tier-1 through ``tests/test_bench_schema.py`` and can
 run standalone::
@@ -41,6 +44,19 @@ REQUIRED_DOCUMENT_KEYS = (
 
 #: Per-anchor fields every benchmark entry must carry.
 REQUIRED_ENTRY_KEYS = ("after_s",)
+
+#: Extra required fields for anchors whose gate reads more than
+#: ``after_s`` — a partial ``--only`` refresh that drops one of these
+#: would quietly disarm the corresponding regression gate.
+ANCHOR_REQUIRED_FIELDS: Dict[str, "tuple[str, ...]"] = {
+    "serve_coalesced_8x": (
+        "serial_s", "coalesced_speedup", "coalesced_hit_rate", "requests",
+    ),
+}
+
+#: Fields that are rates/fractions of a coalescing total and therefore
+#: must not exceed 1.0 (the generic numeric check only pins >= 0).
+UNIT_INTERVAL_FIELDS = ("coalesced_hit_rate",)
 
 
 def _known_benchmarks() -> "tuple[str, ...]":
@@ -87,7 +103,8 @@ def _validate_entry(name: str, entry: Any) -> List[str]:
     if not isinstance(entry, dict):
         return [f"{name}: entry must be an object, got {type(entry).__name__}"]
     problems: List[str] = []
-    for key in REQUIRED_ENTRY_KEYS:
+    required = REQUIRED_ENTRY_KEYS + ANCHOR_REQUIRED_FIELDS.get(name, ())
+    for key in required:
         if key not in entry:
             problems.append(f"{name}: missing required field {key!r}")
     for field, value in sorted(entry.items()):
@@ -101,6 +118,10 @@ def _validate_entry(name: str, entry: Any) -> List[str]:
             problems.append(f"{name}.{field}: non-finite value {value!r}")
         elif value < 0.0:
             problems.append(f"{name}.{field}: negative value {value!r}")
+        elif field in UNIT_INTERVAL_FIELDS and value > 1.0:
+            problems.append(
+                f"{name}.{field}: rate above 1.0 ({value!r})"
+            )
     after = entry.get("after_s")
     if isinstance(after, (int, float)) and math.isfinite(after) and after <= 0:
         problems.append(f"{name}.after_s: must be positive, got {after!r}")

@@ -17,6 +17,13 @@ Commands:
 * ``formats`` — list the registered quantization formats.
 * ``cache prune`` — trim a disk cache directory to a byte budget
   and/or maximum entry age (LRU by last use).
+* ``serve`` — run the sweep-serving daemon on a local UNIX socket: one
+  shared persistent pool and cache serving many clients, identical
+  in-flight requests coalesced onto a single compute, SIGTERM drains
+  gracefully (see ``docs/SERVING.md``).
+* ``serve-request`` — send one request (a scenario name, ``--inline``
+  JSON, ``--status``, or ``--ping``) to a running daemon and stream
+  its JSONL rows to stdout.
 
 Repeated simulations are served from the process-wide LRU cache
 (``repro.sim.cache``), and the sweep-shaped commands (``experiments``,
@@ -440,6 +447,97 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep-serving daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+
+    _configure_cache(args)
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        jobs=args.jobs,
+        max_active=args.max_active,
+    )
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame) -> None:
+        stop.set()
+
+    # Handlers go in *before* the ready line is printed: a supervisor
+    # that reacts to the ready line by signalling immediately must hit
+    # the drain path, never the default-action kill.
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    daemon.start()
+    print(
+        f"repro serve: listening on {daemon.socket_path} "
+        f"(pool={daemon.status_snapshot()['pool']['width']}, "
+        f"max-active={args.max_active})",
+        flush=True,
+    )
+    stop.wait()
+    print("repro serve: draining (finishing in-flight sweeps)", flush=True)
+    daemon.drain()
+    print("repro serve: drained", flush=True)
+    return 0
+
+
+def _cmd_serve_request(args: argparse.Namespace) -> int:
+    """One client request against a running daemon; rows to stdout."""
+    import json as _json
+
+    from repro.serve.client import (
+        ServeRequestError,
+        ServeUnavailableError,
+        connect,
+    )
+
+    client = connect(args.socket, timeout=args.timeout)
+    try:
+        if args.ping:
+            if not client.ping():
+                print("error: daemon did not answer the ping",
+                      file=sys.stderr)
+                return 2
+            print("pong")
+            return 0
+        if args.status:
+            print(_json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        inline = None
+        if args.inline:
+            try:
+                inline = _json.loads(args.inline)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"--inline must be a JSON object: {error}"
+                )
+        if (args.scenario is None) == (inline is None):
+            raise ConfigurationError(
+                "name a scenario or pass --inline (exactly one of the two)"
+            )
+        rows = 0
+        for line in client.sweep_lines(
+            args.scenario, inline=inline, priority=args.priority
+        ):
+            print(line, flush=True)
+            rows += 1
+        summary = client.last_summary or {}
+        ack = client.last_ack or {}
+        served = (
+            "cache fast path" if summary.get("fast_path")
+            else "coalesced onto a running sweep" if ack.get("coalesced")
+            else "computed"
+        )
+        print(f"{rows} rows ({served})", file=sys.stderr)
+        return 0
+    except (ServeUnavailableError, ServeRequestError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_validate(_args: argparse.Namespace) -> int:
     from repro.experiments import validation
 
@@ -608,6 +706,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prune.set_defaults(func=_cmd_cache)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sweep-serving daemon on a local UNIX socket "
+             "(coalesces identical in-flight requests onto one shared "
+             "pool; SIGTERM drains gracefully)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="UNIX socket path to listen on (default: "
+             "$REPRO_SERVE_SOCKET, else a per-user path under "
+             "$XDG_RUNTIME_DIR or /tmp)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="width of the daemon-owned persistent worker pool, shared "
+             "by every request (default: %(default)s, 0 = one per CPU)",
+    )
+    p_serve.add_argument(
+        "--max-active", type=int, default=2, metavar="N",
+        help="how many admitted sweeps may run concurrently on the "
+             "shared pool (default: %(default)s)",
+    )
+    add_cache_dir(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_req = sub.add_parser(
+        "serve-request",
+        help="send one request to a running serve daemon and stream "
+             "its JSONL rows to stdout",
+    )
+    p_req.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered sweep scenario to request "
+             "(see `repro experiments --list`)",
+    )
+    p_req.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon socket path (default: $REPRO_SERVE_SOCKET)",
+    )
+    p_req.add_argument(
+        "--inline", default=None, metavar="JSON",
+        help="inline sweep parameterization instead of a scenario name "
+             "(e.g. '{\"kind\": \"speedups\", \"memory\": \"ddr\"}')",
+    )
+    p_req.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="admission priority; lower runs first (default: 0)",
+    )
+    p_req.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket timeout per read (default: %(default)s)",
+    )
+    p_req.add_argument(
+        "--status", action="store_true",
+        help="print the daemon's health/stats document and exit",
+    )
+    p_req.add_argument(
+        "--ping", action="store_true",
+        help="round-trip a ping and exit",
+    )
+    p_req.set_defaults(func=_cmd_serve_request)
+
     p_val = sub.add_parser(
         "validate", help="check every headline claim of the paper"
     )
@@ -633,6 +793,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (`repro serve-request ... | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise a second time, and exit like a SIGPIPE'd tool.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout is not a real fd (captured/redirected in-process)
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -117,7 +117,9 @@ import multiprocessing.pool
 import os
 import pickle
 import queue
+import signal
 import threading
+import time
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -146,6 +148,31 @@ WARM_BROADCAST_ENV = "REPRO_WARM_BROADCAST_BYTES"
 #: How long a worker waits at the broadcast barrier before degrading to
 #: a best-effort merge (seconds).
 _BROADCAST_BARRIER_TIMEOUT_S = 30.0
+
+#: How long the streaming join waits with *zero* chunks landing after a
+#: worker death was observed before concluding the dead worker took
+#: in-flight cells with it and re-dispatching them (seconds; env
+#: override below). A killed pool worker is respawned by the pool's
+#: maintenance thread, but any cell it was running is silently lost —
+#: its callback never fires — so without a re-dispatch the join would
+#: block forever on ``done.get()``.
+WORKER_LOSS_GRACE_DEFAULT_S = 5.0
+
+#: Environment override for the worker-loss grace period (seconds).
+WORKER_LOSS_GRACE_ENV = "REPRO_WORKER_LOSS_GRACE_S"
+
+#: Poll interval of the streaming join's queue waits; bounds how stale
+#: the worker-death observation can be, not result latency (a landed
+#: chunk wakes the wait immediately).
+_JOIN_POLL_S = 0.25
+
+#: Zero-progress stall fallback, as a multiple of the worker-loss grace
+#: period: when *nothing* has landed for this long, lost cells are
+#: recovered even without an observed worker death (a worker killed
+#: while idle wedges the pool's shared task queue — it dies holding the
+#: queue's reader lock — and may be respawned before any sweep gets to
+#: notice the PID change).
+_STALL_GRACE_FACTOR = 8
 
 #: Set in pool workers (via the pool initializer) so nested parallel_map
 #: calls degrade to serial instead of forking grandchildren — pool
@@ -209,6 +236,9 @@ class SweepExecution:
     broadcast_entries: int = 0
     broadcast_bytes: int = 0
     broadcast_workers: int = 0
+    #: Cells re-dispatched after a pool worker died mid-sweep (0 in
+    #: healthy runs; see the worker-loss recovery contract).
+    redispatched_cells: int = 0
 
 
 #: Report of the most recent stream_map call (diagnostics/tests).
@@ -233,10 +263,40 @@ _POOL: Optional[multiprocessing.pool.Pool] = None
 _POOL_JOBS = 0
 _ATEXIT_REGISTERED = False
 
+#: Whether a long-lived owner (the serve daemon) holds the pool. An
+#: owned pool is excluded from the ambient atexit teardown and is never
+#: rebuilt wider by a passing sweep — the owner provisioned its width
+#: and tears it down itself via :func:`release_worker_pool`.
+_POOL_OWNED = False
+
+#: Set when a pool worker is seen to have died (or a sweep stalled with
+#: zero progress, which a dead worker can cause without ever being
+#: observed). A worker SIGKILLed while blocked on the pool's shared
+#: task queue dies *holding the queue's reader lock*, wedging the queue
+#: for every surviving worker — so a suspect pool is terminated at
+#: teardown rather than gracefully closed (a close/join would block
+#: forever waiting for workers that can never drain their queue).
+_POOL_SUSPECT = False
+
+#: Serializes pool creation/teardown: the serve daemon dispatches
+#: concurrent sweeps onto the shared pool from multiple runner threads.
+_POOL_LOCK = threading.Lock()
+
+#: Cumulative count of cell tasks handed to the pool by this process
+#: (``apply_async`` submissions; warm-broadcast tasks and in-parent
+#: worker-loss recovery excluded). Tests use deltas of this to pin
+#: "exactly one sweep's worth of compute happened".
+_DISPATCHED_TASKS = 0
+
 #: Barrier synchronizing the warm-start broadcast: created *before* the
 #: pool forks (workers inherit it — multiprocessing primitives cannot be
 #: pickled into task payloads), parties == pool width.
 _POOL_BARRIER = None
+
+
+def dispatched_task_count() -> int:
+    """Cumulative cell tasks this process has handed to the pool."""
+    return _DISPATCHED_TASKS
 
 
 def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
@@ -245,11 +305,18 @@ def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
     A wider-than-needed pool is reused as-is (surplus workers idle
     through the sweep): ``n_jobs`` is clamped to the task count, so a
     small sweep following a large one must not tear down — and
-    re-fork — the pool the large sweeps amortize.
+    re-fork — the pool the large sweeps amortize. An *owned* pool is
+    never rebuilt either: a sweep asking for more workers than the
+    owner provisioned runs at the owned width instead.
     """
+    with _POOL_LOCK:
+        return _get_pool_locked(n_jobs)
+
+
+def _get_pool_locked(n_jobs: int) -> multiprocessing.pool.Pool:
     global _POOL, _POOL_JOBS, _ATEXIT_REGISTERED, _POOL_BARRIER
-    if _POOL is not None and _POOL_JOBS < n_jobs:
-        shutdown_worker_pool()
+    if _POOL is not None and _POOL_JOBS < n_jobs and not _POOL_OWNED:
+        _shutdown_pool_locked()
     if _POOL is None:
         context = multiprocessing.get_context("fork")
         # The broadcast barrier must exist before the fork so workers
@@ -258,7 +325,7 @@ def _get_pool(n_jobs: int) -> multiprocessing.pool.Pool:
         _POOL = context.Pool(n_jobs, initializer=_mark_worker)
         _POOL_JOBS = n_jobs
         if not _ATEXIT_REGISTERED:
-            atexit.register(shutdown_worker_pool)
+            atexit.register(_ambient_pool_teardown)
             _ATEXIT_REGISTERED = True
     return _POOL
 
@@ -267,16 +334,102 @@ def shutdown_worker_pool() -> None:
     """Tear down the persistent worker pool, if one is alive.
 
     Safe to call at any time (idempotent); the next fanned-out sweep
-    simply forks a fresh pool. Registered atexit so an invocation never
-    leaks worker processes.
+    simply forks a fresh pool. This is the *explicit* teardown and
+    applies even to an owned pool — owners wanting their pool spared
+    from housekeeping are protected only from the ambient atexit hook
+    (:func:`_ambient_pool_teardown`), not from a deliberate call.
     """
-    global _POOL, _POOL_JOBS, _POOL_BARRIER
+    with _POOL_LOCK:
+        _shutdown_pool_locked()
+
+
+def _shutdown_pool_locked() -> None:
+    global _POOL, _POOL_JOBS, _POOL_BARRIER, _POOL_SUSPECT
     if _POOL is not None:
-        _POOL.close()
+        if _POOL_SUSPECT:
+            # A worker died on this pool; its shared task queue may be
+            # wedged (see _POOL_SUSPECT), so never close/join — the
+            # survivors might never see their shutdown sentinels. Even
+            # ``Pool.terminate`` is unsafe as-is: its drain helper
+            # acquires the task queue's reader lock, which the victim
+            # may have died *holding*. Kill the surviving workers
+            # first (none can then re-grab the lock), force the
+            # orphaned lock open, and only then terminate.
+            for worker in list(getattr(_POOL, "_pool", [])):
+                if worker.pid is not None:
+                    try:
+                        os.kill(worker.pid, signal.SIGKILL)
+                    except OSError:
+                        pass
+            try:
+                _POOL._inqueue._rlock.release()
+            except (AttributeError, ValueError, OSError):
+                pass  # lock was not held — nothing to free
+            _POOL.terminate()
+        else:
+            _POOL.close()
         _POOL.join()
         _POOL = None
         _POOL_JOBS = 0
         _POOL_BARRIER = None
+        _POOL_SUSPECT = False
+
+
+def _mark_pool_suspect() -> None:
+    """Record that the live pool may have lost a worker (see above)."""
+    global _POOL_SUSPECT
+    _POOL_SUSPECT = True
+
+
+def _ambient_pool_teardown() -> None:
+    """atexit hook: tear down the pool *unless an owner holds it*.
+
+    A daemon that claimed the pool may still be draining in-flight
+    cells while the interpreter's atexit machinery runs (a SIGTERM-
+    initiated shutdown unwinds through here); closing the pool under
+    it would poison those cells. The owner is responsible for calling
+    :func:`release_worker_pool` on its own drain path instead.
+    """
+    if not _POOL_OWNED:
+        shutdown_worker_pool()
+
+
+def claim_worker_pool(jobs: Optional[int] = None) -> int:
+    """Fork (or adopt) the persistent pool and take ownership of it.
+
+    A long-lived owner — the serve daemon — calls this once at startup:
+    the pool is created at ``jobs`` width (``None``/``0`` = one worker
+    per CPU) if none is alive, and ownership then excludes it from both
+    the ambient atexit teardown and the wider-sweep rebuild in the pool
+    getter, so module-level housekeeping can never tear the pool down
+    underneath the owner's in-flight sweeps. Returns the width actually
+    held (1 on platforms without ``fork``, where there is no pool to
+    own). The owner must call :func:`release_worker_pool` on shutdown.
+    """
+    global _POOL_OWNED
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigurationError(NEGATIVE_JOBS_ERROR.format(jobs=jobs))
+    if _IN_WORKER or not fork_available() or jobs == 1:
+        return 1
+    with _POOL_LOCK:
+        _get_pool_locked(jobs)
+        _POOL_OWNED = True
+        return _POOL_JOBS
+
+
+def release_worker_pool() -> None:
+    """Relinquish pool ownership and tear the pool down (idempotent)."""
+    global _POOL_OWNED
+    with _POOL_LOCK:
+        _POOL_OWNED = False
+        _shutdown_pool_locked()
+
+
+def worker_pool_owned() -> bool:
+    """Whether a long-lived owner currently holds the persistent pool."""
+    return _POOL_OWNED
 
 
 def worker_pool_size() -> int:
@@ -325,6 +478,17 @@ def _run_cell(
         after.misses - before.misses,
         after.disk_hits - before.disk_hits,
     )
+
+
+def _worker_loss_grace() -> float:
+    """Resolve the worker-loss grace period (env override > default)."""
+    raw = os.environ.get(WORKER_LOSS_GRACE_ENV)
+    if raw is not None:
+        try:
+            return max(0.05, float(raw))
+        except ValueError:
+            pass
+    return WORKER_LOSS_GRACE_DEFAULT_S
 
 
 def _warm_broadcast_budget(warm_budget: Optional[int]) -> int:
@@ -450,10 +614,27 @@ def _parallel_stream(
     cache entries to every worker (see the module docstring's
     warm-start broadcast contract); a freshly forked pool inherited
     them already.
+
+    Worker-loss recovery: queue waits poll so the join can notice the
+    pool's worker PID set changing (the pool respawns a killed worker,
+    but the cells it was running are lost — their callbacks never
+    fire). After a death — or a zero-progress stall, which a worker
+    killed while idle causes without any observable PID change — once
+    no chunk has landed for a grace period
+    (:data:`WORKER_LOSS_GRACE_ENV`), every in-flight cell not yet
+    received is recomputed *in-parent* (the pool's shared task queue
+    may be wedged by the death, so recovery never re-enters it).
+    Receipts are de-duplicated by cell index, so a recovery racing its
+    original's late completion can never double-merge a cache delta or
+    double-yield a row — the sweep's output is identical to a healthy
+    run (the simulator is pure).
     """
-    global _LAST_EXECUTION
-    reused = worker_pool_size() >= n_jobs
+    global _LAST_EXECUTION, _DISPATCHED_TASKS
+    pre_existing = worker_pool_size()
     pool = _get_pool(n_jobs)
+    # An owned pool is never rebuilt wider; run at the width we got.
+    n_jobs = min(n_jobs, _POOL_JOBS)
+    reused = 0 < pre_existing and pre_existing >= n_jobs
     generation = _simcache.simulation_cache_generation()
     cache_dir = _simcache.simulation_cache_dir()
     broadcast_entries = broadcast_bytes = broadcast_workers = 0
@@ -474,26 +655,108 @@ def _parallel_stream(
     window = min(total, 2 * n_jobs)
     submitted = 0
     in_flight = 0
-    completed = 0
     merged = duplicates = hits = misses = disk_hits = 0
+    redispatched = 0
+    received: set = set()
+    outstanding: dict = {}
     pending: dict = {}
     next_yield = 0
     failure: Optional[BaseException] = None
+    grace = _worker_loss_grace()
+    known_pids = set(worker_pool_pids())
+    worker_lost = False
+    last_landing = time.monotonic()
+
+    def submit_index(index: int) -> None:
+        nonlocal in_flight
+        global _DISPATCHED_TASKS
+        payload = (fn, index, items[index], generation, cache_dir)
+        pool.apply_async(
+            _run_cell, (payload,),
+            callback=done.put, error_callback=done.put,
+        )
+        outstanding[index] = outstanding.get(index, 0) + 1
+        in_flight += 1
+        _DISPATCHED_TASKS += 1
 
     def submit_next() -> None:
-        nonlocal submitted, in_flight
+        nonlocal submitted
         if submitted < total:
-            payload = (fn, submitted, items[submitted], generation, cache_dir)
-            pool.apply_async(
-                _run_cell, (payload,),
-                callback=done.put, error_callback=done.put,
-            )
+            submit_index(submitted)
             submitted += 1
+
+    def note_landing(outcome: Any) -> bool:
+        """Bookkeep one queue receipt; True when it is a fresh cell."""
+        nonlocal in_flight, last_landing
+        in_flight -= 1
+        last_landing = time.monotonic()
+        if isinstance(outcome, BaseException):
+            return False
+        index = outcome[0]
+        count = outstanding.get(index, 0) - 1
+        if count > 0:
+            outstanding[index] = count
+        else:
+            outstanding.pop(index, None)
+        if index in received:
+            # A recovery re-dispatch raced its original's completion;
+            # drop the duplicate chunk whole (its entries were merged
+            # the first time — the simulator is pure).
+            return False
+        received.add(index)
+        return True
+
+    def check_worker_loss() -> None:
+        """Notice the pool's worker PID set changing (a death)."""
+        nonlocal known_pids, worker_lost
+        current = set(worker_pool_pids())
+        if current != known_pids:
+            if known_pids - current:
+                worker_lost = True
+                _mark_pool_suspect()
+            known_pids = current
+
+    def quiet_too_long() -> bool:
+        return time.monotonic() - last_landing >= grace
+
+    def stalled_too_long() -> bool:
+        return (
+            time.monotonic() - last_landing
+            >= grace * _STALL_GRACE_FACTOR
+        )
+
+    def lost_indexes() -> list:
+        """In-flight cells with no received result at all."""
+        return sorted(set(outstanding) - received)
+
+    def recover_lost() -> None:
+        """Run every lost cell *in-parent* and feed it the normal way.
+
+        Recovery never re-enters the pool: the death that lost the
+        cells may also have wedged the pool's shared task queue (see
+        :data:`_POOL_SUSPECT`), in which case a resubmitted task would
+        never be delivered to any worker. Running in-parent is always
+        correct — the simulator is pure and receipts de-duplicate by
+        cell index, so a recovered cell racing its original's late
+        completion can never double-merge or double-yield.
+        """
+        nonlocal worker_lost, redispatched, last_landing, in_flight
+        _mark_pool_suspect()
+        for index in lost_indexes():
+            payload = (fn, index, items[index], generation, cache_dir)
+            outstanding[index] = outstanding.get(index, 0) + 1
             in_flight += 1
+            redispatched += 1
+            try:
+                done.put(_run_cell(payload))
+            except BaseException as error:
+                done.put(error)
+        worker_lost = False
+        last_landing = time.monotonic()
 
     def absorb(chunk: Any) -> Optional[Tuple[int, Any]]:
         """Merge one finished cell's cache delta; return (index, result)."""
-        nonlocal completed, merged, duplicates, hits, misses, disk_hits
+        nonlocal merged, duplicates, hits, misses, disk_hits
         index, result, entries, d_hits, d_misses, d_disk = chunk
         stats = _simcache.merge_simulation_cache(
             entries, hits=d_hits, misses=d_misses, disk_hits=d_disk
@@ -503,18 +766,27 @@ def _parallel_stream(
         hits += d_hits
         misses += d_misses
         disk_hits += d_disk
-        completed += 1
         return index, result
 
     try:
         for _ in range(window):
             submit_next()
-        while completed < total and failure is None:
-            outcome = done.get()
-            in_flight -= 1
+        while len(received) < total and failure is None:
+            try:
+                outcome = done.get(timeout=_JOIN_POLL_S)
+            except queue.Empty:
+                check_worker_loss()
+                if outstanding and (
+                    (worker_lost and quiet_too_long()) or stalled_too_long()
+                ):
+                    recover_lost()
+                continue
+            fresh = note_landing(outcome)
             if isinstance(outcome, BaseException):
                 failure = outcome
                 break
+            if not fresh:
+                continue
             try:
                 index, result = absorb(outcome)
             except Exception as error:  # e.g. a merge bit-equality assert
@@ -522,7 +794,7 @@ def _parallel_stream(
                 raise
             submit_next()
             if progress is not None:
-                progress(completed, total)
+                progress(len(received), total)
             pending[index] = result
             while next_yield in pending:
                 yield next_yield, pending.pop(next_yield)
@@ -532,12 +804,25 @@ def _parallel_stream(
         # here: stop dispatching, drain the in-flight cells so the
         # persistent pool is idle, and keep their cache deltas (the
         # simulator is pure — a completed cell's entries are valid
-        # whether or not anyone consumed its result).
+        # whether or not anyone consumed its result). Cells lost to a
+        # dead worker are abandoned after the grace period instead of
+        # blocking forever — their callbacks will never fire.
         while in_flight:
-            outcome = done.get()
-            in_flight -= 1
-            if isinstance(outcome, BaseException):
-                if failure is None:
+            try:
+                outcome = done.get(timeout=_JOIN_POLL_S)
+            except queue.Empty:
+                check_worker_loss()
+                # Lingering in-flight entries whose index already has a
+                # result are orphans — the original submission of an
+                # in-parent-recovered cell, or a duplicate — and may
+                # never land; don't block the drain on them.
+                if quiet_too_long() and (worker_lost or not lost_indexes()):
+                    break
+                if stalled_too_long():
+                    break
+                continue
+            if not note_landing(outcome):
+                if isinstance(outcome, BaseException) and failure is None:
                     failure = outcome
                 continue
             try:
@@ -549,11 +834,12 @@ def _parallel_stream(
             jobs=n_jobs, tasks=total, merged_entries=merged,
             duplicate_entries=duplicates, worker_hits=hits,
             worker_misses=misses, worker_disk_hits=disk_hits,
-            pool_reused=reused, completed=completed,
-            cancelled=failure is None and completed < total,
+            pool_reused=reused, completed=len(received),
+            cancelled=failure is None and len(received) < total,
             broadcast_entries=broadcast_entries,
             broadcast_bytes=broadcast_bytes,
             broadcast_workers=broadcast_workers,
+            redispatched_cells=redispatched,
         )
     if failure is not None:
         raise failure

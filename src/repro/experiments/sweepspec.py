@@ -647,6 +647,49 @@ def iter_scenarios() -> Tuple[Scenario, ...]:
     return tuple(_SCENARIOS.values())
 
 
+def spec_request_key(spec: Any) -> str:
+    """Canonical identity of a sweep request, stable across processes.
+
+    The serving layer coalesces concurrent requests that would perform
+    identical work; "identical" is pinned here as the SHA-256 digest of
+    the spec's name plus its axes — names and values, in declaration
+    order — plus the disk cache's schema fingerprint. Two requests with
+    equal keys stream bit-identical rows (axes determine every cell
+    payload through the spec's builder), so one may safely subscribe to
+    the other's run. The schema fingerprint participates so a daemon
+    serving across a result-dataclass change can never hand rows
+    computed under the old shapes to a client keyed on the new ones.
+
+    Works for both :class:`SweepSpec` (hashes the axes) and
+    :class:`CompositeSweep` (hashes the sub-specs' keys). Axis values
+    must be digestible by :func:`repro.sim.diskcache.key_digest` —
+    scalars, tuples, and frozen dataclasses, i.e. exactly the value
+    shapes sweep axes already use for cache keys.
+    """
+    from repro.sim.diskcache import key_digest, schema_fingerprint
+
+    axes = getattr(spec, "axes", None)
+    if axes is not None:
+        signature = tuple((name, values) for name, values in axes.items())
+        return key_digest(
+            ("sweep-request", schema_fingerprint(), spec.name, signature)
+        )
+    subs = getattr(spec, "specs", None)
+    if subs is not None:
+        return key_digest(
+            (
+                "composite-request",
+                schema_fingerprint(),
+                spec.name,
+                tuple(spec_request_key(sub) for sub in subs),
+            )
+        )
+    raise ConfigurationError(
+        f"cannot derive a request key for {type(spec).__name__}: "
+        "the object exposes neither axes nor sub-specs"
+    )
+
+
 # ---------------------------------------------------------------------
 # Incremental emission
 # ---------------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""Sweep-as-a-service: the ``repro serve`` daemon and its client.
+
+The serving layer turns the repo's one-shot sweep machinery into a
+long-lived local service: one daemon owns the persistent forked pool
+and the two-tier simulation cache, many clients stream sweep results
+over a UNIX socket, and identical in-flight requests coalesce onto a
+single compute. See :mod:`repro.serve.daemon` for the architecture,
+:mod:`repro.serve.protocol` for the wire format, and ``docs/SERVING.md``
+for the operator-facing walkthrough.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    ServeRequestError,
+    ServeUnavailableError,
+    connect,
+)
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import default_socket_path
+
+__all__ = [
+    "ServeClient",
+    "ServeDaemon",
+    "ServeRequestError",
+    "ServeUnavailableError",
+    "connect",
+    "default_socket_path",
+]

@@ -1,0 +1,184 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+The intended shape is one liner per request::
+
+    from repro.serve.client import connect
+
+    for row in connect().sweep("figure12"):
+        print(row["scheme"], row["deca_over_software"])
+
+``sweep`` yields parsed row dicts; ``sweep_lines`` yields the raw JSONL
+row lines exactly as the daemon sent them (and exactly as the sweep's
+file emitter would have written them — useful for teeing to a file or
+for bit-identity assertions). Each call opens its own connection, so
+one client object can issue many requests and is trivially
+thread-safe.
+
+Connection failures raise :class:`ServeUnavailableError` with a clean,
+actionable message; daemon-reported failures (unknown scenario, drain
+in progress, a sweep that blew up) raise :class:`ServeRequestError`
+carrying the daemon's error text.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from repro.serve.protocol import (
+    CONTROL_KEY,
+    LineChannel,
+    default_socket_path,
+    parse_control,
+    unescape_row,
+)
+
+
+class ServeUnavailableError(RuntimeError):
+    """No daemon is reachable on the requested socket."""
+
+
+class ServeRequestError(RuntimeError):
+    """The daemon refused or failed the request (its error text)."""
+
+
+class ServeClient:
+    """A handle on one daemon socket; every request is one connection."""
+
+    def __init__(
+        self, socket_path: Optional[str] = None, timeout: float = 300.0
+    ) -> None:
+        self.socket_path = socket_path or default_socket_path()
+        self.timeout = timeout
+        #: The ``ack`` control payload of the most recent sweep request
+        #: (request key + whether it coalesced), and the ``end`` payload
+        #: once its stream finished (row count + per-request cache
+        #: stats). Diagnostics only — not part of the row stream.
+        self.last_ack: Optional[Dict[str, Any]] = None
+        self.last_summary: Optional[Dict[str, Any]] = None
+
+    def _open(self) -> LineChannel:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except FileNotFoundError:
+            sock.close()
+            raise ServeUnavailableError(
+                f"no serve daemon socket at {self.socket_path} "
+                "(start one with `repro serve`)"
+            )
+        except OSError as error:
+            sock.close()
+            raise ServeUnavailableError(
+                f"cannot reach serve daemon at {self.socket_path}: {error}"
+            )
+        return LineChannel(sock)
+
+    def _request(self, payload: Dict[str, Any]) -> LineChannel:
+        channel = self._open()
+        try:
+            channel.send_line(json.dumps(payload))
+        except OSError as error:
+            channel.close()
+            raise ServeUnavailableError(
+                f"serve daemon at {self.socket_path} hung up: {error}"
+            )
+        return channel
+
+    def ping(self) -> bool:
+        """Round-trip a ping; True when the daemon answers."""
+        with self._request({"op": "ping"}) as channel:
+            line = channel.recv_line()
+        control = parse_control(line) if line is not None else None
+        return bool(control) and control[CONTROL_KEY] == "pong"
+
+    def status(self) -> Dict[str, Any]:
+        """The daemon's health/stats document."""
+        with self._request({"op": "status"}) as channel:
+            line = channel.recv_line()
+        control = parse_control(line) if line is not None else None
+        if control is None:
+            raise ServeUnavailableError(
+                f"serve daemon at {self.socket_path} closed the "
+                "connection without answering"
+            )
+        if control[CONTROL_KEY] == "error":
+            raise ServeRequestError(control.get("error", "unknown error"))
+        control.pop(CONTROL_KEY, None)
+        return control
+
+    def sweep_lines(
+        self,
+        scenario: Optional[str] = None,
+        inline: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Iterator[str]:
+        """Stream one sweep's raw JSONL row lines, in cell-index order.
+
+        Closing the generator early (``break``) closes the connection;
+        the daemon drops only this subscription — a sweep shared with
+        other clients keeps running.
+        """
+        request: Dict[str, Any] = {"op": "sweep", "priority": int(priority)}
+        if scenario is not None:
+            request["scenario"] = scenario
+        if inline is not None:
+            request["inline"] = inline
+        self.last_ack = None
+        self.last_summary = None
+        channel = self._request(request)
+        try:
+            first = channel.recv_line()
+            control = parse_control(first) if first is not None else None
+            if control is None:
+                raise ServeUnavailableError(
+                    f"serve daemon at {self.socket_path} closed the "
+                    "connection without answering"
+                )
+            if control[CONTROL_KEY] == "error":
+                raise ServeRequestError(
+                    control.get("error", "unknown error")
+                )
+            self.last_ack = control
+            for line in channel.lines():
+                mark = parse_control(line)
+                if mark is None:
+                    yield line
+                    continue
+                kind = mark[CONTROL_KEY]
+                if kind == "row":
+                    yield unescape_row(mark)
+                elif kind == "end":
+                    self.last_summary = mark
+                    return
+                elif kind == "error":
+                    raise ServeRequestError(
+                        mark.get("error", "unknown error")
+                    )
+            raise ServeUnavailableError(
+                f"serve daemon at {self.socket_path} closed the "
+                "stream before its end marker"
+            )
+        finally:
+            channel.close()
+
+    def sweep(
+        self,
+        scenario: Optional[str] = None,
+        inline: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream one sweep's rows as parsed dicts, in cell-index order."""
+        for line in self.sweep_lines(
+            scenario, inline=inline, priority=priority
+        ):
+            yield json.loads(line)
+
+
+def connect(
+    socket_path: Optional[str] = None, timeout: float = 300.0
+) -> ServeClient:
+    """A :class:`ServeClient` on ``socket_path`` (default: env/flag)."""
+    return ServeClient(socket_path=socket_path, timeout=timeout)

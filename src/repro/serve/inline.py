@@ -1,0 +1,161 @@
+"""Inline (request-parameterized) sweep builders for the serve daemon.
+
+A sweep request normally names a registered scenario; an *inline*
+request instead carries a small JSON parameterization and the daemon
+builds the spec itself::
+
+    {"op": "sweep", "inline": {"kind": "speedups", "memory": "ddr",
+                               "tiles": 600}}
+    {"op": "sweep", "inline": {"kind": "synthetic", "cells": 8,
+                               "cell_s": 0.25, "tag": "drain-test"}}
+
+Each builder folds every non-axis parameter into the spec's *name*:
+the canonical request key (:func:`repro.experiments.sweepspec.
+spec_request_key`) hashes only the name and the axes, so anything that
+changes the computed rows must land in one of the two — otherwise two
+different requests would wrongly coalesce.
+
+The ``synthetic`` kind exists for the daemon's own tests and
+benchmarks: a sweep whose cells just sleep a requested duration, with
+module-level (picklable) tasks so it runs in forked pool workers and in
+subprocess daemons alike. It never touches the simulation cache, so a
+synthetic request can never take the cache-hit fast path — its duration
+is deterministic, which is exactly what drain/fault timing tests need.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.speedups import speedup_spec
+from repro.experiments.sweepspec import SweepSpec, get_scenario
+
+#: Hard bounds on synthetic-sweep parameters: the daemon executes
+#: requests it did not author, so an inline request must not be able to
+#: wedge a runner thread for minutes.
+MAX_SYNTHETIC_CELLS = 256
+MAX_SYNTHETIC_CELL_S = 5.0
+
+
+def _synthetic_cell(payload: Any) -> Dict[str, Any]:
+    """One synthetic cell: sleep the requested duration, report it."""
+    index, cell_s = payload
+    if cell_s > 0:
+        time.sleep(cell_s)
+    return {"cell": index, "slept_s": cell_s}
+
+
+def _synthetic_rows(cell: Any):
+    return (dict(cell.value),)
+
+
+def synthetic_spec(
+    cells: int = 4, cell_s: float = 0.0, tag: str = ""
+) -> SweepSpec:
+    """A deterministic-duration sweep of sleeping cells (test traffic)."""
+    cells = int(cells)
+    cell_s = float(cell_s)
+    if not 1 <= cells <= MAX_SYNTHETIC_CELLS:
+        raise ConfigurationError(
+            f"synthetic sweep: cells must be 1..{MAX_SYNTHETIC_CELLS}, "
+            f"got {cells}"
+        )
+    if not 0.0 <= cell_s <= MAX_SYNTHETIC_CELL_S:
+        raise ConfigurationError(
+            f"synthetic sweep: cell_s must be 0..{MAX_SYNTHETIC_CELL_S}, "
+            f"got {cell_s}"
+        )
+    name = f"synthetic[c{cells},s{cell_s:.3f}"
+    if tag:
+        name += f",{tag}"
+    name += "]"
+
+    def make_cell(coords: Dict[str, Any]):
+        return (coords["cell"], cell_s)
+
+    return SweepSpec(
+        name=name,
+        title=f"synthetic sweep ({cells} cells × {cell_s:.3f}s)",
+        axes={"cell": tuple(range(cells))},
+        task=_synthetic_cell,
+        make_cell=make_cell,
+        rows=_synthetic_rows,
+    )
+
+
+def _inline_speedups(params: Mapping[str, Any]) -> SweepSpec:
+    from repro.core.schemes import PAPER_SCHEMES
+    from repro.sim.system import ddr_system, hbm_system
+
+    memory = str(params.get("memory", "ddr")).lower()
+    systems = {"ddr": ddr_system, "hbm": hbm_system}
+    if memory not in systems:
+        raise ConfigurationError(
+            f"inline speedups: memory must be one of {sorted(systems)}, "
+            f"got {memory!r}"
+        )
+    tiles = int(params.get("tiles", 600))
+    if not 1 <= tiles <= 100_000:
+        raise ConfigurationError(
+            f"inline speedups: tiles must be 1..100000, got {tiles}"
+        )
+    scheme_names = params.get("schemes")
+    schemes = PAPER_SCHEMES
+    if scheme_names is not None:
+        by_name = {scheme.name: scheme for scheme in PAPER_SCHEMES}
+        unknown = [n for n in scheme_names if n not in by_name]
+        if unknown:
+            raise ConfigurationError(
+                f"inline speedups: unknown scheme(s) {unknown}; "
+                f"known: {sorted(by_name)}"
+            )
+        schemes = tuple(by_name[n] for n in scheme_names)
+    return speedup_spec(
+        systems[memory](),
+        schemes=schemes,
+        tiles=tiles,
+        name=f"speedups[{memory},t{tiles}]",
+        title=f"per-scheme speedups ({memory.upper()}, {tiles} tiles)",
+    )
+
+
+_INLINE_KINDS = {
+    "speedups": _inline_speedups,
+    "synthetic": lambda params: synthetic_spec(
+        cells=params.get("cells", 4),
+        cell_s=params.get("cell_s", 0.0),
+        tag=str(params.get("tag", "")),
+    ),
+}
+
+
+def build_request_spec(request: Mapping[str, Any]) -> SweepSpec:
+    """The :class:`SweepSpec` a sweep request names or describes.
+
+    ``{"scenario": name}`` builds the registered scenario's default
+    spec; ``{"inline": {...}}`` dispatches on the inline ``kind``.
+    Raises :class:`ConfigurationError` on anything malformed — the
+    daemon turns that into a clean ``error`` control line.
+    """
+    scenario = request.get("scenario")
+    inline = request.get("inline")
+    if (scenario is None) == (inline is None):
+        raise ConfigurationError(
+            "sweep request must carry exactly one of 'scenario' or 'inline'"
+        )
+    if scenario is not None:
+        return get_scenario(str(scenario)).build()
+    if not isinstance(inline, Mapping):
+        raise ConfigurationError(
+            f"inline request must be an object, got {type(inline).__name__}"
+        )
+    kind = inline.get("kind")
+    builder = _INLINE_KINDS.get(kind)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown inline sweep kind {kind!r}; "
+            f"known: {sorted(_INLINE_KINDS)}"
+        )
+    return builder(inline)

@@ -1,0 +1,152 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+Transport: a local ``AF_UNIX`` stream socket carrying newline-delimited
+JSON, one request per connection. The client sends exactly one request
+object; the daemon answers with a stream of lines and closes the
+connection:
+
+* **control lines** are JSON objects carrying the reserved ``"serve"``
+  key — an ``ack`` (request admitted, with its canonical request key
+  and whether it coalesced onto a running sweep), then zero or more
+  rows, then an ``end`` (row count + per-request cache stats), or an
+  ``error`` at any point;
+* **row lines** are the sweep's per-cell JSONL rows *verbatim* —
+  byte-for-byte what :func:`repro.experiments.sweepspec.jsonl_line`
+  writes into an ``--out results.jsonl`` file, in cell-index order.
+  The emitter is the wire format: a client can tee the stream straight
+  to disk and obtain exactly the file the CLI would have written, and
+  "all coalesced subscribers saw identical output" is a plain string
+  comparison.
+
+Requests::
+
+    {"op": "sweep", "scenario": "figure12", "priority": 0}
+    {"op": "sweep", "inline": {"kind": "speedups", ...}}
+    {"op": "status"}
+    {"op": "ping"}
+
+``priority`` orders the daemon's admission queue (lower runs first,
+ties FIFO). Inline request shapes are defined by
+:mod:`repro.serve.inline`.
+
+Responses (control lines)::
+
+    {"serve": "ack", "key": "<sha256>", "coalesced": false}
+    {"serve": "end", "rows": 12, "fast_path": false,
+     "cache": {...}, "disk": {...} | null}
+    {"serve": "error", "error": "..."}
+    {"serve": "pong"}
+    {"serve": "status", ...}
+
+A sweep row that itself contained a ``"serve"`` key would collide with
+the control namespace; such rows are escaped as
+``{"serve": "row", "line": "<original line>"}`` (no current spec emits
+one — the escape keeps the protocol total rather than merely likely).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+#: Environment override for the default socket path.
+SOCKET_ENV = "REPRO_SERVE_SOCKET"
+
+#: Reserved top-level key distinguishing control lines from row lines.
+CONTROL_KEY = "serve"
+
+#: ``listen()`` backlog of the daemon socket.
+LISTEN_BACKLOG = 64
+
+
+def default_socket_path() -> str:
+    """The socket path used when neither flag nor env names one."""
+    override = os.environ.get(SOCKET_ENV)
+    if override:
+        return override
+    runtime = os.environ.get("XDG_RUNTIME_DIR") or "/tmp"
+    return os.path.join(runtime, f"repro-serve-{os.getuid()}.sock")
+
+
+def control_line(kind: str, **fields: Any) -> str:
+    """Serialize one control message (no trailing newline)."""
+    payload: Dict[str, Any] = {CONTROL_KEY: kind}
+    payload.update(fields)
+    return json.dumps(payload, sort_keys=False)
+
+
+def escape_row_line(line: str) -> str:
+    """Escape a row line when (and only when) it would read as control."""
+    try:
+        parsed = json.loads(line)
+    except ValueError:
+        return line
+    if isinstance(parsed, dict) and CONTROL_KEY in parsed:
+        return control_line("row", line=line)
+    return line
+
+
+def parse_control(line: str) -> Optional[Dict[str, Any]]:
+    """The control payload of ``line``, or ``None`` for a row line."""
+    try:
+        parsed = json.loads(line)
+    except ValueError:
+        return None
+    if isinstance(parsed, dict) and CONTROL_KEY in parsed:
+        return parsed
+    return None
+
+
+def unescape_row(control: Dict[str, Any]) -> str:
+    """The original row line inside a ``row`` escape control message."""
+    return control["line"]
+
+
+class LineChannel:
+    """Blocking newline-delimited text framing over one stream socket.
+
+    Owns the socket: closing the channel closes the connection. Reads
+    and writes are line-at-a-time through buffered file wrappers; every
+    write flushes, so each row reaches the peer as it lands (the
+    streaming contract of the sweep engine carried onto the wire).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = sock.makefile("w", encoding="utf-8", newline="\n")
+
+    def send_line(self, line: str) -> None:
+        self._writer.write(line)
+        self._writer.write("\n")
+        self._writer.flush()
+
+    def recv_line(self) -> Optional[str]:
+        """One line without its newline, or ``None`` at EOF."""
+        line = self._reader.readline()
+        if not line:
+            return None
+        return line.rstrip("\n")
+
+    def lines(self) -> Iterator[str]:
+        """Iterate lines until the peer closes the connection."""
+        while True:
+            line = self.recv_line()
+            if line is None:
+                return
+            yield line
+
+    def close(self) -> None:
+        for closer in (self._writer, self._reader, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "LineChannel":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -207,6 +207,22 @@ class CacheStats:
         total = served + self.misses
         return served / total if total else 0.0
 
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """The counter movement between ``before`` and this snapshot.
+
+        Hit/miss/disk-hit are counters and subtract; ``size``/``maxsize``
+        are levels and carry over from the later snapshot. The serve
+        daemon reports one of these per request, so a client can see
+        what *its* sweep cost rather than the daemon's lifetime totals.
+        """
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            size=self.size,
+            maxsize=self.maxsize,
+            disk_hits=self.disk_hits - before.disk_hits,
+        )
+
 
 class SimulationCache:
     """A bounded, thread-safe LRU mapping simulation keys to results."""
@@ -473,6 +489,24 @@ class SimulationCache:
                 disk_hits=self._disk_hits,
             )
 
+    def flush_to_disk(self) -> int:
+        """Spill every in-memory entry to the disk tier; entries written.
+
+        A no-op (0) without a disk tier. The store is content-addressed
+        and skips files that already exist, so flushing after sweeps
+        whose entries spilled as they computed writes nothing new; what
+        it catches are entries that only ever lived in memory — e.g.
+        merged from workers before the tier was attached, or computed
+        while the disk was temporarily unwritable. The serve daemon
+        calls this on drain so a restart finds them.
+        """
+        with self._lock:
+            disk = self._disk
+            entries = list(self._entries.items())
+        if disk is None:
+            return 0
+        return sum(1 for key, value in entries if disk.store(key, value))
+
 
 #: The process-wide cache behind ``simulate_tile_stream``.
 _GLOBAL_CACHE = SimulationCache(maxsize=512)
@@ -593,6 +627,15 @@ def configure_simulation_cache_dir(
     disk = open_disk_cache(path)
     _GLOBAL_CACHE.set_disk(disk)
     return disk
+
+
+def flush_simulation_cache_to_disk() -> int:
+    """Spill the process-wide cache to its disk tier; entries written.
+
+    The serve daemon's drain hook ("persist deltas to disk"); see
+    :meth:`SimulationCache.flush_to_disk`.
+    """
+    return _GLOBAL_CACHE.flush_to_disk()
 
 
 def simulation_cache_disk() -> Optional[DiskCache]:

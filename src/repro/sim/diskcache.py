@@ -210,6 +210,18 @@ class DiskCacheStats:
     stores: int
     skipped_stores: int
 
+    def since(self, before: "DiskCacheStats") -> "DiskCacheStats":
+        """The counter movement between ``before`` and this snapshot
+        (every field is a counter; per-request reporting in the serve
+        daemon)."""
+        return DiskCacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            errors=self.errors - before.errors,
+            stores=self.stores - before.stores,
+            skipped_stores=self.skipped_stores - before.skipped_stores,
+        )
+
 
 class DiskCache:
     """One directory of content-addressed simulation entries.

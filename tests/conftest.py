@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+import signal
+
 import numpy as np
 import pytest
 
@@ -39,3 +43,55 @@ def scheme(request):
 def random_weights(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
     """Gaussian weights like a trained FC layer's."""
     return (rng.normal(scale=0.05, size=(rows, cols))).astype(np.float32)
+
+
+# ---------------------------------------------------------------------
+# Fault injection (serve-daemon hardening tests)
+# ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def kill_pool_worker():
+    """Fault injector: SIGKILL one live persistent-pool worker.
+
+    Returns a callable that picks a worker of the process-wide pool
+    (the lowest PID by default, or a caller-chosen one) and kills it
+    outright, simulating an OOM-killed / crashed worker mid-sweep. The
+    pool's maintenance thread respawns a replacement, but any cells the
+    victim was running are lost — exercising the executor's worker-loss
+    recovery. Returns the victim's PID.
+    """
+    from repro.experiments.parallel import worker_pool_pids
+
+    def _kill(pid: "int | None" = None) -> int:
+        pids = worker_pool_pids()
+        assert pids, "no live pool worker to kill"
+        victim = pid if pid is not None else pids[0]
+        assert victim in pids, f"{victim} is not a pool worker ({pids})"
+        os.kill(victim, signal.SIGKILL)
+        return victim
+
+    return _kill
+
+
+@pytest.fixture
+def corrupt_disk_entry():
+    """Fault injector: garble entries of an on-disk simulation cache.
+
+    Returns a callable taking a cache directory; it overwrites the
+    stored pickle payload of ``count`` entries with garbage (keeping
+    the files in place, so membership probes still see them). A
+    well-behaved reader must treat the entries as misses and recompute.
+    Returns the corrupted paths.
+    """
+
+    def _corrupt(cache_dir, count: int = 1):
+        root = pathlib.Path(cache_dir)
+        entries = sorted(root.rglob("*.pkl"))
+        assert entries, f"no disk-cache entries under {cache_dir}"
+        victims = entries[:count]
+        for path in victims:
+            path.write_bytes(b"\x00corrupt-truncated-entry")
+        return victims
+
+    return _corrupt

@@ -23,14 +23,18 @@ def _valid_document():
     sys.path.insert(0, str(_REPO_ROOT))
     from benchmarks.perf.run_bench import KNOWN_BENCHMARKS
 
+    benchmarks = {}
+    for name in KNOWN_BENCHMARKS:
+        entry = {"after_s": 1e-4}
+        for field in check_bench_schema.ANCHOR_REQUIRED_FIELDS.get(name, ()):
+            entry[field] = 1.0
+        benchmarks[name] = entry
     return {
         "schema_version": 1,
         "generated_unix": 1.0,
         "host": {"python": "3", "numpy": "2", "machine": "x"},
         "protocol": "test",
-        "benchmarks": {
-            name: {"after_s": 1e-4} for name in KNOWN_BENCHMARKS
-        },
+        "benchmarks": benchmarks,
     }
 
 
@@ -87,6 +91,23 @@ def test_non_numeric_field_flagged():
     document["benchmarks"]["figure12_sweep"]["after_s"] = "fast"
     problems = check_bench_schema.validate_document(document)
     assert any("must be a number" in p for p in problems)
+
+
+def test_anchor_specific_required_field_flagged():
+    document = _valid_document()
+    del document["benchmarks"]["serve_coalesced_8x"]["coalesced_hit_rate"]
+    problems = check_bench_schema.validate_document(document)
+    assert any(
+        "serve_coalesced_8x" in p and "coalesced_hit_rate" in p
+        for p in problems
+    )
+
+
+def test_hit_rate_above_one_flagged():
+    document = _valid_document()
+    document["benchmarks"]["serve_coalesced_8x"]["coalesced_hit_rate"] = 1.5
+    problems = check_bench_schema.validate_document(document)
+    assert any("above 1.0" in p for p in problems)
 
 
 def test_main_exit_codes(tmp_path):

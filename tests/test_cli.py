@@ -2,7 +2,10 @@
 
 import pytest
 
+import os
+
 from repro.cli import main
+from repro.experiments.parallel import fork_available
 from repro.sim.cache import (
     clear_simulation_cache,
     configure_simulation_cache_dir,
@@ -367,9 +370,188 @@ class TestParser:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_broken_pipe_exits_like_sigpipe(self):
+        """`repro ... | head` must exit 141, never traceback (EPIPE).
+
+        Runs in a subprocess: the handler redirects the real stdout fd
+        to devnull, which would clobber pytest's capture in-process.
+        """
+        import pathlib
+        import subprocess
+        import sys as _sys
+
+        script = (
+            "import sys\n"
+            "import repro.cli as cli\n"
+            "def boom(args):\n"
+            "    raise BrokenPipeError\n"
+            "cli._cmd_formats = boom\n"
+            "sys.exit(cli.main(['formats']))\n"
+        )
+        result = subprocess.run(
+            [_sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=pathlib.Path(__file__).resolve().parents[1],
+            timeout=60,
+        )
+        assert result.returncode == 141
+        assert "Traceback" not in result.stderr
+
 
 class TestFigures:
     def test_exports_svgs(self, tmp_path, capsys):
         from repro.cli import main as cli_main
         assert cli_main(["figures", "--output", str(tmp_path)]) == 0
         assert len(list(tmp_path.glob("*.svg"))) == 6
+
+
+@pytest.mark.skipif(
+    not fork_available(),
+    reason="the serve daemon's pool needs the fork start method",
+)
+class TestServe:
+    """Lifecycle of the serve daemon, end-to-end over a subprocess."""
+
+    @staticmethod
+    def _spawn(tmp_path, *extra):
+        import pathlib
+        import subprocess
+        import sys as _sys
+
+        sock = str(tmp_path / "serve.sock")
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--socket", sock, "--jobs", "2", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, cwd=repo_root,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        ready = proc.stdout.readline()
+        assert "listening on" in ready, f"no ready line: {ready!r}"
+        return proc, sock
+
+    @staticmethod
+    def _stop(proc):
+        import signal as _signal
+
+        if proc.poll() is None:
+            proc.send_signal(_signal.SIGTERM)
+        try:
+            return proc.wait(timeout=60), proc.stdout.read()
+        except Exception:
+            proc.kill()
+            raise
+
+    def test_ready_handshake_request_and_drain(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        proc, sock = self._spawn(tmp_path)
+        try:
+            assert main(["serve-request", "--socket", sock, "--ping"]) == 0
+            assert "pong" in capsys.readouterr().out
+
+            assert main(["serve-request", "--socket", sock, "--status"]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["draining"] is False
+            assert status["pool"]["width"] == 2
+
+            assert main([
+                "serve-request", "--socket", sock, "--inline",
+                '{"kind": "synthetic", "cells": 3, "tag": "cli"}',
+            ]) == 0
+            captured = capsys.readouterr()
+            rows = [json.loads(line)
+                    for line in captured.out.strip().splitlines()]
+            assert [row["cell"] for row in rows] == [0, 1, 2]
+            assert "3 rows (computed)" in captured.err
+        finally:
+            rc, output = self._stop(proc)
+        assert rc == 0
+        assert "draining" in output and "drained" in output
+        assert not pathlib.Path(sock).exists()
+
+    def test_sigterm_finishes_in_flight_then_refuses_new(self, tmp_path):
+        import signal as _signal
+        import threading
+
+        from repro.serve.client import ServeUnavailableError, connect
+
+        proc, sock = self._spawn(tmp_path)
+        rows = []
+        first_row = threading.Event()
+
+        def client() -> None:
+            inline = {"kind": "synthetic", "cells": 6, "cell_s": 0.25,
+                      "tag": "drain"}
+            for row in connect(sock).sweep(inline=inline):
+                rows.append(row)
+                first_row.set()
+
+        thread = threading.Thread(target=client)
+        try:
+            thread.start()
+            assert first_row.wait(timeout=30), "sweep never started"
+            proc.send_signal(_signal.SIGTERM)
+            # The drain finishes the in-flight sweep for its client...
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            assert [row["cell"] for row in rows] == list(range(6))
+        finally:
+            rc, _ = self._stop(proc)
+        assert rc == 0
+        # ...and afterwards new requests are refused cleanly.
+        with pytest.raises(ServeUnavailableError):
+            connect(sock).ping()
+
+    def test_stale_socket_is_cleaned_up_on_restart(self, tmp_path, capsys):
+        import socket as _socket
+
+        sock = str(tmp_path / "serve.sock")
+        stale = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+        stale.bind(sock)
+        stale.close()  # dead listener: the file stays behind
+
+        proc, sock = self._spawn(tmp_path)
+        try:
+            assert main(["serve-request", "--socket", sock, "--ping"]) == 0
+            assert "pong" in capsys.readouterr().out
+        finally:
+            rc, _ = self._stop(proc)
+        assert rc == 0
+
+    def test_second_daemon_on_live_socket_is_refused(self, tmp_path, capsys):
+        proc, sock = self._spawn(tmp_path)
+        try:
+            import pathlib
+            import subprocess
+            import sys as _sys
+
+            repo_root = pathlib.Path(__file__).resolve().parents[1]
+            second = subprocess.run(
+                [_sys.executable, "-m", "repro", "serve", "--socket", sock],
+                capture_output=True, text=True, timeout=60, cwd=repo_root,
+                env={**os.environ, "PYTHONPATH": "src"},
+            )
+            assert second.returncode == 2
+            assert "already serving" in second.stderr
+            # The first daemon is unharmed.
+            assert main(["serve-request", "--socket", sock, "--ping"]) == 0
+            assert "pong" in capsys.readouterr().out
+        finally:
+            rc, _ = self._stop(proc)
+        assert rc == 0
+
+    def test_serve_request_without_daemon_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        sock = str(tmp_path / "nothing-here.sock")
+        assert main(["serve-request", "--socket", sock, "--ping"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_request_rejects_ambiguous_request(self, capsys):
+        assert main(["serve-request"]) == 2
+        assert "exactly one" in capsys.readouterr().err

@@ -13,10 +13,16 @@ from repro.core.schemes import parse_scheme
 from repro.experiments import figure12, sensitivity
 from repro.experiments.grid import run_grid, to_csv
 from repro.experiments.parallel import (
+    claim_worker_pool,
     fork_available,
     last_sweep_execution,
     parallel_map,
+    release_worker_pool,
     resolve_jobs,
+    shutdown_worker_pool,
+    worker_pool_owned,
+    worker_pool_pids,
+    worker_pool_size,
 )
 from repro.experiments.speedups import sweep_speedups
 from repro.errors import ConfigurationError
@@ -272,3 +278,50 @@ class TestDegradation:
                 systems=(hbm_system(),), schemes=_SCHEMES,
                 engines=("software", "fpga"), jobs=4,
             )
+
+
+def _identity(x):
+    """Module-level task body so pool workers can unpickle it."""
+    return x
+
+
+class TestPoolOwnership:
+    """The claim/release seam a long-lived daemon relies on."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_pool(self):
+        shutdown_worker_pool()
+        yield
+        release_worker_pool()
+
+    def test_claim_excludes_pool_from_ambient_teardown(self):
+        from repro.experiments.parallel import _ambient_pool_teardown
+
+        width = claim_worker_pool(2)
+        assert width == 2 and worker_pool_owned()
+        pids = worker_pool_pids()
+        _ambient_pool_teardown()  # the atexit hook must spare an owned pool
+        assert worker_pool_pids() == pids
+        release_worker_pool()
+        assert not worker_pool_owned()
+        assert worker_pool_size() == 0
+        _ambient_pool_teardown()  # un-owned again: tears down, idempotent
+
+    def test_owned_pool_never_rebuilt_wider(self):
+        claim_worker_pool(2)
+        pids = worker_pool_pids()
+        results = parallel_map(_identity, list(range(8)), jobs=4)
+        assert results == list(range(8))
+        # The sweep ran at the owner's width on the owner's workers.
+        assert last_sweep_execution().jobs == 2
+        assert worker_pool_pids() == pids
+
+    def test_release_is_idempotent(self):
+        claim_worker_pool(2)
+        release_worker_pool()
+        release_worker_pool()
+        assert worker_pool_size() == 0 and not worker_pool_owned()
+
+    def test_claim_rejects_negative_width(self):
+        with pytest.raises(ConfigurationError):
+            claim_worker_pool(-3)

@@ -48,6 +48,12 @@ def test_smoke_runs_every_anchor(tmp_path, monkeypatch):
         assert entry["per_cell_s"] > 0.0, name
         assert entry["batched_speedup"] > 0.0, name
     assert results["grid_batched_48"]["cells"] == 48.0
+    # The serve anchor measured both sides, and its coalescing rate is
+    # a true rate even at smoke sizes.
+    serve = results["serve_coalesced_8x"]
+    assert serve["serial_s"] > 0.0
+    assert 0.0 <= serve["coalesced_hit_rate"] <= 1.0
+    assert serve["requests"] > 0.0
     # Smoke mode must not have rewritten the recorded report.
     after = DEFAULT_OUTPUT.read_bytes() if DEFAULT_OUTPUT.exists() else None
     assert before == after

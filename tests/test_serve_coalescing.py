@@ -1,0 +1,197 @@
+"""Concurrency stress tests for the serve daemon's request coalescing.
+
+The headline contract: N identical concurrent requests cost ONE
+underlying compute (pinned by the executor's cumulative pool-task
+counter, not just the daemon's own bookkeeping), and every client
+receives the complete, bit-identical, index-sorted row stream — the
+same bytes a direct ``stream_map``-backed run of the spec emits.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments import figure12
+from repro.experiments.parallel import (
+    dispatched_task_count,
+    fork_available,
+    shutdown_worker_pool,
+)
+from repro.experiments.sweepspec import jsonl_line, spec_request_key
+from repro.serve.client import connect
+from repro.serve.daemon import ServeDaemon
+from repro.serve.inline import synthetic_spec
+from repro.sim.cache import clear_simulation_cache
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="needs the fork start method"
+)
+
+CLIENTS = 8
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """An in-process daemon on a fresh socket, cold cache, fresh pool."""
+    clear_simulation_cache()
+    shutdown_worker_pool()
+    d = ServeDaemon(
+        socket_path=str(tmp_path / "serve.sock"), jobs=2, max_active=2
+    )
+    d.start()
+    yield d
+    d.drain()
+    shutdown_worker_pool()
+    clear_simulation_cache()
+
+
+def _direct_stream_lines(spec, jobs=2):
+    """The spec's rows exactly as the daemon would wire them."""
+    return [
+        jsonl_line(row)
+        for cell in spec.stream(jobs=jobs)
+        for row in spec.rows_for(cell)
+    ]
+
+
+class TestCoalescing:
+    def test_eight_identical_requests_one_compute(self, daemon):
+        dispatched_before = dispatched_task_count()
+        streams = [None] * CLIENTS
+        start = threading.Barrier(CLIENTS)
+
+        def client(i: int) -> None:
+            handle = connect(daemon.socket_path)
+            start.wait()
+            streams[i] = list(handle.sweep_lines("figure12"))
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        daemon_dispatched = dispatched_task_count() - dispatched_before
+
+        snapshot = daemon.status_snapshot()
+        assert snapshot["requests"] == CLIENTS
+        # Exactly one underlying compute; every duplicate either
+        # coalesced onto it or (a post-completion straggler) took the
+        # cache fast path — neither touches the pool again.
+        assert snapshot["sweeps_computed"] == 1
+        assert snapshot["coalesced"] + snapshot["fast_path"] == CLIENTS - 1
+        assert snapshot["errors"] == 0
+
+        # Bit-identical, index-sorted, complete streams for everyone.
+        assert all(stream == streams[0] for stream in streams)
+        spec = figure12.sweep_spec()
+        assert len(streams[0]) == spec.cell_count
+
+        # The daemon's one compute dispatched exactly as many pool
+        # tasks as a direct stream_map-backed run of the same spec
+        # (which now runs warm off the daemon-merged cache — results
+        # are bit-identical by the cache's merge contract).
+        direct_before = dispatched_task_count()
+        expected = _direct_stream_lines(spec, jobs=2)
+        direct_dispatched = dispatched_task_count() - direct_before
+        assert streams[0] == expected
+        assert daemon_dispatched == direct_dispatched
+
+    def test_second_round_takes_cache_fast_path(self, daemon):
+        first = connect(daemon.socket_path)
+        lines_cold = list(first.sweep_lines("figure12"))
+        assert first.last_summary is not None
+        assert first.last_summary["fast_path"] is False
+
+        dispatched_before = dispatched_task_count()
+        second = connect(daemon.socket_path)
+        lines_warm = list(second.sweep_lines("figure12"))
+        assert lines_warm == lines_cold
+        assert second.last_summary is not None
+        assert second.last_summary["fast_path"] is True
+        # Fully-warm requests never touch the pool.
+        assert dispatched_task_count() == dispatched_before
+
+    def test_midstream_disconnect_leaves_shared_sweep_running(self, daemon):
+        inline = {"kind": "synthetic", "cells": 6, "cell_s": 0.05,
+                  "tag": "disconnect"}
+        streams = [None] * 3
+        start = threading.Barrier(3)
+
+        def full_reader(i: int) -> None:
+            handle = connect(daemon.socket_path)
+            start.wait()
+            streams[i] = list(handle.sweep_lines(inline=inline))
+
+        def quitter() -> None:
+            handle = connect(daemon.socket_path)
+            start.wait()
+            stream = handle.sweep_lines(inline=inline)
+            next(stream)
+            stream.close()  # hang up after one row, mid-sweep
+
+        threads = [
+            threading.Thread(target=full_reader, args=(i,)) for i in (0, 1)
+        ]
+        threads.append(threading.Thread(target=quitter))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        snapshot = daemon.status_snapshot()
+        assert snapshot["sweeps_computed"] == 1
+        assert snapshot["errors"] == 0
+        # The survivors got the whole stream despite the hang-up.
+        assert streams[0] == streams[1]
+        assert len(streams[0]) == 6
+
+    def test_different_requests_do_not_coalesce(self, daemon):
+        a = connect(daemon.socket_path)
+        b = connect(daemon.socket_path)
+        lines_a = list(a.sweep_lines(
+            inline={"kind": "synthetic", "cells": 2, "tag": "a"}
+        ))
+        lines_b = list(b.sweep_lines(
+            inline={"kind": "synthetic", "cells": 3, "tag": "b"}
+        ))
+        assert len(lines_a) == 2 and len(lines_b) == 3
+        assert a.last_ack is not None and b.last_ack is not None
+        assert a.last_ack["key"] != b.last_ack["key"]
+        assert daemon.status_snapshot()["coalesced"] == 0
+
+
+class TestRequestKey:
+    def test_key_is_deterministic_across_builds(self):
+        assert spec_request_key(figure12.sweep_spec()) == spec_request_key(
+            figure12.sweep_spec()
+        )
+
+    def test_key_separates_scenarios(self):
+        from repro.experiments import figure13
+
+        assert spec_request_key(figure12.sweep_spec()) != spec_request_key(
+            figure13.sweep_spec()
+        )
+
+    def test_key_covers_synthetic_parameters(self):
+        assert spec_request_key(synthetic_spec(cells=4)) != spec_request_key(
+            synthetic_spec(cells=5)
+        )
+        assert spec_request_key(
+            synthetic_spec(cells=4, cell_s=0.1)
+        ) != spec_request_key(synthetic_spec(cells=4, cell_s=0.2))
+
+    def test_key_handles_composites(self):
+        from repro.experiments.sweepspec import get_scenario
+
+        composite = get_scenario("figure12+figure13").build()
+        assert spec_request_key(composite) == spec_request_key(
+            get_scenario("figure12+figure13").build()
+        )
+        assert spec_request_key(composite) != spec_request_key(
+            figure12.sweep_spec()
+        )
