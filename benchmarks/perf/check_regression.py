@@ -18,9 +18,11 @@ broadcast must keep persistent workers >=90% memory-hot on the second
 composite-scenario run, the cross-cell batched engine must hold its
 floors on both batching anchors (>=2.2x on the dispatch-bound 48-cell
 short-stream grid, no outright regression on the work-bound Figure 12
-workload), and the serve daemon must coalesce >=90% of duplicate
-concurrent requests onto a single underlying sweep. On a single-CPU machine the parallel scaling gate is skipped
-with a printed reason rather than silently passed.
+workload), the serve daemon must coalesce >=90% of duplicate
+concurrent requests onto a single underlying sweep, and a cancelled
+sweep must leave >=50% of its grid's pool tasks undispatched. On a
+single-CPU machine the parallel scaling gate is skipped with a printed
+reason rather than silently passed.
 
 Usage:
 
@@ -198,6 +200,15 @@ RATIO_FLOORS = {
     "serve_coalesced_8x": (
         "coalesced_hit_rate", 0.9,
         "identical concurrent requests no longer coalesce onto one sweep",
+    ),
+    # A client hanging up after the first row must stop the daemon
+    # dispatching the sweep's remaining cells: at least half the grid's
+    # pool tasks are never submitted (recorded ~2/3 reclaimed on the
+    # 48-cell anchor; detection costs a couple of row sends plus the
+    # executor's bounded in-flight window).
+    "serve_cancel_reclaim": (
+        "reclaimed_fraction", 0.5,
+        "cancelling a sweep no longer stops its pool dispatch",
     ),
 }
 

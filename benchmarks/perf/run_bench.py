@@ -72,6 +72,15 @@ concurrent wall-clock; the machine-independent ``coalesced_hit_rate``
 (duplicates served without a new compute, over duplicates issued) is
 gated against a 90% floor by ``check_regression.py``.
 
+``serve_cancel_reclaim`` tracks request cancellation: a client hangs up
+after the first row of a deterministic synthetic sweep and the daemon
+must stop dispatching its cells to the pool within one in-flight
+window. ``reclaimed_fraction`` — the share of the grid's pool tasks
+*never dispatched* because of the hangup, against a full run of the
+same sweep — is machine-independent and gated against a 50% floor
+(detection costs a couple of row sends plus the bounded window, so a
+48-cell grid reclaims ~2/3 in practice).
+
 Usage:
 
     PYTHONPATH=src python benchmarks/perf/run_bench.py [--output PATH]
@@ -121,6 +130,7 @@ KNOWN_BENCHMARKS = (
     "dse_warm_cache",
     "warm_worker_hit_rate",
     "serve_coalesced_8x",
+    "serve_cancel_reclaim",
 )
 
 #: One-time measurements of the seed-commit implementation (c229933),
@@ -666,6 +676,81 @@ def run_benchmarks(
                 / duplicates
             ),
             "requests": float(requests),
+            "cpu_count": float(os.cpu_count() or 1),
+        }
+
+    # --- serve daemon: cancellation reclaims undispatched pool work ----
+    if want("serve_cancel_reclaim"):
+        import tempfile
+
+        from repro.experiments.parallel import (
+            dispatched_task_count,
+            shutdown_worker_pool,
+        )
+        from repro.serve.client import connect
+        from repro.serve.daemon import ServeDaemon
+
+        cells = 24 if smoke else 48
+        cell_s = 0.05
+
+        def reclaim_synthetic(tag: str) -> dict:
+            return {"kind": "synthetic", "cells": cells,
+                    "cell_s": cell_s, "tag": tag}
+
+        def reclaim_idle(daemon: "ServeDaemon", timeout: float = 30.0):
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                snapshot = daemon.status_snapshot()
+                if snapshot["active"] == 0 and not snapshot["jobs"]:
+                    return snapshot
+                time.sleep(0.02)
+            raise RuntimeError("serve daemon never went idle")
+
+        clear_simulation_cache()
+        shutdown_worker_pool()
+        with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as box:
+            daemon = ServeDaemon(
+                socket_path=os.path.join(box, "serve.sock"),
+                jobs=2, max_active=2,
+            )
+            daemon.start()
+            try:
+                # Full run: every cell reaches the pool exactly once.
+                before = dispatched_task_count()
+                start = time.perf_counter()
+                rows = list(connect(daemon.socket_path).sweep_lines(
+                    inline=reclaim_synthetic("reclaim-full")
+                ))
+                full_s = time.perf_counter() - start
+                full_dispatched = dispatched_task_count() - before
+                assert len(rows) == cells, len(rows)
+
+                # Cancel path: read one row, hang up, wait for the
+                # orphaned job to retire. after_s spans hangup →
+                # idle daemon: the latency to reclaim the runner.
+                before = dispatched_task_count()
+                stream = connect(daemon.socket_path).sweep_lines(
+                    inline=reclaim_synthetic("reclaim-cancel")
+                )
+                next(stream)
+                start = time.perf_counter()
+                stream.close()
+                snapshot = reclaim_idle(daemon)
+                cancel_s = time.perf_counter() - start
+                cancel_dispatched = dispatched_task_count() - before
+            finally:
+                daemon.drain()
+                shutdown_worker_pool()
+        assert snapshot["cancelled"] == 1, snapshot
+        assert 0 < cancel_dispatched <= full_dispatched
+        results["serve_cancel_reclaim"] = {
+            "after_s": cancel_s,
+            "full_s": full_s,
+            # Share of the grid's pool tasks never dispatched because
+            # the sole subscriber hung up (1.0 = instant reclaim,
+            # 0.0 = the cancel saved nothing).
+            "reclaimed_fraction": 1.0 - cancel_dispatched / full_dispatched,
+            "cells": float(cells),
             "cpu_count": float(os.cpu_count() or 1),
         }
 

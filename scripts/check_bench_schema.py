@@ -52,11 +52,14 @@ ANCHOR_REQUIRED_FIELDS: Dict[str, "tuple[str, ...]"] = {
     "serve_coalesced_8x": (
         "serial_s", "coalesced_speedup", "coalesced_hit_rate", "requests",
     ),
+    "serve_cancel_reclaim": (
+        "full_s", "reclaimed_fraction", "cells",
+    ),
 }
 
 #: Fields that are rates/fractions of a coalescing total and therefore
 #: must not exceed 1.0 (the generic numeric check only pins >= 0).
-UNIT_INTERVAL_FIELDS = ("coalesced_hit_rate",)
+UNIT_INTERVAL_FIELDS = ("coalesced_hit_rate", "reclaimed_fraction")
 
 
 def _known_benchmarks() -> "tuple[str, ...]":

@@ -459,6 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         socket_path=args.socket,
         jobs=args.jobs,
         max_active=args.max_active,
+        rate_limit=args.rate_limit,
     )
     stop = threading.Event()
 
@@ -471,14 +472,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, _request_stop)
     signal.signal(signal.SIGINT, _request_stop)
     daemon.start()
+    frontend = None
+    if args.http_port is not None:
+        from repro.serve.http import ServeHttpFrontend
+
+        frontend = ServeHttpFrontend(daemon, port=args.http_port)
+        try:
+            frontend.start()
+        except ConfigurationError:
+            daemon.drain()
+            raise
     print(
         f"repro serve: listening on {daemon.socket_path} "
-        f"(pool={daemon.status_snapshot()['pool']['width']}, "
+        + (f"and {frontend.url} " if frontend is not None else "")
+        + f"(pool={daemon.status_snapshot()['pool']['width']}, "
         f"max-active={args.max_active})",
         flush=True,
     )
     stop.wait()
     print("repro serve: draining (finishing in-flight sweeps)", flush=True)
+    if frontend is not None:
+        frontend.close()
     daemon.drain()
     print("repro serve: drained", flush=True)
     return 0
@@ -506,6 +520,16 @@ def _cmd_serve_request(args: argparse.Namespace) -> int:
         if args.status:
             print(_json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
+        if args.cancel:
+            found = client.cancel(args.cancel)
+            if not found:
+                print(
+                    f"error: no admitted sweep with key {args.cancel}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"cancelled {args.cancel}")
+            return 0
         inline = None
         if args.inline:
             try:
@@ -520,7 +544,8 @@ def _cmd_serve_request(args: argparse.Namespace) -> int:
             )
         rows = 0
         for line in client.sweep_lines(
-            args.scenario, inline=inline, priority=args.priority
+            args.scenario, inline=inline, priority=args.priority,
+            deadline_s=args.deadline,
         ):
             print(line, flush=True)
             rows += 1
@@ -728,6 +753,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many admitted sweeps may run concurrently on the "
              "shared pool (default: %(default)s)",
     )
+    p_serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also serve HTTP/SSE on 127.0.0.1:PORT (GET /sweep, "
+             "/status, /ping, /cancel; 0 = pick a free port)",
+    )
+    p_serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="SWEEPS_PER_S",
+        help="per-client token-bucket admission limit in sweeps/s, "
+             "covering both transports (default: unlimited)",
+    )
     add_cache_dir(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -765,6 +800,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_req.add_argument(
         "--ping", action="store_true",
         help="round-trip a ping and exit",
+    )
+    p_req.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="daemon-side deadline for this sweep: a queued request "
+             "past it errors without computing, a running one stops "
+             "within one cell (default: none)",
+    )
+    p_req.add_argument(
+        "--cancel", default=None, metavar="KEY",
+        help="force-cancel the admitted sweep with this request key "
+             "(keys appear in acks and --status) and exit",
     )
     p_req.set_defaults(func=_cmd_serve_request)
 

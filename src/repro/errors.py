@@ -28,5 +28,14 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an invalid state."""
 
 
+class DeadlineExceededError(ReproError):
+    """A deadlined sweep ran out of time before completing.
+
+    Raised by the streaming executors (:mod:`repro.experiments.parallel`)
+    when a ``deadline`` passes mid-sweep: dispatch stops, in-flight cells
+    drain, and the partial results already yielded remain valid.
+    """
+
+
 class ProgramError(ReproError):
     """An ISA-level instruction stream is malformed (e.g. hazard misuse)."""

@@ -132,7 +132,7 @@ from typing import (
     TypeVar,
 )
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.sim import cache as _simcache
 
 _T = TypeVar("_T")
@@ -405,18 +405,23 @@ def claim_worker_pool(jobs: Optional[int] = None) -> int:
     underneath the owner's in-flight sweeps. Returns the width actually
     held (1 on platforms without ``fork``, where there is no pool to
     own). The owner must call :func:`release_worker_pool` on shutdown.
+
+    A ``jobs=1`` claim forks no pool but still takes ownership: claim
+    and release are symmetric at every width, so an owner's teardown
+    path never has to reason about whether its startup claim "counted".
     """
     global _POOL_OWNED
     if jobs is None or jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs < 0:
         raise ConfigurationError(NEGATIVE_JOBS_ERROR.format(jobs=jobs))
-    if _IN_WORKER or not fork_available() or jobs == 1:
+    if _IN_WORKER or not fork_available():
         return 1
     with _POOL_LOCK:
-        _get_pool_locked(jobs)
+        if jobs > 1:
+            _get_pool_locked(jobs)
         _POOL_OWNED = True
-        return _POOL_JOBS
+        return _POOL_JOBS if _POOL is not None else 1
 
 
 def release_worker_pool() -> None:
@@ -568,6 +573,7 @@ def _serial_stream(
     fn: Callable[[_T], _R],
     items: List[_T],
     progress: Optional[Callable[[int, int], None]],
+    deadline: Optional[float] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """The in-process streaming loop (``jobs=1`` / no-fork / nested)."""
     global _LAST_EXECUTION
@@ -575,6 +581,12 @@ def _serial_stream(
     failed = False
     try:
         for index, item in enumerate(items):
+            if deadline is not None and time.monotonic() >= deadline:
+                failed = True
+                raise DeadlineExceededError(
+                    f"sweep deadline passed after {completed}/{len(items)} "
+                    "cells"
+                )
             try:
                 result = fn(item)
             except Exception:
@@ -602,6 +614,7 @@ def _parallel_stream(
     progress: Optional[Callable[[int, int], None]],
     warm_prefix: Optional[Tuple[Any, ...]] = None,
     warm_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """The fanned-out streaming loop: dispatch cells, join as they land.
 
@@ -772,6 +785,15 @@ def _parallel_stream(
         for _ in range(window):
             submit_next()
         while len(received) < total and failure is None:
+            if deadline is not None and time.monotonic() >= deadline:
+                # Same early-exit path as a consumer close: stop
+                # dispatching, let the finally block drain in-flight
+                # cells (their cache deltas stay merged), then raise.
+                failure = DeadlineExceededError(
+                    f"sweep deadline passed after {len(received)}/{total} "
+                    "cells"
+                )
+                break
             try:
                 outcome = done.get(timeout=_JOIN_POLL_S)
             except queue.Empty:
@@ -852,6 +874,7 @@ def stream_map(
     progress: Optional[Callable[[int, int], None]] = None,
     warm_prefix: Optional[Tuple[Any, ...]] = None,
     warm_budget: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """Yield ``(index, fn(item))`` pairs in index order, streaming.
 
@@ -874,14 +897,24 @@ def stream_map(
 
     Closing the generator early stops dispatch immediately; see the
     module docstring's cancellation contract.
+
+    ``deadline`` (a :func:`time.monotonic` timestamp) bounds the sweep's
+    wall clock: once it passes, dispatch stops via the same early-exit
+    path as a consumer close — in-flight cells drain and their cache
+    deltas merge — and the stream raises
+    :class:`repro.errors.DeadlineExceededError`. Cells yielded before
+    the expiry remain valid; a running cell is never interrupted, so the
+    stream stops within one cell (serial) or one in-flight window
+    (parallel) of the deadline.
     """
     items = list(items)
     n_jobs = resolve_jobs(jobs, len(items))
     if n_jobs <= 1:
-        return _serial_stream(fn, items, progress)
+        return _serial_stream(fn, items, progress, deadline=deadline)
     return _parallel_stream(
         fn, items, n_jobs, progress,
         warm_prefix=warm_prefix, warm_budget=warm_budget,
+        deadline=deadline,
     )
 
 

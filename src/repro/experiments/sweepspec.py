@@ -290,6 +290,7 @@ class SweepSpec:
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
         batch: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Iterator[CellResult]:
         """Yield one :class:`CellResult` per cell, in index order.
 
@@ -298,7 +299,10 @@ class SweepSpec:
         :mod:`repro.experiments.parallel`, with ``jobs=1`` straight
         from the serial loop. Closing the iterator early cancels
         outstanding dispatch (see the executor's cancellation
-        contract).
+        contract). ``deadline`` (a :func:`time.monotonic` timestamp)
+        passes through to the executor's deadline seam: an expired
+        sweep stops dispatching within one cell and raises
+        :class:`repro.errors.DeadlineExceededError`.
 
         Specs carrying a :func:`batchable` annotation route through the
         cross-cell batched executor when batching is active (``batch``
@@ -319,12 +323,13 @@ class SweepSpec:
             ]
             if any(sims_per_cell):
                 yield from self._stream_batched(
-                    coords, cells, sims_per_cell, jobs, progress
+                    coords, cells, sims_per_cell, jobs, progress,
+                    deadline=deadline,
                 )
                 return
         for index, value in stream_map(
             self.task, cells, jobs=jobs, progress=progress,
-            warm_prefix=self.warm_prefix,
+            warm_prefix=self.warm_prefix, deadline=deadline,
         ):
             yield CellResult(index=index, coords=coords[index], value=value)
 
@@ -335,6 +340,7 @@ class SweepSpec:
         sims_per_cell: List[Tuple[Tuple[Any, Any, int], ...]],
         jobs: Optional[int],
         progress: Optional[ProgressCallback],
+        deadline: Optional[float] = None,
     ) -> Iterator[CellResult]:
         """The batched executor behind :meth:`stream`.
 
@@ -358,7 +364,7 @@ class SweepSpec:
                 simulate_tile_stream_batch(flat, resolve_cached=False)
             for index, value in stream_map(
                 self.task, cells, jobs=1, progress=progress,
-                warm_prefix=self.warm_prefix,
+                warm_prefix=self.warm_prefix, deadline=deadline,
             ):
                 yield CellResult(
                     index=index, coords=coords[index], value=value
@@ -382,7 +388,7 @@ class SweepSpec:
         completed = 0
         for chunk_index, values in stream_map(
             _run_batched_group, payloads, jobs=n_jobs,
-            warm_prefix=self.warm_prefix,
+            warm_prefix=self.warm_prefix, deadline=deadline,
         ):
             base = starts[chunk_index]
             for offset, value in enumerate(values):
@@ -503,6 +509,7 @@ class CompositeSweep:
         jobs: Optional[int] = 1,
         progress: Optional[ProgressCallback] = None,
         batch: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Iterator[CellResult]:
         """Yield every sub-sweep's cells in order, globally re-indexed."""
         from repro.experiments.parallel import last_sweep_execution
@@ -517,7 +524,8 @@ class CompositeSweep:
                 def sub_progress(done: int, _sub_total: int, _base=base):
                     progress(_base + done, total)
             for cell in spec.stream(
-                jobs=jobs, progress=sub_progress, batch=batch
+                jobs=jobs, progress=sub_progress, batch=batch,
+                deadline=deadline,
             ):
                 yield CellResult(
                     index=base + cell.index,

@@ -87,17 +87,47 @@ class ServeClient:
             )
         return channel
 
+    def _stalled(self) -> ServeUnavailableError:
+        """The exception a mid-stream read timeout maps to."""
+        return ServeUnavailableError(
+            f"serve daemon at {self.socket_path} sent no data for "
+            f"{self.timeout:g}s (stalled or overloaded); raise the "
+            "client timeout= or check `repro serve-request --status`"
+        )
+
+    def _recv_line(self, channel: LineChannel) -> Optional[str]:
+        """One response line; a read timeout is a daemon-unavailable."""
+        try:
+            return channel.recv_line()
+        except socket.timeout:
+            raise self._stalled() from None
+
     def ping(self) -> bool:
         """Round-trip a ping; True when the daemon answers."""
         with self._request({"op": "ping"}) as channel:
-            line = channel.recv_line()
+            line = self._recv_line(channel)
         control = parse_control(line) if line is not None else None
         return bool(control) and control[CONTROL_KEY] == "pong"
+
+    def cancel(self, key: str) -> bool:
+        """Force-cancel the admitted sweep with ``key`` (from an ack or
+        the status document); True when the daemon found a live job."""
+        with self._request({"op": "cancel", "key": key}) as channel:
+            line = self._recv_line(channel)
+        control = parse_control(line) if line is not None else None
+        if control is None:
+            raise ServeUnavailableError(
+                f"serve daemon at {self.socket_path} closed the "
+                "connection without answering"
+            )
+        if control[CONTROL_KEY] == "error":
+            raise ServeRequestError(control.get("error", "unknown error"))
+        return bool(control.get("found"))
 
     def status(self) -> Dict[str, Any]:
         """The daemon's health/stats document."""
         with self._request({"op": "status"}) as channel:
-            line = channel.recv_line()
+            line = self._recv_line(channel)
         control = parse_control(line) if line is not None else None
         if control is None:
             raise ServeUnavailableError(
@@ -114,23 +144,32 @@ class ServeClient:
         scenario: Optional[str] = None,
         inline: Optional[Dict[str, Any]] = None,
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> Iterator[str]:
         """Stream one sweep's raw JSONL row lines, in cell-index order.
 
         Closing the generator early (``break``) closes the connection;
         the daemon drops only this subscription — a sweep shared with
-        other clients keeps running.
+        other clients keeps running, while dropping the *last*
+        subscription cancels it. ``deadline_s`` bounds the request's
+        lifetime daemon-side; an expired request raises
+        :class:`ServeRequestError` with a ``deadline_exceeded:``
+        message. A daemon that stalls mid-stream (no line within the
+        client ``timeout``) raises :class:`ServeUnavailableError`
+        rather than leaking the raw socket timeout.
         """
         request: Dict[str, Any] = {"op": "sweep", "priority": int(priority)}
         if scenario is not None:
             request["scenario"] = scenario
         if inline is not None:
             request["inline"] = inline
+        if deadline_s is not None:
+            request["deadline_s"] = float(deadline_s)
         self.last_ack = None
         self.last_summary = None
         channel = self._request(request)
         try:
-            first = channel.recv_line()
+            first = self._recv_line(channel)
             control = parse_control(first) if first is not None else None
             if control is None:
                 raise ServeUnavailableError(
@@ -142,7 +181,10 @@ class ServeClient:
                     control.get("error", "unknown error")
                 )
             self.last_ack = control
-            for line in channel.lines():
+            while True:
+                line = self._recv_line(channel)
+                if line is None:
+                    break
                 mark = parse_control(line)
                 if mark is None:
                     yield line
@@ -153,6 +195,12 @@ class ServeClient:
                 elif kind == "end":
                     self.last_summary = mark
                     return
+                elif kind == "cancelled":
+                    self.last_summary = mark
+                    raise ServeRequestError(
+                        "sweep was cancelled by the daemon after "
+                        f"{mark.get('rows', 0)} row(s)"
+                    )
                 elif kind == "error":
                     raise ServeRequestError(
                         mark.get("error", "unknown error")
@@ -169,10 +217,12 @@ class ServeClient:
         scenario: Optional[str] = None,
         inline: Optional[Dict[str, Any]] = None,
         priority: int = 0,
+        deadline_s: Optional[float] = None,
     ) -> Iterator[Dict[str, Any]]:
         """Stream one sweep's rows as parsed dicts, in cell-index order."""
         for line in self.sweep_lines(
-            scenario, inline=inline, priority=priority
+            scenario, inline=inline, priority=priority,
+            deadline_s=deadline_s,
         ):
             yield json.loads(line)
 

@@ -24,6 +24,17 @@ socket (:mod:`repro.serve.protocol`). The request path is::
   ``batchable`` rule enumerates them; the probe is counter-neutral).
   A fully-warm request streams straight out of the two-tier cache on
   the runner thread, ``jobs=1`` — the pool never sees it.
+* **Lifecycle**: an admitted job moves ``queued → running →
+  {finished, cancelled, deadline_exceeded, error}``. When the last
+  subscriber hangs up the job is orphaned and the runner cancels it —
+  closing the sweep stream rides the executor's early-exit path, so
+  pool dispatch stops within one in-flight window and nobody burns the
+  pool on rows no one will read. ``deadline_s`` requests expire in the
+  queue without touching the pool, or stop within one streamed cell
+  once running; ``{"op": "cancel", "key": ...}`` force-cancels by
+  request key. Optional per-client token buckets rate-limit admission
+  across both the socket and HTTP transports
+  (:mod:`repro.serve.http`).
 * **Fault degradation**: a killed pool worker is ridden out by the
   executor's worker-loss recovery (lost cells recompute in-parent,
   receipts de-duplicate), and a corrupt disk-cache entry reads as a miss and
@@ -53,7 +64,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro.experiments  # noqa: F401  (registers every sweep scenario)
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.experiments.parallel import (
     claim_worker_pool,
     release_worker_pool,
@@ -98,7 +109,7 @@ class _EndOfStream:
 
 
 class _SweepJob:
-    """One admitted sweep and its subscriber fan-out.
+    """One admitted sweep, its subscriber fan-out, and its lifecycle.
 
     Rows are buffered for the job's whole lifetime (sweeps are
     thousands of rows at most), so a subscriber attaching at *any*
@@ -106,17 +117,39 @@ class _SweepJob:
     coalescing table — replays the complete index-sorted stream. The
     publishing runner holds the job lock only to append/fan-out, never
     while computing.
+
+    Lifecycle: ``queued → running → {finished, cancelled,
+    deadline_exceeded, error}``. The job tracks its live subscriber
+    count: when the *last* subscriber detaches from an unfinished job
+    the job is marked orphaned, and the runner retires it with a
+    ``cancelled`` terminal at its next between-cell check — nobody is
+    left who will ever read the rows. A new subscriber attaching first
+    (a coalescing near-miss) clears the orphan mark and the sweep keeps
+    going. An explicit ``cancel`` verb sets a sticky force-cancel that
+    no late attach can undo.
     """
 
-    def __init__(self, key: str, spec: Any, priority: int) -> None:
+    def __init__(
+        self,
+        key: str,
+        spec: Any,
+        priority: int,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.key = key
         self.spec = spec
         self.priority = priority
+        #: Absolute :func:`time.monotonic` expiry, fixed at admission by
+        #: the first request; coalescing subscribers inherit it.
+        self.deadline = deadline
         self.lock = threading.Lock()
         self.rows: List[str] = []
         self.subscribers: "List[Any]" = []
         self.finished = False
         self.terminal: Optional[str] = None
+        self.state = "queued"
+        self._orphaned = False
+        self._force_cancelled = False
 
     def attach(self) -> "queue.Queue[Any]":
         """Subscribe: replay buffered rows, then receive live ones."""
@@ -128,15 +161,53 @@ class _SweepJob:
                 feed.put(_EndOfStream(self.terminal or ""))
             else:
                 self.subscribers.append(feed)
+                self._orphaned = False
         return feed
 
     def detach(self, feed: Any) -> None:
-        """Drop one subscriber (client hung up); the sweep keeps going."""
+        """Drop one subscriber (client hung up).
+
+        With other subscribers still attached the shared sweep keeps
+        going; dropping the *last* one orphans the job, which the
+        runner turns into a ``cancelled`` retirement.
+        """
         with self.lock:
             try:
                 self.subscribers.remove(feed)
             except ValueError:
                 pass
+            if not self.subscribers and not self.finished:
+                self._orphaned = True
+
+    def cancel(self) -> bool:
+        """Force-cancel (the ``cancel`` verb); False once finished."""
+        with self.lock:
+            if self.finished:
+                return False
+            self._force_cancelled = True
+            return True
+
+    def stop_reason(self) -> Optional[str]:
+        """Why the runner should stop now, or ``None`` to keep going.
+
+        Checked between streamed cells: ``"cancelled"`` for a forced or
+        orphaned job, ``"deadline_exceeded"`` past the deadline.
+        """
+        with self.lock:
+            if self._force_cancelled:
+                return "cancelled"
+            if self._orphaned and not self.subscribers:
+                return "cancelled"
+        if (
+            self.deadline is not None
+            and time.monotonic() >= self.deadline
+        ):
+            return "deadline_exceeded"
+        return None
+
+    def subscriber_count(self) -> int:
+        with self.lock:
+            return len(self.subscribers)
 
     def publish(self, line: str) -> None:
         with self.lock:
@@ -144,13 +215,38 @@ class _SweepJob:
             for feed in self.subscribers:
                 feed.put(line)
 
-    def finish(self, terminal: str) -> None:
+    def finish(self, terminal: str, state: str = "finished") -> None:
         with self.lock:
             self.finished = True
             self.terminal = terminal
+            self.state = state
             for feed in self.subscribers:
                 feed.put(_EndOfStream(terminal))
             self.subscribers.clear()
+
+
+class _TokenBucket:
+    """Per-client admission rate limiter (``rate`` tokens/s, capacity
+    ``burst``); caller holds the daemon's bucket lock."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = time.monotonic()
+
+    def allow(self) -> bool:
+        now = time.monotonic()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 class ServeDaemon:
@@ -166,14 +262,32 @@ class ServeDaemon:
         socket_path: Optional[str] = None,
         jobs: int = 2,
         max_active: int = 2,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[float] = None,
     ) -> None:
         if max_active < 1:
             raise ConfigurationError(
                 f"max_active must be >= 1, got {max_active}"
             )
+        if rate_limit is not None and rate_limit <= 0:
+            raise ConfigurationError(
+                f"rate_limit must be > 0 sweeps/s, got {rate_limit}"
+            )
         self.socket_path = socket_path or default_socket_path()
         self.jobs = jobs
         self.max_active = max_active
+        #: Per-client sweep-admission rate (sweeps/s; ``None`` = off)
+        #: and bucket capacity. One bucket per client identity — the
+        #: peer UID on the UNIX socket, the peer address over HTTP — so
+        #: the limit covers both transports with the same accounting.
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst
+            if rate_burst is not None
+            else (max(2.0, 2.0 * rate_limit) if rate_limit else 0.0)
+        )
+        self._buckets: Dict[str, _TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
         self._admission: "queue.PriorityQueue[Any]" = queue.PriorityQueue()
         self._table: Dict[str, _SweepJob] = {}
         self._table_lock = threading.Lock()
@@ -184,13 +298,17 @@ class ServeDaemon:
         self._fast_path = 0
         self._sweeps_computed = 0
         self._errors = 0
+        self._cancelled = 0
+        self._deadline_exceeded = 0
+        self._rate_limited = 0
         self._active = 0
         self._draining = False
         self._drained = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._runner_threads: List[threading.Thread] = []
         self._accept_thread: Optional[threading.Thread] = None
-        self._conn_threads: List[threading.Thread] = []
+        self._conn_threads: "set[threading.Thread]" = set()
+        self._conn_lock = threading.Lock()
         self._started_monotonic = 0.0
         self._pool_width = 1
 
@@ -279,11 +397,16 @@ class ServeDaemon:
         deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._runner_threads:
             thread.join(self._remaining(deadline))
-        for thread in list(self._conn_threads):
+        with self._conn_lock:
+            conn_threads = list(self._conn_threads)
+        for thread in conn_threads:
             thread.join(self._remaining(deadline))
         flush_simulation_cache_to_disk()
-        if self._pool_width > 1:
-            release_worker_pool()
+        # Unconditionally symmetric with start()'s claim_worker_pool():
+        # a width-1 claim forks no pool but is still a claim, and must
+        # still be released (the leak this replaces skipped release
+        # whenever the claimed width came back 1).
+        release_worker_pool()
         self._drained.set()
 
     @staticmethod
@@ -299,16 +422,59 @@ class ServeDaemon:
 
     # -- admission + coalescing ----------------------------------------
 
+    def _check_rate(self, client_id: Optional[str]) -> None:
+        """Charge one admission token; raise when the client is over."""
+        if self.rate_limit is None:
+            return
+        name = client_id or "unknown"
+        with self._buckets_lock:
+            bucket = self._buckets.get(name)
+            if bucket is None:
+                bucket = _TokenBucket(self.rate_limit, self.rate_burst)
+                self._buckets[name] = bucket
+            allowed = bucket.allow()
+        if not allowed:
+            with self._stats_lock:
+                self._rate_limited += 1
+            raise ConfigurationError(
+                f"rate limited: client {name} exceeded "
+                f"{self.rate_limit:g} sweeps/s "
+                f"(burst {self.rate_burst:g}); retry later"
+            )
+
+    @staticmethod
+    def _request_deadline(request: Dict[str, Any]) -> Optional[float]:
+        """The absolute monotonic deadline a request asks for, if any."""
+        deadline_s = request.get("deadline_s")
+        if deadline_s is None:
+            return None
+        try:
+            seconds = float(deadline_s)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"deadline_s must be a positive number, got {deadline_s!r}"
+            )
+        if seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be a positive number, got {deadline_s!r}"
+            )
+        return time.monotonic() + seconds
+
     def _admit_sweep(
-        self, request: Dict[str, Any]
+        self, request: Dict[str, Any], client_id: Optional[str] = None
     ) -> Tuple[_SweepJob, Any, bool]:
         """Admit (or coalesce) one sweep request.
 
         Returns ``(job, subscriber_feed, coalesced)``. Lookup-or-create
         runs under the table lock, so two simultaneous identical
         requests can never both admit a compute — the loser of the race
-        always finds the winner's job and attaches.
+        always finds the winner's job and attaches. A coalescing
+        subscriber inherits the job's deadline (fixed by the first
+        request); the per-client token bucket is charged before any
+        spec is built.
         """
+        self._check_rate(client_id)
+        deadline = self._request_deadline(request)
         spec = build_request_spec(request)
         key = spec_request_key(spec)
         priority = int(request.get("priority", 0))
@@ -324,13 +490,24 @@ class ServeDaemon:
                     self._requests += 1
                     self._coalesced += 1
                 return job, feed, True
-            job = _SweepJob(key=key, spec=spec, priority=priority)
+            job = _SweepJob(
+                key=key, spec=spec, priority=priority, deadline=deadline
+            )
             feed = job.attach()
             self._table[key] = job
             self._admission.put((priority, self._next_seq(), job))
         with self._stats_lock:
             self._requests += 1
         return job, feed, False
+
+    def cancel_sweep(self, key: str) -> bool:
+        """Force-cancel the admitted sweep with ``key`` (the ``cancel``
+        verb); True when a live job was found and marked."""
+        with self._table_lock:
+            job = self._table.get(key)
+        if job is None:
+            return False
+        return job.cancel()
 
     # -- runners -------------------------------------------------------
 
@@ -370,6 +547,30 @@ class ServeDaemon:
                 probed += 1
         return probed > 0
 
+    def _retire_stopped(self, job: _SweepJob, reason: str, rows: int) -> None:
+        """Retire a cancelled or deadline-expired job with its terminal."""
+        if reason == "deadline_exceeded":
+            with self._stats_lock:
+                self._deadline_exceeded += 1
+            job.finish(
+                control_line(
+                    "error",
+                    error=(
+                        "deadline_exceeded: sweep missed its deadline "
+                        f"after {rows} row(s)"
+                    ),
+                    state="deadline_exceeded",
+                    rows=rows,
+                ),
+                state="deadline_exceeded",
+            )
+        else:
+            with self._stats_lock:
+                self._cancelled += 1
+            job.finish(
+                control_line("cancelled", rows=rows), state="cancelled"
+            )
+
     def _run_job(self, job: _SweepJob) -> None:
         with self._stats_lock:
             self._active += 1
@@ -378,12 +579,37 @@ class ServeDaemon:
         disk_before = disk.stats() if disk is not None else None
         rows_emitted = 0
         try:
+            # A job may already be dead on arrival: every subscriber
+            # hung up while it sat queued, it was cancelled by key, or
+            # its deadline passed in the queue. Drop it here — the pool
+            # is never touched.
+            stopped = job.stop_reason()
+            if stopped is not None:
+                self._retire_stopped(job, stopped, rows_emitted)
+                return
+            job.state = "running"
             fast = self._fully_warm(job.spec)
             jobs = 1 if fast else self._pool_width
-            for cell in job.spec.stream(jobs=jobs):
-                for row in job.spec.rows_for(cell):
-                    job.publish(escape_row_line(jsonl_line(row)))
-                    rows_emitted += 1
+            stream = job.spec.stream(jobs=jobs, deadline=job.deadline)
+            try:
+                for cell in stream:
+                    for row in job.spec.rows_for(cell):
+                        job.publish(escape_row_line(jsonl_line(row)))
+                        rows_emitted += 1
+                    stopped = job.stop_reason()
+                    if stopped is not None:
+                        break
+            except DeadlineExceededError:
+                stopped = "deadline_exceeded"
+            finally:
+                # Breaking out (cancel/deadline) closes the underlying
+                # stream_map generator: dispatch stops immediately and
+                # the in-flight window drains, leaving the shared pool
+                # quiescent for the next sweep.
+                stream.close()
+            if stopped is not None:
+                self._retire_stopped(job, stopped, rows_emitted)
+                return
             memory_delta = simulation_cache_stats().since(memory_before)
             disk_now = simulation_cache_disk()
             disk_delta = (
@@ -399,6 +625,7 @@ class ServeDaemon:
             job.finish(
                 control_line(
                     "end",
+                    state="finished",
                     rows=rows_emitted,
                     fast_path=fast,
                     cache={
@@ -423,8 +650,11 @@ class ServeDaemon:
                 self._errors += 1
             job.finish(
                 control_line(
-                    "error", error=f"{type(error).__name__}: {error}"
-                )
+                    "error",
+                    error=f"{type(error).__name__}: {error}",
+                    state="error",
+                ),
+                state="error",
             )
         finally:
             with self._table_lock:
@@ -449,11 +679,26 @@ class ServeDaemon:
                 name="serve-conn",
                 daemon=True,
             )
-            self._conn_threads.append(thread)
+            # Handlers remove themselves on exit (under the same lock),
+            # so this set never needs pruning here — the reassignment
+            # prune this replaces raced drain()'s iteration.
+            with self._conn_lock:
+                self._conn_threads.add(thread)
             thread.start()
-            self._conn_threads = [
-                t for t in self._conn_threads if t.is_alive()
-            ]
+
+    @staticmethod
+    def _peer_client_id(conn: socket.socket) -> str:
+        """The UNIX peer's identity for rate-limit accounting (its UID)."""
+        try:
+            import struct
+
+            creds = conn.getsockopt(
+                socket.SOL_SOCKET, socket.SO_PEERCRED, struct.calcsize("3i")
+            )
+            _pid, uid, _gid = struct.unpack("3i", creds)
+            return f"uid:{uid}"
+        except (OSError, AttributeError, struct.error):
+            return "unix"
 
     def _handle_connection(self, conn: socket.socket) -> None:
         conn.settimeout(_REQUEST_READ_TIMEOUT_S)
@@ -483,7 +728,17 @@ class ServeDaemon:
                     control_line("status", **self.status_snapshot())
                 )
             elif op == "sweep":
-                self._serve_sweep(channel, request)
+                self._serve_sweep(
+                    channel, request, client_id=self._peer_client_id(conn)
+                )
+            elif op == "cancel":
+                key = request.get("key")
+                found = (
+                    self.cancel_sweep(str(key)) if key is not None else False
+                )
+                channel.send_line(
+                    control_line("cancelled", key=key, found=found)
+                )
             else:
                 channel.send_line(
                     control_line("error", error=f"unknown op {op!r}")
@@ -492,14 +747,34 @@ class ServeDaemon:
             pass  # client went away mid-handshake; nothing to clean up
         finally:
             channel.close()
+            with self._conn_lock:
+                self._conn_threads.discard(threading.current_thread())
 
     def _serve_sweep(
-        self, channel: LineChannel, request: Dict[str, Any]
+        self,
+        channel: LineChannel,
+        request: Dict[str, Any],
+        client_id: Optional[str] = None,
     ) -> None:
         try:
-            job, feed, coalesced = self._admit_sweep(request)
+            job, feed, coalesced = self._admit_sweep(
+                request, client_id=client_id
+            )
         except ConfigurationError as error:
             channel.send_line(control_line("error", error=str(error)))
+            return
+        except Exception as error:
+            # An unexpected admit failure (a registry builder blowing
+            # up on exotic inline payloads, say) must still answer with
+            # an error line — unwinding silently would hand the client
+            # a bare EOF with nothing to diagnose by.
+            with self._stats_lock:
+                self._errors += 1
+            channel.send_line(
+                control_line(
+                    "error", error=f"{type(error).__name__}: {error}"
+                )
+            )
             return
         try:
             channel.send_line(
@@ -513,8 +788,9 @@ class ServeDaemon:
                 channel.send_line(item)
         except (BrokenPipeError, ConnectionResetError, OSError, ValueError):
             # This client hung up mid-stream. Only its subscription is
-            # dropped — the shared sweep (and every other subscriber's
-            # stream) carries on.
+            # dropped; a sweep shared with other subscribers carries
+            # on, while dropping the *last* subscription orphans the
+            # job and the runner cancels it (see _SweepJob).
             job.detach(feed)
 
     # -- introspection -------------------------------------------------
@@ -533,10 +809,25 @@ class ServeDaemon:
                 "fast_path": self._fast_path,
                 "sweeps_computed": self._sweeps_computed,
                 "errors": self._errors,
+                "cancelled": self._cancelled,
+                "deadline_exceeded": self._deadline_exceeded,
+                "rate_limited": self._rate_limited,
                 "active": self._active,
                 "queued": self._admission.qsize(),
                 "max_active": self.max_active,
             }
+        with self._table_lock:
+            jobs = list(self._table.values())
+        snapshot["jobs"] = [
+            {
+                "key": job.key,
+                "state": job.state,
+                "subscribers": job.subscriber_count(),
+                "rows": len(job.rows),
+                "priority": job.priority,
+            }
+            for job in jobs
+        ]
         stats = simulation_cache_stats()
         snapshot["pool"] = {
             "width": worker_pool_size(),

@@ -1,0 +1,262 @@
+"""HTTP/SSE front end for the serve daemon (stdlib only).
+
+A thin adapter that maps HTTP requests onto the *same* admission,
+coalescing, and fan-out core as the UNIX-socket transport
+(:class:`repro.serve.daemon.ServeDaemon`) — an SSE client and a socket
+client asking for the same sweep coalesce onto one compute, and both
+are charged against the same per-client admission rate limit.
+
+Endpoints (all ``GET``):
+
+* ``/sweep?scenario=NAME`` or ``/sweep?inline=<JSON>`` — stream the
+  sweep as `Server-Sent Events`_. Optional ``priority=N`` and
+  ``deadline_s=X`` query parameters carry the socket protocol's fields.
+  Control lines become SSE ``event:`` frames (``ack``, ``end``,
+  ``cancelled``, ``error``, ``row`` for an escaped row) whose ``data:``
+  is the control payload; **row lines stream verbatim as plain
+  ``data:`` frames** (no ``event:`` field), so the concatenated default
+  frames are byte-identical to the socket stream's row lines.
+* ``/cancel?key=KEY`` — force-cancel an admitted sweep by request key;
+  answers JSON ``{"serve": "cancelled", "key": ..., "found": ...}``.
+* ``/status`` — the daemon's health document as JSON.
+* ``/ping`` — ``{"serve": "pong"}``.
+
+Admission failures answer *before* the stream starts: HTTP 429 for a
+rate-limited client, 400 for anything else the daemon refused
+(unknown scenario, drain in progress, bad ``deadline_s``). A client
+closing its SSE connection mid-stream detaches its subscription
+exactly like a socket hangup — the last subscriber leaving cancels
+the shared sweep.
+
+The front end is transport only: it holds no request state of its own
+and can be started/stopped independently of the daemon's socket
+(``repro serve --http-port N`` wires it up on the CLI).
+
+.. _Server-Sent Events:
+   https://html.spec.whatwg.org/multipage/server-sent-events.html
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError
+from repro.serve.daemon import ServeDaemon, _EndOfStream
+from repro.serve.protocol import parse_control
+
+#: Default bind host: local-only, like the UNIX socket it mirrors.
+DEFAULT_HOST = "127.0.0.1"
+
+
+def sse_frame(line: str) -> bytes:
+    """One SSE frame for one daemon stream line.
+
+    Control lines (the reserved ``"serve"`` key) become named ``event:``
+    frames carrying the control JSON; row lines become plain ``data:``
+    frames, byte-for-byte the socket transport's row lines.
+    """
+    control = parse_control(line)
+    if control is None:
+        return f"data: {line}\n\n".encode("utf-8")
+    kind = control.get("serve")
+    return f"event: {kind}\ndata: {line}\n\n".encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP request; ``server.daemon`` is the ServeDaemon."""
+
+    # Served responses either carry Content-Length or close the
+    # connection at the end of the SSE stream; 1.1 keeps curl and
+    # browsers from buffering the event stream.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *_args: Any) -> None:
+        pass  # quiet: the daemon has its own observability surface
+
+    @property
+    def daemon(self) -> ServeDaemon:
+        return self.server.serve_daemon  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            if parsed.path == "/ping":
+                self._send_json(200, {"serve": "pong"})
+            elif parsed.path == "/status":
+                self._send_json(
+                    200, {"serve": "status", **self.daemon.status_snapshot()}
+                )
+            elif parsed.path == "/cancel":
+                key = query.get("key", [None])[0]
+                found = (
+                    self.daemon.cancel_sweep(key) if key is not None
+                    else False
+                )
+                self._send_json(
+                    200, {"serve": "cancelled", "key": key, "found": found}
+                )
+            elif parsed.path == "/sweep":
+                self._serve_sweep(query)
+            else:
+                self._send_json(
+                    404,
+                    {"serve": "error", "error": f"no route {parsed.path!r}"},
+                )
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to clean up
+
+    def _sweep_request(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        """The socket-protocol request object a /sweep query describes."""
+        request: Dict[str, Any] = {"op": "sweep"}
+        scenario = query.get("scenario", [None])[0]
+        if scenario is not None:
+            request["scenario"] = scenario
+        inline = query.get("inline", [None])[0]
+        if inline is not None:
+            try:
+                request["inline"] = json.loads(inline)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"inline query parameter is not JSON: {error}"
+                )
+        priority = query.get("priority", [None])[0]
+        if priority is not None:
+            try:
+                request["priority"] = int(priority)
+            except ValueError:
+                raise ConfigurationError(
+                    f"priority must be an integer, got {priority!r}"
+                )
+        deadline_s = query.get("deadline_s", [None])[0]
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
+        return request
+
+    def _serve_sweep(self, query: Dict[str, Any]) -> None:
+        client_id = f"http:{self.client_address[0]}"
+        try:
+            request = self._sweep_request(query)
+            job, feed, coalesced = self.daemon._admit_sweep(
+                request, client_id=client_id
+            )
+        except ConfigurationError as error:
+            status = 429 if str(error).startswith("rate limited") else 400
+            self._send_json(status, {"serve": "error", "error": str(error)})
+            return
+        except Exception as error:
+            with self.daemon._stats_lock:
+                self.daemon._errors += 1
+            self._send_json(
+                500,
+                {
+                    "serve": "error",
+                    "error": f"{type(error).__name__}: {error}",
+                },
+            )
+            return
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(
+                sse_frame(
+                    json.dumps(
+                        {"serve": "ack", "key": job.key,
+                         "coalesced": coalesced}
+                    )
+                )
+            )
+            self.wfile.flush()
+            while True:
+                item = feed.get()
+                if isinstance(item, _EndOfStream):
+                    self.wfile.write(sse_frame(item.line))
+                    self.wfile.flush()
+                    self.close_connection = True
+                    return
+                self.wfile.write(sse_frame(item))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # Mid-stream hangup: drop only this subscription — exactly
+            # the socket transport's semantics, including the
+            # last-subscriber-leaves cancellation.
+            job.detach(feed)
+            self.close_connection = True
+
+
+class ServeHttpFrontend:
+    """The daemon's HTTP/SSE listener; start()/close() lifecycle.
+
+    Binds ``host:port`` (``port=0`` picks a free one — tests) and
+    serves each connection on its own thread. Closing stops the
+    listener; in-flight SSE streams are owned by their handler threads
+    and wind down with their jobs.
+    """
+
+    def __init__(
+        self,
+        daemon: ServeDaemon,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+    ) -> None:
+        self.daemon = daemon
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._server is not None:
+            raise ConfigurationError("HTTP front end already started")
+        try:
+            server = ThreadingHTTPServer(
+                (self.host, self._requested_port), _Handler
+            )
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot bind HTTP front end on "
+                f"{self.host}:{self._requested_port}: {error}"
+            )
+        server.daemon_threads = True
+        server.serve_daemon = self.daemon  # type: ignore[attr-defined]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.shutdown()
+        server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -21,22 +21,35 @@ connection:
 Requests::
 
     {"op": "sweep", "scenario": "figure12", "priority": 0}
-    {"op": "sweep", "inline": {"kind": "speedups", ...}}
+    {"op": "sweep", "inline": {"kind": "speedups", ...}, "deadline_s": 30}
+    {"op": "cancel", "key": "<sha256>"}
     {"op": "status"}
     {"op": "ping"}
 
 ``priority`` orders the daemon's admission queue (lower runs first,
-ties FIFO). Inline request shapes are defined by
+ties FIFO). ``deadline_s`` (optional, seconds from receipt) bounds the
+request's lifetime: an expired queued sweep is dropped without touching
+the pool, a running one stops within one streamed cell — either way the
+subscriber receives a ``deadline_exceeded`` error line. ``cancel``
+force-cancels the admitted sweep with that request key (the key every
+``ack`` carries). Inline request shapes are defined by
 :mod:`repro.serve.inline`.
 
 Responses (control lines)::
 
     {"serve": "ack", "key": "<sha256>", "coalesced": false}
-    {"serve": "end", "rows": 12, "fast_path": false,
+    {"serve": "end", "state": "finished", "rows": 12, "fast_path": false,
      "cache": {...}, "disk": {...} | null}
+    {"serve": "cancelled", "rows": 3}          # terminal, mid-sweep
+    {"serve": "cancelled", "key": ..., "found": true}   # cancel reply
     {"serve": "error", "error": "..."}
     {"serve": "pong"}
     {"serve": "status", ...}
+
+A ``deadline_exceeded`` failure is an ``error`` line whose text starts
+with ``deadline_exceeded:`` and which carries
+``"state": "deadline_exceeded"``. The same stream, mapped onto
+HTTP/SSE frames by :mod:`repro.serve.http`, serves web clients.
 
 A sweep row that itself contained a ``"serve"`` key would collide with
 the control namespace; such rows are escaped as
@@ -78,7 +91,17 @@ def control_line(kind: str, **fields: Any) -> str:
 
 
 def escape_row_line(line: str) -> str:
-    """Escape a row line when (and only when) it would read as control."""
+    """Escape a row line when (and only when) it would read as control.
+
+    The escape only needs to be *total* (no row line may ever parse as
+    a control line), not parse-driven: a line that does not even
+    contain the quoted reserved key as a substring cannot possibly
+    parse to an object carrying it, so the per-row ``json.loads`` is
+    reserved for the rare candidate. A substring hit inside a nested
+    string value still parses and passes through unescaped.
+    """
+    if f'"{CONTROL_KEY}"' not in line:
+        return line
     try:
         parsed = json.loads(line)
     except ValueError:

@@ -6,6 +6,8 @@ run, in the same order, and folds every worker's new cache entries back
 into the parent keyed by the same ``simulation_key``.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,18 +16,20 @@ from repro.experiments import figure12, sensitivity
 from repro.experiments.grid import run_grid, to_csv
 from repro.experiments.parallel import (
     claim_worker_pool,
+    dispatched_task_count,
     fork_available,
     last_sweep_execution,
     parallel_map,
     release_worker_pool,
     resolve_jobs,
     shutdown_worker_pool,
+    stream_map,
     worker_pool_owned,
     worker_pool_pids,
     worker_pool_size,
 )
 from repro.experiments.speedups import sweep_speedups
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlineExceededError
 from repro.sim.cache import (
     clear_simulation_cache,
     export_simulation_cache,
@@ -325,3 +329,66 @@ class TestPoolOwnership:
     def test_claim_rejects_negative_width(self):
         with pytest.raises(ConfigurationError):
             claim_worker_pool(-3)
+
+    def test_width_one_claim_still_takes_ownership(self):
+        # Regression: a jobs=1 claim forks no pool but must still flip
+        # the ownership bit, so a daemon's unconditional release on
+        # drain is symmetric at every width (a width-1 daemon used to
+        # leak its claim and break the next claimer's accounting).
+        width = claim_worker_pool(1)
+        assert width == 1
+        assert worker_pool_owned()
+        assert worker_pool_size() == 0  # no workers were forked
+        release_worker_pool()
+        assert not worker_pool_owned()
+
+
+def _sleepy(task):
+    """Module-level sleeping task body for deadline-seam tests."""
+    index, duration = task
+    time.sleep(duration)
+    return index
+
+
+class TestStreamDeadline:
+    """The ``deadline=`` seam on :func:`stream_map` (both executors)."""
+
+    def test_serial_deadline_raises_after_partial_yield(self):
+        items = [(i, 0.05) for i in range(20)]
+        seen = []
+        with pytest.raises(DeadlineExceededError):
+            for index, result in stream_map(
+                _sleepy, items, jobs=1, deadline=time.monotonic() + 0.2
+            ):
+                assert index == result
+                seen.append(index)
+        assert 0 < len(seen) < 20
+        assert seen == sorted(seen)
+
+    def test_serial_past_deadline_yields_nothing(self):
+        with pytest.raises(DeadlineExceededError):
+            next(stream_map(
+                _sleepy, [(0, 0.0)], jobs=1,
+                deadline=time.monotonic() - 1.0,
+            ))
+
+    def test_parallel_deadline_stops_dispatch_and_keeps_pool_healthy(self):
+        shutdown_worker_pool()
+        items = [(i, 0.2) for i in range(12)]
+        before = dispatched_task_count()
+        with pytest.raises(DeadlineExceededError):
+            for _ in stream_map(
+                _sleepy, items, jobs=2, deadline=time.monotonic() + 0.5
+            ):
+                pass
+        assert dispatched_task_count() - before < len(items)
+        # The pool survived the abandoned sweep and runs a fresh one.
+        results = list(stream_map(_sleepy, [(i, 0.0) for i in range(4)],
+                                  jobs=2))
+        assert results == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        shutdown_worker_pool()
+
+    def test_no_deadline_is_unbounded(self):
+        results = list(stream_map(_sleepy, [(i, 0.0) for i in range(3)],
+                                  jobs=1))
+        assert results == [(0, 0), (1, 1), (2, 2)]

@@ -54,6 +54,12 @@ def test_smoke_runs_every_anchor(tmp_path, monkeypatch):
     assert serve["serial_s"] > 0.0
     assert 0.0 <= serve["coalesced_hit_rate"] <= 1.0
     assert serve["requests"] > 0.0
+    # The cancellation anchor measured both sides; its reclaim share is
+    # a true fraction even at smoke sizes.
+    reclaim = results["serve_cancel_reclaim"]
+    assert reclaim["full_s"] > 0.0
+    assert 0.0 <= reclaim["reclaimed_fraction"] <= 1.0
+    assert reclaim["cells"] > 0.0
     # Smoke mode must not have rewritten the recorded report.
     after = DEFAULT_OUTPUT.read_bytes() if DEFAULT_OUTPUT.exists() else None
     assert before == after

@@ -74,3 +74,73 @@ class TestMatrixSerializationProperty:
             equal_nan=True,
         )
         assert loaded.nnz == matrix.nnz
+
+
+class TestServeRowEscapeProperty:
+    """escape_row_line/unescape_row is an identity on every row line.
+
+    The serve wire protocol reserves the ``"serve"`` key for control
+    messages; a row that happens to carry it is escaped into a control
+    envelope and unwrapped by the client. The composed round trip must
+    be the identity for *arbitrary* row payloads — including rows that
+    actually use the reserved key and rows whose string values merely
+    contain the quoted key as a substring (the fast-path pre-filter
+    must not misclassify those).
+    """
+
+    _scalar = st.one_of(
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=40),
+        st.booleans(),
+        st.none(),
+        st.just('{"serve": 1}'),  # the reserved key inside a string value
+    )
+    _key = st.one_of(st.text(max_size=12), st.just("serve"))
+
+    @staticmethod
+    def _roundtrip(line):
+        from repro.serve.protocol import (
+            CONTROL_KEY,
+            escape_row_line,
+            parse_control,
+            unescape_row,
+        )
+
+        wire = escape_row_line(line)
+        control = parse_control(wire)
+        if control is None:
+            # Passed through verbatim — and genuinely not control.
+            assert wire == line
+            return wire
+        assert control[CONTROL_KEY] == "row"
+        return unescape_row(control)
+
+    @given(row=st.dictionaries(_key, _scalar, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_identity(self, row):
+        import json
+
+        line = json.dumps(row)
+        assert self._roundtrip(line) == line
+
+    def test_reserved_key_row_is_escaped_and_recovered(self):
+        line = '{"serve": "not-a-control", "x": 1}'
+        assert self._roundtrip(line) == line
+
+    def test_substring_in_nested_string_passes_unescaped(self):
+        from repro.serve.protocol import escape_row_line
+
+        line = '{"note": "{\\"serve\\": 1}", "x": 2}'
+        # Contains the quoted key as a substring, but only inside a
+        # string value: the parse check must let it through verbatim.
+        assert escape_row_line(line) == line
+        assert self._roundtrip(line) == line
+
+    def test_plain_row_skips_escape(self):
+        from repro.serve.protocol import escape_row_line
+
+        line = '{"scheme": "Q4", "speedup": 1.5}'
+        # No quoted reserved key anywhere: the fast path returns the
+        # very same object without ever invoking json.loads.
+        assert escape_row_line(line) is line
