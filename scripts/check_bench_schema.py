@@ -55,11 +55,22 @@ ANCHOR_REQUIRED_FIELDS: Dict[str, "tuple[str, ...]"] = {
     "serve_cancel_reclaim": (
         "full_s", "reclaimed_fraction", "cells",
     ),
+    "disk_delta_commit": (
+        "per_entry_s", "delta_commit_speedup", "entries",
+    ),
+    "disk_index_attach": (
+        "stat_walk_s", "index_attach_speedup", "entries",
+    ),
+    "prefetch_warm_sweep": (
+        "cold_s", "warm_speedup", "prefetch_hit_rate", "cells",
+    ),
 }
 
 #: Fields that are rates/fractions of a coalescing total and therefore
 #: must not exceed 1.0 (the generic numeric check only pins >= 0).
-UNIT_INTERVAL_FIELDS = ("coalesced_hit_rate", "reclaimed_fraction")
+UNIT_INTERVAL_FIELDS = (
+    "coalesced_hit_rate", "reclaimed_fraction", "prefetch_hit_rate",
+)
 
 
 def _known_benchmarks() -> "tuple[str, ...]":

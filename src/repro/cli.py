@@ -382,6 +382,41 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    import warnings
+
+    from repro.sim.diskcache import open_disk_cache
+
+    path = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        print("cache stats needs --cache-dir (or REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        disk = open_disk_cache(path)
+    if disk is None:
+        print(f"cache dir {path!r} is not usable", file=sys.stderr)
+        return 2
+    snapshot = disk.storage_snapshot()
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    entries = snapshot["loose_entries"] + snapshot["packed_entries"]
+    print(f"{snapshot['root']}: {entries} entries, "
+          f"{snapshot['total_bytes']} bytes")
+    print(f"  schema generation: {snapshot['schema_dir']}")
+    print(f"  loose entries: {snapshot['loose_entries']} "
+          f"({snapshot['loose_bytes']} bytes)")
+    print(f"  packed entries: {snapshot['packed_entries']} in "
+          f"{snapshot['pack_files']} pack(s) "
+          f"({snapshot['pack_bytes']} bytes)")
+    print(f"  index: {snapshot['index_entries']} entries "
+          f"({snapshot['index_bytes']} bytes)")
+    return 0
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     breakdown = deca_area(
         DecaConfig(width=args.width, lut_count=args.luts), pes=args.pes
@@ -460,6 +495,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         max_active=args.max_active,
         rate_limit=args.rate_limit,
+        preload=args.preload,
     )
     stop = threading.Event()
 
@@ -730,6 +766,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict entries not used for more than SECONDS",
     )
     p_prune.set_defaults(func=_cmd_cache)
+    p_stats = cache_sub.add_parser(
+        "stats",
+        help="print a cache directory's on-disk shape (loose/packed "
+             "entry counts, pack and index sizes, total bytes)",
+    )
+    p_stats.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache directory to inspect (default: $REPRO_CACHE_DIR)",
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the snapshot as JSON instead of human-readable lines",
+    )
+    p_stats.set_defaults(func=_cmd_cache_stats)
 
     p_serve = sub.add_parser(
         "serve",
@@ -762,6 +812,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-limit", type=float, default=None, metavar="SWEEPS_PER_S",
         help="per-client token-bucket admission limit in sweeps/s, "
              "covering both transports (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--preload", action="append", default=None, metavar="SCENARIO",
+        help="prefetch this scenario's simulations from the disk cache "
+             "into memory at startup (repeatable; needs --cache-dir)",
     )
     add_cache_dir(p_serve)
     p_serve.set_defaults(func=_cmd_serve)

@@ -149,6 +149,17 @@ WARM_BROADCAST_ENV = "REPRO_WARM_BROADCAST_BYTES"
 #: a best-effort merge (seconds).
 _BROADCAST_BARRIER_TIMEOUT_S = 30.0
 
+#: Environment escape hatch for the pipelined prefetch broadcast: set
+#: to any non-empty value to skip shipping the upcoming keys to workers
+#: (they fall back to lazy per-touch disk loads, the pre-v2 behaviour).
+PREFETCH_DISABLE_ENV = "REPRO_NO_PREFETCH"
+
+#: Floor of the synchronous prefetch prefix: at least this many keys
+#: (or two per worker, whichever is larger) are warmed *before* the
+#: prefetch task returns, so the first in-flight window of cells finds
+#: a warm LRU instead of racing the background thread.
+_PREFETCH_SYNC_MIN = 16
+
 #: How long the streaming join waits with *zero* chunks landing after a
 #: worker death was observed before concluding the dead worker took
 #: in-flight cells with it and re-dispatching them (seconds; env
@@ -239,6 +250,14 @@ class SweepExecution:
     #: Cells re-dispatched after a pool worker died mid-sweep (0 in
     #: healthy runs; see the worker-loss recovery contract).
     redispatched_cells: int = 0
+    #: Pipelined prefetch broadcast: keys shipped to each worker at
+    #: dispatch, how many workers confirmed the prefetch task, and how
+    #: many entries the synchronous prefix warmed across all workers
+    #: (0 0 0 when skipped — no disk tier, no keys, or disabled via
+    #: ``REPRO_NO_PREFETCH``).
+    prefetch_keys: int = 0
+    prefetch_workers: int = 0
+    prefetched_entries: int = 0
 
 
 #: Report of the most recent stream_map call (diagnostics/tests).
@@ -361,10 +380,20 @@ def _shutdown_pool_locked() -> None:
                         os.kill(worker.pid, signal.SIGKILL)
                     except OSError:
                         pass
-            try:
-                _POOL._inqueue._rlock.release()
-            except (AttributeError, ValueError, OSError):
-                pass  # lock was not held — nothing to free
+            # A worker can die holding either of two queue locks: the
+            # task queue's reader lock (killed mid-task-read) or the
+            # result queue's writer lock (killed mid-result-send). The
+            # latter wedges ``_terminate_pool`` itself — its sentinel
+            # ``outqueue.put(None)`` acquires that lock. Free both;
+            # releasing an unheld lock raises ValueError and is skipped.
+            for orphaned in (
+                lambda: _POOL._inqueue._rlock,
+                lambda: _POOL._outqueue._wlock,
+            ):
+                try:
+                    orphaned().release()
+                except (AttributeError, ValueError, OSError):
+                    pass  # lock was not held — nothing to free
             _POOL.terminate()
         else:
             _POOL.close()
@@ -569,6 +598,137 @@ def _broadcast_warm_entries(
     return reached
 
 
+def prefetch_enabled() -> bool:
+    """Whether the pipelined prefetch broadcast is enabled.
+
+    ``REPRO_NO_PREFETCH`` (any value other than empty or ``"0"``,
+    mirroring ``REPRO_NO_BATCH``/``REPRO_NO_PACK``) routes workers back
+    to lazy disk loads — the escape hatch for debugging warmth issues
+    or pinning pre-v2 behaviour.
+    """
+    env = os.environ.get(PREFETCH_DISABLE_ENV, "")
+    return not env or env == "0"
+
+
+#: Worker-local cancellation handle of the background prefetch thread.
+#: A new sweep's prefetch task (or a stop task after a cancelled sweep)
+#: sets it, so at most one prefetch thread per worker is ever live.
+_PREFETCH_CANCEL: Optional[threading.Event] = None
+
+
+def _cancel_worker_prefetch() -> None:
+    """Stop this worker's background prefetch thread, if one is live."""
+    global _PREFETCH_CANCEL
+    cancel = _PREFETCH_CANCEL
+    if cancel is not None:
+        cancel.set()
+        _PREFETCH_CANCEL = None
+
+
+def _start_prefetch(payload: bytes) -> int:
+    """Worker body of the prefetch broadcast: warm the LRU from disk.
+
+    One such task is submitted per pool worker, rendezvoused on the
+    inherited barrier exactly like the warm-entry broadcast, so every
+    worker runs it once. The worker then syncs its cache state to the
+    parent's, cancels any prefetch thread left over from an earlier
+    sweep, warms a synchronous *prefix* of the keys (sized so the first
+    in-flight window of cells lands on a warm LRU), and hands the tail
+    to a daemon thread that keeps pipelining loads underneath the
+    sweep's real cells. Both the prefix and the tail poll the sweep
+    deadline and the cancel event between keys — a cancelled or expired
+    sweep stops prefetching within one entry. Returns how many entries
+    the synchronous prefix promoted.
+
+    Warmth-only, like every broadcast: prefetched entries are
+    counter-neutral disk reads (:meth:`SimulationCache.prefetch`), so
+    results and hit/miss accounting are identical with prefetch on or
+    off — later real lookups simply land as memory hits instead of
+    lazy disk hits.
+    """
+    generation, cache_dir, keys, deadline, sync_count = pickle.loads(
+        payload
+    )
+    barrier = _POOL_BARRIER
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=_BROADCAST_BARRIER_TIMEOUT_S)
+        except threading.BrokenBarrierError:  # pragma: no cover - degraded
+            pass
+    global _PREFETCH_CANCEL
+    _cancel_worker_prefetch()
+    _simcache.sync_simulation_cache_generation(generation)
+    if _simcache.simulation_cache_dir() != cache_dir:
+        _simcache.configure_simulation_cache_dir(cache_dir)
+    cancel = threading.Event()
+    _PREFETCH_CANCEL = cancel
+
+    def should_stop() -> bool:
+        return cancel.is_set() or (
+            deadline is not None and time.monotonic() >= deadline
+        )
+
+    warmed = _simcache.prefetch_simulation_keys(
+        keys[:sync_count], should_stop=should_stop
+    )
+    tail = keys[sync_count:]
+    if tail and not should_stop():
+        thread = threading.Thread(
+            target=_simcache.prefetch_simulation_keys,
+            args=(tail,),
+            kwargs={"should_stop": should_stop},
+            name="repro-prefetch",
+            daemon=True,
+        )
+        thread.start()
+    return warmed
+
+
+def _stop_prefetch() -> None:
+    """Worker body: cancel this worker's background prefetch (idempotent).
+
+    Submitted fire-and-forget (no barrier — the pool may be mid-drain)
+    when a sweep ends early, so a cancelled sweep's workers stop
+    touching the disk within one task round-trip instead of walking the
+    whole remaining key list.
+    """
+    _cancel_worker_prefetch()
+
+
+def _broadcast_prefetch_keys(
+    pool: multiprocessing.pool.Pool,
+    generation: int,
+    cache_dir: Optional[str],
+    keys: List[Any],
+    deadline: Optional[float],
+) -> Tuple[int, int]:
+    """Ship the upcoming cells' keys to every worker of ``pool``.
+
+    Blocks until each worker has warmed its synchronous prefix (the
+    background tails keep running underneath the sweep). Returns
+    ``(workers_reached, entries_sync_warmed)``; failures degrade to a
+    colder sweep, never a failed one.
+    """
+    width = _POOL_JOBS
+    sync_count = min(len(keys), max(_PREFETCH_SYNC_MIN, 2 * width))
+    payload = pickle.dumps(
+        (generation, cache_dir, keys, deadline, sync_count),
+        pickle.HIGHEST_PROTOCOL,
+    )
+    pending = [
+        pool.apply_async(_start_prefetch, (payload,))
+        for _ in range(width)
+    ]
+    reached = warmed = 0
+    for handle in pending:
+        try:
+            warmed += handle.get(timeout=2 * _BROADCAST_BARRIER_TIMEOUT_S)
+            reached += 1
+        except Exception:  # pragma: no cover - degraded broadcast
+            pass
+    return reached, warmed
+
+
 def _serial_stream(
     fn: Callable[[_T], _R],
     items: List[_T],
@@ -615,6 +775,7 @@ def _parallel_stream(
     warm_prefix: Optional[Tuple[Any, ...]] = None,
     warm_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    prefetch_keys: Optional[Sequence[Any]] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """The fanned-out streaming loop: dispatch cells, join as they land.
 
@@ -663,6 +824,16 @@ def _parallel_stream(
                 )
                 broadcast_entries = len(entries)
                 broadcast_bytes = total
+    # The prefetch broadcast goes to fresh pools too: it warms from the
+    # *disk* tier, whose entries a freshly forked worker does not hold
+    # in memory any more than a reused one does.
+    prefetched_keys = prefetch_workers = prefetched_entries = 0
+    key_list = list(prefetch_keys) if prefetch_keys else []
+    if key_list and cache_dir is not None and prefetch_enabled():
+        prefetch_workers, prefetched_entries = _broadcast_prefetch_keys(
+            pool, generation, cache_dir, key_list, deadline
+        )
+        prefetched_keys = len(key_list)
     done: "queue.Queue[Any]" = queue.Queue()
     total = len(items)
     window = min(total, 2 * n_jobs)
@@ -852,6 +1023,18 @@ def _parallel_stream(
             except Exception as error:  # e.g. a merge bit-equality assert
                 if failure is None:
                     failure = error
+        if prefetch_workers and len(received) < total:
+            # The sweep ended early (close, deadline, failure) with
+            # background prefetch threads possibly still walking keys;
+            # tell each worker to stop. Fire-and-forget: stopping is an
+            # optimization (idle disk reads are harmless), so a wedged
+            # pool must not turn it into a hang.
+            if not _POOL_SUSPECT:
+                for _ in range(_POOL_JOBS):
+                    try:
+                        pool.apply_async(_stop_prefetch)
+                    except Exception:  # pragma: no cover - degraded
+                        break
         _LAST_EXECUTION = SweepExecution(
             jobs=n_jobs, tasks=total, merged_entries=merged,
             duplicate_entries=duplicates, worker_hits=hits,
@@ -862,6 +1045,9 @@ def _parallel_stream(
             broadcast_bytes=broadcast_bytes,
             broadcast_workers=broadcast_workers,
             redispatched_cells=redispatched,
+            prefetch_keys=prefetched_keys,
+            prefetch_workers=prefetch_workers,
+            prefetched_entries=prefetched_entries,
         )
     if failure is not None:
         raise failure
@@ -875,6 +1061,7 @@ def stream_map(
     warm_prefix: Optional[Tuple[Any, ...]] = None,
     warm_budget: Optional[int] = None,
     deadline: Optional[float] = None,
+    prefetch_keys: Optional[Sequence[Any]] = None,
 ) -> Iterator[Tuple[int, _R]]:
     """Yield ``(index, fn(item))`` pairs in index order, streaming.
 
@@ -906,6 +1093,14 @@ def stream_map(
     the expiry remain valid; a running cell is never interrupted, so the
     stream stops within one cell (serial) or one in-flight window
     (parallel) of the deadline.
+
+    ``prefetch_keys`` — the ``simulation_key``s the sweep's cells are
+    about to look up, in dispatch order — enables the pipelined
+    prefetch broadcast: workers warm their memory LRU from the disk
+    tier ahead of the cells that need the entries (see the module
+    docstring; ``REPRO_NO_PREFETCH`` disables, and without a disk tier
+    the keys are ignored). Warmth-only, like the entry broadcast:
+    results are bit-identical with it on or off.
     """
     items = list(items)
     n_jobs = resolve_jobs(jobs, len(items))
@@ -914,7 +1109,7 @@ def stream_map(
     return _parallel_stream(
         fn, items, n_jobs, progress,
         warm_prefix=warm_prefix, warm_budget=warm_budget,
-        deadline=deadline,
+        deadline=deadline, prefetch_keys=prefetch_keys,
     )
 
 

@@ -175,6 +175,32 @@ def _run_batched_group(payload):
     return [task(cell) for cell in chunk]
 
 
+def _prefetch_key_list(
+    sims_per_cell: List[Tuple[Tuple[Any, Any, int], ...]]
+) -> List[Any]:
+    """Deduped ``simulation_key``s of a grid's simulations, dispatch order.
+
+    Feeds :func:`repro.experiments.parallel.stream_map`'s pipelined
+    prefetch broadcast: each ``(system, timing, tiles)`` triple a
+    batchable spec declares maps to the exact cache key its cell will
+    look up (``tile_stream_key``), so workers can warm those entries
+    from the disk tier ahead of the task that needs them. Order follows
+    the grid so the prefix a worker warms synchronously matches the
+    first cells dispatched.
+    """
+    from repro.sim.pipeline import tile_stream_key
+
+    keys: List[Any] = []
+    seen: set = set()
+    for sims in sims_per_cell:
+        for system, timing, tiles in sims:
+            key = tile_stream_key(system, timing, tiles)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
 def _default_rows(cell: CellResult) -> Iterable[Dict[str, Any]]:
     """One flat dict per cell: axis labels + the result's scalar fields."""
     row = cell.coord_labels()
@@ -313,23 +339,34 @@ class SweepSpec:
         """
         coords = self.coords()
         cells = self.cells(coords)
-        if (
-            self.batchable is not None
-            and len(cells) > 1
-            and batching_enabled(batch)
-        ):
+        sims_per_cell = None
+        if self.batchable is not None:
             sims_per_cell = [
                 tuple(self.batchable.sims(cell)) for cell in cells
             ]
-            if any(sims_per_cell):
-                yield from self._stream_batched(
-                    coords, cells, sims_per_cell, jobs, progress,
-                    deadline=deadline,
-                )
-                return
+        if (
+            sims_per_cell is not None
+            and len(cells) > 1
+            and batching_enabled(batch)
+            and any(sims_per_cell)
+        ):
+            yield from self._stream_batched(
+                coords, cells, sims_per_cell, jobs, progress,
+                deadline=deadline,
+            )
+            return
+        # Even when batching is off, a batchable annotation still tells
+        # us which simulation keys the cells are about to look up — the
+        # pipelined prefetch broadcast warms workers from the disk tier
+        # ahead of them (a no-op without a disk tier or under
+        # REPRO_NO_PREFETCH).
+        prefetch = (
+            _prefetch_key_list(sims_per_cell) if sims_per_cell else None
+        )
         for index, value in stream_map(
             self.task, cells, jobs=jobs, progress=progress,
             warm_prefix=self.warm_prefix, deadline=deadline,
+            prefetch_keys=prefetch,
         ):
             yield CellResult(index=index, coords=coords[index], value=value)
 
@@ -389,6 +426,7 @@ class SweepSpec:
         for chunk_index, values in stream_map(
             _run_batched_group, payloads, jobs=n_jobs,
             warm_prefix=self.warm_prefix, deadline=deadline,
+            prefetch_keys=_prefetch_key_list(sims_per_cell),
         ):
             base = starts[chunk_index]
             for offset, value in enumerate(values):

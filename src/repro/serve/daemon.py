@@ -72,7 +72,11 @@ from repro.experiments.parallel import (
     worker_pool_pids,
     worker_pool_size,
 )
-from repro.experiments.sweepspec import jsonl_line, spec_request_key
+from repro.experiments.sweepspec import (
+    get_scenario,
+    jsonl_line,
+    spec_request_key,
+)
 from repro.serve.inline import build_request_spec
 from repro.serve.protocol import (
     LISTEN_BACKLOG,
@@ -83,6 +87,7 @@ from repro.serve.protocol import (
 )
 from repro.sim.cache import (
     flush_simulation_cache_to_disk,
+    prefetch_simulation_keys,
     simulation_cache_contains,
     simulation_cache_dir,
     simulation_cache_disk,
@@ -264,6 +269,7 @@ class ServeDaemon:
         max_active: int = 2,
         rate_limit: Optional[float] = None,
         rate_burst: Optional[float] = None,
+        preload: Optional[List[str]] = None,
     ) -> None:
         if max_active < 1:
             raise ConfigurationError(
@@ -311,6 +317,15 @@ class ServeDaemon:
         self._conn_lock = threading.Lock()
         self._started_monotonic = 0.0
         self._pool_width = 1
+        #: Scenario names whose simulation keys are prefetched from the
+        #: disk tier into the memory LRU at startup (the hot
+        #: ``spec_request_key`` prefixes a restarted daemon should
+        #: serve through the fast path without lazy disk loads).
+        self.preload = tuple(preload or ())
+        self._preload_warmed = 0
+        self._preload_keys = 0
+        self._preload_done = not self.preload
+        self._preload_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -339,6 +354,51 @@ class ServeDaemon:
             target=self._accept_loop, name="serve-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.preload and simulation_cache_disk() is not None:
+            self._preload_thread = threading.Thread(
+                target=self._preload_hot_scenarios,
+                name="serve-preload",
+                daemon=True,
+            )
+            self._preload_thread.start()
+
+    def _preload_hot_scenarios(self) -> None:
+        """Warm the memory LRU from disk for the configured scenarios.
+
+        Runs in the background so startup latency is unaffected; each
+        scenario's batchable rule enumerates the exact simulation keys
+        its cells will look up (the same walk the fast-path probe
+        does), and :func:`prefetch_simulation_keys` promotes whatever
+        the disk tier holds — counter-neutrally, so the first real
+        request's cache accounting is untouched. Unknown scenarios,
+        specs without a batchable rule, and disk errors all degrade to
+        a cold start, never a failed one. Stops within one entry when a
+        drain begins.
+        """
+        keys: List[Any] = []
+        seen: set = set()
+        for name in self.preload:
+            try:
+                spec = get_scenario(name).build()
+                rule = getattr(spec, "batchable", None)
+                if rule is None:
+                    continue
+                for cell in spec.cells():
+                    for system, timing, tiles in rule.sims(cell):
+                        key = tile_stream_key(system, timing, tiles)
+                        if key not in seen:
+                            seen.add(key)
+                            keys.append(key)
+            except Exception:
+                continue
+        with self._stats_lock:
+            self._preload_keys = len(keys)
+        warmed = prefetch_simulation_keys(
+            keys, should_stop=lambda: self._draining
+        )
+        with self._stats_lock:
+            self._preload_warmed = warmed
+            self._preload_done = True
 
     def _cleanup_stale_socket(self) -> None:
         """Unlink a dead predecessor's socket file; refuse a live one.
@@ -841,4 +901,29 @@ class ServeDaemon:
             "disk_hits": stats.disk_hits,
             "dir": simulation_cache_dir(),
         }
+        with self._stats_lock:
+            snapshot["preload"] = {
+                "scenarios": list(self.preload),
+                "keys": self._preload_keys,
+                "warmed": self._preload_warmed,
+                "done": self._preload_done,
+            }
+        disk = simulation_cache_disk()
+        if disk is not None:
+            disk_stats = disk.stats()
+            storage = disk.storage_snapshot()
+            storage.update(
+                {
+                    "hits": disk_stats.hits,
+                    "misses": disk_stats.misses,
+                    "stores": disk_stats.stores,
+                    "skipped_stores": disk_stats.skipped_stores,
+                    "errors": disk_stats.errors,
+                    "pack_commits": disk_stats.pack_commits,
+                    "packed_stores": disk_stats.packed_stores,
+                }
+            )
+            snapshot["disk"] = storage
+        else:
+            snapshot["disk"] = None
         return snapshot

@@ -339,6 +339,35 @@ class SimulationCache:
             disk = self._disk
         return disk is not None and disk.contains(key)
 
+    def prefetch(self, key: Hashable) -> bool:
+        """Warm ``key`` from the disk tier without moving any counter.
+
+        The pipelined-prefetch seam: a background thread calls this for
+        keys a sweep is *about* to need, so the later
+        :meth:`get_or_compute` lands as a plain memory hit. Counter
+        neutrality is the contract — the prefetched entry must be
+        indistinguishable from one that was already resident, so
+        neither ``disk_hits`` nor the :class:`DiskCacheStats` counters
+        move and the LRU position of existing entries is untouched.
+        Returns whether an entry was newly promoted into memory.
+        """
+        with self._lock:
+            if key in self._entries:
+                return False
+            disk = self._disk
+        if disk is None:
+            return False
+        value = disk.load(key, count=False)
+        if value is None:
+            return False
+        _refreeze_arrays(value)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = value
+            self._evict_over_capacity()
+            return True
+
     def insert_results(
         self, items: Sequence[Tuple[Hashable, Any]]
     ) -> List[Any]:
@@ -366,8 +395,9 @@ class SimulationCache:
                 out.append(self._entries.get(key, value))
             disk = self._disk
         if disk is not None:
-            for key, value in spill:
-                disk.store(key, value)
+            # One group commit for the whole batch: a large delta lands
+            # as a single pack append instead of N tmp+rename cycles.
+            disk.store_batch(spill)
         return out
 
     def snapshot(self) -> "list[Tuple[Hashable, Any]]":
@@ -459,8 +489,7 @@ class SimulationCache:
             self._disk_hits += disk_hits
             disk = self._disk
         if disk is not None:
-            for key, value in new_entries:
-                disk.store(key, value)
+            disk.store_batch(new_entries)
         return CacheMergeStats(inserted=inserted, duplicates=duplicates)
 
     def clear(self) -> None:
@@ -505,7 +534,7 @@ class SimulationCache:
             entries = list(self._entries.items())
         if disk is None:
             return 0
-        return sum(1 for key, value in entries if disk.store(key, value))
+        return disk.store_batch(entries)
 
 
 #: The process-wide cache behind ``simulate_tile_stream``.
@@ -544,6 +573,27 @@ def insert_simulation_results(
     See :meth:`SimulationCache.insert_results`.
     """
     return _GLOBAL_CACHE.insert_results(items)
+
+
+def prefetch_simulation_keys(
+    keys: Sequence[Hashable],
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> int:
+    """Warm the process-wide LRU from disk for a batch of keys.
+
+    Counter-neutral (see :meth:`SimulationCache.prefetch`): the later
+    real lookups account for themselves as ordinary memory hits.
+    ``should_stop`` is polled between keys so a cancelled or expired
+    sweep stops prefetching within one entry. Returns how many entries
+    were newly promoted into memory.
+    """
+    warmed = 0
+    for key in keys:
+        if should_stop is not None and should_stop():
+            break
+        if _GLOBAL_CACHE.prefetch(key):
+            warmed += 1
+    return warmed
 
 
 def simulation_cache_contains(key: Hashable) -> bool:

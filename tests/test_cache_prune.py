@@ -14,6 +14,7 @@ from repro.sim.diskcache import (
     DiskCache,
     PruneReport,
     STALE_TMP_AGE_S,
+    key_digest,
     prune_cache_dir,
 )
 
@@ -119,6 +120,40 @@ class TestPruneCacheDir:
         text = report.describe()
         assert "\n" not in text
         assert "2 of 2" in text
+
+    def test_recently_read_packed_entry_survives_byte_budget(self, tmp_path):
+        # Group-commit a delta as one pack, then age the whole pack.
+        cache = DiskCache(tmp_path)
+        keys = [("prune-pack", i) for i in range(8)]
+        assert cache.store_batch([(k, "x" * 100) for k in keys]) == 8
+        assert cache.stats().pack_commits == 1
+        pack = next(cache.schema_dir.glob("packs/*.pack"))
+        _age(pack, 500)
+        # A fresh attach with no manifest takes every packed atime from
+        # the (backdated) pack mtime — the restart-after-a-while shape.
+        (cache.schema_dir / "index.repri").unlink()
+        fresh = DiskCache(tmp_path)
+        # Reading one packed entry can only record recency through the
+        # manifest (there is no per-entry file to utime).
+        assert fresh.load(keys[3]) is not None
+        length = fresh.index.get(key_digest(keys[3])).length
+        report = prune_cache_dir(tmp_path, max_bytes=length)
+        assert report.removed_entries == 7
+        assert report.compacted_packs == 1
+        survivor = DiskCache(tmp_path)
+        assert survivor.load(keys[3]) is not None
+        assert all(not survivor.contains(k) for k in keys if k != keys[3])
+
+    def test_fully_dead_pack_is_unlinked_whole(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.store_batch(
+            [(("prune-pack", i), "x" * 100) for i in range(8)]
+        ) == 8
+        report = prune_cache_dir(tmp_path, max_bytes=0)
+        assert report.removed_entries == 8
+        assert report.compacted_packs == 0  # nothing survived to rewrite
+        assert not list(tmp_path.rglob("*.pack"))
+        assert not list(tmp_path.rglob("index.repri"))
 
     def test_old_schema_generations_age_out(self, tmp_path):
         # A directory from an older code generation is unreachable by

@@ -365,6 +365,76 @@ class TestCachePrune:
         assert "pruned 2 of 2 entries" in capsys.readouterr().out
 
 
+class TestCacheStats:
+    """The ``cache stats`` subcommand (disk-tier v2 observability)."""
+
+    @pytest.fixture(autouse=True)
+    def _memory_only(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        clear_simulation_cache()
+        yield
+        configure_simulation_cache_dir(None)
+        clear_simulation_cache()
+
+    def _warm_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "simcache")
+        assert main([
+            "simulate", "--scheme", "Q4,Q8_5%", "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+        configure_simulation_cache_dir(None)
+        return cache_dir
+
+    def test_stats_reports_storage_breakdown(self, tmp_path, capsys):
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "loose" in out and "packed" in out and "index" in out
+
+    def test_stats_json_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        assert main([
+            "cache", "stats", "--cache-dir", cache_dir, "--json",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["loose_entries"] == 2
+        assert snapshot["packed_entries"] == 0
+        assert snapshot["total_bytes"] > 0
+        assert snapshot["index_entries"] == 2
+
+    def test_stats_counts_packed_entries(self, tmp_path, capsys):
+        from repro.sim.diskcache import DiskCache
+
+        cache_dir = str(tmp_path / "packedcache")
+        disk = DiskCache(cache_dir)
+        assert disk.store_batch(
+            [(("cli-stats", i), "x" * 50) for i in range(8)]
+        ) == 8
+        assert main([
+            "cache", "stats", "--cache-dir", cache_dir, "--json",
+        ]) == 0
+        import json
+
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["packed_entries"] == 8
+        assert snapshot["pack_files"] == 1
+        assert snapshot["loose_entries"] == 0
+
+    def test_stats_needs_a_directory(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_stats_env_fallback(self, tmp_path, capsys, monkeypatch):
+        cache_dir = self._warm_dir(tmp_path, capsys)
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        assert main(["cache", "stats"]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

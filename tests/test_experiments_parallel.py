@@ -231,11 +231,24 @@ class TestDiskTierIntegration:
             stats = simulation_cache_stats()
             assert warm == cold
             assert execution.worker_misses == 0
-            assert execution.worker_disk_hits == 4
-            assert execution.merged_entries == 4
-            assert stats.disk_hits == 4
+            # Every lookup is served from the disk tier — either as a
+            # lazy per-touch disk hit or, with the pipelined prefetch
+            # having warmed the worker LRU first, as a memory hit of a
+            # prefetched entry. Nothing recomputes either way.
+            assert execution.worker_hits + execution.worker_disk_hits == 4
+            # Prefetched entries are resident before each cell's
+            # baseline snapshot, so workers no longer re-ship entries
+            # the parent already holds on disk — the delta payload of a
+            # fully warm replay is empty.
+            assert execution.merged_entries == 0
             assert stats.misses == 0
             assert stats.hit_rate == 1.0
+            # The grid is batchable, so the sweep shipped its keys and
+            # the workers confirmed the prefetch (the broadcast covers
+            # the whole pool, which may be wider than this sweep).
+            assert execution.prefetch_keys == 4
+            assert execution.prefetch_workers >= execution.jobs
+            assert execution.prefetched_entries >= 4
         finally:
             configure_simulation_cache_dir(None)
             clear_simulation_cache()

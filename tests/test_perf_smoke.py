@@ -60,6 +60,20 @@ def test_smoke_runs_every_anchor(tmp_path, monkeypatch):
     assert reclaim["full_s"] > 0.0
     assert 0.0 <= reclaim["reclaimed_fraction"] <= 1.0
     assert reclaim["cells"] > 0.0
+    # The disk-tier anchors measured both sides and derived their
+    # ratios; the prefetch hit rate is a true rate even at smoke sizes.
+    delta = results["disk_delta_commit"]
+    assert delta["per_entry_s"] > 0.0
+    assert delta["delta_commit_speedup"] > 0.0
+    assert delta["entries"] > 0.0
+    attach = results["disk_index_attach"]
+    assert attach["stat_walk_s"] > 0.0
+    assert attach["index_attach_speedup"] > 0.0
+    assert attach["entries"] > 0.0
+    prefetch = results["prefetch_warm_sweep"]
+    assert prefetch["cold_s"] > 0.0
+    assert 0.0 <= prefetch["prefetch_hit_rate"] <= 1.0
+    assert prefetch["cells"] > 0.0
     # Smoke mode must not have rewritten the recorded report.
     after = DEFAULT_OUTPUT.read_bytes() if DEFAULT_OUTPUT.exists() else None
     assert before == after

@@ -98,6 +98,42 @@ class TestWorkerLossExecutor:
         assert victim in before
         shutdown_worker_pool()
 
+    def test_suspect_shutdown_survives_result_lock_holder(self):
+        """Tearing down a suspect pool can't hang on the result queue.
+
+        A worker SIGKILLed *mid-result-send* dies holding the result
+        queue's writer lock; ``Pool._terminate_pool`` then deadlocks on
+        its own sentinel ``outqueue.put(None)``. Simulate the dead
+        holder by acquiring that lock from the test (a semaphore held
+        by a corpse and one held by this thread wedge identically),
+        mark the pool suspect, and require the shutdown to complete.
+        """
+        from repro.experiments import parallel as parallel_mod
+
+        shutdown_worker_pool()
+        parallel_map(_synthetic_cell, [(0, 0.0), (1, 0.0)], jobs=2)
+        pool = parallel_mod._POOL
+        assert pool is not None
+        wlock = pool._outqueue._wlock
+        assert wlock.acquire(timeout=10)
+        parallel_mod._mark_pool_suspect()
+        teardown = threading.Thread(target=shutdown_worker_pool)
+        teardown.start()
+        teardown.join(timeout=30)
+        try:
+            assert not teardown.is_alive(), (
+                "suspect-pool shutdown hung on the orphaned result lock"
+            )
+        finally:
+            # On the failure path unwedge the stuck teardown so the
+            # rest of the session isn't poisoned; on success the
+            # shutdown already freed the lock and this raises
+            # ValueError.
+            try:
+                wlock.release()
+            except ValueError:
+                pass
+
 
 class TestServeWorkerLoss:
     def test_daemon_survives_killed_worker(self, daemon, kill_pool_worker):
@@ -200,6 +236,42 @@ class TestServeDiskCorruption:
                 )
             )
             assert len(other) == 2
+            assert daemon.status_snapshot()["errors"] == 0
+        finally:
+            configure_simulation_cache_dir(None)
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate"])
+    def test_corrupt_index_mid_sweep_degrades_to_rebuild(
+        self, daemon, corrupt_cache_index, tmp_path, mode
+    ):
+        """A damaged manifest under a live daemon never changes results.
+
+        The daemon's disk tier holds an attached in-memory index; when
+        the manifest file is garbled between requests the next refresh
+        sees the shrunken/foreign file, reloads, and rebuilds from the
+        store — the replayed stream stays bit-identical and the daemon
+        stays healthy.
+        """
+        cache_dir = tmp_path / "cache"
+        configure_simulation_cache_dir(str(cache_dir))
+        try:
+            baseline = list(
+                connect(daemon.socket_path).sweep_lines("figure12")
+            )
+            disk = simulation_cache_disk()
+            assert disk is not None and disk.stats().stores > 0
+
+            corrupt_cache_index(cache_dir, mode)
+            clear_simulation_cache()
+
+            replay = list(
+                connect(daemon.socket_path).sweep_lines("figure12")
+            )
+            assert replay == baseline
+            # Served from the store, not recomputed: the manifest is
+            # advisory, so losing it costs a rebuild, not the entries.
+            assert simulation_cache_disk().stats().hits > 0
+            assert connect(daemon.socket_path).ping()
             assert daemon.status_snapshot()["errors"] == 0
         finally:
             configure_simulation_cache_dir(None)

@@ -465,6 +465,90 @@ class TestHttpFrontend:
         assert "cancelled" in outcome["error"]
 
 
+class TestPreload:
+    def test_preload_warms_memory_from_disk(self, tmp_path):
+        """--preload derives a scenario's keys and warms the LRU.
+
+        A first daemon computes figure12 into a cache dir; a second
+        daemon preloading that scenario serves its first request at
+        memory-hit latency (zero misses) and reports progress in
+        /status.
+        """
+        from repro.sim.cache import (
+            configure_simulation_cache_dir,
+            simulation_cache_stats,
+        )
+
+        cache_dir = str(tmp_path / "cache")
+        configure_simulation_cache_dir(cache_dir)
+        try:
+            clear_simulation_cache()
+            shutdown_worker_pool()
+            first = ServeDaemon(
+                socket_path=str(tmp_path / "a.sock"), jobs=2, max_active=2
+            )
+            first.start()
+            baseline = list(connect(first.socket_path).sweep_lines("figure12"))
+            first.drain()  # flushes the memory tier to disk
+            shutdown_worker_pool()
+            clear_simulation_cache()
+
+            second = ServeDaemon(
+                socket_path=str(tmp_path / "b.sock"), jobs=2, max_active=2,
+                preload=["figure12"],
+            )
+            second.start()
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                preload = second.status_snapshot()["preload"]
+                if preload["done"]:
+                    break
+                time.sleep(0.02)
+            assert preload["done"]
+            assert preload["scenarios"] == ["figure12"]
+            assert preload["keys"] > 0
+            assert preload["warmed"] == preload["keys"]
+            replay = list(connect(second.socket_path).sweep_lines("figure12"))
+            assert replay == baseline
+            assert simulation_cache_stats().misses == 0
+            snapshot = second.status_snapshot()
+            assert snapshot["disk"] is not None
+            assert snapshot["disk"]["index_entries"] >= preload["keys"]
+            second.drain()
+        finally:
+            configure_simulation_cache_dir(None)
+            shutdown_worker_pool()
+            clear_simulation_cache()
+
+    def test_unknown_preload_scenario_degrades(self, tmp_path):
+        from repro.sim.cache import configure_simulation_cache_dir
+
+        cache_dir = str(tmp_path / "cache")
+        configure_simulation_cache_dir(cache_dir)
+        try:
+            clear_simulation_cache()
+            shutdown_worker_pool()
+            daemon = ServeDaemon(
+                socket_path=str(tmp_path / "serve.sock"), jobs=1,
+                max_active=1, preload=["no-such-scenario"],
+            )
+            daemon.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                preload = daemon.status_snapshot()["preload"]
+                if preload["done"]:
+                    break
+                time.sleep(0.02)
+            assert preload["done"]
+            assert preload["warmed"] == 0
+            assert connect(daemon.socket_path).ping()
+            daemon.drain()
+        finally:
+            configure_simulation_cache_dir(None)
+            shutdown_worker_pool()
+            clear_simulation_cache()
+
+
 class TestDrainSymmetry:
     def test_drain_releases_width_one_claim(self, tmp_path):
         """A jobs=1 daemon claims no forked pool but still owns the
