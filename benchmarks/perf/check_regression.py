@@ -20,9 +20,14 @@ floors on both batching anchors (>=2.2x on the dispatch-bound 48-cell
 short-stream grid, no outright regression on the work-bound Figure 12
 workload), the serve daemon must coalesce >=90% of duplicate
 concurrent requests onto a single underlying sweep, and a cancelled
-sweep must leave >=50% of its grid's pool tasks undispatched. On a
-single-CPU machine the parallel scaling gate is skipped with a printed
-reason rather than silently passed.
+sweep must leave >=50% of its grid's pool tasks undispatched.
+``RATIO_CEILINGS`` is the mirror image for overhead ratios: loopback
+socket dispatch must stay within 2x of the fork pool, and a warm
+replay on live socket workers must re-ship at most 10% of the cold
+run's cache-shard bytes. On a single-CPU machine the parallel scaling
+gate is skipped with a printed reason rather than silently passed, and
+every skipped gate is also emitted as a machine-readable JSON line
+(``{"skipped_gates": [...]}``) so CI can assert the skip reason.
 
 Usage:
 
@@ -252,6 +257,47 @@ def _ratio_floor_failures(recorded: dict, fresh: dict) -> "list[str]":
     return failures
 
 
+#: Machine-independent ratio ceilings, keyed by benchmark name:
+#: ``(field, ceiling, what exceeding it proves)``. The mirror image of
+#: :data:`RATIO_FLOORS` for overhead ratios measured within one run,
+#: where *smaller* is better and machine speed cancels out.
+RATIO_CEILINGS = {
+    # Dispatching a dispatch-bound grid through 2 loopback socket
+    # workers may cost framing/pickling overhead over the fork pool,
+    # but must stay within 2x of it — above that the socket transport
+    # is re-shipping state per cell instead of amortizing it.
+    "remote_dispatch_overhead": (
+        "dispatch_overhead_ratio", 2.0,
+        "loopback socket dispatch costs more than 2x the fork pool",
+    ),
+    # A warm replay on live socket workers must ship almost no shard
+    # bytes: the hash-sharded delta exchange dedups against each
+    # host's disk index, so re-sending more than 10% of the cold
+    # transfer means dedup has silently stopped recognizing entries.
+    "remote_delta_dedup": (
+        "warm_shard_bytes_ratio", 0.1,
+        "warm socket replay re-ships cache shards dedup should skip",
+    ),
+}
+
+
+def _ratio_ceiling_failures(recorded: dict, fresh: dict) -> "list[str]":
+    """Gate the machine-independent ratio ceilings (see RATIO_CEILINGS)."""
+    failures = []
+    for name, (field, ceiling, meaning) in sorted(RATIO_CEILINGS.items()):
+        if name not in recorded:
+            continue
+        value = fresh.get(name, {}).get(field)
+        if value is None:
+            failures.append(f"{name}: {field} measurement disappeared")
+        elif value > ceiling:
+            failures.append(
+                f"{name}: {field} {value:.2f} above the {ceiling:.2f} "
+                f"ceiling — {meaning}"
+            )
+    return failures
+
+
 #: Hard ceiling for the streamed first-result fraction: at or above 1.0
 #: the "stream" waits for the whole sweep, i.e. the incremental join has
 #: silently degraded to a barrier.
@@ -339,6 +385,7 @@ def compare(
     failures.extend(_warm_cache_failures(recorded, fresh))
     failures.extend(_streaming_failures(recorded, fresh, tolerance))
     failures.extend(_ratio_floor_failures(recorded, fresh))
+    failures.extend(_ratio_ceiling_failures(recorded, fresh))
     return failures
 
 
@@ -369,6 +416,9 @@ def main(argv=None) -> int:
     failures = compare(recorded, fresh, args.tolerance, skips)
     for skip in skips:
         print(f"skipped gate: {skip}")
+    # Machine-readable skip record: CI asserts the skip *reason* off this
+    # line instead of grepping the prose above.
+    print(json.dumps({"skipped_gates": skips}))
     if failures:
         print("performance regressions detected:")
         for failure in failures:

@@ -134,6 +134,8 @@ KNOWN_BENCHMARKS = (
     "prefetch_warm_sweep",
     "serve_coalesced_8x",
     "serve_cancel_reclaim",
+    "remote_dispatch_overhead",
+    "remote_delta_dedup",
 )
 
 #: One-time measurements of the seed-commit implementation (c229933),
@@ -947,6 +949,104 @@ def run_benchmarks(
             "cpu_count": float(os.cpu_count() or 1),
         }
 
+    # --- socket executor: per-cell dispatch overhead vs fork -----------
+    if want("remote_dispatch_overhead"):
+        from repro.experiments import remote
+        from repro.experiments.parallel import shutdown_worker_pool
+
+        grid_tiles = 64 if smoke else 300
+        reps = reps_for(3)
+
+        def grid_per_cell() -> object:
+            # batch=False pins the per-cell dispatch path on both
+            # backends: 48 individual cells through stream_map, so the
+            # ratio isolates transport overhead, not batching effects.
+            clear_simulation_cache()
+            return run_grid(tiles=grid_tiles, jobs=2, batch=False)
+
+        shutdown_worker_pool()
+        hosts = remote.start_loopback_workers(2)
+        remote.configure_sweep_hosts(hosts)
+        try:
+            socket_s = best_of(grid_per_cell, reps)
+        finally:
+            # Explicitly disable (not revert-to-env) so a stray
+            # REPRO_SWEEP_HOSTS can never leak into the fork baseline.
+            remote.configure_sweep_hosts(())
+            shutdown_worker_pool()
+        try:
+            fork_s = best_of(grid_per_cell, reps)
+        finally:
+            remote.configure_sweep_hosts(None)
+            shutdown_worker_pool()
+        clear_simulation_cache()
+        results["remote_dispatch_overhead"] = {
+            "after_s": socket_s,
+            "fork_s": fork_s,
+            # Loopback socket sweep over fork sweep, same grid, same
+            # width. Machine-independent: both backends run on this
+            # host, so the ratio cancels its absolute speed.
+            "dispatch_overhead_ratio": socket_s / fork_s,
+            "cells": 48.0,
+            "cpu_count": float(os.cpu_count() or 1),
+        }
+
+    # --- socket executor: warm replay ships ~0 shard bytes -------------
+    if want("remote_delta_dedup"):
+        from repro.experiments import remote
+        from repro.experiments.grid import grid_spec
+        from repro.experiments.parallel import (
+            last_sweep_execution,
+            shutdown_worker_pool,
+        )
+
+        dedup_tiles = 64 if smoke else 300
+        spec = grid_spec(tiles=dedup_tiles)
+        shutdown_worker_pool()
+        clear_simulation_cache()
+        hosts = remote.start_loopback_workers(2)
+        remote.configure_sweep_hosts(hosts)
+        try:
+            start = time.perf_counter()
+            cold_rows = sum(1 for _ in spec.stream(jobs=1, batch=False))
+            cold_s = time.perf_counter() - start
+            cold_exec = last_sweep_execution()
+            cold_bytes = (
+                cold_exec.delta_bytes_sent
+                + cold_exec.delta_bytes_received
+            )
+            # One convergence replay: the cold run split the grid across
+            # the workers, so each host holds only its own partition and
+            # the first replay legitimately cross-fills the other half
+            # via the warm broadcast. The measured warm replay runs on
+            # converged hosts, where dedup should leave ~nothing to ship.
+            sum(1 for _ in spec.stream(jobs=1, batch=False))
+            start = time.perf_counter()
+            warm_rows = sum(1 for _ in spec.stream(jobs=1, batch=False))
+            warm_s = time.perf_counter() - start
+            warm_exec = last_sweep_execution()
+            warm_bytes = (
+                warm_exec.delta_bytes_sent
+                + warm_exec.delta_bytes_received
+            )
+        finally:
+            remote.configure_sweep_hosts(None)
+            shutdown_worker_pool()
+        clear_simulation_cache()
+        assert cold_rows == warm_rows, (cold_rows, warm_rows)
+        assert cold_bytes > 0, "cold socket sweep moved no shard bytes"
+        results["remote_delta_dedup"] = {
+            "after_s": warm_s,
+            "cold_s": cold_s,
+            "cold_delta_bytes": float(cold_bytes),
+            "warm_delta_bytes": float(warm_bytes),
+            # Both directions dedup against the other side's digest
+            # set, so a warm replay on live workers should ship ~none
+            # of the cold run's shard traffic again.
+            "warm_shard_bytes_ratio": warm_bytes / max(cold_bytes, 1),
+            "cpu_count": float(os.cpu_count() or 1),
+        }
+
     # --- parallel sweep executor: full grid at 1/2/4 workers -----------
     if want("figure12_sweep_parallel"):
         sweep_tiles = 600 if smoke else PARALLEL_SWEEP_TILES
@@ -1090,6 +1190,17 @@ def main(argv=None) -> int:
                 f"  {entry['coalesced_speedup']:5.1f}x vs "
                 f"{entry['requests']:.0f} serial colds "
                 f"({entry['coalesced_hit_rate']:.0%} coalesced)"
+            )
+        if "dispatch_overhead_ratio" in entry:
+            line += (
+                f"  {entry['dispatch_overhead_ratio']:5.2f}x socket vs "
+                "fork dispatch"
+            )
+        if "warm_shard_bytes_ratio" in entry:
+            line += (
+                f"  {entry['warm_shard_bytes_ratio']:.1%} of "
+                f"{entry['cold_delta_bytes']:.0f} cold shard bytes "
+                "re-shipped warm"
             )
         if "first_result_fraction" in entry:
             line += (

@@ -64,12 +64,20 @@ ANCHOR_REQUIRED_FIELDS: Dict[str, "tuple[str, ...]"] = {
     "prefetch_warm_sweep": (
         "cold_s", "warm_speedup", "prefetch_hit_rate", "cells",
     ),
+    "remote_dispatch_overhead": (
+        "fork_s", "dispatch_overhead_ratio", "cells",
+    ),
+    "remote_delta_dedup": (
+        "cold_s", "cold_delta_bytes", "warm_delta_bytes",
+        "warm_shard_bytes_ratio",
+    ),
 }
 
 #: Fields that are rates/fractions of a coalescing total and therefore
 #: must not exceed 1.0 (the generic numeric check only pins >= 0).
 UNIT_INTERVAL_FIELDS = (
     "coalesced_hit_rate", "reclaimed_fraction", "prefetch_hit_rate",
+    "warm_shard_bytes_ratio",
 )
 
 

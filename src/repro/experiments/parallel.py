@@ -96,6 +96,23 @@ deltas are merged so the cache stays consistent, and the persistent
 pool remains usable for the next sweep. :func:`last_sweep_execution`
 records the early exit (``cancelled=True`` with ``completed`` < tasks).
 
+Socket backend (multi-host sweeps)
+----------------------------------
+
+When worker hosts are configured (``--hosts`` on the sweep CLIs, the
+``REPRO_SWEEP_HOSTS`` environment variable, or
+:func:`repro.experiments.remote.configure_sweep_hosts`),
+:func:`stream_map` dispatches through the socket-transport backend in
+:mod:`repro.experiments.remote` instead of the local fork pool:
+contiguous cell partitions go to N ``repro worker`` processes over
+length-prefixed frames, chunks stream back through this module's same
+incremental-merge/index-sort path, and cache state is exchanged as
+hash-sharded packed deltas deduped against each host's digest set.
+Results are bit-identical to the serial and fork paths; host death
+recovers by in-parent recompute exactly like the fork backend's
+worker-loss path. The host list overrides ``jobs`` — the hosts *are*
+the parallelism.
+
 Degradation contract
 --------------------
 
@@ -118,6 +135,7 @@ import os
 import pickle
 import queue
 import signal
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -258,6 +276,18 @@ class SweepExecution:
     prefetch_keys: int = 0
     prefetch_workers: int = 0
     prefetched_entries: int = 0
+    #: Which executor ran the sweep: ``"serial"`` (in-process loop),
+    #: ``"fork"`` (local process pool), or ``"socket"`` (the remote
+    #: backend in :mod:`repro.experiments.remote`).
+    backend: str = "fork"
+    #: Socket-backend topology: the hosts dispatched to and how many
+    #: cells each completed (empty for serial/fork sweeps).
+    hosts: Tuple[str, ...] = ()
+    host_cells: Tuple[Tuple[str, int], ...] = ()
+    #: Hash-sharded cache-delta traffic of a socket sweep (shard
+    #: payload bytes, each direction; 0 for serial/fork sweeps).
+    delta_bytes_sent: int = 0
+    delta_bytes_received: int = 0
 
 
 #: Report of the most recent stream_map call (diagnostics/tests).
@@ -357,9 +387,16 @@ def shutdown_worker_pool() -> None:
     applies even to an owned pool — owners wanting their pool spared
     from housekeeping are protected only from the ambient atexit hook
     (:func:`_ambient_pool_teardown`), not from a deliberate call.
+
+    Also tears down the socket backend's half, when it was ever used:
+    worker connections close and loopback ``repro worker``
+    subprocesses are reaped, so no test or shutdown path leaks them.
     """
     with _POOL_LOCK:
         _shutdown_pool_locked()
+    remote = sys.modules.get("repro.experiments.remote")
+    if remote is not None:
+        remote.shutdown_remote_workers()
 
 
 def _shutdown_pool_locked() -> None:
@@ -764,6 +801,7 @@ def _serial_stream(
             duplicate_entries=0, worker_hits=0, worker_misses=0,
             completed=completed,
             cancelled=not failed and completed < len(items),
+            backend="serial",
         )
 
 
@@ -1103,6 +1141,20 @@ def stream_map(
     results are bit-identical with it on or off.
     """
     items = list(items)
+    if len(items) > 1 and not _IN_WORKER:
+        # Socket backend: configured hosts (--hosts / REPRO_SWEEP_HOSTS)
+        # override `jobs` outright — the host list *is* the
+        # parallelism. Imported lazily so the fork-only common case
+        # never touches the remote module.
+        from repro.experiments import remote as _remote
+
+        hosts = _remote.active_sweep_hosts()
+        if hosts:
+            return _remote.remote_stream(
+                fn, items, hosts, progress,
+                warm_prefix=warm_prefix, warm_budget=warm_budget,
+                deadline=deadline, prefetch_keys=prefetch_keys,
+            )
     n_jobs = resolve_jobs(jobs, len(items))
     if n_jobs <= 1:
         return _serial_stream(fn, items, progress, deadline=deadline)

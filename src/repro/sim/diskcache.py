@@ -255,6 +255,48 @@ def schema_fingerprint() -> str:
     return _SCHEMA_FINGERPRINT
 
 
+def encode_entry_payload(key: Hashable, value: Any) -> bytes:
+    """One entry serialized in the exact on-disk payload format.
+
+    These bytes are what :meth:`DiskCache.store_batch` writes into pack
+    files and what :meth:`DiskCache.store` pickles into loose ``.pkl``
+    entries — so they can travel over any transport (the socket
+    executor ships them verbatim as hash-sharded deltas) and land on a
+    remote host's disk tier without re-encoding. Raises
+    ``pickle.PicklingError`` for unpicklable values.
+    """
+    return pickle.dumps(
+        {
+            "format": ENTRY_FORMAT_VERSION,
+            "fingerprint": schema_fingerprint(),
+            "key": key,
+            "value": value,
+        },
+        protocol=_PICKLE_PROTOCOL,
+    )
+
+
+def decode_entry_payload(payload: bytes) -> Tuple[Hashable, Any]:
+    """The ``(key, value)`` inside one encoded entry payload.
+
+    Validates the same invariants :meth:`DiskCache.load` checks —
+    payload shape, format version, schema fingerprint — and raises
+    ``ValueError`` on any mismatch, so a foreign or stale shard
+    received over the wire degrades to recompute instead of poisoning
+    the cache.
+    """
+    obj = pickle.loads(payload)
+    if (
+        not isinstance(obj, dict)
+        or obj.get("format") != ENTRY_FORMAT_VERSION
+        or obj.get("fingerprint") != schema_fingerprint()
+        or "key" not in obj
+        or "value" not in obj
+    ):
+        raise ValueError("unrecognized entry payload")
+    return obj["key"], obj["value"]
+
+
 @dataclass(frozen=True)
 class DiskCacheStats:
     """Counters of one :class:`DiskCache` instance (this process only).
@@ -557,21 +599,9 @@ class DiskCache:
             return sum(
                 1 for _digest, key, value in fresh if self.store(key, value)
             )
-        fingerprint = schema_fingerprint()
         try:
             payloads = [
-                (
-                    digest,
-                    pickle.dumps(
-                        {
-                            "format": ENTRY_FORMAT_VERSION,
-                            "fingerprint": fingerprint,
-                            "key": key,
-                            "value": value,
-                        },
-                        protocol=_PICKLE_PROTOCOL,
-                    ),
-                )
+                (digest, encode_entry_payload(key, value))
                 for digest, key, value in fresh
             ]
             pack_name, locations = write_pack(self._dir, payloads)

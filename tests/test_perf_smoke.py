@@ -74,6 +74,17 @@ def test_smoke_runs_every_anchor(tmp_path, monkeypatch):
     assert prefetch["cold_s"] > 0.0
     assert 0.0 <= prefetch["prefetch_hit_rate"] <= 1.0
     assert prefetch["cells"] > 0.0
+    # The socket-executor anchors measured both backends / both sweeps
+    # and derived their ratios; the warm shard ratio is a true fraction
+    # of the cold transfer even at smoke sizes.
+    dispatch = results["remote_dispatch_overhead"]
+    assert dispatch["fork_s"] > 0.0
+    assert dispatch["dispatch_overhead_ratio"] > 0.0
+    assert dispatch["cells"] == 48.0
+    dedup = results["remote_delta_dedup"]
+    assert dedup["cold_s"] > 0.0
+    assert dedup["cold_delta_bytes"] > 0.0
+    assert 0.0 <= dedup["warm_shard_bytes_ratio"] <= 1.0
     # Smoke mode must not have rewritten the recorded report.
     after = DEFAULT_OUTPUT.read_bytes() if DEFAULT_OUTPUT.exists() else None
     assert before == after
